@@ -1,0 +1,356 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§V), plus ablations of the design choices called out in DESIGN.md §5.
+//
+// Reported metrics are *virtual-time* results from the simulated platform
+// (µs of migration overhead, normalized performance, speedups); the wall
+// time Go reports per iteration is merely the cost of running the
+// simulation. Set FLICK_FULL=1 for paper-scale parameters (minutes).
+package flick_test
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"flick"
+	"flick/internal/baseline"
+	"flick/internal/experiments"
+	"flick/internal/platform"
+	"flick/internal/sim"
+	"flick/internal/workloads"
+)
+
+func opts() experiments.Options {
+	if os.Getenv("FLICK_FULL") != "" {
+		return experiments.Full()
+	}
+	o := experiments.Quick()
+	// Benchmarks iterate b.N times; keep single runs brisk.
+	o.NullCallIters = 300
+	o.BFSScale = 64
+	return o
+}
+
+// BenchmarkTable3_HostNxPHost regenerates Table III's first column: the
+// average host→NxP→host null-call round trip (paper: 18.3 µs).
+func BenchmarkTable3_HostNxPHost(b *testing.B) {
+	o := opts()
+	var last workloads.NullCallResult
+	for i := 0; i < b.N; i++ {
+		r, err := workloads.RunNullCall(workloads.NullCallConfig{Iterations: o.NullCallIters})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.HostNxPHost.Microseconds(), "virt-µs/roundtrip")
+	b.ReportMetric(18.3, "paper-µs/roundtrip")
+}
+
+// BenchmarkTable3_NxPHostNxP regenerates Table III's second column
+// (paper: 16.9 µs).
+func BenchmarkTable3_NxPHostNxP(b *testing.B) {
+	o := opts()
+	var last workloads.NullCallResult
+	for i := 0; i < b.N; i++ {
+		r, err := workloads.RunNullCall(workloads.NullCallConfig{Iterations: o.NullCallIters})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.NxPHostNxP.Microseconds(), "virt-µs/roundtrip")
+	b.ReportMetric(16.9, "paper-µs/roundtrip")
+}
+
+// BenchmarkTable2_SpeedupOverPriorWork regenerates Table II: Flick's
+// measured round trip against the published overheads of prior
+// heterogeneous-ISA migration systems (paper: 23x-38x).
+func BenchmarkTable2_SpeedupOverPriorWork(b *testing.B) {
+	o := opts()
+	var flickRT sim.Duration
+	for i := 0; i < b.N; i++ {
+		r, err := workloads.RunNullCall(workloads.NullCallConfig{Iterations: o.NullCallIters})
+		if err != nil {
+			b.Fatal(err)
+		}
+		flickRT = r.HostNxPHost
+	}
+	for _, w := range baseline.Table2Rows {
+		// Metric units must be whitespace-free; use the venue token.
+		name, _, _ := strings.Cut(w.Name, " ")
+		b.ReportMetric(baseline.SpeedupOver(w, flickRT), "x-vs-"+name)
+	}
+}
+
+// BenchmarkFig5a regenerates Figure 5a's three curves at representative
+// x positions; the full-resolution sweep is `flicksim fig5a`.
+func BenchmarkFig5a(b *testing.B) {
+	points := []int{8, 32, 128, 512}
+	var flickPts, slowPts []workloads.PointerChasePoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		flickPts, err = workloads.SweepPointerChase(points, 3, 0, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		slowPts, err = workloads.SweepPointerChase(points, 2, 500*sim.Microsecond, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i, p := range flickPts {
+		b.ReportMetric(p.Normalized, fmt.Sprintf("flick-norm@%d", p.Nodes))
+		b.ReportMetric(slowPts[i].Normalized, fmt.Sprintf("slow500µs-norm@%d", p.Nodes))
+	}
+}
+
+// BenchmarkFig5b regenerates Figure 5b (one migration per 100 µs).
+func BenchmarkFig5b(b *testing.B) {
+	points := []int{8, 32, 128, 512}
+	var pts []workloads.PointerChasePoint
+	for i := 0; i < b.N; i++ {
+		var err error
+		pts, err = workloads.SweepPointerChase(points, 3, 0, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range pts {
+		b.ReportMetric(p.Normalized, fmt.Sprintf("flick-norm@%d", p.Nodes))
+	}
+}
+
+// benchTable4 runs one Table IV row and reports baseline/Flick seconds and
+// the speedup (paper: 0.75x / 1.19x / 1.09x).
+func benchTable4(b *testing.B, d workloads.Dataset, paperSpeedup float64) {
+	o := opts()
+	ds := d.Scale(o.BFSScale)
+	var row workloads.Table4Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		row, err = workloads.RunTable4Row(ds, o.BFSIters, o.Seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(row.Baseline.Seconds(), "virt-s-baseline")
+	b.ReportMetric(row.Flick.Seconds(), "virt-s-flick")
+	b.ReportMetric(row.Speedup, "x-speedup")
+	b.ReportMetric(paperSpeedup, "x-paper")
+}
+
+func BenchmarkTable4_Epinions1(b *testing.B)    { benchTable4(b, workloads.Epinions1, 0.75) }
+func BenchmarkTable4_Pokec(b *testing.B)        { benchTable4(b, workloads.Pokec, 1.19) }
+func BenchmarkTable4_LiveJournal1(b *testing.B) { benchTable4(b, workloads.LiveJournal1, 1.09) }
+
+// BenchmarkAccessLatency regenerates the §V access-latency measurements
+// (paper: 825 ns host→NxP storage, 267 ns NxP local).
+func BenchmarkAccessLatency(b *testing.B) {
+	var r workloads.LatencyResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = workloads.MeasureLatencies(500, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.HostToNxPStorage.Nanoseconds(), "virt-ns-host-to-nxp")
+	b.ReportMetric(r.NxPToLocalStorage.Nanoseconds(), "virt-ns-nxp-local")
+	b.ReportMetric(r.HostPageFault.Microseconds(), "virt-µs-pagefault")
+}
+
+// --- Ablations (DESIGN.md §5) --------------------------------------------
+
+// BenchmarkAblation_DescriptorDMAvsPIO compares the paper's single-burst
+// descriptor DMA against programmed I/O, where the NxP reads each
+// descriptor word across PCIe.
+func BenchmarkAblation_DescriptorDMAvsPIO(b *testing.B) {
+	o := opts()
+	runOnce := func(pio bool) sim.Duration {
+		sys := flick.MustBuild(flick.Config{
+			Sources: map[string]string{"null.fasm": `
+.func main isa=host
+    mov t5, a0
+    call f
+    sys 4
+    mov t4, a0
+l:
+    call f
+    addi t5, t5, -1
+    bne t5, zr, l
+    sys 4
+    sub a0, a0, t4
+    halt
+.endfunc
+.func f isa=nxp
+    ret
+.endfunc
+`},
+		})
+		sys.Runtime.SetPIODescriptors(pio)
+		ns, err := sys.RunProgram("main", uint64(o.NullCallIters))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sim.Duration(ns) * sim.Nanosecond / sim.Duration(o.NullCallIters)
+	}
+	var dma, pio sim.Duration
+	for i := 0; i < b.N; i++ {
+		dma = runOnce(false)
+		pio = runOnce(true)
+	}
+	b.ReportMetric(dma.Microseconds(), "virt-µs-dma")
+	b.ReportMetric(pio.Microseconds(), "virt-µs-pio")
+	b.ReportMetric(pio.Microseconds()-dma.Microseconds(), "virt-µs-pio-penalty")
+}
+
+// BenchmarkAblation_HugePages compares the paper's 1 GiB-page NxP data
+// window against 2 MiB pages: random pointer chasing then misses the
+// 16-entry NxP TLB constantly, and every miss walks host-resident page
+// tables across PCIe.
+func BenchmarkAblation_HugePages(b *testing.B) {
+	run := func(pageSize uint64) sim.Duration {
+		params := platform.DefaultParams()
+		params.NxPWindowPage = pageSize
+		d, err := workloads.RunPointerChase(workloads.PointerChaseConfig{
+			Nodes: 256, Calls: 3, Mode: workloads.ChaseFlick, Params: &params,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return d
+	}
+	var huge, small sim.Duration
+	for i := 0; i < b.N; i++ {
+		huge = run(0)        // default: 1 GiB pages
+		small = run(2 << 20) // 2 MiB pages
+	}
+	b.ReportMetric(huge.Microseconds(), "virt-µs-1GiB-pages")
+	b.ReportMetric(small.Microseconds(), "virt-µs-2MiB-pages")
+	b.ReportMetric(float64(small)/float64(huge), "x-slowdown-small-pages")
+}
+
+// BenchmarkAblation_NXFaultVsStubs reports the §III-B analysis: the
+// break-even point between fault-triggered and stub-triggered migration.
+func BenchmarkAblation_NXFaultVsStubs(b *testing.B) {
+	m := baseline.DefaultStubModel()
+	var nx, stub sim.Duration
+	for i := 0; i < b.N; i++ {
+		nx, stub = m.ProgramOverhead(1000, 1)
+	}
+	b.ReportMetric(nx.Microseconds(), "virt-µs-nx@1000calls")
+	b.ReportMetric(stub.Microseconds(), "virt-µs-stub@1000calls")
+	b.ReportMetric(m.BreakEvenCallRatio(), "calls-breakeven")
+}
+
+// BenchmarkAblation_BFSWithoutVisitMigration quantifies what Table IV's
+// per-vertex host call costs the Flick BFS.
+func BenchmarkAblation_BFSWithoutVisitMigration(b *testing.B) {
+	o := opts()
+	d := workloads.Epinions1.Scale(o.BFSScale)
+	var with, without workloads.BFSResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		with, err = workloads.RunBFS(workloads.BFSConfig{Dataset: d, Iterations: 1, Seed: o.Seed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		without, err = workloads.RunBFS(workloads.BFSConfig{Dataset: d, Iterations: 1, Seed: o.Seed, SkipVisitCall: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(with.PerIter.Seconds(), "virt-s-with-call")
+	b.ReportMetric(without.PerIter.Seconds(), "virt-s-without")
+}
+
+// BenchmarkSimulatorThroughput measures the simulator itself: interpreted
+// instructions per wall second (not a paper artifact).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	sys := flick.MustBuild(flick.Config{
+		Sources: map[string]string{"spin.fasm": `
+.func main isa=host
+    ; a0 = iterations
+l:
+    addi a0, a0, -1
+    bne a0, zr, l
+    halt
+.endfunc
+`},
+	})
+	b.ResetTimer()
+	task, err := sys.Start("main", uint64(b.N))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sys.Run(); err != nil || task.Err != nil {
+		b.Fatal(err, task.Err)
+	}
+}
+
+// BenchmarkAblation_TransparencyCost compares Flick's transparent
+// fault-triggered migration against explicit offload-style submission of
+// the same job: the difference is what the NX fault + handler hijack cost
+// (§III-B's argument that transparency is nearly free).
+func BenchmarkAblation_TransparencyCost(b *testing.B) {
+	var r baseline.OffloadComparison
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = baseline.RunOffloadComparison(200)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.Flick.Microseconds(), "virt-µs-flick")
+	b.ReportMetric(r.Offload.Microseconds(), "virt-µs-offload")
+	b.ReportMetric(r.TransparencyCost.Microseconds(), "virt-µs-transparency")
+}
+
+// BenchmarkMultiTenantNxP measures board contention: several host threads
+// (one per host core) share the single NxP through Flick migrations. The
+// metric is aggregate migrated calls per virtual second versus tenants.
+func BenchmarkMultiTenantNxP(b *testing.B) {
+	src := `
+.func main isa=host
+    movi t4, 20
+l:
+    call nxp_job
+    addi t4, t4, -1
+    bne  t4, zr, l
+    movi a0, 0
+    sys  1
+.endfunc
+.func nxp_job isa=nxp
+    li   t0, 1000
+w:
+    addi t0, t0, -1
+    bne  t0, zr, w
+    ret
+.endfunc
+`
+	run := func(tenants int) float64 {
+		params := platform.DefaultParams()
+		params.HostCores = tenants
+		sys := flick.MustBuild(flick.Config{Params: &params, Sources: map[string]string{"mt.fasm": src}})
+		for i := 0; i < tenants; i++ {
+			if _, err := sys.Start("main"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := sys.Run(); err != nil {
+			b.Fatal(err)
+		}
+		calls := float64(sys.Runtime.Stats().H2NCalls)
+		return calls / (float64(sys.Now()) / float64(sim.Second))
+	}
+	var one, four float64
+	for i := 0; i < b.N; i++ {
+		one = run(1)
+		four = run(4)
+	}
+	b.ReportMetric(one, "virt-calls/s-1tenant")
+	b.ReportMetric(four, "virt-calls/s-4tenants")
+	b.ReportMetric(four/one, "x-aggregate-scaling")
+}

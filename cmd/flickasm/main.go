@@ -1,0 +1,81 @@
+// Command flickasm assembles Flick multi-ISA assembly into relocatable
+// objects, or prints a listing.
+//
+// Usage:
+//
+//	flickasm -o prog.fobj prog.fasm        # assemble to a gob object file
+//	flickasm -list prog.fasm               # print sections, symbols, code
+package main
+
+import (
+	"encoding/gob"
+	"flag"
+	"fmt"
+	"os"
+
+	"flick/internal/asm"
+	"flick/internal/isa"
+	"flick/internal/multibin"
+)
+
+func main() {
+	out := flag.String("o", "", "output object file (.fobj)")
+	list := flag.Bool("list", false, "print a listing instead of writing an object")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: flickasm [-o out.fobj | -list] <file.fasm>")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	obj, err := asm.Assemble(path, string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if *list {
+		printListing(obj)
+		return
+	}
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "flickasm: need -o or -list")
+		os.Exit(2)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := gob.NewEncoder(f).Encode(obj); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "flickasm:", err)
+	os.Exit(1)
+}
+
+func printListing(obj *multibin.Object) {
+	for _, sec := range obj.Sections {
+		fmt.Printf("section %s  (%s, %d bytes, align %d)\n", sec.Name, sec.ISA, len(sec.Bytes), sec.Align)
+		for _, sym := range sec.Symbols {
+			fmt.Printf("  symbol %-24s +%#06x  size %d\n", sym.Name, sym.Off, sym.Size)
+			if sec.Kind == multibin.SecText {
+				disassemble(sec, sym)
+			}
+		}
+		for _, r := range sec.Relocs {
+			fmt.Printf("  reloc  %-8v +%#06x width %d -> %s%+d\n", r.Kind, r.Off, r.Width, r.Symbol, r.Addend)
+		}
+	}
+}
+
+func disassemble(sec *multibin.Section, sym multibin.Symbol) {
+	codec := isa.CodecFor(sec.ISA)
+	for _, l := range isa.Disassemble(codec, sec.Bytes[sym.Off:sym.Off+sym.Size], sym.Off) {
+		fmt.Printf("    %s\n", l)
+	}
+}

@@ -1,0 +1,115 @@
+// Command flickld links Flick objects (.fobj from flickasm, or .fasm
+// sources assembled on the fly) into one multi-ISA image and prints the
+// image map: page-aligned per-ISA segments, the resolved symbol table, and
+// the loader's NX markings.
+//
+// Usage:
+//
+//	flickld prog.fasm lib.fobj ...
+//	flickld -entry start prog.fasm
+package main
+
+import (
+	"encoding/gob"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"flick/internal/asm"
+	"flick/internal/core"
+	"flick/internal/isa"
+	"flick/internal/multibin"
+)
+
+func main() {
+	entry := flag.String("entry", "main", "entry symbol")
+	noRuntime := flag.Bool("no-runtime", false, "do not link the Flick runtime library")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: flickld [-entry sym] <file.fasm|file.fobj>...")
+		os.Exit(2)
+	}
+
+	var objects []*multibin.Object
+	for _, path := range flag.Args() {
+		obj, err := loadInput(path)
+		if err != nil {
+			fatal(err)
+		}
+		objects = append(objects, obj)
+	}
+	if !*noRuntime {
+		rt, err := asm.Assemble("flick_runtime.fasm", core.RuntimeSource)
+		if err != nil {
+			fatal(err)
+		}
+		objects = append(objects, rt)
+	}
+
+	im, err := multibin.Link(multibin.LinkConfig{
+		Entry:         *entry,
+		PerISASymbols: core.PerISASymbols,
+	}, objects...)
+	if err != nil {
+		fatal(err)
+	}
+	printImage(im)
+}
+
+func loadInput(path string) (*multibin.Object, error) {
+	if strings.HasSuffix(path, ".fobj") {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		var obj multibin.Object
+		if err := gob.NewDecoder(f).Decode(&obj); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return &obj, nil
+	}
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return asm.Assemble(path, string(src))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "flickld:", err)
+	os.Exit(1)
+}
+
+func printImage(im *multibin.Image) {
+	fmt.Printf("entry %#x\n\n", im.Entry)
+	fmt.Println("segments (loader NX marking in brackets):")
+	for _, seg := range im.Segments {
+		nx := "NX=1"
+		if seg.Kind == multibin.SecText && seg.ISA == isa.ISAHost {
+			nx = "NX=0"
+		}
+		note := ""
+		if seg.Kind == multibin.SecText && seg.ISA == isa.ISANxP {
+			note = "  (host execution faults here → migration)"
+		}
+		fmt.Printf("  %-12s %v  [%#010x, %#010x)  %6d bytes  [%s]%s\n",
+			seg.Name, seg.ISA, seg.VA, seg.End(), len(seg.Bytes), nx, note)
+	}
+	fmt.Println("\nsymbols:")
+	names := make([]string, 0, len(im.Symbols))
+	for n := range im.Symbols {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return im.Symbols[names[i]] < im.Symbols[names[j]] })
+	for _, n := range names {
+		va := im.Symbols[n]
+		loc := "data"
+		if target, ok := im.TextISA(va); ok {
+			loc = target.String() + " text"
+		}
+		fmt.Printf("  %#010x  %-28s %s\n", va, n, loc)
+	}
+}

@@ -1,0 +1,124 @@
+// Command flicksim regenerates the paper's evaluation artifacts on the
+// simulated platform.
+//
+// Usage:
+//
+//	flicksim [flags] <experiment>...
+//	flicksim all
+//
+// Experiments: table2, table3, table4, fig5a, fig5b, latency, stubs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"flick/internal/experiments"
+)
+
+func main() {
+	full := flag.Bool("full", false, "paper-scale parameters (minutes of runtime)")
+	scale := flag.Int("bfs-scale", 0, "override Table IV dataset divisor (1 = paper scale)")
+	iters := flag.Int("iters", 0, "override averaging iteration count")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: flicksim [flags] <experiment>...\n")
+		fmt.Fprintf(os.Stderr, "experiments: table2 table3 table4 fig5a fig5b latency breakdown stubs tenants kv all\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	o := experiments.Quick()
+	if *full {
+		o = experiments.Full()
+	}
+	if *scale > 0 {
+		o.BFSScale = *scale
+	}
+	if *iters > 0 {
+		o.NullCallIters = *iters
+		o.BFSIters = *iters
+	}
+
+	ids := flag.Args()
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = []string{"table2", "table3", "breakdown", "latency", "fig5a", "fig5b", "table4", "stubs", "tenants", "kv"}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		if err := runOne(id, o); err != nil {
+			fmt.Fprintf(os.Stderr, "flicksim: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  [%s regenerated in %.1fs wall time]\n\n", id, time.Since(start).Seconds())
+	}
+}
+
+func runOne(id string, o experiments.Options) error {
+	switch id {
+	case "table2":
+		t, err := experiments.Table2(o)
+		if err != nil {
+			return err
+		}
+		t.Render(os.Stdout)
+	case "table3":
+		t, _, err := experiments.Table3(o)
+		if err != nil {
+			return err
+		}
+		t.Render(os.Stdout)
+	case "table4":
+		t, _, err := experiments.Table4(o)
+		if err != nil {
+			return err
+		}
+		t.Render(os.Stdout)
+	case "fig5a":
+		c, err := experiments.Fig5a(o)
+		if err != nil {
+			return err
+		}
+		c.Render(os.Stdout, 72, 18)
+	case "fig5b":
+		c, err := experiments.Fig5b(o)
+		if err != nil {
+			return err
+		}
+		c.Render(os.Stdout, 72, 18)
+	case "breakdown":
+		t, err := experiments.Breakdown(o)
+		if err != nil {
+			return err
+		}
+		t.Render(os.Stdout)
+	case "latency":
+		t, err := experiments.Latency(o)
+		if err != nil {
+			return err
+		}
+		t.Render(os.Stdout)
+	case "stubs":
+		experiments.StubAblation().Render(os.Stdout)
+	case "tenants":
+		t, err := experiments.Tenants(o)
+		if err != nil {
+			return err
+		}
+		t.Render(os.Stdout)
+	case "kv":
+		t, err := experiments.KVStore(o)
+		if err != nil {
+			return err
+		}
+		t.Render(os.Stdout)
+	default:
+		return fmt.Errorf("unknown experiment %q", id)
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package flick_test
+
+import (
+	"fmt"
+
+	"flick"
+)
+
+// Example demonstrates the complete Flick programming model: annotate a
+// function with its ISA, call it like any other function, and the thread
+// migrates transparently.
+func Example() {
+	sys, err := flick.Build(flick.Config{
+		Sources: map[string]string{"demo.fasm": `
+.func main isa=host
+    movi a0, 6
+    movi a1, 7
+    call multiply_near_data   ; NX fault → Flick migration → NxP core
+    sys  3                    ; print a0
+    movi a0, 0
+    halt
+.endfunc
+
+.func multiply_near_data isa=nxp
+    mul a0, a0, a1
+    ret
+.endfunc
+`},
+	})
+	if err != nil {
+		panic(err)
+	}
+	if _, err := sys.RunProgram("main"); err != nil {
+		panic(err)
+	}
+	st := sys.Runtime.Stats()
+	fmt.Printf("console: %s", sys.Console())
+	fmt.Printf("migrations: %d (triggered by %d NX faults)\n", st.H2NCalls, st.NXFaults)
+	// Output:
+	// console: 42
+	// migrations: 1 (triggered by 1 NX faults)
+}
+
+// Example_nested shows bidirectional nesting: an NxP function calling back
+// into a host function mid-flight.
+func Example_nested() {
+	sys := flick.MustBuild(flick.Config{
+		Sources: map[string]string{"demo.fasm": `
+.func main isa=host
+    movi a0, 5
+    call near_data_work
+    sys  3
+    movi a0, 0
+    halt
+.endfunc
+
+.func near_data_work isa=nxp
+    push ra
+    muli a0, a0, 10     ; 50, on the NxP
+    call host_policy    ; NxP → host migration
+    addi a0, a0, 1      ; 151, back on the NxP
+    pop  ra
+    ret
+.endfunc
+
+.func host_policy isa=host
+    muli a0, a0, 3      ; 150, on the host
+    ret
+.endfunc
+`},
+	})
+	if _, err := sys.RunProgram("main"); err != nil {
+		panic(err)
+	}
+	fmt.Print(sys.Console())
+	// Output:
+	// 151
+}

@@ -1,0 +1,50 @@
+// BFS near the data: a condensed Table IV. Generates synthetic social
+// graphs shaped like the paper's SNAP datasets, stores them in the
+// simulated board DRAM, and compares a Flick-migrated traversal (with a
+// host callback per discovered vertex, as in the paper) against the host
+// traversing over PCIe.
+//
+// Run: go run ./examples/bfs            (scaled datasets, seconds)
+//
+//	go run ./examples/bfs -scale 16  (closer to paper scale, slower)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"flick/internal/stats"
+	"flick/internal/workloads"
+)
+
+func main() {
+	scale := flag.Int("scale", 64, "dataset size divisor (1 = paper scale)")
+	flag.Parse()
+
+	table := &stats.Table{
+		Title:   "Table IV (condensed): BFS execution time per iteration",
+		Headers: []string{"Dataset", "V", "E", "E/V", "Baseline", "Flick", "Speedup", "Paper"},
+	}
+	paper := map[string]string{"Epinions1": "0.75x", "Pokec": "1.19x", "LiveJournal1": "1.09x"}
+
+	for _, d := range workloads.Table4Datasets {
+		ds := d.Scale(*scale)
+		fmt.Printf("running %s (%d vertices, %d edges)...\n", ds.Name, ds.Vertices, ds.Edges)
+		row, err := workloads.RunTable4Row(ds, 1, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		table.AddRow(ds.Name, ds.Vertices, ds.Edges,
+			fmt.Sprintf("%.1f", float64(ds.Edges)/float64(ds.Vertices)),
+			row.Baseline, row.Flick,
+			fmt.Sprintf("%.2fx", row.Speedup), paper[d.Name])
+	}
+	fmt.Println()
+	table.Render(os.Stdout)
+	fmt.Println()
+	fmt.Println("the pattern the paper reports: the migration per discovered vertex")
+	fmt.Println("sinks Flick on the vertex-heavy Epinions1 graph, while the")
+	fmt.Println("edge-heavy graphs amortize it and Flick wins.")
+}

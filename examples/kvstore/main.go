@@ -1,0 +1,40 @@
+// Near-data key-value store: the NxP scenario the paper's introduction
+// motivates. A hash table lives in the device's DRAM; the host streams
+// lookups against it. Flick migrates the lookup batch next to the table;
+// the baseline probes it across PCIe. The batch size is the application-
+// shaped version of Figure 5's "work per migration" axis.
+//
+// Run: go run ./examples/kvstore
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"flick/internal/stats"
+	"flick/internal/workloads"
+)
+
+func main() {
+	batches := []int{1, 2, 4, 8, 16, 32, 64, 128}
+	pts, err := workloads.SweepKVBatch(batches, 256, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	table := &stats.Table{
+		Title:   "Near-data KV lookups: per-lookup latency vs batch size",
+		Headers: []string{"batch", "Flick/lookup", "host-direct/lookup", "normalized"},
+	}
+	for _, p := range pts {
+		table.AddRow(p.Batch, p.Flick, p.Baseline, fmt.Sprintf("%.2fx", p.Normalized))
+	}
+	table.Render(os.Stdout)
+
+	fmt.Println()
+	fmt.Println("per-query migration loses (one 18µs round trip per probe);")
+	fmt.Println("batching a dozen or more lookups per migration flips it — the")
+	fmt.Println("same break-even economics as the paper's Figure 5, arising in")
+	fmt.Println("an application instead of a microbenchmark.")
+}

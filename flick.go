@@ -1,0 +1,188 @@
+// Package flick is the public API of the Flick reproduction: a simulated
+// heterogeneous-ISA machine (x86-style host + PCIe-attached RISC-style NxP
+// core) running multi-ISA binaries whose threads migrate across the ISA
+// boundary through Flick's NX-fault-triggered, descriptor-DMA mechanism.
+//
+// Typical use:
+//
+//	sys, err := flick.Build(flick.Config{
+//	    Sources: map[string]string{"prog.fasm": src},
+//	})
+//	ret, err := sys.RunProgram("main", 42)      // runs to halt
+//	fmt.Println(sys.Now(), sys.Runtime.Stats()) // virtual time, migrations
+//
+// Functions annotated `isa=nxp` in the assembly execute on the simulated
+// NxP core next to the board DRAM; calls into them from host code (and
+// back) migrate transparently, exactly as in the paper.
+package flick
+
+import (
+	"fmt"
+	"sort"
+
+	"flick/internal/asm"
+	"flick/internal/core"
+	"flick/internal/cpu"
+	"flick/internal/isa"
+	"flick/internal/kernel"
+	"flick/internal/multibin"
+	"flick/internal/platform"
+	"flick/internal/sim"
+)
+
+// Config assembles a System.
+type Config struct {
+	// Params overrides the machine configuration; zero-value fields take
+	// the calibrated Table I defaults.
+	Params *platform.Params
+	// Sources maps file names to Flick assembly sources. The runtime
+	// library is linked in automatically.
+	Sources map[string]string
+	// Objects adds pre-assembled objects.
+	Objects []*multibin.Object
+	// Entry overrides the entry symbol (default "main").
+	Entry string
+	// TraceCapacity enables event tracing when > 0.
+	TraceCapacity int
+}
+
+// System is an assembled machine with a loaded multi-ISA program and the
+// Flick runtime activated.
+type System struct {
+	Machine *platform.Machine
+	Kernel  *kernel.Kernel
+	Program *kernel.Program
+	Runtime *core.Runtime
+	Image   *multibin.Image
+}
+
+// Build assembles, links, loads, and activates.
+func Build(cfg Config) (*System, error) {
+	params := platform.DefaultParams()
+	if cfg.Params != nil {
+		params = *cfg.Params
+	}
+	m, err := platform.New(params)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.TraceCapacity > 0 {
+		m.Env.SetTrace(sim.NewTrace(cfg.TraceCapacity))
+	}
+
+	objects := append([]*multibin.Object(nil), cfg.Objects...)
+	names := make([]string, 0, len(cfg.Sources))
+	for name := range cfg.Sources {
+		names = append(names, name)
+	}
+	sort.Strings(names) // deterministic link order
+	for _, name := range names {
+		obj, err := asm.Assemble(name, cfg.Sources[name])
+		if err != nil {
+			return nil, err
+		}
+		objects = append(objects, obj)
+	}
+	runtimeSources := []struct{ name, source string }{
+		{"flick_runtime.fasm", core.RuntimeSource},
+		{"flick_stdlib.fasm", core.StdlibSource},
+	}
+	if params.EnableDSP {
+		runtimeSources = append(runtimeSources,
+			struct{ name, source string }{"flick_runtime_dsp.fasm", core.RuntimeDspSource})
+	}
+	for _, rs := range runtimeSources {
+		obj, err := asm.Assemble(rs.name, rs.source)
+		if err != nil {
+			return nil, fmt.Errorf("flick: %s: %w", rs.name, err)
+		}
+		objects = append(objects, obj)
+	}
+
+	im, err := multibin.Link(multibin.LinkConfig{
+		Entry:         cfg.Entry,
+		PerISASymbols: core.PerISASymbols,
+	}, objects...)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := m.Kernel.LoadProgram(im)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := core.Activate(m, prog)
+	if err != nil {
+		return nil, err
+	}
+	return &System{Machine: m, Kernel: m.Kernel, Program: prog, Runtime: rt, Image: im}, nil
+}
+
+// MustBuild is Build for examples and benchmarks.
+func MustBuild(cfg Config) *System {
+	s, err := Build(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// RegisterNative binds a Go implementation to a `native N` stub id. Use it
+// for instrumented functions in experiments (e.g. a workload's host-side
+// callback that charges modeled costs).
+func (s *System) RegisterNative(id int64, fn cpu.NativeFunc) {
+	s.Machine.Natives.Register(id, fn)
+}
+
+// Symbol resolves a linked symbol's virtual address.
+func (s *System) Symbol(name string) (uint64, error) {
+	return s.Program.SymbolVA(name)
+}
+
+// Start queues a thread at the named function. Threads always begin on the
+// host core.
+func (s *System) Start(fn string, args ...uint64) (*kernel.Task, error) {
+	va, err := s.Program.SymbolVA(fn)
+	if err != nil {
+		return nil, err
+	}
+	if target, ok := s.Image.TextISA(va); !ok || target != isa.ISAHost {
+		return nil, fmt.Errorf("flick: thread entry %q must be host text", fn)
+	}
+	return s.Kernel.StartThread(fn, va, args...)
+}
+
+// Run drives the simulation until all queued work completes and returns
+// the final virtual time. It surfaces deadlocks (which indicate protocol
+// bugs or the §IV-D race) as errors.
+func (s *System) Run() (sim.Time, error) {
+	end := s.Machine.Env.Run()
+	if stuck := s.Machine.Env.Deadlocked(); len(stuck) > 0 {
+		return end, fmt.Errorf("flick: simulation deadlocked with blocked processes: %v", stuck)
+	}
+	return end, nil
+}
+
+// RunProgram starts fn as a thread, runs the simulation to completion, and
+// returns the thread's final a0 (its return/exit value).
+func (s *System) RunProgram(fn string, args ...uint64) (uint64, error) {
+	t, err := s.Start(fn, args...)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := s.Run(); err != nil {
+		return 0, err
+	}
+	if t.Err != nil {
+		return 0, t.Err
+	}
+	if t.State != kernel.TaskDone {
+		return 0, fmt.Errorf("flick: thread %q ended in state %v", fn, t.State)
+	}
+	return t.Ctx.Reg(isa.A0), nil
+}
+
+// Now returns the current virtual time.
+func (s *System) Now() sim.Time { return s.Machine.Env.Now() }
+
+// Console returns the program's console output.
+func (s *System) Console() string { return s.Kernel.Console() }

@@ -1,0 +1,175 @@
+package flick_test
+
+import (
+	"strings"
+	"testing"
+
+	"flick"
+	"flick/internal/platform"
+	"flick/internal/sim"
+)
+
+func TestBuildRejectsBadSource(t *testing.T) {
+	_, err := flick.Build(flick.Config{
+		Sources: map[string]string{"bad.fasm": "frobnicate a0"},
+	})
+	if err == nil || !strings.Contains(err.Error(), "bad.fasm") {
+		t.Errorf("err = %v, want assembler diagnostic with filename", err)
+	}
+}
+
+func TestBuildRejectsMissingEntry(t *testing.T) {
+	_, err := flick.Build(flick.Config{
+		Sources: map[string]string{"a.fasm": ".func notmain isa=host\n halt\n.endfunc"},
+	})
+	if err == nil || !strings.Contains(err.Error(), "main") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCustomEntry(t *testing.T) {
+	sys, err := flick.Build(flick.Config{
+		Sources: map[string]string{"a.fasm": ".func start isa=host\n movi a0, 9\n halt\n.endfunc"},
+		Entry:   "start",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret, err := sys.RunProgram("start")
+	if err != nil || ret != 9 {
+		t.Errorf("ret = %d, %v", ret, err)
+	}
+}
+
+func TestDeterministicLinkAcrossSourceMaps(t *testing.T) {
+	// Multiple source files in a map: layout must be deterministic
+	// regardless of map iteration order.
+	build := func() uint64 {
+		sys, err := flick.Build(flick.Config{
+			Sources: map[string]string{
+				"zz.fasm": ".func zfn isa=host\n ret\n.endfunc",
+				"aa.fasm": ".func main isa=host\n halt\n.endfunc",
+				"mm.fasm": ".func mfn isa=nxp\n ret\n.endfunc",
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys.Image.Symbols["mfn"]
+	}
+	first := build()
+	for i := 0; i < 5; i++ {
+		if got := build(); got != first {
+			t.Fatalf("link layout not deterministic: %#x vs %#x", got, first)
+		}
+	}
+}
+
+func TestDeterministicVirtualTime(t *testing.T) {
+	run := func() sim.Time {
+		sys := flick.MustBuild(flick.Config{
+			Sources: map[string]string{"a.fasm": `
+.func main isa=host
+    movi t0, 5
+l:
+    call f
+    addi t0, t0, -1
+    bne t0, zr, l
+    halt
+.endfunc
+.func f isa=nxp
+    addi a0, a0, 1
+    ret
+.endfunc
+`},
+		})
+		if _, err := sys.RunProgram("main"); err != nil {
+			t.Fatal(err)
+		}
+		return sys.Now()
+	}
+	first := run()
+	for i := 0; i < 3; i++ {
+		if got := run(); got != first {
+			t.Fatalf("virtual time not reproducible: %v vs %v", got, first)
+		}
+	}
+}
+
+func TestSymbolAndStartValidation(t *testing.T) {
+	sys := flick.MustBuild(flick.Config{
+		Sources: map[string]string{"a.fasm": `
+.func main isa=host
+    halt
+.endfunc
+.func nfn isa=nxp
+    ret
+.endfunc
+`},
+	})
+	if _, err := sys.Symbol("main"); err != nil {
+		t.Error(err)
+	}
+	if _, err := sys.Symbol("ghost"); err == nil {
+		t.Error("ghost symbol resolved")
+	}
+	if _, err := sys.Start("ghost"); err == nil {
+		t.Error("started thread at missing symbol")
+	}
+	if _, err := sys.Start("nfn"); err == nil {
+		t.Error("started thread on NxP text")
+	}
+}
+
+func TestCustomMachineParams(t *testing.T) {
+	params := platform.DefaultParams()
+	params.NxPDDR = 128 << 20
+	sys, err := flick.Build(flick.Config{
+		Params:  &params,
+		Sources: map[string]string{"a.fasm": ".func main isa=host\n halt\n.endfunc"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Machine.NxPDDR.Size() != 128<<20 {
+		t.Error("params override lost")
+	}
+	if _, err := sys.RunProgram("main"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceCapacityOption(t *testing.T) {
+	sys := flick.MustBuild(flick.Config{
+		Sources: map[string]string{"a.fasm": `
+.func main isa=host
+    call f
+    halt
+.endfunc
+.func f isa=nxp
+    ret
+.endfunc
+`},
+		TraceCapacity: 32,
+	})
+	if _, err := sys.RunProgram("main"); err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Machine.Env.Trace().Filter("fault")) == 0 {
+		t.Error("trace recorded no fault events")
+	}
+}
+
+func TestPreassembledObjects(t *testing.T) {
+	// The Objects field accepts pre-assembled inputs alongside sources.
+	sys := flick.MustBuild(flick.Config{
+		Sources: map[string]string{
+			"main.fasm": ".func main isa=host\n call lib\n halt\n.endfunc",
+			"lib.fasm":  ".func lib isa=host\n movi a0, 31\n ret\n.endfunc",
+		},
+	})
+	ret, err := sys.RunProgram("main")
+	if err != nil || ret != 31 {
+		t.Errorf("ret = %d, %v", ret, err)
+	}
+}

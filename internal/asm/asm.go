@@ -1,0 +1,348 @@
+// Package asm implements the two-pass assembler of the Flick toolchain.
+//
+// Source files hold functions and data blocks annotated with their target
+// ISA — the simulation counterpart of the paper's source annotations that
+// partition a program at function granularity:
+//
+//	; traversal runs near the data
+//	.func traverse isa=nxp
+//	loop:
+//	    ld8  a0, [a0+0]
+//	    addi a1, a1, -1
+//	    bne  a1, zr, loop
+//	    ret
+//	.endfunc
+//
+//	.func main isa=host
+//	    la   a0, listhead
+//	    movi a1, 64
+//	    call traverse        ; cross-ISA call: linker resolves, NX faults migrate
+//	    halt
+//	.endfunc
+//
+//	.data listhead isa=nxp align=8
+//	    .word64 0
+//	.enddata
+//
+// Supported pseudo-instructions: `li rd, imm` (synthesizes movi/orhi as
+// needed), `la rd, symbol` (loads a symbol's address with the ISA's
+// absolute relocation method), and `jmp`/`call`/branches targeting labels
+// or global symbols. Comments start with ';' or '#'.
+package asm
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"flick/internal/isa"
+	"flick/internal/multibin"
+)
+
+// Error is an assembly diagnostic with position information.
+type Error struct {
+	File string
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg)
+}
+
+// Assemble assembles one source file into a relocatable object.
+func Assemble(filename, src string) (*multibin.Object, error) {
+	a := &assembler{file: filename, obj: &multibin.Object{}}
+	if err := a.run(src); err != nil {
+		return nil, err
+	}
+	return a.obj, nil
+}
+
+type assembler struct {
+	file string
+	line int
+	obj  *multibin.Object
+
+	// Current block state.
+	inFunc  bool
+	inData  bool
+	curISA  isa.ISA
+	codec   isa.Codec
+	sec     *multibin.Section
+	symName string
+	symOff  uint64 // offset of the current symbol within sec
+
+	labels map[string]uint64 // local label → offset within sec
+	fixups []fixup           // local-label patches for pass 2
+}
+
+// fixup is a branch/jump site awaiting a local label offset.
+type fixup struct {
+	line     int
+	label    string
+	instrOff uint64 // within section
+	immOff   int
+	immWidth int
+}
+
+func (a *assembler) errf(format string, args ...any) error {
+	return &Error{File: a.file, Line: a.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (a *assembler) run(src string) error {
+	for i, raw := range strings.Split(src, "\n") {
+		a.line = i + 1
+		line := stripComment(raw)
+		if line == "" {
+			continue
+		}
+		if err := a.statement(line); err != nil {
+			return err
+		}
+	}
+	if a.inFunc || a.inData {
+		a.line++
+		return a.errf("unterminated %s block %q", blockKind(a), a.symName)
+	}
+	return nil
+}
+
+func blockKind(a *assembler) string {
+	if a.inFunc {
+		return ".func"
+	}
+	return ".data"
+}
+
+func stripComment(s string) string {
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		switch {
+		case s[i] == '"':
+			inStr = !inStr
+		case !inStr && (s[i] == ';' || s[i] == '#'):
+			return strings.TrimSpace(s[:i])
+		}
+	}
+	return strings.TrimSpace(s)
+}
+
+func (a *assembler) statement(line string) error {
+	switch {
+	case strings.HasPrefix(line, ".func"):
+		return a.beginFunc(line)
+	case line == ".endfunc":
+		return a.endFunc()
+	case strings.HasPrefix(line, ".data"):
+		return a.beginData(line)
+	case line == ".enddata":
+		return a.endData()
+	case strings.HasSuffix(line, ":") && a.inFunc:
+		return a.defineLabel(strings.TrimSuffix(line, ":"))
+	case a.inFunc:
+		// A label may share a line with an instruction: "loop: addi ...".
+		if idx := strings.IndexByte(line, ':'); idx > 0 && validIdent(line[:idx]) {
+			if err := a.defineLabel(line[:idx]); err != nil {
+				return err
+			}
+			rest := strings.TrimSpace(line[idx+1:])
+			if rest == "" {
+				return nil
+			}
+			return a.instruction(rest)
+		}
+		return a.instruction(line)
+	case a.inData:
+		return a.dataDirective(line)
+	default:
+		return a.errf("statement outside .func/.data block: %q", line)
+	}
+}
+
+// parseAttrs splits ".func name key=value ..." into name and attributes.
+func parseAttrs(line string) (name string, attrs map[string]string, err error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return "", nil, fmt.Errorf("missing name in %q", line)
+	}
+	attrs = make(map[string]string)
+	name = fields[1]
+	for _, f := range fields[2:] {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return "", nil, fmt.Errorf("malformed attribute %q", f)
+		}
+		attrs[k] = v
+	}
+	return name, attrs, nil
+}
+
+func isaFromAttr(v string) (isa.ISA, error) {
+	switch v {
+	case "host", "":
+		return isa.ISAHost, nil
+	case "nxp":
+		return isa.ISANxP, nil
+	case "dsp":
+		return isa.ISADsp, nil
+	default:
+		return 0, fmt.Errorf("unknown isa %q (want host, nxp, or dsp)", v)
+	}
+}
+
+func (a *assembler) beginFunc(line string) error {
+	if a.inFunc || a.inData {
+		return a.errf(".func inside another block")
+	}
+	name, attrs, err := parseAttrs(line)
+	if err != nil {
+		return a.errf("%v", err)
+	}
+	target, err := isaFromAttr(attrs["isa"])
+	if err != nil {
+		return a.errf("%v", err)
+	}
+	a.inFunc = true
+	a.curISA = target
+	a.codec = isa.CodecFor(target)
+	a.sec = a.obj.Section(multibin.SecText, target)
+	// Align the function start to the ISA's instruction alignment.
+	align := uint64(a.codec.Align())
+	if target == isa.ISAHost {
+		align = 16 // conventional host function alignment
+	}
+	pad := alignUp(uint64(len(a.sec.Bytes)), align) - uint64(len(a.sec.Bytes))
+	a.sec.Bytes = append(a.sec.Bytes, make([]byte, pad)...)
+	a.symName = name
+	a.symOff = uint64(len(a.sec.Bytes))
+	a.labels = make(map[string]uint64)
+	a.fixups = nil
+	return nil
+}
+
+func (a *assembler) endFunc() error {
+	if !a.inFunc {
+		return a.errf(".endfunc without .func")
+	}
+	// Pass 2: patch local-label branches.
+	for _, fx := range a.fixups {
+		off, ok := a.labels[fx.label]
+		if !ok {
+			// Not a local label: treat as a global symbol reference.
+			a.sec.Relocs = append(a.sec.Relocs, multibin.Reloc{
+				Off:      fx.instrOff + uint64(fx.immOff),
+				Width:    fx.immWidth,
+				InstrOff: fx.instrOff,
+				Kind:     multibin.RelocPCRel32,
+				Symbol:   fx.label,
+			})
+			continue
+		}
+		disp := int64(off) - int64(fx.instrOff)
+		patchLE(a.sec.Bytes[fx.instrOff+uint64(fx.immOff):fx.instrOff+uint64(fx.immOff)+uint64(fx.immWidth)], disp)
+	}
+	a.sec.Symbols = append(a.sec.Symbols, multibin.Symbol{
+		Name:   a.symName,
+		Off:    a.symOff,
+		Size:   uint64(len(a.sec.Bytes)) - a.symOff,
+		Global: true,
+	})
+	a.inFunc = false
+	a.sec = nil
+	return nil
+}
+
+func (a *assembler) defineLabel(name string) error {
+	if !validIdent(name) {
+		return a.errf("invalid label %q", name)
+	}
+	if _, dup := a.labels[name]; dup {
+		return a.errf("duplicate label %q", name)
+	}
+	a.labels[name] = uint64(len(a.sec.Bytes))
+	return nil
+}
+
+func (a *assembler) emit(ins isa.Instr) error {
+	b, err := a.codec.Encode(ins)
+	if err != nil {
+		return a.errf("encode %v: %v", ins, err)
+	}
+	a.sec.Bytes = append(a.sec.Bytes, b...)
+	return nil
+}
+
+// emitSymbolic emits ins with a placeholder immediate and records either a
+// local fixup or (after endFunc decides) a relocation toward symbol.
+func (a *assembler) emitSymbolic(ins isa.Instr, symbol string) error {
+	ins.Imm = isa.PlaceholderPCRel32
+	instrOff := uint64(len(a.sec.Bytes))
+	immOff, immWidth, err := a.codec.ImmOffset(ins)
+	if err != nil {
+		return a.errf("%v", err)
+	}
+	if err := a.emit(ins); err != nil {
+		return err
+	}
+	a.fixups = append(a.fixups, fixup{line: a.line, label: symbol, instrOff: instrOff, immOff: immOff, immWidth: immWidth})
+	return nil
+}
+
+// emitLoadAddress expands `la rd, symbol` using the ISA's absolute
+// relocation method.
+func (a *assembler) emitLoadAddress(rd isa.Reg, symbol string) error {
+	if a.curISA == isa.ISAHost {
+		ins := isa.Instr{Op: isa.OpMovi, Rd: rd, Imm: isa.PlaceholderAbs64}
+		instrOff := uint64(len(a.sec.Bytes))
+		immOff, immWidth, err := a.codec.ImmOffset(ins)
+		if err != nil {
+			return a.errf("%v", err)
+		}
+		if err := a.emit(ins); err != nil {
+			return err
+		}
+		a.sec.Relocs = append(a.sec.Relocs, multibin.Reloc{
+			Off: instrOff + uint64(immOff), Width: immWidth, InstrOff: instrOff,
+			Kind: multibin.RelocAbs64, Symbol: symbol,
+		})
+		return nil
+	}
+	// NxP: movi (low 32, sign-extended) then orhi (high 32).
+	for i, kind := range []multibin.RelocKind{multibin.RelocAbsLo32, multibin.RelocAbsHi32} {
+		op := isa.OpMovi
+		if i == 1 {
+			op = isa.OpOrhi
+		}
+		ins := isa.Instr{Op: op, Rd: rd, Imm: isa.PlaceholderPCRel32}
+		instrOff := uint64(len(a.sec.Bytes))
+		immOff, immWidth, err := a.codec.ImmOffset(ins)
+		if err != nil {
+			return a.errf("%v", err)
+		}
+		if err := a.emit(ins); err != nil {
+			return err
+		}
+		a.sec.Relocs = append(a.sec.Relocs, multibin.Reloc{
+			Off: instrOff + uint64(immOff), Width: immWidth, InstrOff: instrOff,
+			Kind: kind, Symbol: symbol,
+		})
+	}
+	return nil
+}
+
+// emitLoadImm expands `li rd, imm` for any 64-bit immediate.
+func (a *assembler) emitLoadImm(rd isa.Reg, imm int64) error {
+	if imm >= math.MinInt32 && imm <= math.MaxInt32 {
+		return a.emit(isa.Instr{Op: isa.OpMovi, Rd: rd, Imm: imm})
+	}
+	if a.curISA == isa.ISAHost {
+		return a.emit(isa.Instr{Op: isa.OpMovi, Rd: rd, Imm: imm})
+	}
+	if err := a.emit(isa.Instr{Op: isa.OpMovi, Rd: rd, Imm: int64(int32(uint32(uint64(imm))))}); err != nil {
+		return err
+	}
+	// The high half is reinterpreted as a signed 32-bit immediate; orhi
+	// only consumes its low 32 bits, so the value is preserved.
+	return a.emit(isa.Instr{Op: isa.OpOrhi, Rd: rd, Imm: int64(int32(uint32(uint64(imm) >> 32)))})
+}

@@ -1,0 +1,394 @@
+package asm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"flick/internal/isa"
+	"flick/internal/multibin"
+)
+
+func mustAssemble(t *testing.T, src string) *multibin.Object {
+	t.Helper()
+	obj, err := Assemble("test.fasm", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return obj
+}
+
+// decodeAll decodes a symbol's bytes with the section's codec.
+func decodeAll(t *testing.T, sec *multibin.Section, sym multibin.Symbol) []isa.Instr {
+	t.Helper()
+	codec := isa.CodecFor(sec.ISA)
+	var out []isa.Instr
+	b := sec.Bytes[sym.Off : sym.Off+sym.Size]
+	for len(b) > 0 {
+		ins, n, err := codec.Decode(b)
+		if err != nil {
+			t.Fatalf("decode at +%d: %v", len(sec.Bytes)-len(b), err)
+		}
+		out = append(out, ins)
+		b = b[n:]
+	}
+	return out
+}
+
+func TestAssembleSimpleHostFunc(t *testing.T) {
+	obj := mustAssemble(t, `
+; a tiny host function
+.func main isa=host
+    movi a0, 42
+    addi a0, a0, -2
+    ret
+.endfunc
+`)
+	sec, sym, ok := obj.FindSymbol("main")
+	if !ok {
+		t.Fatal("main not defined")
+	}
+	if sec.Name != ".text" || sec.ISA != isa.ISAHost {
+		t.Errorf("section = %s/%v", sec.Name, sec.ISA)
+	}
+	ins := decodeAll(t, sec, sym)
+	if len(ins) != 3 {
+		t.Fatalf("decoded %d instructions", len(ins))
+	}
+	if ins[0].Op != isa.OpMovi || ins[0].Imm != 42 {
+		t.Errorf("ins[0] = %v", ins[0])
+	}
+	if ins[1].Op != isa.OpAddi || ins[1].Imm != -2 {
+		t.Errorf("ins[1] = %v", ins[1])
+	}
+	if ins[2].Op != isa.OpRet {
+		t.Errorf("ins[2] = %v", ins[2])
+	}
+}
+
+func TestNxpSectionNamingAndAlignment(t *testing.T) {
+	obj := mustAssemble(t, `
+.func traverse isa=nxp
+    ld8 a0, [a0+0]
+    ret
+.endfunc
+`)
+	sec, sym, ok := obj.FindSymbol("traverse")
+	if !ok {
+		t.Fatal("traverse not defined")
+	}
+	if sec.Name != ".text.nxp" {
+		t.Errorf("section name = %q, want .text.nxp", sec.Name)
+	}
+	if sym.Off%8 != 0 {
+		t.Errorf("NxP function at misaligned offset %d", sym.Off)
+	}
+	if sym.Size != 2*isa.NxpInstrLen {
+		t.Errorf("size = %d", sym.Size)
+	}
+}
+
+func TestLocalLabelsForwardAndBackward(t *testing.T) {
+	obj := mustAssemble(t, `
+.func loopy isa=nxp
+top:
+    addi a0, a0, -1
+    bne a0, zr, top
+    beq a1, zr, out
+    movi a1, 0
+out:
+    ret
+.endfunc
+`)
+	sec, sym, _ := obj.FindSymbol("loopy")
+	ins := decodeAll(t, sec, sym)
+	// bne is the 2nd instruction (offset 8); target "top" at offset 0 → -8.
+	if ins[1].Op != isa.OpBne || ins[1].Imm != -8 {
+		t.Errorf("backward branch = %v", ins[1])
+	}
+	// beq at offset 16; "out" at offset 32 → +16.
+	if ins[2].Op != isa.OpBeq || ins[2].Imm != 16 {
+		t.Errorf("forward branch = %v", ins[2])
+	}
+	if len(sec.Relocs) != 0 {
+		t.Errorf("local branches produced relocs: %v", sec.Relocs)
+	}
+}
+
+func TestCallEmitsReloc(t *testing.T) {
+	obj := mustAssemble(t, `
+.func main isa=host
+    call helper
+    halt
+.endfunc
+`)
+	sec, _, _ := obj.FindSymbol("main")
+	if len(sec.Relocs) != 1 {
+		t.Fatalf("relocs = %v", sec.Relocs)
+	}
+	r := sec.Relocs[0]
+	if r.Kind != multibin.RelocPCRel32 || r.Symbol != "helper" {
+		t.Errorf("reloc = %+v", r)
+	}
+	if r.Off != r.InstrOff+3 { // host imm field at byte 3
+		t.Errorf("reloc field offset %d vs instr %d", r.Off, r.InstrOff)
+	}
+}
+
+func TestLoadAddressHost(t *testing.T) {
+	obj := mustAssemble(t, `
+.func main isa=host
+    la a1, buffer
+    ret
+.endfunc
+`)
+	sec, _, _ := obj.FindSymbol("main")
+	if len(sec.Relocs) != 1 || sec.Relocs[0].Kind != multibin.RelocAbs64 || sec.Relocs[0].Width != 8 {
+		t.Errorf("host la relocs = %+v", sec.Relocs)
+	}
+}
+
+func TestLoadAddressNxpPair(t *testing.T) {
+	obj := mustAssemble(t, `
+.func f isa=nxp
+    la a1, buffer
+    ret
+.endfunc
+`)
+	sec, sym, _ := obj.FindSymbol("f")
+	ins := decodeAll(t, sec, sym)
+	if ins[0].Op != isa.OpMovi || ins[1].Op != isa.OpOrhi {
+		t.Errorf("nxp la expansion = %v, %v", ins[0], ins[1])
+	}
+	if len(sec.Relocs) != 2 ||
+		sec.Relocs[0].Kind != multibin.RelocAbsLo32 ||
+		sec.Relocs[1].Kind != multibin.RelocAbsHi32 {
+		t.Errorf("nxp la relocs = %+v", sec.Relocs)
+	}
+}
+
+func TestLoadImm64Expansion(t *testing.T) {
+	obj := mustAssemble(t, `
+.func f isa=nxp
+    li a0, 0x123456789ABCDEF0
+    li a1, 7
+    ret
+.endfunc
+`)
+	sec, sym, _ := obj.FindSymbol("f")
+	ins := decodeAll(t, sec, sym)
+	if len(ins) != 4 {
+		t.Fatalf("instructions = %v", ins)
+	}
+	if ins[0].Op != isa.OpMovi || uint32(ins[0].Imm) != 0x9ABCDEF0 {
+		t.Errorf("li low = %v", ins[0])
+	}
+	if ins[1].Op != isa.OpOrhi || ins[1].Imm != 0x12345678 {
+		t.Errorf("li high = %v", ins[1])
+	}
+	if ins[2].Op != isa.OpMovi || ins[2].Imm != 7 {
+		t.Errorf("small li = %v", ins[2])
+	}
+}
+
+func TestMemOperandForms(t *testing.T) {
+	obj := mustAssemble(t, `
+.func f isa=host
+    ld8 a0, [a1]
+    ld4 a0, [a1+16]
+    st8 a0, [sp-8]
+    ret
+.endfunc
+`)
+	sec, sym, _ := obj.FindSymbol("f")
+	ins := decodeAll(t, sec, sym)
+	if ins[0].Imm != 0 || ins[1].Imm != 16 || ins[2].Imm != -8 {
+		t.Errorf("mem offsets = %v %v %v", ins[0], ins[1], ins[2])
+	}
+	// Store operand order: value register in Rs, base in Rd.
+	if ins[2].Rs != isa.A0 || ins[2].Rd != isa.SP {
+		t.Errorf("store operands = %v", ins[2])
+	}
+}
+
+func TestDataDirectives(t *testing.T) {
+	obj := mustAssemble(t, `
+.data table isa=nxp align=16
+    .word64 1, 2, 0xFF
+    .word32 7
+    .word16 8
+    .byte 9, 10
+    .zero 4
+    .ascii "hi"
+.enddata
+`)
+	sec, sym, ok := obj.FindSymbol("table")
+	if !ok {
+		t.Fatal("table undefined")
+	}
+	if sec.Name != ".data.nxp" {
+		t.Errorf("section = %q", sec.Name)
+	}
+	want := 3*8 + 4 + 2 + 2 + 4 + 2
+	if int(sym.Size) != want {
+		t.Errorf("size = %d, want %d", sym.Size, want)
+	}
+	b := sec.Bytes[sym.Off:]
+	if b[0] != 1 || b[8] != 2 || b[16] != 0xFF {
+		t.Errorf("word64 contents wrong: % x", b[:24])
+	}
+	if string(b[want-2:want]) != "hi" {
+		t.Errorf("ascii contents = %q", b[want-2:want])
+	}
+}
+
+func TestDataAddrDirective(t *testing.T) {
+	obj := mustAssemble(t, `
+.data ptrs isa=host
+    .addr main
+.enddata
+`)
+	sec, _, _ := obj.FindSymbol("ptrs")
+	if len(sec.Relocs) != 1 || sec.Relocs[0].Kind != multibin.RelocAbs64 || sec.Relocs[0].Symbol != "main" {
+		t.Errorf("relocs = %+v", sec.Relocs)
+	}
+}
+
+func TestCharImmediate(t *testing.T) {
+	obj := mustAssemble(t, `
+.func f isa=host
+    movi a0, 'A'
+    ret
+.endfunc
+`)
+	sec, sym, _ := obj.FindSymbol("f")
+	ins := decodeAll(t, sec, sym)
+	if ins[0].Imm != 'A' {
+		t.Errorf("char imm = %d", ins[0].Imm)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"unknown mnemonic", ".func f isa=host\n frob a0\n.endfunc", "unknown mnemonic"},
+		{"bad register", ".func f isa=host\n mov a0, q9\n.endfunc", "invalid register"},
+		{"bad isa", ".func f isa=sparc\n ret\n.endfunc", "unknown isa"},
+		{"unterminated", ".func f isa=host\n ret", "unterminated"},
+		{"outside block", "movi a0, 1", "outside"},
+		{"dup label", ".func f isa=host\nx:\nx:\n ret\n.endfunc", "duplicate label"},
+		{"nested func", ".func f isa=host\n.func g isa=host\n ret\n.endfunc\n.endfunc", "inside another block"},
+		{"operand count", ".func f isa=host\n add a0, a1\n.endfunc", "wants"},
+		{"bad mem operand", ".func f isa=host\n ld8 a0, a1\n.endfunc", "memory operand"},
+		{"nxp imm too big", ".func f isa=nxp\n movi a0, 0x100000000\n.endfunc", "32 bits"},
+		{"bad data directive", ".data d isa=host\n .quad 1\n.enddata", "unknown data directive"},
+		{"bad align", ".data d isa=host align=3\n.enddata", "align"},
+		{"endfunc alone", ".endfunc", ".endfunc without"},
+		{"enddata alone", ".enddata", ".enddata without"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Assemble("t.fasm", c.src)
+			if err == nil {
+				t.Fatalf("no error for %q", c.src)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("err = %v, want substring %q", err, c.wantSub)
+			}
+			if !strings.HasPrefix(err.Error(), "t.fasm:") {
+				t.Errorf("error lacks position: %v", err)
+			}
+		})
+	}
+}
+
+func TestCommentHandling(t *testing.T) {
+	obj := mustAssemble(t, `
+# full-line hash comment
+.func f isa=host   ; trailing comment
+    movi a0, 1     # another
+    ret
+.endfunc
+.data s isa=host
+    .ascii "semi;colon#inside"
+.enddata
+`)
+	_, sym, _ := obj.FindSymbol("s")
+	if sym.Size != uint64(len("semi;colon#inside")) {
+		t.Errorf("string with comment chars truncated: size=%d", sym.Size)
+	}
+}
+
+func TestAssembleNeverPanicsProperty(t *testing.T) {
+	// Robustness: arbitrary text must produce either an object or a
+	// positioned error, never a panic.
+	f := func(lines []string) bool {
+		src := strings.Join(lines, "\n")
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on input %q: %v", src, r)
+			}
+		}()
+		obj, err := Assemble("fuzz.fasm", src)
+		if err != nil {
+			var ae *Error
+			if !errors.As(err, &ae) {
+				t.Fatalf("non-positioned error: %v", err)
+			}
+			return ae.Line >= 1
+		}
+		return obj != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssembleFragmentsNeverPanic(t *testing.T) {
+	// Adversarial fragments around the grammar's edges.
+	fragments := []string{
+		".func", ".func x", ".func x isa=", ".endfunc",
+		".data d isa=host align=0\n.enddata",
+		".func f isa=host\n ld8 a0, [\n.endfunc",
+		".func f isa=host\n movi a0,\n.endfunc",
+		".func f isa=host\n st8 a0, [a1+]\n.endfunc",
+		".func f isa=host\n:\n.endfunc",
+		".func f isa=host\n li a0, 99999999999999999999999\n.endfunc",
+		".data d isa=host\n .ascii \"unterminated\n.enddata",
+		".data d isa=host\n .zero -1\n.enddata",
+		".func f isa=host\n jmp 'x\n.endfunc",
+		"\x00\x01\x02",
+	}
+	for _, src := range fragments {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("panic on %q: %v", src, r)
+				}
+			}()
+			_, _ = Assemble("frag.fasm", src)
+		}()
+	}
+}
+
+func TestLabelSharingLineWithInstruction(t *testing.T) {
+	obj := mustAssemble(t, `
+.func f isa=host
+    movi t0, 2
+top: addi t0, t0, -1
+    bne t0, zr, top
+    ret
+.endfunc
+`)
+	sec, sym, _ := obj.FindSymbol("f")
+	ins := decodeAll(t, sec, sym)
+	if len(ins) != 4 {
+		t.Fatalf("instructions = %v", ins)
+	}
+	// bne (3rd instruction) targets "top" (start of the 2nd).
+	if ins[2].Op != isa.OpBne || ins[2].Imm >= 0 {
+		t.Errorf("branch to inline label = %v", ins[2])
+	}
+}

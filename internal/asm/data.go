@@ -1,0 +1,100 @@
+package asm
+
+import (
+	"encoding/binary"
+	"strconv"
+	"strings"
+
+	"flick/internal/multibin"
+)
+
+func (a *assembler) beginData(line string) error {
+	if a.inFunc || a.inData {
+		return a.errf(".data inside another block")
+	}
+	name, attrs, err := parseAttrs(line)
+	if err != nil {
+		return a.errf("%v", err)
+	}
+	target, err := isaFromAttr(attrs["isa"])
+	if err != nil {
+		return a.errf("%v", err)
+	}
+	align := uint64(8)
+	if v, ok := attrs["align"]; ok {
+		n, err := strconv.ParseUint(v, 0, 64)
+		if err != nil || n == 0 || n&(n-1) != 0 {
+			return a.errf("invalid align %q (want a power of two)", v)
+		}
+		align = n
+	}
+	a.inData = true
+	a.curISA = target
+	a.sec = a.obj.Section(multibin.SecData, target)
+	pad := alignUp(uint64(len(a.sec.Bytes)), align) - uint64(len(a.sec.Bytes))
+	a.sec.Bytes = append(a.sec.Bytes, make([]byte, pad)...)
+	a.symName = name
+	a.symOff = uint64(len(a.sec.Bytes))
+	return nil
+}
+
+func (a *assembler) endData() error {
+	if !a.inData {
+		return a.errf(".enddata without .data")
+	}
+	a.sec.Symbols = append(a.sec.Symbols, multibin.Symbol{
+		Name:   a.symName,
+		Off:    a.symOff,
+		Size:   uint64(len(a.sec.Bytes)) - a.symOff,
+		Global: true,
+	})
+	a.inData = false
+	a.sec = nil
+	return nil
+}
+
+func (a *assembler) dataDirective(line string) error {
+	directive, rest, _ := strings.Cut(line, " ")
+	rest = strings.TrimSpace(rest)
+	switch directive {
+	case ".word64", ".word32", ".word16", ".byte":
+		width := map[string]int{".word64": 8, ".word32": 4, ".word16": 2, ".byte": 1}[directive]
+		for _, f := range splitOperands(rest) {
+			v, err := a.imm(f)
+			if err != nil {
+				return err
+			}
+			var buf [8]byte
+			binary.LittleEndian.PutUint64(buf[:], uint64(v))
+			a.sec.Bytes = append(a.sec.Bytes, buf[:width]...)
+		}
+		return nil
+	case ".zero":
+		n, err := strconv.ParseUint(rest, 0, 32)
+		if err != nil {
+			return a.errf("invalid .zero count %q", rest)
+		}
+		a.sec.Bytes = append(a.sec.Bytes, make([]byte, n)...)
+		return nil
+	case ".ascii":
+		s, err := strconv.Unquote(rest)
+		if err != nil {
+			return a.errf("invalid .ascii string %s", rest)
+		}
+		a.sec.Bytes = append(a.sec.Bytes, s...)
+		return nil
+	case ".addr":
+		if !validIdent(rest) {
+			return a.errf("invalid .addr symbol %q", rest)
+		}
+		off := uint64(len(a.sec.Bytes))
+		a.sec.Bytes = append(a.sec.Bytes, make([]byte, 8)...)
+		a.sec.Relocs = append(a.sec.Relocs, multibin.Reloc{
+			Off: off, Width: 8, InstrOff: off,
+			Kind: multibin.RelocAbs64, Symbol: rest,
+		})
+		return nil
+	default:
+		return a.errf("unknown data directive %q", directive)
+	}
+}

@@ -1,0 +1,281 @@
+package asm
+
+import (
+	"strconv"
+	"strings"
+
+	"flick/internal/isa"
+)
+
+// instruction parses and emits one instruction line.
+func (a *assembler) instruction(line string) error {
+	mnemonic, rest, _ := strings.Cut(line, " ")
+	mnemonic = strings.TrimSpace(mnemonic)
+	operands := splitOperands(rest)
+
+	switch mnemonic {
+	case "li":
+		if len(operands) != 2 {
+			return a.errf("li wants rd, imm")
+		}
+		rd, err := a.reg(operands[0])
+		if err != nil {
+			return err
+		}
+		imm, err := a.imm(operands[1])
+		if err != nil {
+			return err
+		}
+		return a.emitLoadImm(rd, imm)
+	case "la":
+		if len(operands) != 2 {
+			return a.errf("la wants rd, symbol")
+		}
+		rd, err := a.reg(operands[0])
+		if err != nil {
+			return err
+		}
+		if !validIdent(operands[1]) {
+			return a.errf("la: invalid symbol %q", operands[1])
+		}
+		return a.emitLoadAddress(rd, operands[1])
+	}
+
+	op, ok := isa.OpByName(mnemonic)
+	if !ok {
+		return a.errf("unknown mnemonic %q", mnemonic)
+	}
+	switch isa.ClassOf(op) {
+	case isa.ClassNone:
+		if len(operands) != 0 {
+			return a.errf("%s takes no operands", op)
+		}
+		return a.emit(isa.Instr{Op: op})
+
+	case isa.ClassRR:
+		if len(operands) != 2 {
+			return a.errf("%s wants rd, rs", op)
+		}
+		rd, err := a.reg(operands[0])
+		if err != nil {
+			return err
+		}
+		rs, err := a.reg(operands[1])
+		if err != nil {
+			return err
+		}
+		return a.emit(isa.Instr{Op: op, Rd: rd, Rs: rs})
+
+	case isa.ClassRRR:
+		if len(operands) != 3 {
+			return a.errf("%s wants rd, rs, rt", op)
+		}
+		rd, err := a.reg(operands[0])
+		if err != nil {
+			return err
+		}
+		rs, err := a.reg(operands[1])
+		if err != nil {
+			return err
+		}
+		rt, err := a.reg(operands[2])
+		if err != nil {
+			return err
+		}
+		return a.emit(isa.Instr{Op: op, Rd: rd, Rs: rs, Rt: rt})
+
+	case isa.ClassRRI:
+		if len(operands) != 3 {
+			return a.errf("%s wants rd, rs, imm", op)
+		}
+		rd, err := a.reg(operands[0])
+		if err != nil {
+			return err
+		}
+		rs, err := a.reg(operands[1])
+		if err != nil {
+			return err
+		}
+		imm, err := a.imm(operands[2])
+		if err != nil {
+			return err
+		}
+		return a.emit(isa.Instr{Op: op, Rd: rd, Rs: rs, Imm: imm})
+
+	case isa.ClassRI:
+		if len(operands) != 2 {
+			return a.errf("%s wants rd, imm", op)
+		}
+		rd, err := a.reg(operands[0])
+		if err != nil {
+			return err
+		}
+		imm, err := a.imm(operands[1])
+		if err != nil {
+			return err
+		}
+		return a.emit(isa.Instr{Op: op, Rd: rd, Imm: imm})
+
+	case isa.ClassMem:
+		if len(operands) != 2 {
+			return a.errf("%s wants reg, [base+off]", op)
+		}
+		valueReg, err := a.reg(operands[0])
+		if err != nil {
+			return err
+		}
+		base, off, err := a.memOperand(operands[1])
+		if err != nil {
+			return err
+		}
+		if op >= isa.OpSt1 && op <= isa.OpSt8 {
+			// Stores: value in Rs, base in Rd.
+			return a.emit(isa.Instr{Op: op, Rd: base, Rs: valueReg, Imm: off})
+		}
+		return a.emit(isa.Instr{Op: op, Rd: valueReg, Rs: base, Imm: off})
+
+	case isa.ClassR:
+		if len(operands) != 1 {
+			return a.errf("%s wants one register", op)
+		}
+		r, err := a.reg(operands[0])
+		if err != nil {
+			return err
+		}
+		if op == isa.OpPop {
+			return a.emit(isa.Instr{Op: op, Rd: r})
+		}
+		return a.emit(isa.Instr{Op: op, Rs: r})
+
+	case isa.ClassI:
+		if len(operands) != 1 {
+			return a.errf("%s wants one operand", op)
+		}
+		// jmp/call accept labels or symbols; native/sys take numbers.
+		if op == isa.OpJmp || op == isa.OpCall {
+			if validIdent(operands[0]) {
+				return a.emitSymbolic(isa.Instr{Op: op}, operands[0])
+			}
+		}
+		imm, err := a.imm(operands[0])
+		if err != nil {
+			return err
+		}
+		return a.emit(isa.Instr{Op: op, Imm: imm})
+
+	case isa.ClassBranch:
+		if len(operands) != 3 {
+			return a.errf("%s wants rs, rt, target", op)
+		}
+		rs, err := a.reg(operands[0])
+		if err != nil {
+			return err
+		}
+		rt, err := a.reg(operands[1])
+		if err != nil {
+			return err
+		}
+		if validIdent(operands[2]) {
+			return a.emitSymbolic(isa.Instr{Op: op, Rs: rs, Rt: rt}, operands[2])
+		}
+		imm, err := a.imm(operands[2])
+		if err != nil {
+			return err
+		}
+		return a.emit(isa.Instr{Op: op, Rs: rs, Rt: rt, Imm: imm})
+	}
+	return a.errf("unhandled operand class for %s", op)
+}
+
+func splitOperands(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		out = append(out, strings.TrimSpace(p))
+	}
+	return out
+}
+
+func (a *assembler) reg(s string) (isa.Reg, error) {
+	r, ok := isa.RegByName(s)
+	if !ok {
+		return 0, a.errf("invalid register %q", s)
+	}
+	return r, nil
+}
+
+func (a *assembler) imm(s string) (int64, error) {
+	if len(s) == 3 && s[0] == '\'' && s[2] == '\'' {
+		return int64(s[1]), nil
+	}
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		// Allow full-range unsigned hex like 0xFFFFFFFF00000000.
+		if u, uerr := strconv.ParseUint(s, 0, 64); uerr == nil {
+			return int64(u), nil
+		}
+		return 0, a.errf("invalid immediate %q", s)
+	}
+	return v, nil
+}
+
+// memOperand parses "[reg]", "[reg+imm]", "[reg-imm]".
+func (a *assembler) memOperand(s string) (isa.Reg, int64, error) {
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, a.errf("invalid memory operand %q", s)
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	sep := strings.IndexAny(inner, "+-")
+	if sep < 0 {
+		r, err := a.reg(inner)
+		return r, 0, err
+	}
+	r, err := a.reg(strings.TrimSpace(inner[:sep]))
+	if err != nil {
+		return 0, 0, err
+	}
+	off, err := a.imm(strings.TrimSpace(inner[sep:]))
+	if err != nil {
+		return 0, 0, err
+	}
+	return r, off, nil
+}
+
+func validIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '.':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	// Bare register names and numbers are not identifiers.
+	if _, isReg := isa.RegByName(s); isReg {
+		return false
+	}
+	return true
+}
+
+func patchLE(b []byte, v int64) {
+	for i := range b {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func alignUp(v, align uint64) uint64 {
+	if align == 0 {
+		return v
+	}
+	return (v + align - 1) &^ (align - 1)
+}

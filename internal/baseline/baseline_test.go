@@ -1,0 +1,88 @@
+package baseline
+
+import (
+	"testing"
+
+	"flick/internal/sim"
+)
+
+func TestTable2RowsMatchPaper(t *testing.T) {
+	want := map[string]sim.Duration{
+		"ASPLOS'12 (DeVuyst et al.)": 600 * sim.Microsecond,
+		"EuroSys'15 (Popcorn)":       700 * sim.Microsecond,
+		"ISCA'16 (Biscuit)":          430 * sim.Microsecond,
+		"ARM big.LITTLE":             22 * sim.Microsecond,
+	}
+	if len(Table2Rows) != len(want) {
+		t.Fatalf("rows = %d", len(Table2Rows))
+	}
+	for _, r := range Table2Rows {
+		if want[r.Name] != r.Overhead {
+			t.Errorf("%s overhead = %v, want %v", r.Name, r.Overhead, want[r.Name])
+		}
+	}
+}
+
+func TestSpeedupOverMatchesPaperClaims(t *testing.T) {
+	// The paper claims 23x-38x over prior heterogeneous-ISA migration
+	// work at Flick's measured 18.3 µs.
+	flick := sim.Duration(18.3 * float64(sim.Microsecond))
+	for _, r := range Table2Rows[:3] {
+		s := SpeedupOver(r, flick)
+		if s < 23 || s > 39 {
+			t.Errorf("%s speedup = %.1fx, paper range is 23x-38x", r.Name, s)
+		}
+	}
+	// And faster than on-chip big.LITTLE migration.
+	if s := SpeedupOver(Table2Rows[3], flick); s <= 1 {
+		t.Errorf("big.LITTLE speedup = %.2fx, paper has Flick faster", s)
+	}
+	if SpeedupOver(Table2Rows[0], 0) != 0 {
+		t.Error("zero guard broken")
+	}
+}
+
+func TestStubModelBreakEven(t *testing.T) {
+	m := DefaultStubModel()
+	be := m.BreakEvenCallRatio()
+	if be < 100 || be > 300 {
+		t.Errorf("break-even = %.0f calls/migration, expected O(170)", be)
+	}
+	// Below break-even stubs win, above it NX faults win.
+	nx, stub := m.ProgramOverhead(int(be)/2, 1)
+	if nx < stub {
+		t.Errorf("below break-even: nx %v should exceed stub %v", nx, stub)
+	}
+	nx, stub = m.ProgramOverhead(int(be)*2, 1)
+	if nx > stub {
+		t.Errorf("above break-even: nx %v should beat stub %v", nx, stub)
+	}
+}
+
+func TestStubMigrationDelta(t *testing.T) {
+	m := DefaultStubModel()
+	if m.MigrationDelta() >= 0 {
+		t.Error("stub trigger should be cheaper for the migrating call itself")
+	}
+	if (StubModel{}).BreakEvenCallRatio() != 0 {
+		t.Error("zero-cost guard broken")
+	}
+}
+
+func TestOffloadComparison(t *testing.T) {
+	r, err := RunOffloadComparison(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Transparency (NX fault + hijack) must cost something, but only on
+	// the order of the 0.7 µs fault — a tiny fraction of the round trip.
+	if r.TransparencyCost <= 0 {
+		t.Errorf("transparency cost = %v, want > 0", r.TransparencyCost)
+	}
+	if r.TransparencyCost > 2*sim.Microsecond {
+		t.Errorf("transparency cost = %v, want ≈0.7µs", r.TransparencyCost)
+	}
+	if frac := float64(r.TransparencyCost) / float64(r.Flick); frac > 0.1 {
+		t.Errorf("transparency is %.0f%% of the trip; paper argues it is marginal", frac*100)
+	}
+}

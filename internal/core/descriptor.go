@@ -1,0 +1,114 @@
+// Package core implements the paper's primary contribution: the Flick
+// fast and lightweight ISA-crossing call.
+//
+// It contains the user-space migration handlers of Listings 1 and 2 (as
+// native runtime routines whose work is charged to the virtual clock), the
+// call/return migration descriptors, the DMA mailbox the descriptors move
+// through in single PCIe bursts, the NxP scheduler that polls the DMA
+// status register and context-switches migrated threads in, and the hooks
+// that turn NX instruction faults into migrations on both sides.
+//
+// The control flow mirrors the paper exactly:
+//
+//	host CALL of an NxP function → NX instruction fault → kernel saves the
+//	faulting address in the task struct and redirects the in-flight call
+//	into __flick_host_handler → the handler gathers the six argument
+//	registers, the target, PID, PTBR and NxP stack pointer into a
+//	host-to-NxP call descriptor → ioctl(migrate_and_suspend) publishes the
+//	suspended state, and the scheduler hook fires the descriptor DMA only
+//	afterwards (§IV-D race rule) → the NxP scheduler sees the DMA status
+//	change, context-switches the thread in, and calls the target → the
+//	return value travels back in an NxP-to-host return descriptor whose
+//	arrival raises an MSI that wakes the suspended thread inside the ioctl
+//	→ the handler returns the value as though execution never left the
+//	host core.
+//
+// Nested, bidirectional, and recursive cross-ISA calls compose because
+// both handlers are reentrant loops, exactly as in the paper.
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// DescKind tags a migration descriptor.
+type DescKind uint32
+
+const (
+	// DescCall asks the receiving side to execute Target with Args.
+	DescCall DescKind = 1
+	// DescReturn carries RetVal back to a waiting caller.
+	DescReturn DescKind = 2
+)
+
+func (k DescKind) String() string {
+	switch k {
+	case DescCall:
+		return "call"
+	case DescReturn:
+		return "return"
+	default:
+		return fmt.Sprintf("desc(%d)", uint32(k))
+	}
+}
+
+// DescSize is the wire size of a migration descriptor: one PCIe burst.
+const DescSize = 96
+
+// Descriptor is a Flick migration descriptor (§IV-B1): the target address,
+// the six argument registers, and the auxiliary state the ioctl collects
+// from the task struct — PID (to wake the right thread), the thread's NxP
+// stack pointer, and the PTBR so the NxP MMU walks the same page tables.
+type Descriptor struct {
+	Kind     DescKind
+	PID      uint32
+	Target   uint64
+	RetVal   uint64
+	Args     [6]uint64
+	NxPStack uint64
+	PTBR     uint64
+	// ReplyISA routes a return descriptor to the board core whose
+	// migration-handler frame is waiting for it — needed once more than
+	// one board ISA can have a blocked frame for the same thread
+	// (§IV-C3 extension).
+	ReplyISA uint32
+}
+
+// Encode serializes the descriptor into its 96-byte wire format.
+func (d *Descriptor) Encode() [DescSize]byte {
+	var b [DescSize]byte
+	binary.LittleEndian.PutUint32(b[0:], uint32(d.Kind))
+	binary.LittleEndian.PutUint32(b[4:], d.PID)
+	binary.LittleEndian.PutUint64(b[8:], d.Target)
+	binary.LittleEndian.PutUint64(b[16:], d.RetVal)
+	for i, a := range d.Args {
+		binary.LittleEndian.PutUint64(b[24+8*i:], a)
+	}
+	binary.LittleEndian.PutUint64(b[72:], d.NxPStack)
+	binary.LittleEndian.PutUint64(b[80:], d.PTBR)
+	binary.LittleEndian.PutUint32(b[88:], d.ReplyISA)
+	return b
+}
+
+// DecodeDescriptor parses a wire descriptor.
+func DecodeDescriptor(b []byte) (Descriptor, error) {
+	if len(b) < DescSize {
+		return Descriptor{}, fmt.Errorf("core: descriptor truncated (%d bytes)", len(b))
+	}
+	var d Descriptor
+	d.Kind = DescKind(binary.LittleEndian.Uint32(b[0:]))
+	if d.Kind != DescCall && d.Kind != DescReturn {
+		return Descriptor{}, fmt.Errorf("core: invalid descriptor kind %d", d.Kind)
+	}
+	d.PID = binary.LittleEndian.Uint32(b[4:])
+	d.Target = binary.LittleEndian.Uint64(b[8:])
+	d.RetVal = binary.LittleEndian.Uint64(b[16:])
+	for i := range d.Args {
+		d.Args[i] = binary.LittleEndian.Uint64(b[24+8*i:])
+	}
+	d.NxPStack = binary.LittleEndian.Uint64(b[72:])
+	d.PTBR = binary.LittleEndian.Uint64(b[80:])
+	d.ReplyISA = binary.LittleEndian.Uint32(b[88:])
+	return d, nil
+}

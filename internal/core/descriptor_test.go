@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDescriptorRoundTripExhaustiveFields(t *testing.T) {
+	d := Descriptor{
+		Kind:     DescCall,
+		PID:      42,
+		Target:   0x401000,
+		RetVal:   0xDEADBEEF,
+		Args:     [6]uint64{1, 2, 3, 4, 5, 6},
+		NxPStack: 0x5_0001_0000,
+		PTBR:     0x100000,
+	}
+	b := d.Encode()
+	got, err := DecodeDescriptor(b[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != d {
+		t.Errorf("round trip: got %+v want %+v", got, d)
+	}
+}
+
+func TestDescriptorRoundTripProperty(t *testing.T) {
+	f := func(kindBit bool, pid uint32, target, ret uint64, args [6]uint64, stack, ptbr uint64) bool {
+		d := Descriptor{
+			Kind: DescCall, PID: pid, Target: target, RetVal: ret,
+			Args: args, NxPStack: stack, PTBR: ptbr,
+		}
+		if kindBit {
+			d.Kind = DescReturn
+		}
+		b := d.Encode()
+		got, err := DecodeDescriptor(b[:])
+		return err == nil && got == d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeDescriptorErrors(t *testing.T) {
+	if _, err := DecodeDescriptor(make([]byte, DescSize-1)); err == nil {
+		t.Error("short buffer accepted")
+	}
+	var junk [DescSize]byte
+	junk[0] = 0xFF // invalid kind
+	if _, err := DecodeDescriptor(junk[:]); err == nil {
+		t.Error("invalid kind accepted")
+	}
+}
+
+func TestDescKindString(t *testing.T) {
+	if DescCall.String() != "call" || DescReturn.String() != "return" {
+		t.Error("kind strings wrong")
+	}
+	if DescKind(9).String() == "" {
+		t.Error("unknown kind should format")
+	}
+}
+
+func TestDescriptorFitsOneBurst(t *testing.T) {
+	// The wire format must stay a single sub-128-byte PCIe burst; the
+	// design depends on one-transfer descriptor movement.
+	if DescSize > 128 {
+		t.Errorf("descriptor %d bytes exceeds one burst", DescSize)
+	}
+	d := Descriptor{Kind: DescCall}
+	if len(d.Encode()) != DescSize {
+		t.Error("encode size mismatch")
+	}
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"flick/internal/cpu"
+	"flick/internal/isa"
+	"flick/internal/kernel"
+	"flick/internal/sim"
+)
+
+// hostHandler is Listing 1: the user-space host migration handler. The
+// kernel redirected a hijacked cross-ISA call here, so the original call's
+// arguments are in the argument registers and RA points at the original
+// call site — returning from this native returns the migrated call's value
+// to the caller transparently.
+func (rt *Runtime) hostHandler(p *sim.Proc, c *cpu.Core) error {
+	t := rt.K.CurrentTaskOn(c)
+	if t == nil {
+		return errors.New("core: host handler with no current task")
+	}
+	return rt.executeOnBoard(p, c, t, t.FaultAddr)
+}
+
+// boardStackFor returns the thread's stack top on the board core that
+// executes target, allocating it on the first migration toward that core
+// (Listing 1, lines 3-4).
+func (rt *Runtime) boardStackFor(p *sim.Proc, t *kernel.Task, target uint64) (uint64, error) {
+	is, ok := rt.Prog.Image.TextISA(target)
+	if !ok || is == isa.ISAHost {
+		return 0, fmt.Errorf("core: migration target %#x is not board text", target)
+	}
+	if t.BoardStacks == nil {
+		t.BoardStacks = make(map[isa.ISA]uint64)
+	}
+	if stack, ok := t.BoardStacks[is]; ok {
+		return stack, nil
+	}
+	stack, err := rt.Prog.AllocNxPStack()
+	if err != nil {
+		return 0, err
+	}
+	p.Sleep(rt.Costs.StackInit)
+	t.BoardStacks[is] = stack
+	return stack, nil
+}
+
+// executeOnBoard ships a call to the board core owning the target's ISA
+// and serves the descriptor protocol until the matching return arrives,
+// leaving the result in a0. It is the body shared by the transparent
+// fault-triggered path (hostHandler) and the explicit offload-style path
+// (OffloadCall).
+func (rt *Runtime) executeOnBoard(p *sim.Proc, c *cpu.Core, t *kernel.Task, target uint64) error {
+	stack, err := rt.boardStackFor(p, t, target)
+	if err != nil {
+		return err
+	}
+	rt.M.Env.Trace().Addf(p.Now(), "migrate", "pid %d: host → board call, target %#x", t.PID, target)
+	// prepare_host_to_nxp_call + ioctl_migrate_and_suspend (lines 5-6).
+	call := Descriptor{
+		Kind:     DescCall,
+		PID:      uint32(t.PID),
+		Target:   target,
+		Args:     c.Args(),
+		NxPStack: stack,
+		PTBR:     rt.K.Tables().Root(),
+	}
+	rt.sendToNxPAndSuspend(p, t, call)
+
+	// The while loop (lines 7-12): every wake is either an NxP→host call
+	// to serve or the final return.
+	for {
+		if t.Err != nil {
+			return t.Err
+		}
+		pa, ok := rt.Mbox.TakeN2H(uint32(t.PID))
+		if !ok {
+			return fmt.Errorf("core: pid %d woke without a pending descriptor", t.PID)
+		}
+		d := rt.readDescHost(p, pa)
+		switch d.Kind {
+		case DescReturn:
+			// Lines 13-14: hand the value back as the hijacked call's own
+			// return value.
+			c.Context().SetReg(isa.A0, d.RetVal)
+			return nil
+		case DescCall:
+			// Lines 8-11: a board core called a host function; run it
+			// here — it may itself fault and recurse into this handler.
+			// The return is addressed to the board frame that asked.
+			rt.stats.N2HCalls++
+			ret, err := c.Call(p, d.Target, d.Args[0], d.Args[1], d.Args[2], d.Args[3], d.Args[4], d.Args[5])
+			if err != nil {
+				return err
+			}
+			back := Descriptor{Kind: DescReturn, PID: uint32(t.PID), RetVal: ret, ReplyISA: d.ReplyISA}
+			rt.sendToNxPAndSuspend(p, t, back)
+		default:
+			return fmt.Errorf("core: pid %d received descriptor kind %v", t.PID, d.Kind)
+		}
+	}
+}
+
+// OffloadCall is the offload-engine programming style the paper contrasts
+// Flick against (§II-B): the host code *explicitly* ships target and
+// arguments to the device and waits, instead of letting a hijacked call
+// migrate transparently. It reuses the same descriptor transport, so the
+// measured difference against a Flick call is exactly the transparency
+// overhead: the NX fault and handler redirect. The programmability
+// difference is visible in the call shape — the caller must know the
+// function's placement and invoke this API instead of a plain `call`.
+func (rt *Runtime) OffloadCall(p *sim.Proc, c *cpu.Core, target uint64, args [6]uint64) (uint64, error) {
+	t := rt.K.CurrentTaskOn(c)
+	if t == nil {
+		return 0, errors.New("core: offload call with no current task")
+	}
+	c.SetArgs(args)
+	if err := rt.executeOnBoard(p, c, t, target); err != nil {
+		return 0, err
+	}
+	return c.Context().Reg(isa.A0), nil
+}
+
+// sendToNxPAndSuspend stages a descriptor, then performs the migration
+// ioctl: the kernel suspends the thread and fires the doorbell only after
+// the suspended state is published (§IV-D).
+func (rt *Runtime) sendToNxPAndSuspend(p *sim.Proc, t *kernel.Task, d Descriptor) {
+	p.Sleep(rt.Costs.HostHandlerWork + rt.ExtraMigrationLatency)
+	pa, slot := rt.Mbox.StageH2NSlot()
+	rt.writeDescHost(p, pa, d)
+	rt.K.MigrateAndSuspend(p, t, func() { rt.Mbox.kickH2N(slot) })
+}
+
+// nxpHandler is Listing 2: the NxP migration handler. The NxP fault
+// handler redirected a hijacked call to a host function here; RA points at
+// the NxP call site.
+func (rt *Runtime) nxpHandler(p *sim.Proc, c *cpu.Core) error {
+	st := rt.board[c]
+	if st == nil {
+		return fmt.Errorf("core: board handler on unregistered core %s", c)
+	}
+	pid := st.curPID
+	target := st.faultAddr
+
+	// prepare_nxp_to_host_call + migrate_and_suspend (lines 3-4). The
+	// waiter must be registered before the doorbell rings so the response
+	// cannot race past us. The call is stamped with this core's ISA so
+	// the host addresses its return descriptor back to this frame.
+	rt.M.Env.Trace().Addf(p.Now(), "migrate", "pid %d: %s → host call, target %#x", pid, c.Name(), target)
+	call := Descriptor{Kind: DescCall, PID: pid, Target: target, Args: c.Args(), ReplyISA: uint32(c.ISA())}
+	p.Sleep(rt.Costs.NxPHandlerWork + rt.ExtraMigrationLatency)
+	local, slot := rt.Mbox.StageN2HSlot()
+	rt.writeDescNxP(p, local, call)
+	rt.Mbox.RegisterWaiter(pid, c.ISA())
+	rt.ringDoorbell(p, regN2HDoorbell, slot)
+
+	// The while loop (lines 5-12).
+	for {
+		hslot := rt.Mbox.WaitH2N(p, pid, c.ISA())
+		p.Sleep(rt.Costs.NxPDispatch)
+		rt.readStatusReg(p)
+		d := rt.readDescNxP(p, rt.Mbox.H2NRingLocal(hslot))
+		switch d.Kind {
+		case DescReturn:
+			// Lines 11-12: resume the NxP caller with the host's value.
+			c.Context().SetReg(isa.A0, d.RetVal)
+			return nil
+		case DescCall:
+			// Lines 6-9: a nested host→NxP call while we wait.
+			rt.stats.H2NCalls++
+			p.Sleep(rt.Costs.NxPContextSwitch)
+			ret, err := c.Call(p, d.Target, d.Args[0], d.Args[1], d.Args[2], d.Args[3], d.Args[4], d.Args[5])
+			if err != nil {
+				rt.failTask(pid, err)
+				ret = 0
+			}
+			p.Sleep(rt.Costs.NxPHandlerWork)
+			back := Descriptor{Kind: DescReturn, PID: pid, RetVal: ret, ReplyISA: d.ReplyISA}
+			local, slot := rt.Mbox.StageN2HSlot()
+			rt.writeDescNxP(p, local, back)
+			rt.Mbox.RegisterWaiter(pid, c.ISA())
+			rt.ringDoorbell(p, regN2HDoorbell, slot)
+		default:
+			return fmt.Errorf("core: nxp handler received kind %v", d.Kind)
+		}
+	}
+}

@@ -1,0 +1,358 @@
+package core
+
+import (
+	"fmt"
+
+	"flick/internal/isa"
+	"flick/internal/mem"
+	"flick/internal/pcie"
+	"flick/internal/platform"
+	"flick/internal/sim"
+)
+
+// Mailbox geometry. Rings live in the low BRAM carve-out; each direction
+// has 16 descriptor slots. One staging buffer per direction sits on the
+// sending side's local memory so descriptors cross the link exactly once,
+// in one DMA burst.
+const (
+	mailboxSlots  = 16
+	h2nRingOff    = 0    // BRAM offset of host→NxP ring
+	n2hStagingOff = 4096 // BRAM offset of NxP→host staging slots
+)
+
+// Mailbox register file offsets (the board's BAR-exposed control block).
+const (
+	regH2NCount    = 0x00 // RO: completed host→NxP descriptor transfers
+	regN2HDoorbell = 0x08 // WO: slot index; triggers BRAM→host DMA + MSI
+	regH2NDoorbell = 0x10 // WO: slot index; triggers host→BRAM DMA
+)
+
+// wakeFn is called at N2H descriptor arrival to raise the MSI.
+type wakeFn func(pid int)
+
+// routeFn resolves a call target to the board ISA whose scheduler should
+// serve it (false for non-text targets).
+type routeFn func(target uint64) (isa.ISA, bool)
+
+// Mailbox is the descriptor transport: the DMA engine's register file
+// (exposed to both sides), the BRAM rings, and the host-side staging and
+// arrival buffers. It also performs descriptor routing on the NxP side:
+// descriptors for a thread blocked in the NxP migration handler go to that
+// waiter; fresh calls queue for the NxP scheduler.
+type Mailbox struct {
+	env  *sim.Env
+	dma  *pcie.Engine
+	host *mem.AddressSpace // host physical view (DMA operates here)
+
+	regs *mem.Region // MMIO register file
+
+	bramHostBase uint64 // BRAM ring base in the host view (BAR)
+	hostStaging  uint64 // host-DRAM staging for outbound H2N descriptors
+	hostArrival  uint64 // host-DRAM arrival buffer for N2H descriptors
+
+	h2nCount uint64 // the DMA status register the NxP scheduler polls
+	h2nCur   int
+	n2hCur   int
+	// busyH2N guards against ring overrun: a slot must be consumed before
+	// the cursor laps it (at most mailboxSlots threads mid-migration).
+	busyH2N [mailboxSlots]bool
+
+	// Board-side routing: one scheduler queue per board ISA.
+	schedQ  map[isa.ISA][]int
+	schedC  map[isa.ISA]*sim.Cond
+	route   routeFn
+	waiters map[waiterKey]*mboxWaiter
+
+	// Host-side arrival notes: pid → arrival slot.
+	n2hPending map[uint32]int
+	wake       wakeFn
+
+	// pio disables the DMA engine: descriptors are moved by programmed
+	// I/O (the ablation of the paper's single-burst design). Outbound
+	// staging writes then target the far side directly and the reader
+	// pays cross-link reads.
+	pio bool
+
+	// stats
+	h2nSent, n2hSent int
+}
+
+// waiterKey identifies a blocked migration-handler frame: which thread,
+// and on which board core it sits.
+type waiterKey struct {
+	pid uint32
+	is  isa.ISA
+}
+
+type mboxWaiter struct {
+	slot int
+	has  bool
+	cond *sim.Cond
+}
+
+// newMailbox wires the transport onto a machine. hostStaging/hostArrival
+// are host-DRAM physical addresses (one page each) supplied by the caller.
+func newMailbox(m *platform.Machine, hostStaging, hostArrival uint64, wake wakeFn, route routeFn) (*Mailbox, error) {
+	mb := &Mailbox{
+		env:          m.Env,
+		dma:          m.DMA,
+		host:         m.HostView,
+		bramHostBase: m.BRAMBar.HostBase,
+		hostStaging:  hostStaging,
+		hostArrival:  hostArrival,
+		waiters:      make(map[waiterKey]*mboxWaiter),
+		n2hPending:   make(map[uint32]int),
+		wake:         wake,
+		route:        route,
+		schedQ:       make(map[isa.ISA][]int),
+		schedC:       make(map[isa.ISA]*sim.Cond),
+	}
+	for _, is := range []isa.ISA{isa.ISANxP, isa.ISADsp} {
+		mb.schedC[is] = m.Env.NewCond("mailbox.sched." + is.String())
+	}
+	mb.regs = mem.NewMMIO("flick-regs", 4096, (*mailboxRegs)(nil).bind(mb))
+	if _, err := m.ExposeNxPDevice(mb.regs, platform.LocalRegsBase); err != nil {
+		return nil, err
+	}
+	return mb, nil
+}
+
+// mailboxRegs adapts the Mailbox to the MMIO device interface.
+type mailboxRegs struct{ mb *Mailbox }
+
+func (*mailboxRegs) bind(mb *Mailbox) *mailboxRegs { return &mailboxRegs{mb: mb} }
+
+// MMIORead implements mem.Device: the status register.
+func (r *mailboxRegs) MMIORead(off uint64, buf []byte) error {
+	var v uint64
+	switch off {
+	case regH2NCount:
+		v = r.mb.h2nCount
+	default:
+		v = 0
+	}
+	for i := range buf {
+		buf[i] = byte(v >> (8 * i))
+	}
+	return nil
+}
+
+// MMIOWrite implements mem.Device: the doorbells.
+func (r *mailboxRegs) MMIOWrite(off uint64, buf []byte) error {
+	var v uint64
+	for i := range buf {
+		v |= uint64(buf[i]) << (8 * i)
+	}
+	switch off {
+	case regN2HDoorbell:
+		r.mb.kickN2H(int(v))
+	case regH2NDoorbell:
+		r.mb.kickH2N(int(v))
+	default:
+		return fmt.Errorf("core: write to unknown mailbox register %#x", off)
+	}
+	return nil
+}
+
+// --- Host → NxP direction ------------------------------------------------
+
+// StageH2NSlot returns the host-DRAM physical address of the next outbound
+// staging slot and its index. The host migration handler writes the
+// descriptor there before the ioctl.
+func (mb *Mailbox) StageH2NSlot() (pa uint64, slot int) {
+	slot = mb.h2nCur % mailboxSlots
+	mb.h2nCur++
+	if mb.busyH2N[slot] {
+		panic(fmt.Sprintf("core: H2N mailbox ring overrun at slot %d (more than %d threads mid-migration)", slot, mailboxSlots))
+	}
+	mb.busyH2N[slot] = true
+	return mb.hostStaging + uint64(slot)*DescSize, slot
+}
+
+// kickH2N starts the single-burst DMA of a staged descriptor into the
+// BRAM ring (triggered via the H2N doorbell by the kernel scheduler hook,
+// after the thread is suspended). In PIO mode there is no transfer: the
+// descriptor stays in host DRAM and the NxP will read it across the link.
+func (mb *Mailbox) kickH2N(slot int) {
+	mb.h2nSent++
+	if mb.pio {
+		mb.h2nArrived(slot)
+		return
+	}
+	src := mb.hostStaging + uint64(slot)*DescSize
+	dst := mb.bramHostBase + h2nRingOff + uint64(slot)*DescSize
+	mb.dma.Submit(pcie.Request{
+		SrcSpace: mb.host, Src: src,
+		DstSpace: mb.host, Dst: dst,
+		Size: DescSize, Tag: "h2n-desc",
+		OnDone: func(at sim.Time) { mb.h2nArrived(slot) },
+	})
+}
+
+// h2nArrived routes a delivered host→NxP descriptor: returns and nested
+// calls go to the waiting migration-handler frame; fresh calls queue for
+// the scheduler.
+func (mb *Mailbox) h2nArrived(slot int) {
+	mb.h2nCount++
+	mb.busyH2N[slot] = false
+	d := mb.peekH2N(slot)
+	if d.Kind == DescReturn {
+		// Returns go to the frame that asked: the waiter on the board
+		// core named by the reply-to field.
+		if w, ok := mb.waiters[waiterKey{pid: d.PID, is: isa.ISA(d.ReplyISA)}]; ok {
+			w.slot = slot
+			w.has = true
+			w.cond.Signal()
+			return
+		}
+		mb.env.Trace().Addf(mb.env.Now(), "mbox", "orphan return descriptor for pid %d", d.PID)
+		return
+	}
+	// Calls go to the core that can execute the target: a blocked frame
+	// of this thread on that core continues there; otherwise the core's
+	// scheduler dispatches a fresh frame.
+	target, ok := mb.route(d.Target)
+	if !ok || target == isa.ISAHost {
+		mb.env.Trace().Addf(mb.env.Now(), "mbox", "unroutable call target %#x for pid %d", d.Target, d.PID)
+		return
+	}
+	if w, ok := mb.waiters[waiterKey{pid: d.PID, is: target}]; ok {
+		w.slot = slot
+		w.has = true
+		w.cond.Signal()
+		return
+	}
+	mb.schedQ[target] = append(mb.schedQ[target], slot)
+	mb.schedC[target].Signal()
+}
+
+// peekH2N decodes a ring slot without timing (simulator-side routing; the
+// timed reads are performed by the NxP code that consumes the slot).
+func (mb *Mailbox) peekH2N(slot int) Descriptor {
+	var b [DescSize]byte
+	if err := mb.host.Read(mb.h2nSlotHostPA(slot), b[:]); err != nil {
+		panic(fmt.Sprintf("core: mailbox peek: %v", err))
+	}
+	d, err := DecodeDescriptor(b[:])
+	if err != nil {
+		panic(fmt.Sprintf("core: mailbox peek: %v", err))
+	}
+	return d
+}
+
+// H2NRingLocal returns the physical address (in the NxP's view) at which
+// the NxP reads a delivered H2N descriptor: the local BRAM ring normally,
+// or the host staging buffer in PIO mode (host DRAM is identity-visible
+// from the NxP).
+func (mb *Mailbox) H2NRingLocal(slot int) uint64 {
+	if mb.pio {
+		return mb.hostStaging + uint64(slot)*DescSize
+	}
+	return platform.LocalBRAMBase + h2nRingOff + uint64(slot)*DescSize
+}
+
+// h2nSlotHostPA is where a delivered H2N descriptor lives in the host view.
+func (mb *Mailbox) h2nSlotHostPA(slot int) uint64 {
+	if mb.pio {
+		return mb.hostStaging + uint64(slot)*DescSize
+	}
+	return mb.bramHostBase + h2nRingOff + uint64(slot)*DescSize
+}
+
+// WaitH2NUnclaimed blocks a board scheduler until a fresh call descriptor
+// targeting its ISA arrives, and returns the slot.
+func (mb *Mailbox) WaitH2NUnclaimed(p *sim.Proc, is isa.ISA) int {
+	p.WaitFor(mb.schedC[is], func() bool { return len(mb.schedQ[is]) > 0 })
+	slot := mb.schedQ[is][0]
+	mb.schedQ[is] = mb.schedQ[is][1:]
+	return slot
+}
+
+// RegisterWaiter declares that pid's thread is blocked on the given board
+// core awaiting a descriptor. Must be called before the doorbell that
+// invites the response, or the response could race past the registration.
+func (mb *Mailbox) RegisterWaiter(pid uint32, is isa.ISA) {
+	k := waiterKey{pid: pid, is: is}
+	if _, dup := mb.waiters[k]; dup {
+		panic(fmt.Sprintf("core: duplicate mailbox waiter for pid %d on %v", pid, is))
+	}
+	mb.waiters[k] = &mboxWaiter{cond: mb.env.NewCond(fmt.Sprintf("mbox.wait.%d.%v", pid, is))}
+}
+
+// WaitH2N blocks until a descriptor for (pid, core) arrives, unregisters
+// the waiter, and returns the slot. Pair with RegisterWaiter.
+func (mb *Mailbox) WaitH2N(p *sim.Proc, pid uint32, is isa.ISA) int {
+	k := waiterKey{pid: pid, is: is}
+	w := mb.waiters[k]
+	if w == nil {
+		panic(fmt.Sprintf("core: WaitH2N without RegisterWaiter (pid %d on %v)", pid, is))
+	}
+	p.WaitFor(w.cond, func() bool { return w.has })
+	delete(mb.waiters, k)
+	return w.slot
+}
+
+// --- NxP → Host direction ------------------------------------------------
+
+// StageN2HSlot returns the physical address (in the NxP's view) of the
+// next outbound staging slot and its index: local BRAM normally, the host
+// arrival buffer directly in PIO mode. The NxP migration handler or
+// scheduler writes the descriptor there, then rings the N2H doorbell.
+func (mb *Mailbox) StageN2HSlot() (localPA uint64, slot int) {
+	slot = mb.n2hCur % mailboxSlots
+	mb.n2hCur++
+	if mb.pio {
+		return mb.hostArrival + uint64(slot)*DescSize, slot
+	}
+	return platform.LocalBRAMBase + n2hStagingOff + uint64(slot)*DescSize, slot
+}
+
+// kickN2H DMAs a staged descriptor from BRAM into the host arrival buffer
+// and raises the MSI on completion. In PIO mode the NxP already wrote the
+// descriptor into the host arrival buffer with posted writes, so the
+// doorbell only raises the interrupt.
+func (mb *Mailbox) kickN2H(slot int) {
+	mb.n2hSent++
+	if mb.pio {
+		mb.n2hArrived(slot)
+		return
+	}
+	src := mb.bramHostBase + n2hStagingOff + uint64(slot)*DescSize
+	dst := mb.hostArrival + uint64(slot)*DescSize
+	mb.dma.Submit(pcie.Request{
+		SrcSpace: mb.host, Src: src,
+		DstSpace: mb.host, Dst: dst,
+		Size: DescSize, Tag: "n2h-desc",
+		OnDone: func(at sim.Time) { mb.n2hArrived(slot) },
+	})
+}
+
+func (mb *Mailbox) n2hArrived(slot int) {
+	var b [DescSize]byte
+	if err := mb.host.Read(mb.hostArrival+uint64(slot)*DescSize, b[:]); err != nil {
+		panic(fmt.Sprintf("core: n2h arrival: %v", err))
+	}
+	d, err := DecodeDescriptor(b[:])
+	if err != nil {
+		panic(fmt.Sprintf("core: n2h arrival: %v", err))
+	}
+	mb.n2hPending[d.PID] = slot
+	mb.wake(int(d.PID))
+}
+
+// TakeN2H returns the host-DRAM physical address of the pending arrival
+// descriptor for pid, consuming the pending note.
+func (mb *Mailbox) TakeN2H(pid uint32) (uint64, bool) {
+	slot, ok := mb.n2hPending[pid]
+	if !ok {
+		return 0, false
+	}
+	delete(mb.n2hPending, pid)
+	return mb.hostArrival + uint64(slot)*DescSize, true
+}
+
+// SetPIO switches descriptor transport to programmed I/O (ablation).
+func (mb *Mailbox) SetPIO(v bool) { mb.pio = v }
+
+// Stats reports descriptors sent in each direction.
+func (mb *Mailbox) Stats() (h2n, n2h int) { return mb.h2nSent, mb.n2hSent }

@@ -1,0 +1,197 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"flick"
+	"flick/internal/platform"
+)
+
+// TestRandomCrossISAChainsProperty generates random call chains whose
+// links are randomly annotated host or nxp, runs them through the full
+// machine, and checks two properties against a Go model:
+//
+//  1. The computed value is identical (migration is semantically
+//     transparent for arbitrary interleavings of the two ISAs).
+//  2. The number of call migrations in each direction equals the number
+//     of ISA changes along the chain in that direction — Flick migrates
+//     exactly at boundaries, never elsewhere.
+func TestRandomCrossISAChainsProperty(t *testing.T) {
+	type op struct {
+		mnem string
+		eval func(x, c uint64) uint64
+	}
+	ops := []op{
+		{"addi", func(x, c uint64) uint64 { return x + c }},
+		{"xori", func(x, c uint64) uint64 { return x ^ c }},
+		{"muli", func(x, c uint64) uint64 { return x * c }},
+	}
+
+	run := func(seed int64) error {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(14)   // chain length
+		isas := make([]bool, n) // true = nxp
+		opIdx := make([]int, n)
+		consts := make([]uint64, n)
+		for i := 0; i < n; i++ {
+			isas[i] = rng.Intn(2) == 1
+			opIdx[i] = rng.Intn(len(ops))
+			consts[i] = uint64(1 + rng.Intn(500))
+		}
+
+		// Generate the program: main → f0 → f1 → ... → f{n-1}.
+		var sb strings.Builder
+		sb.WriteString(".func main isa=host\n    call f0\n    halt\n.endfunc\n")
+		for i := 0; i < n; i++ {
+			target := "nxp"
+			if !isas[i] {
+				target = "host"
+			}
+			fmt.Fprintf(&sb, ".func f%d isa=%s\n", i, target)
+			fmt.Fprintf(&sb, "    %s a0, a0, %d\n", ops[opIdx[i]].mnem, consts[i])
+			if i+1 < n {
+				sb.WriteString("    push ra\n")
+				fmt.Fprintf(&sb, "    call f%d\n", i+1)
+				sb.WriteString("    pop ra\n")
+			}
+			sb.WriteString("    ret\n.endfunc\n")
+		}
+
+		// Go model.
+		x := uint64(7)
+		for i := 0; i < n; i++ {
+			x = ops[opIdx[i]].eval(x, consts[i])
+		}
+		wantH2N, wantN2H := 0, 0
+		prevNxP := false // main is host
+		for i := 0; i < n; i++ {
+			if isas[i] && !prevNxP {
+				wantH2N++
+			}
+			if !isas[i] && prevNxP {
+				wantN2H++
+			}
+			prevNxP = isas[i]
+		}
+
+		sys, err := flick.Build(flick.Config{
+			Sources: map[string]string{"chain.fasm": sb.String()},
+		})
+		if err != nil {
+			return fmt.Errorf("seed %d: build: %w", seed, err)
+		}
+		ret, err := sys.RunProgram("main", 7)
+		if err != nil {
+			return fmt.Errorf("seed %d: run: %w", seed, err)
+		}
+		if ret != x {
+			return fmt.Errorf("seed %d: result %d, model %d (chain %v)", seed, ret, x, isas)
+		}
+		st := sys.Runtime.Stats()
+		if st.H2NCalls != wantH2N || st.N2HCalls != wantN2H {
+			return fmt.Errorf("seed %d: migrations %d/%d, model %d/%d (chain %v)",
+				seed, st.H2NCalls, st.N2HCalls, wantH2N, wantN2H, isas)
+		}
+		return nil
+	}
+
+	f := func(seed int64) bool {
+		if err := run(seed); err != nil {
+			t.Error(err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRandomTriISAChainsProperty extends the chain property to three ISAs:
+// random links are host, nxp, or dsp, and the model counts migrations with
+// the board→board hop rule (a direct board-A→board-B call costs one
+// board→host migration plus one host→board migration).
+func TestRandomTriISAChainsProperty(t *testing.T) {
+	run := func(seed int64) error {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		kinds := make([]int, n) // 0 host, 1 nxp, 2 dsp
+		consts := make([]uint64, n)
+		for i := range kinds {
+			kinds[i] = rng.Intn(3)
+			consts[i] = uint64(1 + rng.Intn(300))
+		}
+		names := []string{"host", "nxp", "dsp"}
+
+		var sb strings.Builder
+		sb.WriteString(".func main isa=host\n    call f0\n    halt\n.endfunc\n")
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(&sb, ".func f%d isa=%s\n", i, names[kinds[i]])
+			fmt.Fprintf(&sb, "    addi a0, a0, %d\n", consts[i])
+			if i+1 < n {
+				sb.WriteString("    push ra\n")
+				fmt.Fprintf(&sb, "    call f%d\n", i+1)
+				sb.WriteString("    pop ra\n")
+			}
+			sb.WriteString("    ret\n.endfunc\n")
+		}
+
+		want := uint64(3)
+		for _, c := range consts {
+			want += c
+		}
+		// Migration model over call edges.
+		wantH2N, wantN2H := 0, 0
+		prev := 0
+		for _, k := range kinds {
+			switch {
+			case k == prev:
+			case prev == 0: // host → board
+				wantH2N++
+			case k == 0: // board → host
+				wantN2H++
+			default: // board → other board: via host
+				wantN2H++
+				wantH2N++
+			}
+			prev = k
+		}
+
+		params := platform.DefaultParams()
+		params.EnableDSP = true
+		sys, err := flick.Build(flick.Config{
+			Params:  &params,
+			Sources: map[string]string{"tri.fasm": sb.String()},
+		})
+		if err != nil {
+			return fmt.Errorf("seed %d: %w", seed, err)
+		}
+		ret, err := sys.RunProgram("main", 3)
+		if err != nil {
+			return fmt.Errorf("seed %d (%v): %w", seed, kinds, err)
+		}
+		if ret != want {
+			return fmt.Errorf("seed %d: result %d, model %d (%v)", seed, ret, want, kinds)
+		}
+		st := sys.Runtime.Stats()
+		if st.H2NCalls != wantH2N || st.N2HCalls != wantN2H {
+			return fmt.Errorf("seed %d: migrations %d/%d, model %d/%d (%v)",
+				seed, st.H2NCalls, st.N2HCalls, wantH2N, wantN2H, kinds)
+		}
+		return nil
+	}
+	f := func(seed int64) bool {
+		if err := run(seed); err != nil {
+			t.Error(err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

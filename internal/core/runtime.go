@@ -1,0 +1,445 @@
+package core
+
+import (
+	"fmt"
+
+	"flick/internal/cpu"
+	"flick/internal/isa"
+	"flick/internal/kernel"
+	"flick/internal/multibin"
+	"flick/internal/platform"
+	"flick/internal/sim"
+)
+
+// Native stub ids used by the runtime's assembly stubs.
+const (
+	NativeHostHandler = 1
+	NativeNxPHandler  = 2
+	NativeMallocHost  = 3
+	NativeMallocNxP   = 4
+	// NativeMallocNxPFromHost backs `nxp_malloc`, the paper's annotated
+	// allocation (§III-D): host code allocating in the device's memory
+	// region — e.g. to initialize data for near-storage processors —
+	// without migrating.
+	NativeMallocNxPFromHost = 5
+)
+
+// RuntimeSource is the Flick runtime library in assembly: the migration
+// handler entry stubs (one per ISA, placed in that ISA's text section so
+// the NX markings are correct) and the per-ISA memory allocators the
+// linker routes `malloc` to (§III-D).
+const RuntimeSource = `
+; Flick runtime library.
+.func __flick_host_handler isa=host
+    native 1
+.endfunc
+
+.func __flick_nxp_handler isa=nxp
+    native 2
+.endfunc
+
+.func malloc.host isa=host
+    native 3
+.endfunc
+
+.func malloc.nxp isa=nxp
+    native 4
+.endfunc
+
+; Annotated allocation: lets host code place data in the NxP region
+; explicitly (the paper's near-storage initialization case).
+.func nxp_malloc isa=host
+    native 5
+.endfunc
+`
+
+// RuntimeDspSource is the extra runtime library for three-ISA
+// configurations (§IV-C3): the DSP-side migration handler stub and the
+// DSP variants of the per-ISA routed symbols. Linked only when the
+// platform enables the DSP core.
+const RuntimeDspSource = `
+; Flick runtime, DSP additions.
+.func __flick_dsp_handler isa=dsp
+    native 2
+.endfunc
+
+.func malloc.dsp isa=dsp
+    native 4
+.endfunc
+
+.func memcpy.dsp isa=dsp
+    mov  t5, a0
+mloop:
+    beq  a2, zr, mdone
+    ld1  t0, [a1+0]
+    st1  t0, [a0+0]
+    addi a0, a0, 1
+    addi a1, a1, 1
+    addi a2, a2, -1
+    jmp  mloop
+mdone:
+    mov  a0, t5
+    ret
+.endfunc
+
+.func memset.dsp isa=dsp
+    mov  t5, a0
+sloop:
+    beq  a2, zr, sdone
+    st1  a1, [a0+0]
+    addi a0, a0, 1
+    addi a2, a2, -1
+    jmp  sloop
+sdone:
+    mov  a0, t5
+    ret
+.endfunc
+
+.func strlen.dsp isa=dsp
+    movi t0, 0
+lloop:
+    ld1  t1, [a0+0]
+    beq  t1, zr, ldone
+    addi t0, t0, 1
+    addi a0, a0, 1
+    jmp  lloop
+ldone:
+    mov  a0, t0
+    ret
+.endfunc
+`
+
+// PerISASymbols lists the symbols the linker resolves per referring ISA
+// when building Flick programs: the allocator (§III-D) and the stdlib
+// memory utilities.
+var PerISASymbols = []string{"malloc", "memcpy", "memset", "strlen"}
+
+// Costs models the Flick runtime's software overheads, calibrated together
+// with kernel.Costs so the null-call round trips land on the paper's
+// Table III (18.3 µs / 16.9 µs).
+type Costs struct {
+	// HostHandlerWork is the user-space handler's argument gathering and
+	// bookkeeping per pass (Listing 1 glue).
+	HostHandlerWork sim.Duration
+	// StackInit is the one-time cost of allocating and preparing a
+	// thread's NxP stack on its first migration.
+	StackInit sim.Duration
+	// NxPFaultEntry is exception entry + redirect on the 200 MHz core.
+	NxPFaultEntry sim.Duration
+	// NxPHandlerWork is the NxP-side handler glue per pass (Listing 2).
+	NxPHandlerWork sim.Duration
+	// NxPDispatch is the scheduler's average poll-discovery latency plus
+	// status-register decode.
+	NxPDispatch sim.Duration
+	// NxPContextSwitch is the NxP scheduler's switch into a thread.
+	NxPContextSwitch sim.Duration
+}
+
+// DefaultCosts returns the calibrated runtime cost set.
+func DefaultCosts() Costs {
+	return Costs{
+		HostHandlerWork:  500 * sim.Nanosecond,
+		StackInit:        2 * sim.Microsecond,
+		NxPFaultEntry:    1500 * sim.Nanosecond, // 300 cycles @ 200 MHz
+		NxPHandlerWork:   800 * sim.Nanosecond,  // 160 cycles
+		NxPDispatch:      2800 * sim.Nanosecond,
+		NxPContextSwitch: 2300 * sim.Nanosecond, // 460 cycles
+	}
+}
+
+// Stats counts migration activity.
+type Stats struct {
+	// H2NCalls counts host→NxP call migrations; N2HCalls the reverse.
+	H2NCalls int
+	N2HCalls int
+	// NXFaults counts host-side NX faults that became migrations.
+	NXFaults int
+}
+
+// Runtime is the installed Flick machinery on one machine: mailbox,
+// handlers, scheduler, and hooks.
+type Runtime struct {
+	M     *platform.Machine
+	K     *kernel.Kernel
+	Prog  *kernel.Program
+	Mbox  *Mailbox
+	Costs Costs
+
+	// ExtraMigrationLatency is injected once per call migration, in each
+	// direction, to emulate slower prior-work mechanisms (Fig. 5's 500 µs
+	// and 1 ms curves).
+	ExtraMigrationLatency sim.Duration
+
+	hostHandlerVA uint64
+
+	// Per-board-core runtime state: the handler stub each core's faults
+	// redirect to, the pid currently executing there, and the last
+	// faulting address (consumed immediately by the handler stub).
+	board map[*cpu.Core]*boardState
+
+	stats Stats
+}
+
+// boardState is the runtime's per-board-core bookkeeping.
+type boardState struct {
+	handlerVA uint64
+	curPID    uint32
+	faultAddr uint64
+}
+
+// Activate installs the Flick runtime onto a machine with a loaded
+// program. The program must have been linked with RuntimeSource and
+// PerISASymbols.
+func Activate(m *platform.Machine, prog *kernel.Program) (*Runtime, error) {
+	rt := &Runtime{M: m, K: m.Kernel, Prog: prog, Costs: DefaultCosts()}
+
+	var err error
+	if rt.hostHandlerVA, err = prog.SymbolVA("__flick_host_handler"); err != nil {
+		return nil, fmt.Errorf("core: program not linked with the Flick runtime: %w", err)
+	}
+	rt.board = make(map[*cpu.Core]*boardState)
+	nxpVA, err := prog.SymbolVA("__flick_nxp_handler")
+	if err != nil {
+		return nil, fmt.Errorf("core: program not linked with the Flick runtime: %w", err)
+	}
+	rt.board[m.NxP] = &boardState{handlerVA: nxpVA}
+	if hasTextISA(prog, isa.ISADsp) {
+		if m.DSP == nil {
+			return nil, fmt.Errorf("core: image contains .text.dsp but the platform has no DSP core (set Params.EnableDSP)")
+		}
+		dspVA, err := prog.SymbolVA("__flick_dsp_handler")
+		if err != nil {
+			return nil, fmt.Errorf("core: program not linked with the DSP runtime: %w", err)
+		}
+		rt.board[m.DSP] = &boardState{handlerVA: dspVA}
+	}
+
+	// Host-DRAM pages for descriptor staging and arrival.
+	staging, err := m.Alloc.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	arrival, err := m.Alloc.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	route := func(target uint64) (isa.ISA, bool) { return prog.Image.TextISA(target) }
+	if rt.Mbox, err = newMailbox(m, staging, arrival, func(pid int) { m.Kernel.DeliverMSI(pid) }, route); err != nil {
+		return nil, err
+	}
+
+	m.Natives.Register(NativeHostHandler, rt.hostHandler)
+	m.Natives.Register(NativeNxPHandler, rt.nxpHandler)
+	m.Natives.Register(NativeMallocHost, rt.mallocNative(func() *kernel.Bump { return prog.HostHeap }))
+	m.Natives.Register(NativeMallocNxP, rt.mallocNative(func() *kernel.Bump { return prog.NxPHeap }))
+	m.Natives.Register(NativeMallocNxPFromHost, rt.mallocNative(func() *kernel.Bump { return prog.NxPHeap }))
+
+	// Host side: NX instruction faults targeting any board ISA's text
+	// redirect into the host migration handler.
+	registered := make(map[isa.ISA]bool)
+	for bc := range rt.board {
+		registered[bc.ISA()] = true
+	}
+	m.Kernel.SetMigrationRedirect(func(t *kernel.Task, f *cpu.Fault) (uint64, bool) {
+		if target, ok := prog.Image.TextISA(f.VA); ok && registered[target] {
+			rt.stats.NXFaults++
+			return rt.hostHandlerVA, true
+		}
+		return 0, false
+	})
+	// Board side: wrong-ISA and misaligned fetch faults redirect into the
+	// faulting core's migration handler; each board core gets a scheduler.
+	for bc := range rt.board {
+		core := bc
+		core.SetFaultHandler(rt.boardFault)
+		m.Env.SpawnDaemon(core.Name()+"-scheduler", func(p *sim.Proc) {
+			rt.schedulerLoop(p, core)
+		})
+	}
+	return rt, nil
+}
+
+// hasTextISA reports whether the image carries text for the given ISA.
+func hasTextISA(prog *kernel.Program, is isa.ISA) bool {
+	for _, seg := range prog.Image.Segments {
+		if seg.Kind == multibin.SecText && seg.ISA == is {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats returns migration counters.
+func (rt *Runtime) Stats() Stats { return rt.stats }
+
+// SetPIODescriptors switches descriptor transport from the single-burst
+// DMA to programmed I/O, the ablation of §IV-B1's design choice.
+func (rt *Runtime) SetPIODescriptors(v bool) { rt.Mbox.SetPIO(v) }
+
+// boardFault is the board cores' exception handler: wrong-ISA and
+// misaligned fetches whose target is some *other* ISA's text become
+// migrations (§IV-B2); anything else is fatal. Calls to a sibling board
+// ISA route through the host, which re-faults and migrates onward — the
+// recursive handler structure needs no special casing for it.
+func (rt *Runtime) boardFault(p *sim.Proc, c *cpu.Core, f *cpu.Fault) error {
+	st := rt.board[c]
+	if st == nil {
+		return f
+	}
+	if f.Kind == cpu.FaultFetchNX || f.Kind == cpu.FaultFetchMisaligned {
+		if target, ok := rt.Prog.Image.TextISA(f.VA); ok && target != c.ISA() {
+			p.Sleep(rt.Costs.NxPFaultEntry)
+			st.faultAddr = f.VA
+			c.Context().PC = st.handlerVA
+			rt.M.Env.Trace().Addf(p.Now(), "fault", "%s fault at %#x → board handler", c.Name(), f.VA)
+			return nil
+		}
+	}
+	return f
+}
+
+// schedulerLoop is a board core's scheduler (§IV-B1): it discovers
+// migrated-in threads via the DMA status register, context-switches them
+// in, runs the target function, and ships the return descriptor back.
+func (rt *Runtime) schedulerLoop(p *sim.Proc, core *cpu.Core) {
+	st := rt.board[core]
+	for {
+		slot := rt.Mbox.WaitH2NUnclaimed(p, core.ISA())
+		p.Sleep(rt.Costs.NxPDispatch)
+		rt.readStatusReg(p)
+		d := rt.readDescNxP(p, rt.Mbox.H2NRingLocal(slot))
+		if d.Kind != DescCall {
+			rt.M.Env.Trace().Addf(p.Now(), "sched", "unexpected %v descriptor at top level", d.Kind)
+			continue
+		}
+		rt.stats.H2NCalls++
+		p.Sleep(rt.Costs.NxPContextSwitch)
+		ctx := &cpu.Context{}
+		ctx.SetReg(isa.SP, d.NxPStack)
+		core.SetContext(ctx)
+		st.curPID = d.PID
+		ret, err := core.Call(p, d.Target, d.Args[0], d.Args[1], d.Args[2], d.Args[3], d.Args[4], d.Args[5])
+		if err != nil {
+			rt.failTask(d.PID, err)
+			ret = 0
+		}
+		rt.sendReturnToHost(p, d.PID, ret)
+	}
+}
+
+// failTask records a fatal NxP-side error on the owning task so the host
+// handler aborts when it wakes.
+func (rt *Runtime) failTask(pid uint32, err error) {
+	if t, ok := rt.K.TaskByPID(int(pid)); ok {
+		t.Err = fmt.Errorf("core: error during NxP execution: %w", err)
+	}
+	rt.M.Env.Trace().Addf(rt.M.Env.Now(), "sched", "pid %d failed on NxP: %v", pid, err)
+}
+
+// sendReturnToHost stages and ships an NxP→host return descriptor.
+func (rt *Runtime) sendReturnToHost(p *sim.Proc, pid uint32, ret uint64) {
+	p.Sleep(rt.Costs.NxPHandlerWork)
+	d := Descriptor{Kind: DescReturn, PID: pid, RetVal: ret}
+	local, slot := rt.Mbox.StageN2HSlot()
+	rt.writeDescNxP(p, local, d)
+	rt.ringDoorbell(p, regN2HDoorbell, slot)
+}
+
+// --- timed descriptor and register accesses ------------------------------
+
+// writeDescHost writes a descriptor into host DRAM, charging the host
+// core's local-memory cost per word.
+func (rt *Runtime) writeDescHost(p *sim.Proc, pa uint64, d Descriptor) {
+	b := d.Encode()
+	p.Sleep(sim.Duration(DescSize/8) * rt.M.Params.HostDRAMAccess)
+	if err := rt.M.HostView.Write(pa, b[:]); err != nil {
+		panic(fmt.Sprintf("core: staging write: %v", err))
+	}
+}
+
+// readDescHost reads a descriptor from host DRAM with host-side timing.
+func (rt *Runtime) readDescHost(p *sim.Proc, pa uint64) Descriptor {
+	p.Sleep(sim.Duration(DescSize/8) * rt.M.Params.HostDRAMAccess)
+	var b [DescSize]byte
+	if err := rt.M.HostView.Read(pa, b[:]); err != nil {
+		panic(fmt.Sprintf("core: arrival read: %v", err))
+	}
+	d, err := DecodeDescriptor(b[:])
+	if err != nil {
+		panic(fmt.Sprintf("core: arrival decode: %v", err))
+	}
+	return d
+}
+
+// nxpDescWordCost prices one 8-byte descriptor access from the NxP side:
+// local BRAM is 2 cycles; host DRAM (the PIO ablation's path) crosses the
+// link per word — exactly the cost the paper's single-burst DMA avoids.
+func (rt *Runtime) nxpDescWordCost(pa uint64, write bool) sim.Duration {
+	if pa >= platform.LocalBRAMBase {
+		return rt.M.Params.NxPBRAMAccess
+	}
+	if write {
+		return rt.M.Params.Link.WriteLatency(8)
+	}
+	return rt.M.Params.Link.ReadLatency(8) + rt.M.Params.HostDRAMDevice
+}
+
+// writeDescNxP writes a descriptor word-by-word from the NxP side.
+func (rt *Runtime) writeDescNxP(p *sim.Proc, localPA uint64, d Descriptor) {
+	b := d.Encode()
+	p.Sleep(sim.Duration(DescSize/8) * rt.nxpDescWordCost(localPA, true))
+	if err := rt.M.NxPView.Write(localPA, b[:]); err != nil {
+		panic(fmt.Sprintf("core: descriptor write: %v", err))
+	}
+}
+
+// readDescNxP reads a descriptor word-by-word with NxP timing.
+func (rt *Runtime) readDescNxP(p *sim.Proc, localPA uint64) Descriptor {
+	p.Sleep(sim.Duration(DescSize/8) * rt.nxpDescWordCost(localPA, false))
+	var b [DescSize]byte
+	if err := rt.M.NxPView.Read(localPA, b[:]); err != nil {
+		panic(fmt.Sprintf("core: descriptor read: %v", err))
+	}
+	d, err := DecodeDescriptor(b[:])
+	if err != nil {
+		panic(fmt.Sprintf("core: descriptor decode: %v", err))
+	}
+	return d
+}
+
+// ringDoorbell performs a timed register write from the NxP side.
+func (rt *Runtime) ringDoorbell(p *sim.Proc, reg uint64, slot int) {
+	p.Sleep(rt.M.Params.RegsAccess)
+	if err := rt.M.NxPView.WriteU64(platform.LocalRegsBase+reg, uint64(slot)); err != nil {
+		panic(fmt.Sprintf("core: doorbell: %v", err))
+	}
+}
+
+// readStatusReg performs a timed read of the DMA status register, the
+// scheduler's poll.
+func (rt *Runtime) readStatusReg(p *sim.Proc) uint64 {
+	p.Sleep(rt.M.Params.RegsAccess)
+	v, err := rt.M.NxPView.ReadU64(platform.LocalRegsBase + regH2NCount)
+	if err != nil {
+		panic(fmt.Sprintf("core: status read: %v", err))
+	}
+	return v
+}
+
+// mallocNative builds the allocator native for one heap.
+func (rt *Runtime) mallocNative(heap func() *kernel.Bump) cpu.NativeFunc {
+	return func(p *sim.Proc, c *cpu.Core) error {
+		h := heap()
+		if h == nil {
+			return fmt.Errorf("core: malloc: no heap on this platform")
+		}
+		c.ChargeCycles(p, 40) // allocator bookkeeping
+		size := c.Context().Reg(isa.A0)
+		va, err := h.Alloc(size, 16)
+		if err != nil {
+			return err
+		}
+		c.Context().SetReg(isa.A0, va)
+		return nil
+	}
+}

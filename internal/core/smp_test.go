@@ -1,0 +1,195 @@
+package core_test
+
+import (
+	"testing"
+
+	"flick"
+	"flick/internal/platform"
+	"flick/internal/sim"
+)
+
+// buildSMP builds a system with n host cores.
+func buildSMP(t *testing.T, hostCores int, src string) *flick.System {
+	t.Helper()
+	params := platform.DefaultParams()
+	params.HostCores = hostCores
+	sys, err := flick.Build(flick.Config{
+		Params:  &params,
+		Sources: map[string]string{"smp.fasm": src},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+const spinSource = `
+.func main isa=host
+    ; a0 = iterations
+l:
+    addi a0, a0, -1
+    bne  a0, zr, l
+    movi a0, 1
+    sys  1
+.endfunc
+`
+
+func TestTwoHostCoresRunThreadsConcurrently(t *testing.T) {
+	run := func(cores int) sim.Time {
+		sys := buildSMP(t, cores, spinSource)
+		for i := 0; i < 2; i++ {
+			if _, err := sys.Start("main", 50_000); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := sys.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return sys.Now()
+	}
+	serial := run(1)
+	parallel := run(2)
+	// Two compute-bound threads on two cores should finish in about half
+	// the serial time.
+	ratio := float64(serial) / float64(parallel)
+	if ratio < 1.8 {
+		t.Errorf("2-core speedup = %.2fx, want ≈2x (serial %v, parallel %v)", ratio, serial, parallel)
+	}
+}
+
+func TestHostWorkProceedsWhileThreadIsOnNxP(t *testing.T) {
+	// Thread A migrates to a long NxP function (blocking its host core in
+	// the ioctl); thread B's host-side compute must proceed on the second
+	// core in the meantime.
+	src := `
+.func main isa=host
+    ; a0 = mode: 0 → migrate and wait, 1 → host spin
+    bne  a0, zr, spin
+    call long_nxp
+    movi a0, 0
+    sys  1
+spin:
+    li   t0, 20000
+l:
+    addi t0, t0, -1
+    bne  t0, zr, l
+    movi a0, 1
+    sys  1
+.endfunc
+.func long_nxp isa=nxp
+    li   t0, 20000
+l:
+    addi t0, t0, -1
+    bne  t0, zr, l
+    ret
+.endfunc
+`
+	sys := buildSMP(t, 2, src)
+	a, err := sys.Start("main", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sys.Start("main", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Err != nil || b.Err != nil {
+		t.Fatalf("task errors: %v, %v", a.Err, b.Err)
+	}
+	// The NxP spins 20k iterations at 5 ns/cycle ≈ 200 µs; the host spin
+	// is ≈25 µs. If B had to wait for A, total would exceed 220 µs with B
+	// finishing last; with true concurrency B finishes long before A.
+	total := sys.Now()
+	if total > sim.Time(400*sim.Microsecond) {
+		t.Errorf("total %v suggests serialization", total)
+	}
+}
+
+func TestMultiTenantNxPContention(t *testing.T) {
+	// Several threads (each on its own host core) hammer the single NxP
+	// core with migrated calls: the board serializes them, so aggregate
+	// time grows with tenant count while every result stays correct.
+	src := `
+.func main isa=host
+    ; a0 = thread id
+    mov  t5, a0
+    movi t4, 6         ; calls per thread
+l:
+    mov  a0, t5
+    call nxp_work
+    addi t4, t4, -1
+    bne  t4, zr, l
+    mov  a0, t5
+    sys  1
+.endfunc
+.func nxp_work isa=nxp
+    ; ~50 µs of NxP work
+    li   t0, 3000
+w:
+    addi t0, t0, -1
+    bne  t0, zr, w
+    ret
+.endfunc
+`
+	run := func(tenants int) sim.Time {
+		sys := buildSMP(t, tenants, src)
+		tasks := make([]*taskRef, 0, tenants)
+		for i := 0; i < tenants; i++ {
+			task, err := sys.Start("main", uint64(i+100))
+			if err != nil {
+				t.Fatal(err)
+			}
+			tasks = append(tasks, &taskRef{want: uint64(i + 100), exit: &task.ExitCode, err: &task.Err})
+		}
+		if _, err := sys.Run(); err != nil {
+			t.Fatal(err)
+		}
+		for _, tr := range tasks {
+			if *tr.err != nil || *tr.exit != tr.want {
+				t.Errorf("tenant exit = %d (err %v), want %d", *tr.exit, *tr.err, tr.want)
+			}
+		}
+		return sys.Now()
+	}
+	one := run(1)
+	four := run(4)
+	// The NxP is the bottleneck: 4 tenants should take ≈4x one tenant's
+	// board time (within slack for overlapped host phases).
+	ratio := float64(four) / float64(one)
+	if ratio < 2.5 {
+		t.Errorf("4-tenant slowdown = %.2fx: NxP contention not modeled (1: %v, 4: %v)", ratio, one, four)
+	}
+	if ratio > 4.6 {
+		t.Errorf("4-tenant slowdown = %.2fx: worse than full serialization?", ratio)
+	}
+}
+
+type taskRef struct {
+	want uint64
+	exit *uint64
+	err  *error
+}
+
+func TestSMPDeterminism(t *testing.T) {
+	run := func() sim.Time {
+		sys := buildSMP(t, 4, spinSource)
+		for i := 0; i < 6; i++ {
+			if _, err := sys.Start("main", uint64(1000*(i+1))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := sys.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return sys.Now()
+	}
+	first := run()
+	for i := 0; i < 3; i++ {
+		if got := run(); got != first {
+			t.Fatalf("SMP run not deterministic: %v vs %v", got, first)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+// StdlibSource is a small utility library linked into every Flick program
+// alongside the runtime. Like the paper's libc situation (§III-D), memory
+// utilities exist once per ISA and the linker binds each call site to the
+// variant of the *calling* section's ISA, so NxP code manipulating board
+// DRAM never leaves the NxP for a memcpy.
+//
+//	memcpy(dst, src, n) → dst
+//	memset(dst, byte, n) → dst
+//	strlen(ptr) → length of NUL-terminated string
+//	print_str(ptr)          — host only: writes a NUL-terminated string
+//	                          to the console via sys 2
+const StdlibSource = `
+; Flick standard library. Identical bodies per ISA; the linker routes
+; each call to the caller's variant.
+
+.func memcpy.host isa=host
+    ; a0 = dst, a1 = src, a2 = n; returns dst
+    mov  t5, a0
+mloop:
+    beq  a2, zr, mdone
+    ld1  t0, [a1+0]
+    st1  t0, [a0+0]
+    addi a0, a0, 1
+    addi a1, a1, 1
+    addi a2, a2, -1
+    jmp  mloop
+mdone:
+    mov  a0, t5
+    ret
+.endfunc
+
+.func memcpy.nxp isa=nxp
+    mov  t5, a0
+mloop:
+    beq  a2, zr, mdone
+    ld1  t0, [a1+0]
+    st1  t0, [a0+0]
+    addi a0, a0, 1
+    addi a1, a1, 1
+    addi a2, a2, -1
+    jmp  mloop
+mdone:
+    mov  a0, t5
+    ret
+.endfunc
+
+.func memset.host isa=host
+    ; a0 = dst, a1 = fill byte, a2 = n; returns dst
+    mov  t5, a0
+sloop:
+    beq  a2, zr, sdone
+    st1  a1, [a0+0]
+    addi a0, a0, 1
+    addi a2, a2, -1
+    jmp  sloop
+sdone:
+    mov  a0, t5
+    ret
+.endfunc
+
+.func memset.nxp isa=nxp
+    mov  t5, a0
+sloop:
+    beq  a2, zr, sdone
+    st1  a1, [a0+0]
+    addi a0, a0, 1
+    addi a2, a2, -1
+    jmp  sloop
+sdone:
+    mov  a0, t5
+    ret
+.endfunc
+
+.func strlen.host isa=host
+    ; a0 = ptr; returns length
+    movi t0, 0
+lloop:
+    ld1  t1, [a0+0]
+    beq  t1, zr, ldone
+    addi t0, t0, 1
+    addi a0, a0, 1
+    jmp  lloop
+ldone:
+    mov  a0, t0
+    ret
+.endfunc
+
+.func strlen.nxp isa=nxp
+    movi t0, 0
+lloop:
+    ld1  t1, [a0+0]
+    beq  t1, zr, ldone
+    addi t0, t0, 1
+    addi a0, a0, 1
+    jmp  lloop
+ldone:
+    mov  a0, t0
+    ret
+.endfunc
+
+; print_str is host-only: the console is a host kernel service.
+.func print_str isa=host
+ploop:
+    ld1  t0, [a0+0]
+    beq  t0, zr, pdone
+    push a0
+    mov  a0, t0
+    sys  2
+    pop  a0
+    addi a0, a0, 1
+    jmp  ploop
+pdone:
+    ret
+.endfunc
+`

@@ -1,0 +1,320 @@
+package cpu_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"flick/internal/cpu"
+	"flick/internal/isa"
+	"flick/internal/sim"
+)
+
+// TestFetchStraddlesPageBoundary places a long host instruction across a
+// 4 KiB page boundary; both pages are mapped executable, and the decoder
+// must see the full encoding.
+func TestFetchStraddlesPageBoundary(t *testing.T) {
+	// Build a function padded so that an 11-byte movi (imm64) begins a
+	// few bytes before a page boundary. The assembler can't control page
+	// placement directly, so pad with nops: each host nop is 3 bytes.
+	// Text base is 0x400000 and main starts at +0; a nop sled of 1363
+	// instructions ends at byte 4089, leaving the 11-byte movi to span
+	// 4089..4100 — across the 0x401000 boundary.
+	var sb strings.Builder
+	sb.WriteString(".func main isa=host\n")
+	for i := 0; i < 1363; i++ {
+		sb.WriteString("    nop\n")
+	}
+	sb.WriteString("    li a0, 0x1122334455667788\n")
+	sb.WriteString("    halt\n.endfunc\n")
+
+	m := buildMachine(t, sb.String())
+	ctx, err := m.runOn(t, m.host, "main")
+	if !errors.Is(err, cpu.ErrHalted) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := ctx.Reg(isa.A0); got != 0x1122334455667788 {
+		t.Errorf("a0 = %#x: instruction bytes split across pages decoded wrong", got)
+	}
+}
+
+// TestICacheAmortizesFetchCost runs a tight loop and checks that only the
+// first iteration pays the line-fill cost.
+func TestICacheAmortizesFetchCost(t *testing.T) {
+	src := `
+.func main isa=host
+    halt
+.endfunc
+.func spin isa=nxp
+    movi t0, 100
+l:
+    addi t0, t0, -1
+    bne  t0, zr, l
+    halt
+.endfunc
+`
+	run := func(lines int) sim.Time {
+		m := buildMachine(t, src)
+		// Rebuild the NxP core with an explicit fetch cost and cache size.
+		nxp := cpu.New(cpu.Config{
+			Name: "nxp0", ISA: isa.ISANxP,
+			IMMU: m.nxp.IMMU(), DMMU: m.nxp.DMMU(),
+			Phys: m.phys, CycleTime: 5 * sim.Nanosecond,
+			ExecNX:      true,
+			FetchCost:   func(uint64) sim.Duration { return 800 * sim.Nanosecond },
+			ICacheLines: lines,
+			Natives:     cpu.NewNativeTable(),
+		})
+		ctx := &cpu.Context{PC: m.image.Symbols["spin"]}
+		nxp.SetContext(ctx)
+		var err error
+		m.env.Spawn("r", func(p *sim.Proc) { err = nxp.Run(p, 0) })
+		m.env.Run()
+		if !errors.Is(err, cpu.ErrHalted) {
+			t.Fatal(err)
+		}
+		return m.env.Now()
+	}
+	cached := run(64)
+	uncached := run(0) // ICacheLines=0: every fetch pays the fill
+	if uncached < 10*cached {
+		t.Errorf("I-cache not effective: cached %v vs uncached %v", cached, uncached)
+	}
+}
+
+func TestICacheInvalidate(t *testing.T) {
+	m := buildMachine(t, `
+.func main isa=host
+    movi t0, 3
+l:
+    addi t0, t0, -1
+    bne t0, zr, l
+    halt
+.endfunc
+`)
+	if _, err := m.runOn(t, m.host, "main"); !errors.Is(err, cpu.ErrHalted) {
+		t.Fatal(err)
+	}
+	m.host.InvalidateICache() // must not panic; next run refills
+}
+
+func TestCallTooManyArgs(t *testing.T) {
+	m := buildMachine(t, `
+.func main isa=host
+    halt
+.endfunc
+.func f isa=host
+    ret
+.endfunc
+`)
+	m.host.SetContext(&cpu.Context{PC: m.image.Symbols["main"]})
+	var err error
+	m.env.Spawn("r", func(p *sim.Proc) {
+		_, err = m.host.Call(p, m.image.Symbols["f"], 1, 2, 3, 4, 5, 6, 7)
+	})
+	m.env.Run()
+	if err == nil || !strings.Contains(err.Error(), "at most 6") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCallPreservesPCAndRA(t *testing.T) {
+	m := buildMachine(t, `
+.func main isa=host
+    halt
+.endfunc
+.func f isa=host
+    movi a0, 7
+    ret
+.endfunc
+`)
+	ctx := &cpu.Context{PC: 0xAAAA}
+	ctx.SetReg(isa.RA, 0xBBBB)
+	ctx.SetReg(isa.SP, stackTop)
+	m.host.SetContext(ctx)
+	m.env.Spawn("r", func(p *sim.Proc) {
+		ret, err := m.host.Call(p, m.image.Symbols["f"])
+		if err != nil || ret != 7 {
+			t.Errorf("Call = %d, %v", ret, err)
+		}
+	})
+	m.env.Run()
+	if ctx.PC != 0xAAAA || ctx.Reg(isa.RA) != 0xBBBB {
+		t.Errorf("Call did not restore PC/RA: pc=%#x ra=%#x", ctx.PC, ctx.Reg(isa.RA))
+	}
+}
+
+func TestStepWithoutContext(t *testing.T) {
+	m := buildMachine(t, ".func main isa=host\n halt\n.endfunc")
+	core := cpu.New(cpu.Config{Name: "bare", ISA: isa.ISAHost, Phys: m.phys})
+	var err error
+	m.env.Spawn("r", func(p *sim.Proc) { err = core.Step(p) })
+	m.env.Run()
+	if err == nil || !strings.Contains(err.Error(), "no context") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestHaltedCoreStaysHalted(t *testing.T) {
+	m := buildMachine(t, ".func main isa=host\n halt\n.endfunc")
+	_, err := m.runOn(t, m.host, "main")
+	if !errors.Is(err, cpu.ErrHalted) {
+		t.Fatal(err)
+	}
+	var err2 error
+	m.env.Spawn("r", func(p *sim.Proc) { err2 = m.host.Step(p) })
+	m.env.Run()
+	if !errors.Is(err2, cpu.ErrHalted) {
+		t.Errorf("step after halt = %v", err2)
+	}
+}
+
+func TestJmprAndShifts(t *testing.T) {
+	m := buildMachine(t, `
+.func main isa=host
+    la   t0, target
+    jmpr t0
+    movi a0, 1       ; skipped
+    halt
+.endfunc
+.func target isa=host
+    movi a1, 1
+    shli a1, a1, 40
+    shri a2, a1, 8
+    halt
+.endfunc
+`)
+	ctx, err := m.runOn(t, m.host, "main")
+	if !errors.Is(err, cpu.ErrHalted) {
+		t.Fatal(err)
+	}
+	if ctx.Reg(isa.A0) != 0 {
+		t.Error("jmpr fell through")
+	}
+	if ctx.Reg(isa.A1) != 1<<40 || ctx.Reg(isa.A2) != 1<<32 {
+		t.Errorf("shifts wrong: %#x %#x", ctx.Reg(isa.A1), ctx.Reg(isa.A2))
+	}
+}
+
+func TestSignedArithmeticSemantics(t *testing.T) {
+	m := buildMachine(t, `
+.func main isa=host
+    movi t0, -8
+    movi t1, 2
+    sar  a0, t0, t1     ; -8 >> 2 = -2 arithmetic
+    slt  a1, t0, zr     ; -8 < 0 signed → 1
+    sltu a2, t0, zr     ; huge unsigned < 0 → 0
+    slti a3, t0, -7     ; -8 < -7 → 1
+    halt
+.endfunc
+`)
+	ctx, err := m.runOn(t, m.host, "main")
+	if !errors.Is(err, cpu.ErrHalted) {
+		t.Fatal(err)
+	}
+	if int64(ctx.Reg(isa.A0)) != -2 {
+		t.Errorf("sar = %d", int64(ctx.Reg(isa.A0)))
+	}
+	if ctx.Reg(isa.A1) != 1 || ctx.Reg(isa.A2) != 0 || ctx.Reg(isa.A3) != 1 {
+		t.Errorf("signed compares: %d %d %d", ctx.Reg(isa.A1), ctx.Reg(isa.A2), ctx.Reg(isa.A3))
+	}
+}
+
+func TestAllBranchConditions(t *testing.T) {
+	m := buildMachine(t, `
+.func main isa=host
+    movi t0, -5
+    movi t1, 3
+    movi a0, 0
+    beq  t0, t0, c1     ; taken
+    halt
+c1: addi a0, a0, 1
+    bne  t0, t1, c2     ; taken
+    halt
+c2: addi a0, a0, 1
+    blt  t0, t1, c3     ; -5 < 3 signed: taken
+    halt
+c3: addi a0, a0, 1
+    bge  t1, t0, c4     ; taken
+    halt
+c4: addi a0, a0, 1
+    bltu t1, t0, c5     ; 3 < huge unsigned: taken
+    halt
+c5: addi a0, a0, 1
+    bgeu t0, t1, c6     ; huge >= 3 unsigned: taken
+    halt
+c6: addi a0, a0, 1
+    beq  t0, t1, bad    ; not taken
+    bne  t0, t0, bad    ; not taken
+    blt  t1, t0, bad    ; not taken
+    bge  t0, t1, bad    ; not taken (signed)
+    bltu t0, t1, bad    ; not taken (unsigned)
+    bgeu t1, t0, bad    ; not taken
+    halt
+bad:
+    movi a0, 99
+    halt
+.endfunc
+`)
+	ctx, err := m.runOn(t, m.host, "main")
+	if !errors.Is(err, cpu.ErrHalted) {
+		t.Fatal(err)
+	}
+	if ctx.Reg(isa.A0) != 6 {
+		t.Errorf("a0 = %d, want 6 taken branches and no stray ones", ctx.Reg(isa.A0))
+	}
+}
+
+func TestCoreAccessorsAndTimedHelpers(t *testing.T) {
+	m := buildMachine(t, `
+.func main isa=host
+    call helper
+    halt
+.endfunc
+.func helper isa=host
+    native 11
+.endfunc
+.data scratch isa=host
+    .zero 64
+.enddata
+`)
+	scratch := m.image.Symbols["scratch"]
+	m.nat.Register(11, func(p *sim.Proc, c *cpu.Core) error {
+		if c.Name() != "host0" || c.ISA() != isa.ISAHost || c.Phys() == nil || c.Natives() == nil {
+			t.Error("accessors broken")
+		}
+		if c.Halted() {
+			t.Error("halted too early")
+		}
+		if c.CycleTime() != 417*sim.Picosecond {
+			t.Errorf("CycleTime = %v", c.CycleTime())
+		}
+		before := p.Now()
+		c.ChargeCycles(p, 100)
+		if p.Now().Sub(before) != 100*417*sim.Picosecond {
+			t.Error("ChargeCycles mischarged")
+		}
+		if err := c.WriteU64Virt(p, scratch, 0xFACE); err != nil {
+			return err
+		}
+		v, err := c.ReadU64Virt(p, scratch)
+		if err != nil || v != 0xFACE {
+			t.Errorf("U64 round trip = %#x, %v", v, err)
+		}
+		buf := []byte{1, 2, 3}
+		if err := c.WriteVirt(p, scratch+16, buf); err != nil {
+			return err
+		}
+		got := make([]byte, 3)
+		if err := c.ReadVirt(p, scratch+16, got); err != nil {
+			return err
+		}
+		if got[0] != 1 || got[2] != 3 {
+			t.Errorf("byte round trip = %v", got)
+		}
+		return nil
+	})
+	if _, err := m.runOn(t, m.host, "main"); !errors.Is(err, cpu.ErrHalted) {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,326 @@
+package cpu
+
+import (
+	"errors"
+	"fmt"
+
+	"flick/internal/isa"
+	"flick/internal/paging"
+	"flick/internal/sim"
+)
+
+// opCycles gives per-operation base cycle counts; anything absent costs 1.
+var opCycles = map[isa.Op]int{
+	isa.OpMul:  3,
+	isa.OpMuli: 3,
+	isa.OpUdiv: 16,
+	isa.OpUrem: 16,
+}
+
+// execute runs one decoded instruction. n is its encoded length.
+func (c *Core) execute(p *sim.Proc, ins isa.Instr, n int) error {
+	ctx := c.ctx
+	next := ctx.PC + uint64(n)
+	cyc := opCycles[ins.Op]
+	if cyc == 0 {
+		cyc = 1
+	}
+	c.charge(p, cyc)
+	c.instret++
+
+	switch ins.Op {
+	case isa.OpNop:
+	case isa.OpHalt:
+		c.halted = true
+		return nil
+
+	case isa.OpMov:
+		ctx.SetReg(ins.Rd, ctx.Reg(ins.Rs))
+	case isa.OpMovi:
+		ctx.SetReg(ins.Rd, uint64(ins.Imm))
+	case isa.OpOrhi:
+		ctx.SetReg(ins.Rd, uint64(ins.Imm)<<32|ctx.Reg(ins.Rd)&0xFFFFFFFF)
+
+	case isa.OpAdd:
+		ctx.SetReg(ins.Rd, ctx.Reg(ins.Rs)+ctx.Reg(ins.Rt))
+	case isa.OpSub:
+		ctx.SetReg(ins.Rd, ctx.Reg(ins.Rs)-ctx.Reg(ins.Rt))
+	case isa.OpMul:
+		ctx.SetReg(ins.Rd, ctx.Reg(ins.Rs)*ctx.Reg(ins.Rt))
+	case isa.OpUdiv, isa.OpUrem:
+		d := ctx.Reg(ins.Rt)
+		if d == 0 {
+			return c.deliver(p, &Fault{Kind: FaultArith, ISA: c.cfg.ISA, VA: ctx.PC, PC: ctx.PC})
+		}
+		if ins.Op == isa.OpUdiv {
+			ctx.SetReg(ins.Rd, ctx.Reg(ins.Rs)/d)
+		} else {
+			ctx.SetReg(ins.Rd, ctx.Reg(ins.Rs)%d)
+		}
+	case isa.OpAnd:
+		ctx.SetReg(ins.Rd, ctx.Reg(ins.Rs)&ctx.Reg(ins.Rt))
+	case isa.OpOr:
+		ctx.SetReg(ins.Rd, ctx.Reg(ins.Rs)|ctx.Reg(ins.Rt))
+	case isa.OpXor:
+		ctx.SetReg(ins.Rd, ctx.Reg(ins.Rs)^ctx.Reg(ins.Rt))
+	case isa.OpShl:
+		ctx.SetReg(ins.Rd, ctx.Reg(ins.Rs)<<(ctx.Reg(ins.Rt)&63))
+	case isa.OpShr:
+		ctx.SetReg(ins.Rd, ctx.Reg(ins.Rs)>>(ctx.Reg(ins.Rt)&63))
+	case isa.OpSar:
+		ctx.SetReg(ins.Rd, uint64(int64(ctx.Reg(ins.Rs))>>(ctx.Reg(ins.Rt)&63)))
+	case isa.OpSlt:
+		ctx.SetReg(ins.Rd, b2u(int64(ctx.Reg(ins.Rs)) < int64(ctx.Reg(ins.Rt))))
+	case isa.OpSltu:
+		ctx.SetReg(ins.Rd, b2u(ctx.Reg(ins.Rs) < ctx.Reg(ins.Rt)))
+
+	case isa.OpAddi:
+		ctx.SetReg(ins.Rd, ctx.Reg(ins.Rs)+uint64(ins.Imm))
+	case isa.OpMuli:
+		ctx.SetReg(ins.Rd, ctx.Reg(ins.Rs)*uint64(ins.Imm))
+	case isa.OpAndi:
+		ctx.SetReg(ins.Rd, ctx.Reg(ins.Rs)&uint64(ins.Imm))
+	case isa.OpOri:
+		ctx.SetReg(ins.Rd, ctx.Reg(ins.Rs)|uint64(ins.Imm))
+	case isa.OpXori:
+		ctx.SetReg(ins.Rd, ctx.Reg(ins.Rs)^uint64(ins.Imm))
+	case isa.OpShli:
+		ctx.SetReg(ins.Rd, ctx.Reg(ins.Rs)<<(uint64(ins.Imm)&63))
+	case isa.OpShri:
+		ctx.SetReg(ins.Rd, ctx.Reg(ins.Rs)>>(uint64(ins.Imm)&63))
+	case isa.OpSlti:
+		ctx.SetReg(ins.Rd, b2u(int64(ctx.Reg(ins.Rs)) < ins.Imm))
+	case isa.OpSltui:
+		ctx.SetReg(ins.Rd, b2u(ctx.Reg(ins.Rs) < uint64(ins.Imm)))
+
+	case isa.OpLd1, isa.OpLd2, isa.OpLd4, isa.OpLd8:
+		size := 1 << (ins.Op - isa.OpLd1)
+		va := ctx.Reg(ins.Rs) + uint64(ins.Imm)
+		var buf [8]byte
+		if err := c.readVirt(p, va, buf[:size]); err != nil {
+			return c.dataFault(p, err, va)
+		}
+		var v uint64
+		for i := 0; i < size; i++ {
+			v |= uint64(buf[i]) << (8 * i)
+		}
+		ctx.SetReg(ins.Rd, v)
+
+	case isa.OpSt1, isa.OpSt2, isa.OpSt4, isa.OpSt8:
+		size := 1 << (ins.Op - isa.OpSt1)
+		va := ctx.Reg(ins.Rd) + uint64(ins.Imm)
+		v := ctx.Reg(ins.Rs)
+		var buf [8]byte
+		for i := 0; i < size; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		if err := c.writeVirt(p, va, buf[:size]); err != nil {
+			return c.dataFault(p, err, va)
+		}
+
+	case isa.OpPush:
+		sp := ctx.Reg(isa.SP) - 8
+		var buf [8]byte
+		v := ctx.Reg(ins.Rs)
+		for i := range buf {
+			buf[i] = byte(v >> (8 * i))
+		}
+		if err := c.writeVirt(p, sp, buf[:]); err != nil {
+			return c.dataFault(p, err, sp)
+		}
+		ctx.SetReg(isa.SP, sp)
+	case isa.OpPop:
+		sp := ctx.Reg(isa.SP)
+		var buf [8]byte
+		if err := c.readVirt(p, sp, buf[:]); err != nil {
+			return c.dataFault(p, err, sp)
+		}
+		var v uint64
+		for i := range buf {
+			v |= uint64(buf[i]) << (8 * i)
+		}
+		ctx.SetReg(ins.Rd, v)
+		ctx.SetReg(isa.SP, sp+8)
+
+	case isa.OpJmp:
+		ctx.PC += uint64(ins.Imm)
+		return nil
+	case isa.OpJmpr:
+		ctx.PC = ctx.Reg(ins.Rs)
+		return nil
+	case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge, isa.OpBltu, isa.OpBgeu:
+		if branchTaken(ins.Op, ctx.Reg(ins.Rs), ctx.Reg(ins.Rt)) {
+			ctx.PC += uint64(ins.Imm)
+			return nil
+		}
+
+	case isa.OpCall:
+		ctx.SetReg(isa.RA, next)
+		ctx.PC += uint64(ins.Imm)
+		return nil
+	case isa.OpCallr:
+		ctx.SetReg(isa.RA, next)
+		ctx.PC = ctx.Reg(ins.Rs)
+		return nil
+	case isa.OpRet:
+		ctx.PC = ctx.Reg(isa.RA)
+		return nil
+
+	case isa.OpNative:
+		fn, ok := c.cfg.Natives.lookup(ins.Imm)
+		if !ok {
+			return fmt.Errorf("cpu: %s: native #%d not registered (pc=%#x)", c, ins.Imm, ctx.PC)
+		}
+		// A native stub behaves as the whole function body: run it, then
+		// return to the caller.
+		if err := fn(p, c); err != nil {
+			return err
+		}
+		if c.halted {
+			return nil
+		}
+		ctx.PC = ctx.Reg(isa.RA)
+		return nil
+
+	case isa.OpSys:
+		if c.cfg.Sys == nil {
+			return fmt.Errorf("cpu: %s: sys %d with no handler", c, ins.Imm)
+		}
+		ctx.PC = next // syscalls resume after the instruction by default
+		return c.cfg.Sys(p, c, ins.Imm)
+
+	default:
+		return fmt.Errorf("cpu: %s: unimplemented op %v", c, ins.Op)
+	}
+	ctx.PC = next
+	return nil
+}
+
+func branchTaken(op isa.Op, a, b uint64) bool {
+	switch op {
+	case isa.OpBeq:
+		return a == b
+	case isa.OpBne:
+		return a != b
+	case isa.OpBlt:
+		return int64(a) < int64(b)
+	case isa.OpBge:
+		return int64(a) >= int64(b)
+	case isa.OpBltu:
+		return a < b
+	case isa.OpBgeu:
+		return a >= b
+	}
+	return false
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// deliver routes a synchronous fault through the handler.
+func (c *Core) deliver(p *sim.Proc, f *Fault) error {
+	if c.cfg.Fault != nil {
+		return c.cfg.Fault(p, c, f)
+	}
+	return f
+}
+
+// dataFault classifies a data-access error and delivers it.
+func (c *Core) dataFault(p *sim.Proc, err error, va uint64) error {
+	var f *Fault
+	var nm *paging.NotMappedError
+	switch {
+	case errors.As(err, &f):
+		// already classified (protection)
+	case errors.As(err, &nm):
+		f = &Fault{Kind: FaultDataNotMapped, ISA: c.cfg.ISA, VA: va, PC: c.ctx.PC, Err: err}
+	default:
+		f = &Fault{Kind: FaultMachineCheck, ISA: c.cfg.ISA, VA: va, PC: c.ctx.PC, Err: err}
+	}
+	return c.deliver(p, f)
+}
+
+// readVirt reads len(buf) bytes from virtual address va, charging
+// translation and access costs; accesses may straddle page boundaries.
+func (c *Core) readVirt(p *sim.Proc, va uint64, buf []byte) error {
+	return c.accessVirt(p, va, buf, false)
+}
+
+// writeVirt writes buf to virtual address va.
+func (c *Core) writeVirt(p *sim.Proc, va uint64, buf []byte) error {
+	return c.accessVirt(p, va, buf, true)
+}
+
+func (c *Core) accessVirt(p *sim.Proc, va uint64, buf []byte, write bool) error {
+	for len(buf) > 0 {
+		r, err := c.cfg.DMMU.Translate(p, va)
+		if err != nil {
+			return err
+		}
+		if write && !r.Flags.Writable {
+			return &Fault{Kind: FaultDataProtection, ISA: c.cfg.ISA, VA: va, PC: c.ctx.PC}
+		}
+		pageRemain := r.PageSize - (va & (r.PageSize - 1))
+		n := uint64(len(buf))
+		if n > pageRemain {
+			n = pageRemain
+		}
+		if c.cfg.AccessCost != nil {
+			p.Sleep(c.cfg.AccessCost(r.Phys, int(n), write))
+		}
+		var aerr error
+		if write {
+			aerr = c.cfg.Phys.Write(r.Phys, buf[:n])
+		} else {
+			aerr = c.cfg.Phys.Read(r.Phys, buf[:n])
+		}
+		if aerr != nil {
+			return aerr
+		}
+		buf = buf[n:]
+		va += n
+	}
+	return nil
+}
+
+// ReadVirt exposes timed virtual-memory reads to native functions.
+func (c *Core) ReadVirt(p *sim.Proc, va uint64, buf []byte) error {
+	return c.readVirt(p, va, buf)
+}
+
+// WriteVirt exposes timed virtual-memory writes to native functions.
+func (c *Core) WriteVirt(p *sim.Proc, va uint64, buf []byte) error {
+	return c.writeVirt(p, va, buf)
+}
+
+// ReadU64Virt reads a 64-bit little-endian word at va with timing.
+func (c *Core) ReadU64Virt(p *sim.Proc, va uint64) (uint64, error) {
+	var buf [8]byte
+	if err := c.readVirt(p, va, buf[:]); err != nil {
+		return 0, err
+	}
+	var v uint64
+	for i := range buf {
+		v |= uint64(buf[i]) << (8 * i)
+	}
+	return v, nil
+}
+
+// WriteU64Virt writes a 64-bit little-endian word at va with timing.
+func (c *Core) WriteU64Virt(p *sim.Proc, va, v uint64) error {
+	var buf [8]byte
+	for i := range buf {
+		buf[i] = byte(v >> (8 * i))
+	}
+	return c.writeVirt(p, va, buf[:])
+}
+
+// ChargeCycles lets native functions account for their simulated work.
+func (c *Core) ChargeCycles(p *sim.Proc, n int) { c.charge(p, n) }
+
+// CycleTime returns the core's clock period.
+func (c *Core) CycleTime() sim.Duration { return c.cfg.CycleTime }

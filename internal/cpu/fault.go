@@ -1,0 +1,88 @@
+// Package cpu implements the simulated processor cores: an interpreter for
+// the shared instruction set with per-ISA decoding, virtual-time cost
+// accounting, TLB/MMU integration, and the fault model Flick is built on.
+//
+// Two properties matter most for the reproduction:
+//
+//   - Instruction fetch goes through the core's I-MMU and checks the page's
+//     NX bit with per-core polarity: the host faults on NX=1 pages, the NxP
+//     faults on NX=0 pages (the paper inverts the bit's meaning on the NxP,
+//     §IV-B2). A fetch of the other ISA's pages therefore traps before any
+//     bytes are decoded — this is Flick's migration trigger.
+//   - The NxP additionally faults on misaligned fetch addresses, the
+//     paper's second trigger for NxP→host migration (host code is variable
+//     length, so a host function's entry is rarely 8-byte aligned).
+package cpu
+
+import (
+	"fmt"
+
+	"flick/internal/isa"
+)
+
+// FaultKind classifies a processor fault.
+type FaultKind int
+
+const (
+	// FaultFetchNX is an instruction fetch blocked by the executable-
+	// permission check: NX set on the host, NX clear on the NxP. This is
+	// the fault Flick turns into a migration.
+	FaultFetchNX FaultKind = iota
+	// FaultFetchMisaligned is an NxP fetch from a non-8-byte-aligned PC.
+	FaultFetchMisaligned
+	// FaultFetchNotMapped is a fetch from an unmapped page.
+	FaultFetchNotMapped
+	// FaultIllegalInstr is a decode failure (wrong-ISA bytes or data).
+	FaultIllegalInstr
+	// FaultDataNotMapped is a load/store to an unmapped page.
+	FaultDataNotMapped
+	// FaultDataProtection is a store to a read-only page or a user-mode
+	// access to a supervisor page.
+	FaultDataProtection
+	// FaultArith is an integer division by zero.
+	FaultArith
+	// FaultMachineCheck is a physical-level failure (bus error).
+	FaultMachineCheck
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultFetchNX:
+		return "fetch-nx"
+	case FaultFetchMisaligned:
+		return "fetch-misaligned"
+	case FaultFetchNotMapped:
+		return "fetch-not-mapped"
+	case FaultIllegalInstr:
+		return "illegal-instruction"
+	case FaultDataNotMapped:
+		return "data-not-mapped"
+	case FaultDataProtection:
+		return "data-protection"
+	case FaultArith:
+		return "arith"
+	case FaultMachineCheck:
+		return "machine-check"
+	default:
+		return fmt.Sprintf("fault(%d)", int(k))
+	}
+}
+
+// Fault carries everything the kernel's handler needs. For fetch faults VA
+// is the faulting instruction address — on an NX fault this is the address
+// of the cross-ISA function being called, which the migration handler uses
+// as the migration target.
+type Fault struct {
+	Kind FaultKind
+	ISA  isa.ISA
+	VA   uint64 // faulting address (fetch target or data address)
+	PC   uint64 // PC of the faulting instruction
+	Err  error  // underlying cause, if any
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("cpu: %v fault on %v core at pc=%#x va=%#x", f.Kind, f.ISA, f.PC, f.VA)
+}
+
+// Unwrap exposes the underlying cause.
+func (f *Fault) Unwrap() error { return f.Err }

@@ -1,0 +1,53 @@
+package cpu
+
+// icacheLineSize is the instruction-cache line size in bytes.
+const icacheLineSize = 64
+
+// icache is a minimal instruction cache model: a bounded set of physical
+// line addresses with FIFO replacement. Its purpose is timing fidelity for
+// the NxP core, whose instruction stream lives in host memory across the
+// PCIe link (paper §III-D): the first fetch of a line pays the cross-link
+// fill cost, loop bodies then run from the cache.
+type icache struct {
+	capacity int
+	lines    map[uint64]int // line base → insertion order
+	order    []uint64       // FIFO ring
+	next     int
+	hits     uint64
+	fills    uint64
+}
+
+func newICache(lines int) *icache {
+	return &icache{
+		capacity: lines,
+		lines:    make(map[uint64]int, lines),
+		order:    make([]uint64, lines),
+	}
+}
+
+// lookup returns the line base for pa and whether it is resident.
+func (ic *icache) lookup(pa uint64) (line uint64, hit bool) {
+	line = pa &^ (icacheLineSize - 1)
+	_, hit = ic.lines[line]
+	if hit {
+		ic.hits++
+	}
+	return line, hit
+}
+
+// fill inserts a line, evicting FIFO when full.
+func (ic *icache) fill(line uint64) {
+	if len(ic.lines) >= ic.capacity {
+		victim := ic.order[ic.next%ic.capacity]
+		delete(ic.lines, victim)
+	}
+	ic.lines[line] = ic.next
+	ic.order[ic.next%ic.capacity] = line
+	ic.next++
+	ic.fills++
+}
+
+func (ic *icache) flush() {
+	clear(ic.lines)
+	ic.next = 0
+}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tiny returns options small enough for unit-test latency.
+func tiny() Options {
+	return Options{
+		NullCallIters: 50,
+		ChasePoints:   []int{8, 64},
+		ChaseCalls:    2,
+		BFSScale:      512,
+		BFSIters:      1,
+		Seed:          1,
+	}
+}
+
+func TestTable2Artifact(t *testing.T) {
+	tab, err := Table2(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tab.String()
+	for _, want := range []string{"Flick (this work)", "Popcorn", "PCIe Gen3 x8", "µs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table2 missing %q:\n%s", want, out)
+		}
+	}
+	if len(tab.Rows) != 5 {
+		t.Errorf("table2 rows = %d, want 5", len(tab.Rows))
+	}
+}
+
+func TestTable3Artifact(t *testing.T) {
+	tab, r, err := Table3(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.HostNxPHost <= 0 || r.NxPHostNxP <= 0 {
+		t.Errorf("result = %+v", r)
+	}
+	if !strings.Contains(tab.String(), "18.3µs") {
+		t.Errorf("table3 output:\n%s", tab.String())
+	}
+}
+
+func TestFig5Artifacts(t *testing.T) {
+	a, err := Fig5a(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Series) != 3 {
+		t.Errorf("fig5a series = %d, want 3", len(a.Series))
+	}
+	if !strings.Contains(a.String(), "Flick") {
+		t.Error("fig5a missing legend")
+	}
+	b, err := Fig5b(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Series[0].X) != 2 {
+		t.Errorf("fig5b points = %d", len(b.Series[0].X))
+	}
+}
+
+func TestTable4Artifact(t *testing.T) {
+	tab, rows, err := Table4(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// The Table IV shape must hold even at tiny scale.
+	if rows[0].Speedup >= 1 {
+		t.Errorf("Epinions speedup = %.2f, want < 1", rows[0].Speedup)
+	}
+	if rows[1].Speedup <= 1 {
+		t.Errorf("Pokec speedup = %.2f, want > 1", rows[1].Speedup)
+	}
+	if !strings.Contains(tab.String(), "Epinions1") {
+		t.Error("table4 missing dataset name")
+	}
+}
+
+func TestLatencyArtifact(t *testing.T) {
+	tab, err := Latency(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tab.String()
+	if !strings.Contains(out, "825ns") || !strings.Contains(out, "267ns") {
+		t.Errorf("latency artifact off-calibration:\n%s", out)
+	}
+}
+
+func TestStubAblationArtifact(t *testing.T) {
+	out := StubAblation().String()
+	if !strings.Contains(out, "NX fault") || !strings.Contains(out, "stubs") {
+		t.Errorf("stub ablation output:\n%s", out)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	o = o.withDefaults()
+	if o.NullCallIters == 0 || len(o.ChasePoints) == 0 || o.BFSScale == 0 || o.Seed == 0 {
+		t.Errorf("defaults not filled: %+v", o)
+	}
+	full := Full()
+	if full.BFSScale != 1 || full.NullCallIters != 10000 {
+		t.Errorf("Full() = %+v", full)
+	}
+	if len(full.ChasePoints) != 256 {
+		t.Errorf("full sweep points = %d, want 256 (4..1024 step 4)", len(full.ChasePoints))
+	}
+}
+
+func TestTenantsArtifact(t *testing.T) {
+	tab, err := Tenants(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Errorf("rows = %d", len(tab.Rows))
+	}
+	if !strings.Contains(tab.String(), "Tenants") {
+		t.Error("missing header")
+	}
+}
+
+func TestKVStoreArtifact(t *testing.T) {
+	tab, err := KVStore(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 || !strings.Contains(tab.String(), "Batch") {
+		t.Errorf("kv artifact:\n%s", tab.String())
+	}
+}

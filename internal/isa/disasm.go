@@ -1,0 +1,54 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DisasmLine is one disassembled instruction.
+type DisasmLine struct {
+	Off   uint64 // offset of the instruction within the input
+	Bytes []byte // raw encoding
+	Instr Instr
+	Err   error // set if decoding failed; Bytes holds the undecodable rest
+}
+
+// String formats the line objdump-style.
+func (l DisasmLine) String() string {
+	if l.Err != nil {
+		return fmt.Sprintf("%#06x  % -24x <decode error: %v>", l.Off, l.Bytes, l.Err)
+	}
+	return fmt.Sprintf("%#06x  % -24x %s", l.Off, l.Bytes, l.Instr)
+}
+
+// Disassemble decodes an instruction stream with the given codec. Decoding
+// stops at the first error, which is reported as the final line (wrong-ISA
+// bytes are *expected* to be undecodable in this architecture).
+func Disassemble(codec Codec, code []byte, base uint64) []DisasmLine {
+	var out []DisasmLine
+	off := uint64(0)
+	for int(off) < len(code) {
+		ins, n, err := codec.Decode(code[off:])
+		if err != nil {
+			rest := code[off:]
+			if len(rest) > codec.MaxLen() {
+				rest = rest[:codec.MaxLen()]
+			}
+			out = append(out, DisasmLine{Off: base + off, Bytes: rest, Err: err})
+			return out
+		}
+		out = append(out, DisasmLine{Off: base + off, Bytes: code[off : off+uint64(n)], Instr: ins})
+		off += uint64(n)
+	}
+	return out
+}
+
+// DisassembleString renders a whole stream.
+func DisassembleString(codec Codec, code []byte, base uint64) string {
+	var sb strings.Builder
+	for _, l := range Disassemble(codec, code, base) {
+		sb.WriteString(l.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,92 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// The DSP ISA is the reproduction's implementation of the paper's §IV-C3
+// extension note: "for executables with more than two ISAs, the loader
+// would have to use additional bits in the page table entries to
+// distinguish between the different NxP ISAs." A second board core family
+// with a third, mutually-unintelligible encoding exercises that path.
+
+// DspInstrLen is the fixed encoding width of the DSP ISA: a 12-byte
+// VLIW-flavored bundle (one operation plus a padding lane), aligned to 4.
+const DspInstrLen = 12
+
+// dspMarker occupies byte 3; distinct from the NxP marker so the two board
+// encodings reject each other.
+const dspMarker = 0x3C
+
+// DspCodec is the third encoding. Like the NxP it is fixed width with
+// 32-bit immediates, but the bundle length, alignment, marker, and the
+// requirement that the padding lane be zero make the three encodings
+// pairwise undecodable.
+type DspCodec struct{}
+
+// ISA returns ISADsp.
+func (DspCodec) ISA() ISA { return ISADsp }
+
+// Align returns the 4-byte bundle alignment.
+func (DspCodec) Align() int { return 4 }
+
+// MaxLen returns the fixed 12-byte width.
+func (DspCodec) MaxLen() int { return DspInstrLen }
+
+// Encode implements Codec.
+func (DspCodec) Encode(ins Instr) ([]byte, error) {
+	if !ins.Op.Valid() {
+		return nil, &DecodeError{ISA: ISADsp, Reason: fmt.Sprintf("encode invalid op %d", ins.Op)}
+	}
+	if ins.Rd >= NumRegs || ins.Rs >= NumRegs || ins.Rt >= NumRegs {
+		return nil, &DecodeError{ISA: ISADsp, Reason: "encode register out of range"}
+	}
+	if ins.Imm < math.MinInt32 || ins.Imm > math.MaxInt32 {
+		return nil, &DecodeError{ISA: ISADsp, Reason: fmt.Sprintf("immediate %d exceeds 32 bits", ins.Imm)}
+	}
+	buf := make([]byte, DspInstrLen)
+	buf[0] = byte(ins.Op)
+	buf[1] = byte(ins.Rd) | byte(ins.Rs)<<4
+	buf[2] = byte(ins.Rt)
+	buf[3] = dspMarker
+	binary.LittleEndian.PutUint32(buf[4:], uint32(int32(ins.Imm)))
+	// Bytes 8-11: the empty second lane, must be zero.
+	return buf, nil
+}
+
+// Decode implements Codec.
+func (DspCodec) Decode(b []byte) (Instr, int, error) {
+	if len(b) < DspInstrLen {
+		return Instr{}, 0, &DecodeError{ISA: ISADsp, Reason: "truncated bundle"}
+	}
+	if b[3] != dspMarker {
+		return Instr{}, 0, &DecodeError{ISA: ISADsp, Reason: fmt.Sprintf("marker byte %#x invalid", b[3])}
+	}
+	if binary.LittleEndian.Uint32(b[8:]) != 0 {
+		return Instr{}, 0, &DecodeError{ISA: ISADsp, Reason: "non-empty padding lane"}
+	}
+	op := Op(b[0])
+	if !op.Valid() {
+		return Instr{}, 0, &DecodeError{ISA: ISADsp, Reason: fmt.Sprintf("invalid opcode %#x", b[0])}
+	}
+	if b[2]&0xF0 != 0 {
+		return Instr{}, 0, &DecodeError{ISA: ISADsp, Reason: "reserved bits set"}
+	}
+	return Instr{
+		Op:  op,
+		Rd:  Reg(b[1] & 0x0F),
+		Rs:  Reg(b[1] >> 4),
+		Rt:  Reg(b[2] & 0x0F),
+		Imm: int64(int32(binary.LittleEndian.Uint32(b[4:]))),
+	}, DspInstrLen, nil
+}
+
+// ImmOffset implements Codec: the 32-bit immediate occupies bytes 4-7.
+func (DspCodec) ImmOffset(ins Instr) (int, int, error) {
+	if !hasImm(ClassOf(ins.Op)) {
+		return 0, 0, fmt.Errorf("isa: %s has no immediate field", ins.Op)
+	}
+	return 4, 4, nil
+}

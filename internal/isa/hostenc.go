@@ -1,0 +1,153 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// HostCodec is the variable-length encoding used by the host cores,
+// x86-flavored: a one-byte opcode, a register byte, a mode byte selecting
+// the immediate width (0, 1, 4, or 8 bytes), then the immediate. Encoded
+// lengths range from 3 to 11 bytes and instructions have no alignment
+// requirement — which is precisely why an NxP core cannot fetch host code:
+// its fixed-width, aligned decoder faults on these streams.
+type HostCodec struct{}
+
+// ISA returns ISAHost.
+func (HostCodec) ISA() ISA { return ISAHost }
+
+// Align returns 1: host instructions are unaligned.
+func (HostCodec) Align() int { return 1 }
+
+// MaxLen returns the longest host encoding (11 bytes).
+func (HostCodec) MaxLen() int { return 11 }
+
+// immSize codes for the mode byte's high nibble.
+const (
+	immNone = 0
+	imm8    = 1
+	imm32   = 2
+	imm64   = 3
+)
+
+func immSizeBytes(code int) int {
+	switch code {
+	case immNone:
+		return 0
+	case imm8:
+		return 1
+	case imm32:
+		return 4
+	case imm64:
+		return 8
+	}
+	return -1
+}
+
+// hasImm reports whether the operand class carries an immediate.
+func hasImm(c Class) bool {
+	switch c {
+	case ClassRRI, ClassRI, ClassMem, ClassI, ClassBranch:
+		return true
+	}
+	return false
+}
+
+// pickImmSize selects the smallest encoding that fits v. Placeholder
+// immediates emitted for relocation use extreme values to force a wide
+// field.
+func pickImmSize(v int64) int {
+	switch {
+	case v >= math.MinInt8 && v <= math.MaxInt8:
+		return imm8
+	case v >= math.MinInt32 && v <= math.MaxInt32:
+		return imm32
+	default:
+		return imm64
+	}
+}
+
+// Encode implements Codec.
+func (HostCodec) Encode(ins Instr) ([]byte, error) {
+	if !ins.Op.Valid() {
+		return nil, &DecodeError{ISA: ISAHost, Reason: fmt.Sprintf("encode invalid op %d", ins.Op)}
+	}
+	if ins.Rd >= NumRegs || ins.Rs >= NumRegs || ins.Rt >= NumRegs {
+		return nil, &DecodeError{ISA: ISAHost, Reason: "encode register out of range"}
+	}
+	cls := ClassOf(ins.Op)
+	size := immNone
+	if hasImm(cls) {
+		size = pickImmSize(ins.Imm)
+	}
+	buf := make([]byte, 0, 11)
+	buf = append(buf, byte(ins.Op))
+	buf = append(buf, byte(ins.Rd)|byte(ins.Rs)<<4)
+	buf = append(buf, byte(ins.Rt)|byte(size)<<4)
+	switch size {
+	case imm8:
+		buf = append(buf, byte(int8(ins.Imm)))
+	case imm32:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(ins.Imm)))
+	case imm64:
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(ins.Imm))
+	}
+	return buf, nil
+}
+
+// Decode implements Codec.
+func (HostCodec) Decode(b []byte) (Instr, int, error) {
+	if len(b) < 3 {
+		return Instr{}, 0, &DecodeError{ISA: ISAHost, Reason: "truncated instruction"}
+	}
+	op := Op(b[0])
+	if !op.Valid() {
+		return Instr{}, 0, &DecodeError{ISA: ISAHost, Reason: fmt.Sprintf("invalid opcode %#x", b[0])}
+	}
+	ins := Instr{
+		Op: op,
+		Rd: Reg(b[1] & 0x0F),
+		Rs: Reg(b[1] >> 4),
+		Rt: Reg(b[2] & 0x0F),
+	}
+	size := int(b[2] >> 4)
+	n := immSizeBytes(size)
+	if n < 0 {
+		return Instr{}, 0, &DecodeError{ISA: ISAHost, Reason: fmt.Sprintf("invalid immediate mode %d", size)}
+	}
+	cls := ClassOf(op)
+	if hasImm(cls) == (size == immNone) {
+		return Instr{}, 0, &DecodeError{ISA: ISAHost, Reason: fmt.Sprintf("%s: immediate mode %d mismatches operand class", op, size)}
+	}
+	if len(b) < 3+n {
+		return Instr{}, 0, &DecodeError{ISA: ISAHost, Reason: "truncated immediate"}
+	}
+	switch size {
+	case imm8:
+		ins.Imm = int64(int8(b[3]))
+	case imm32:
+		ins.Imm = int64(int32(binary.LittleEndian.Uint32(b[3:])))
+	case imm64:
+		ins.Imm = int64(binary.LittleEndian.Uint64(b[3:]))
+	}
+	return ins, 3 + n, nil
+}
+
+// ImmOffset implements Codec: the immediate always starts at byte 3; its
+// width is whatever Encode would choose for ins.Imm.
+func (HostCodec) ImmOffset(ins Instr) (int, int, error) {
+	if !hasImm(ClassOf(ins.Op)) {
+		return 0, 0, fmt.Errorf("isa: %s has no immediate field", ins.Op)
+	}
+	return 3, immSizeBytes(pickImmSize(ins.Imm)), nil
+}
+
+// PlaceholderPCRel32 is the immediate the assembler emits at sites awaiting
+// a 32-bit PC-relative relocation; its magnitude forces a 4-byte field in
+// the variable-length host encoding.
+const PlaceholderPCRel32 = int64(math.MaxInt32)
+
+// PlaceholderAbs64 forces an 8-byte immediate field for absolute-address
+// relocation sites in host code.
+const PlaceholderAbs64 = int64(math.MaxInt64)

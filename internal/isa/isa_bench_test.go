@@ -1,0 +1,36 @@
+package isa
+
+import "testing"
+
+// Component micro-benchmarks: encode/decode throughput of both codecs
+// (these bound the simulator's interpretation speed).
+
+func benchEncode(b *testing.B, c Codec) {
+	ins := Instr{Op: OpAddi, Rd: A0, Rs: A1, Imm: -12345}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Encode(ins); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchDecode(b *testing.B, c Codec) {
+	ins := Instr{Op: OpAddi, Rd: A0, Rs: A1, Imm: -12345}
+	buf, err := c.Encode(ins)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHostEncode(b *testing.B) { benchEncode(b, HostCodec{}) }
+func BenchmarkHostDecode(b *testing.B) { benchDecode(b, HostCodec{}) }
+func BenchmarkNxpEncode(b *testing.B)  { benchEncode(b, NxpCodec{}) }
+func BenchmarkNxpDecode(b *testing.B)  { benchDecode(b, NxpCodec{}) }

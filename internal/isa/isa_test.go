@@ -1,0 +1,371 @@
+package isa
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// sampleInstrs covers every operand class.
+var sampleInstrs = []Instr{
+	{Op: OpNop},
+	{Op: OpHalt},
+	{Op: OpRet},
+	{Op: OpMov, Rd: A0, Rs: T3},
+	{Op: OpAdd, Rd: A0, Rs: A1, Rt: T0},
+	{Op: OpSltu, Rd: T5, Rs: SP, Rt: ZR},
+	{Op: OpAddi, Rd: SP, Rs: SP, Imm: -16},
+	{Op: OpMovi, Rd: A0, Imm: 42},
+	{Op: OpMovi, Rd: A0, Imm: -1},
+	{Op: OpOrhi, Rd: A0, Imm: 0x12345678},
+	{Op: OpLd8, Rd: T0, Rs: A1, Imm: 8},
+	{Op: OpSt4, Rd: A1, Rs: T0, Imm: -4},
+	{Op: OpPush, Rs: RA},
+	{Op: OpPop, Rd: RA},
+	{Op: OpJmp, Imm: -128},
+	{Op: OpJmpr, Rs: T1},
+	{Op: OpBeq, Rs: A0, Rt: ZR, Imm: 64},
+	{Op: OpBgeu, Rs: T0, Rt: T1, Imm: -2048},
+	{Op: OpCall, Imm: 123456},
+	{Op: OpCallr, Rs: T2},
+	{Op: OpNative, Imm: 7},
+	{Op: OpSys, Imm: 2},
+}
+
+func TestRoundTripBothCodecs(t *testing.T) {
+	for _, codec := range []Codec{HostCodec{}, NxpCodec{}, DspCodec{}} {
+		for _, ins := range sampleInstrs {
+			b, err := codec.Encode(ins)
+			if err != nil {
+				t.Errorf("%v encode %v: %v", codec.ISA(), ins, err)
+				continue
+			}
+			got, n, err := codec.Decode(b)
+			if err != nil {
+				t.Errorf("%v decode %v: %v", codec.ISA(), ins, err)
+				continue
+			}
+			if n != len(b) {
+				t.Errorf("%v: decoded length %d != encoded %d", codec.ISA(), n, len(b))
+			}
+			if got != ins {
+				t.Errorf("%v round trip: got %+v want %+v", codec.ISA(), got, ins)
+			}
+		}
+	}
+}
+
+func TestHostVariableLength(t *testing.T) {
+	c := HostCodec{}
+	lengths := map[int]bool{}
+	for _, ins := range []Instr{
+		{Op: OpRet},                              // 3 bytes
+		{Op: OpMovi, Rd: A0, Imm: 5},             // 4 bytes (imm8)
+		{Op: OpMovi, Rd: A0, Imm: 1e6},           // 7 bytes (imm32)
+		{Op: OpMovi, Rd: A0, Imm: math.MaxInt64}, // 11 bytes
+	} {
+		b, err := c.Encode(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lengths[len(b)] = true
+	}
+	for _, want := range []int{3, 4, 7, 11} {
+		if !lengths[want] {
+			t.Errorf("no host instruction of length %d produced; got %v", want, lengths)
+		}
+	}
+}
+
+func TestNxpFixedWidthAndImmLimit(t *testing.T) {
+	c := NxpCodec{}
+	for _, ins := range sampleInstrs {
+		b, err := c.Encode(ins)
+		if err != nil {
+			t.Fatalf("encode %v: %v", ins, err)
+		}
+		if len(b) != NxpInstrLen {
+			t.Errorf("%v encoded to %d bytes", ins, len(b))
+		}
+	}
+	if _, err := c.Encode(Instr{Op: OpMovi, Rd: A0, Imm: math.MaxInt32 + 1}); err == nil {
+		t.Error("oversized immediate accepted by fixed-width codec")
+	}
+}
+
+func TestCrossISADecodeMostlyFails(t *testing.T) {
+	// Decoding one ISA's code with the other's decoder must fail for the
+	// bulk of instructions: this is what lets wrong-ISA execution trap
+	// quickly even without the NX bit (the paper's misaligned-fetch
+	// backstop). The NxP marker byte guarantees rejection of host bytes
+	// only probabilistically, so assert a high failure rate, not 100%.
+	host, nxp := HostCodec{}, NxpCodec{}
+	var hostRejected int
+	for _, ins := range sampleInstrs {
+		b, err := nxp.Encode(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := host.Decode(b); err != nil {
+			hostRejected++
+		}
+	}
+	var nxpRejected int
+	for _, ins := range sampleInstrs {
+		b, err := host.Encode(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Pad to the fixed width the NxP fetch unit reads.
+		for len(b) < NxpInstrLen {
+			b = append(b, 0)
+		}
+		if _, _, err := nxp.Decode(b); err != nil {
+			nxpRejected++
+		}
+	}
+	if nxpRejected < len(sampleInstrs) {
+		t.Errorf("NxP decoder accepted %d host instructions", len(sampleInstrs)-nxpRejected)
+	}
+	if hostRejected == 0 {
+		t.Error("host decoder accepted every NxP instruction")
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	for _, codec := range []Codec{HostCodec{}, NxpCodec{}, DspCodec{}} {
+		if _, _, err := codec.Decode([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}); err == nil {
+			t.Errorf("%v decoded all-FF garbage", codec.ISA())
+		}
+		if _, _, err := codec.Decode([]byte{1}); err == nil {
+			t.Errorf("%v decoded a truncated buffer", codec.ISA())
+		}
+		if _, _, err := codec.Decode(make([]byte, 16)); err == nil {
+			t.Errorf("%v decoded all-zero bytes", codec.ISA())
+		}
+	}
+}
+
+func TestImmOffsetPatchability(t *testing.T) {
+	// Patching the immediate field in place must be equivalent to
+	// re-encoding with the new value — the linker depends on this.
+	for _, codec := range []Codec{HostCodec{}, NxpCodec{}, DspCodec{}} {
+		placeholder := Instr{Op: OpCall, Imm: PlaceholderPCRel32}
+		b, err := codec.Encode(placeholder)
+		if err != nil {
+			t.Fatal(err)
+		}
+		off, width, err := codec.ImmOffset(placeholder)
+		if err != nil {
+			t.Fatal(err)
+		}
+		newImm := int64(-73244)
+		patchLE(b[off:off+width], newImm)
+		got, _, err := codec.Decode(b)
+		if err != nil {
+			t.Fatalf("%v decode patched: %v", codec.ISA(), err)
+		}
+		if got.Imm != newImm {
+			t.Errorf("%v patched imm = %d, want %d", codec.ISA(), got.Imm, newImm)
+		}
+	}
+	// No immediate field → error.
+	if _, _, err := (HostCodec{}).ImmOffset(Instr{Op: OpRet}); err == nil {
+		t.Error("ImmOffset(ret) succeeded")
+	}
+}
+
+func patchLE(b []byte, v int64) {
+	for i := range b {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func TestRegNamesRoundTrip(t *testing.T) {
+	for r := Reg(0); r < NumRegs; r++ {
+		got, ok := RegByName(r.String())
+		if !ok || got != r {
+			t.Errorf("RegByName(%q) = %v, %v", r.String(), got, ok)
+		}
+	}
+	if r, ok := RegByName("r9"); !ok || r != T3 {
+		t.Errorf(`RegByName("r9") = %v, %v`, r, ok)
+	}
+	if _, ok := RegByName("bogus"); ok {
+		t.Error("bogus register resolved")
+	}
+}
+
+func TestOpNamesRoundTrip(t *testing.T) {
+	for op := OpInvalid + 1; op < opCount; op++ {
+		got, ok := OpByName(op.String())
+		if !ok || got != op {
+			t.Errorf("OpByName(%q) = %v, %v", op.String(), got, ok)
+		}
+	}
+	if _, ok := OpByName("frobnicate"); ok {
+		t.Error("bogus op resolved")
+	}
+	if OpInvalid.Valid() || Op(255).Valid() {
+		t.Error("Valid() wrong at boundaries")
+	}
+}
+
+func TestInstrStringSmoke(t *testing.T) {
+	for _, ins := range sampleInstrs {
+		if ins.String() == "" {
+			t.Errorf("empty String for %+v", ins)
+		}
+	}
+	// Store formatting puts the value register first.
+	s := Instr{Op: OpSt8, Rd: A1, Rs: T0, Imm: 16}.String()
+	if s != "st8 t0, [a1+16]" {
+		t.Errorf("store format = %q", s)
+	}
+}
+
+func TestEncodeRejectsBadRegisters(t *testing.T) {
+	for _, codec := range []Codec{HostCodec{}, NxpCodec{}, DspCodec{}} {
+		if _, err := codec.Encode(Instr{Op: OpMov, Rd: 16}); err == nil {
+			t.Errorf("%v accepted register 16", codec.ISA())
+		}
+		if _, err := codec.Encode(Instr{Op: OpInvalid}); err == nil {
+			t.Errorf("%v accepted invalid op", codec.ISA())
+		}
+	}
+}
+
+func TestCodecFor(t *testing.T) {
+	if CodecFor(ISAHost).ISA() != ISAHost || CodecFor(ISANxP).ISA() != ISANxP {
+		t.Error("CodecFor mismatch")
+	}
+}
+
+func TestHostEncodeDecodeProperty(t *testing.T) {
+	c := HostCodec{}
+	f := func(opSeed uint8, rd, rs, rt uint8, imm int64) bool {
+		op := Op(opSeed%uint8(opCount-1)) + 1
+		ins := Instr{Op: op, Rd: Reg(rd % 16), Rs: Reg(rs % 16), Rt: Reg(rt % 16)}
+		if hasImm(ClassOf(op)) {
+			ins.Imm = imm
+		}
+		b, err := c.Encode(ins)
+		if err != nil {
+			return false
+		}
+		got, n, err := c.Decode(b)
+		return err == nil && n == len(b) && got == ins
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNxpEncodeDecodeProperty(t *testing.T) {
+	c := NxpCodec{}
+	f := func(opSeed uint8, rd, rs, rt uint8, imm int32) bool {
+		op := Op(opSeed%uint8(opCount-1)) + 1
+		ins := Instr{Op: op, Rd: Reg(rd % 16), Rs: Reg(rs % 16), Rt: Reg(rt % 16)}
+		if hasImm(ClassOf(op)) {
+			ins.Imm = int64(imm)
+		}
+		b, err := c.Encode(ins)
+		if err != nil {
+			return false
+		}
+		got, n, err := c.Decode(b)
+		return err == nil && n == NxpInstrLen && got == ins
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	c := HostCodec{}
+	var code []byte
+	for _, ins := range []Instr{
+		{Op: OpMovi, Rd: A0, Imm: 5},
+		{Op: OpAdd, Rd: A0, Rs: A0, Rt: A1},
+		{Op: OpRet},
+	} {
+		b, err := c.Encode(ins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		code = append(code, b...)
+	}
+	lines := Disassemble(c, code, 0x400000)
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if lines[0].Off != 0x400000 || lines[0].Instr.Op != OpMovi {
+		t.Errorf("line 0 = %v", lines[0])
+	}
+	if lines[2].Instr.Op != OpRet {
+		t.Errorf("line 2 = %v", lines[2])
+	}
+	// Garbage terminates with an error line.
+	lines = Disassemble(c, append(code, 0xFF, 0xFF, 0xFF), 0)
+	last := lines[len(lines)-1]
+	if last.Err == nil {
+		t.Error("garbage tail not reported")
+	}
+	s := DisassembleString(c, code, 0)
+	if !strings.Contains(s, "movi a0, 5") || !strings.Contains(s, "ret") {
+		t.Errorf("DisassembleString:\n%s", s)
+	}
+}
+
+func TestDspCodecSpecifics(t *testing.T) {
+	c := DspCodec{}
+	if c.ISA() != ISADsp || c.Align() != 4 || c.MaxLen() != DspInstrLen {
+		t.Error("DSP codec geometry wrong")
+	}
+	b, err := c.Encode(Instr{Op: OpAddi, Rd: A0, Rs: A0, Imm: 7})
+	if err != nil || len(b) != DspInstrLen {
+		t.Fatalf("encode: %v, len %d", err, len(b))
+	}
+	// Non-zero padding lane must be rejected.
+	b[9] = 1
+	if _, _, err := c.Decode(b); err == nil {
+		t.Error("dirty padding lane accepted")
+	}
+	// DSP rejects the other ISAs' bytes and vice versa.
+	nb, _ := NxpCodec{}.Encode(Instr{Op: OpRet})
+	nb = append(nb, 0, 0, 0, 0)
+	if _, _, err := c.Decode(nb); err == nil {
+		t.Error("DSP decoded NxP bytes")
+	}
+	db, _ := c.Encode(Instr{Op: OpRet})
+	if _, _, err := (NxpCodec{}).Decode(db); err == nil {
+		t.Error("NxP decoded DSP bytes")
+	}
+	if _, err := c.Encode(Instr{Op: OpMovi, Rd: A0, Imm: 1 << 40}); err == nil {
+		t.Error("oversized DSP immediate accepted")
+	}
+	if ISADsp.String() != "dsp" {
+		t.Error("ISA name")
+	}
+}
+
+func TestDspEncodeDecodeProperty(t *testing.T) {
+	c := DspCodec{}
+	f := func(opSeed uint8, rd, rs, rt uint8, imm int32) bool {
+		op := Op(opSeed%uint8(opCount-1)) + 1
+		ins := Instr{Op: op, Rd: Reg(rd % 16), Rs: Reg(rs % 16), Rt: Reg(rt % 16)}
+		if hasImm(ClassOf(op)) {
+			ins.Imm = int64(imm)
+		}
+		b, err := c.Encode(ins)
+		if err != nil {
+			return false
+		}
+		got, n, err := c.Decode(b)
+		return err == nil && n == DspInstrLen && got == ins
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

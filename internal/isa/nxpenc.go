@@ -1,0 +1,98 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// NxpInstrLen is the fixed encoding width of the NxP ISA.
+const NxpInstrLen = 8
+
+// nxpMarker occupies byte 3 of every NxP instruction; a fetch that decodes
+// bytes without the marker (e.g. host code, data) is rejected. Real RISC
+// encodings reserve opcode space similarly.
+const nxpMarker = 0x96
+
+// NxpCodec is the fixed-width encoding used by the NxP core, RISC-V
+// flavored: every instruction is exactly 8 bytes and must be fetched from
+// an 8-byte-aligned address. Immediates are limited to 32 bits; the
+// assembler synthesizes 64-bit constants with a movi/orhi pair.
+type NxpCodec struct{}
+
+// ISA returns ISANxP.
+func (NxpCodec) ISA() ISA { return ISANxP }
+
+// Align returns the mandatory 8-byte instruction alignment.
+func (NxpCodec) Align() int { return NxpInstrLen }
+
+// MaxLen returns the fixed 8-byte width.
+func (NxpCodec) MaxLen() int { return NxpInstrLen }
+
+// Encode implements Codec.
+func (NxpCodec) Encode(ins Instr) ([]byte, error) {
+	if !ins.Op.Valid() {
+		return nil, &DecodeError{ISA: ISANxP, Reason: fmt.Sprintf("encode invalid op %d", ins.Op)}
+	}
+	if ins.Rd >= NumRegs || ins.Rs >= NumRegs || ins.Rt >= NumRegs {
+		return nil, &DecodeError{ISA: ISANxP, Reason: "encode register out of range"}
+	}
+	if ins.Imm < math.MinInt32 || ins.Imm > math.MaxInt32 {
+		return nil, &DecodeError{ISA: ISANxP, Reason: fmt.Sprintf("immediate %d exceeds 32 bits", ins.Imm)}
+	}
+	buf := make([]byte, NxpInstrLen)
+	buf[0] = byte(ins.Op)
+	buf[1] = byte(ins.Rd) | byte(ins.Rs)<<4
+	buf[2] = byte(ins.Rt)
+	buf[3] = nxpMarker
+	binary.LittleEndian.PutUint32(buf[4:], uint32(int32(ins.Imm)))
+	return buf, nil
+}
+
+// Decode implements Codec.
+func (NxpCodec) Decode(b []byte) (Instr, int, error) {
+	if len(b) < NxpInstrLen {
+		return Instr{}, 0, &DecodeError{ISA: ISANxP, Reason: "truncated instruction"}
+	}
+	if b[3] != nxpMarker {
+		return Instr{}, 0, &DecodeError{ISA: ISANxP, Reason: fmt.Sprintf("marker byte %#x invalid", b[3])}
+	}
+	op := Op(b[0])
+	if !op.Valid() {
+		return Instr{}, 0, &DecodeError{ISA: ISANxP, Reason: fmt.Sprintf("invalid opcode %#x", b[0])}
+	}
+	if b[2]&0xF0 != 0 {
+		return Instr{}, 0, &DecodeError{ISA: ISANxP, Reason: "reserved bits set"}
+	}
+	ins := Instr{
+		Op:  op,
+		Rd:  Reg(b[1] & 0x0F),
+		Rs:  Reg(b[1] >> 4),
+		Rt:  Reg(b[2] & 0x0F),
+		Imm: int64(int32(binary.LittleEndian.Uint32(b[4:]))),
+	}
+	return ins, NxpInstrLen, nil
+}
+
+// ImmOffset implements Codec: the 32-bit immediate always occupies bytes
+// 4-7.
+func (NxpCodec) ImmOffset(ins Instr) (int, int, error) {
+	if !hasImm(ClassOf(ins.Op)) {
+		return 0, 0, fmt.Errorf("isa: %s has no immediate field", ins.Op)
+	}
+	return 4, 4, nil
+}
+
+// CodecFor returns the codec for an ISA.
+func CodecFor(i ISA) Codec {
+	switch i {
+	case ISAHost:
+		return HostCodec{}
+	case ISANxP:
+		return NxpCodec{}
+	case ISADsp:
+		return DspCodec{}
+	default:
+		panic(fmt.Sprintf("isa: no codec for %v", i))
+	}
+}

@@ -1,0 +1,52 @@
+// Package kernel implements the mini operating system of the simulated
+// host: tasks, a run queue served by the host core, system calls, the page
+// fault handler that turns NX instruction faults into migration-handler
+// redirects, the multi-ISA program loader, and the suspend/wake machinery
+// the Flick ioctl path uses.
+//
+// It corresponds to the paper's "fewer than 2K LoC of changes to an
+// off-the-shelf Linux" (§IV-D): the NX fault hook, the extended mprotect
+// semantics in the loader, the migration flag in the task struct, and the
+// rule that the migration descriptor's DMA is triggered only after the
+// thread is fully suspended.
+package kernel
+
+import "flick/internal/sim"
+
+// Costs models the host kernel's fixed software overheads. The defaults
+// are calibrated so that a Flick null-call round trip reproduces the
+// paper's Table III (18.3 µs host→NxP→host) on the default platform; see
+// DESIGN.md §3 for the decomposition.
+type Costs struct {
+	// PageFaultEntry covers the hardware fault, kernel entry, handler
+	// dispatch, and return-to-user with the rewritten return address. The
+	// paper measures 0.7 µs for this piece.
+	PageFaultEntry sim.Duration
+	// SyscallEntry / SyscallExit bound the ioctl trap.
+	SyscallEntry sim.Duration
+	SyscallExit  sim.Duration
+	// ContextSwitchAway is the cost of descheduling the suspended thread
+	// (save state, scheduler pass, switch to idle/next).
+	ContextSwitchAway sim.Duration
+	// InterruptEntry is MSI delivery to the handler's first instruction.
+	InterruptEntry sim.Duration
+	// IRQHandler is the Flick interrupt handler body (read completion,
+	// find PID, wake_up_process).
+	IRQHandler sim.Duration
+	// WakeupSchedule is from wake_up_process to the thread running again
+	// in user space (runqueue latency plus context switch in).
+	WakeupSchedule sim.Duration
+}
+
+// DefaultCosts returns the calibrated host-kernel cost set.
+func DefaultCosts() Costs {
+	return Costs{
+		PageFaultEntry:    700 * sim.Nanosecond, // paper §V-A
+		SyscallEntry:      600 * sim.Nanosecond,
+		SyscallExit:       300 * sim.Nanosecond,
+		ContextSwitchAway: 1500 * sim.Nanosecond,
+		InterruptEntry:    900 * sim.Nanosecond,
+		IRQHandler:        1300 * sim.Nanosecond,
+		WakeupSchedule:    5200 * sim.Nanosecond,
+	}
+}

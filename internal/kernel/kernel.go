@@ -1,0 +1,302 @@
+package kernel
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strconv"
+
+	"flick/internal/cpu"
+	"flick/internal/isa"
+	"flick/internal/mem"
+	"flick/internal/paging"
+	"flick/internal/sim"
+)
+
+// System call numbers (the `sys imm` immediate).
+const (
+	SysExit   = 1 // a0 = exit code
+	SysPutc   = 2 // a0 = byte to write to the console
+	SysPutU64 = 3 // a0 = value printed in decimal with a newline
+	SysNowNS  = 4 // returns virtual nanoseconds since boot in a0
+)
+
+// Config assembles a kernel.
+type Config struct {
+	Env    *sim.Env
+	Phys   *mem.AddressSpace // host view of physical memory
+	Alloc  *paging.FrameAlloc
+	Tables *paging.Tables
+	Costs  Costs
+	Layout Layout
+}
+
+// MigrationRedirect decides what to do with an instruction NX fault: if it
+// returns (handlerVA, true), the kernel redirects the thread's PC to
+// handlerVA after saving the faulting address in the task struct. The
+// Flick runtime registers this hook.
+type MigrationRedirect func(t *Task, f *cpu.Fault) (uint64, bool)
+
+// Kernel is the simulated host operating system.
+type Kernel struct {
+	env    *sim.Env
+	phys   *mem.AddressSpace
+	alloc  *paging.FrameAlloc
+	tables *paging.Tables
+	costs  Costs
+	layout Layout
+
+	hosts   []*cpu.Core
+	program *Program
+
+	nextPID int
+	tasks   map[int]*Task
+	runq    []*Task
+	runqC   *sim.Cond
+	current map[*cpu.Core]*Task
+
+	redirect MigrationRedirect
+	console  bytes.Buffer
+
+	// EagerDMATrigger reproduces the race of paper §IV-D when set: the
+	// migration trigger fires before the thread's suspended state is
+	// published, so a fast NxP round trip loses the wakeup. For ablation
+	// only.
+	EagerDMATrigger bool
+
+	faults int
+}
+
+// New creates a kernel and spawns the host core's scheduler loop process.
+// The host core must be attached with AttachHostCore before tasks start.
+func New(cfg Config) *Kernel {
+	k := &Kernel{
+		env:     cfg.Env,
+		phys:    cfg.Phys,
+		alloc:   cfg.Alloc,
+		tables:  cfg.Tables,
+		costs:   cfg.Costs,
+		layout:  cfg.Layout.withDefaults(),
+		nextPID: 1,
+		tasks:   make(map[int]*Task),
+	}
+	k.runqC = cfg.Env.NewCond("kernel.runq")
+	k.current = make(map[*cpu.Core]*Task)
+	return k
+}
+
+// AttachHostCore binds a host core and starts its scheduler process. The
+// core's Sys and Fault hooks must already point at this kernel (the
+// platform wires them). Call once per host core for SMP configurations;
+// idle cores pull tasks from the shared run queue.
+func (k *Kernel) AttachHostCore(core *cpu.Core) {
+	k.hosts = append(k.hosts, core)
+	k.env.SpawnDaemon(core.Name(), func(p *sim.Proc) { k.hostCoreLoop(p, core) })
+}
+
+// HostCore returns the first attached core.
+func (k *Kernel) HostCore() *cpu.Core { return k.hosts[0] }
+
+// HostCores returns all attached host cores.
+func (k *Kernel) HostCores() []*cpu.Core { return k.hosts }
+
+// Tables returns the kernel's page tables (the shared PTBR of the paper's
+// single-process experiments).
+func (k *Kernel) Tables() *paging.Tables { return k.tables }
+
+// Phys returns the host view of physical memory.
+func (k *Kernel) Phys() *mem.AddressSpace { return k.phys }
+
+// Env returns the simulation environment.
+func (k *Kernel) Env() *sim.Env { return k.env }
+
+// Costs returns the kernel cost model.
+func (k *Kernel) Costs() Costs { return k.costs }
+
+// SetCosts replaces the kernel cost model (calibration and ablation).
+func (k *Kernel) SetCosts(c Costs) { k.costs = c }
+
+// SetMigrationRedirect installs the Flick hook for NX instruction faults.
+func (k *Kernel) SetMigrationRedirect(r MigrationRedirect) { k.redirect = r }
+
+// Console returns everything written via SysPutc/SysPutU64.
+func (k *Kernel) Console() string { return k.console.String() }
+
+// ConsoleWrite appends to the console from native runtime code.
+func (k *Kernel) ConsoleWrite(s string) { k.console.WriteString(s) }
+
+// CurrentTask returns the task running on the first host core — a
+// convenience for single-core configurations.
+func (k *Kernel) CurrentTask() *Task { return k.current[k.hosts[0]] }
+
+// CurrentTaskOn returns the task running on the given host core.
+func (k *Kernel) CurrentTaskOn(c *cpu.Core) *Task { return k.current[c] }
+
+// Faults returns the number of migration-redirected NX faults handled.
+func (k *Kernel) Faults() int { return k.faults }
+
+// StartThread creates a task that begins executing at entry with the given
+// arguments and queues it for the host core. Flick threads always start on
+// the host (paper §IV-B1).
+func (k *Kernel) StartThread(name string, entry uint64, args ...uint64) (*Task, error) {
+	if k.program == nil {
+		return nil, errors.New("kernel: no program loaded")
+	}
+	if len(args) > 6 {
+		return nil, fmt.Errorf("kernel: %d args exceed the 6-register convention", len(args))
+	}
+	stack, err := k.program.allocHostStack()
+	if err != nil {
+		return nil, err
+	}
+	ctx := &cpu.Context{PC: entry}
+	ctx.SetReg(isa.SP, stack)
+	for i, a := range args {
+		ctx.SetReg(isa.Reg(i), a)
+	}
+	t := &Task{
+		PID:   k.nextPID,
+		Name:  name,
+		Ctx:   ctx,
+		State: TaskRunnable,
+		wake:  k.env.NewCond(fmt.Sprintf("task%d.wake", k.nextPID)),
+	}
+	k.nextPID++
+	k.tasks[t.PID] = t
+	k.runq = append(k.runq, t)
+	k.runqC.Signal()
+	return t, nil
+}
+
+// TaskByPID resolves a PID (descriptors carry PIDs across the link).
+func (k *Kernel) TaskByPID(pid int) (*Task, bool) {
+	t, ok := k.tasks[pid]
+	return t, ok
+}
+
+// hostCoreLoop is one host core's scheduler: run the front task until it
+// halts or dies, then take the next. A task suspended in the migration
+// ioctl keeps its core blocked — the evaluation platform dedicates a core
+// to the benchmark thread, as the paper's does; with several host cores
+// attached, other runnable tasks proceed on the remaining cores.
+func (k *Kernel) hostCoreLoop(p *sim.Proc, core *cpu.Core) {
+	for {
+		p.WaitFor(k.runqC, func() bool { return len(k.runq) > 0 })
+		t := k.runq[0]
+		k.runq = k.runq[1:]
+		k.current[core] = t
+		t.State = TaskRunning
+		core.SetContext(t.Ctx)
+		err := core.Run(p, 0)
+		switch {
+		case errors.Is(err, cpu.ErrHalted):
+			// Plain halt without sys exit.
+		case err != nil:
+			t.Err = err
+		}
+		t.State = TaskDone
+		delete(k.current, core)
+	}
+}
+
+// Syscall is the host core's SYS handler.
+func (k *Kernel) Syscall(p *sim.Proc, c *cpu.Core, num int64) error {
+	p.Sleep(k.costs.SyscallEntry)
+	defer p.Sleep(k.costs.SyscallExit)
+	ctx := c.Context()
+	switch num {
+	case SysExit:
+		if t := k.current[c]; t != nil {
+			t.ExitCode = ctx.Reg(isa.A0)
+		}
+		return cpu.ErrHalted
+	case SysPutc:
+		k.console.WriteByte(byte(ctx.Reg(isa.A0)))
+		return nil
+	case SysPutU64:
+		k.console.WriteString(strconv.FormatUint(ctx.Reg(isa.A0), 10))
+		k.console.WriteByte('\n')
+		return nil
+	case SysNowNS:
+		ctx.SetReg(isa.A0, uint64(p.Now().Duration()/sim.Nanosecond))
+		return nil
+	default:
+		return fmt.Errorf("kernel: unknown syscall %d", num)
+	}
+}
+
+// HostFault is the host core's fault hook. NX instruction faults whose
+// target the registered redirect recognizes become migration-handler
+// redirects: the faulting address is saved in the task struct and the PC —
+// which the hardware left pointing at the cross-ISA function — is replaced
+// with the handler's address, Flick's hijack of the in-flight call
+// (paper §IV-B1). Everything else is fatal to the task.
+func (k *Kernel) HostFault(p *sim.Proc, c *cpu.Core, f *cpu.Fault) error {
+	t := k.current[c]
+	if f.Kind == cpu.FaultFetchNX && k.redirect != nil && t != nil {
+		if handler, ok := k.redirect(t, f); ok {
+			p.Sleep(k.costs.PageFaultEntry)
+			k.faults++
+			t.FaultAddr = f.VA
+			c.Context().PC = handler
+			k.env.Trace().Addf(p.Now(), "fault", "NX fault at %#x → migration handler %#x", f.VA, handler)
+			return nil
+		}
+	}
+	return f
+}
+
+// MigrateAndSuspend is the kernel half of the migration ioctl: it charges
+// the syscall and deschedule costs, publishes the suspended state, fires
+// the descriptor-transfer trigger with the ordering the paper's scheduler
+// hook guarantees, and blocks until the DMA interrupt handler wakes the
+// task. The returned time is the wake time.
+func (k *Kernel) MigrateAndSuspend(p *sim.Proc, t *Task, trigger func()) {
+	p.Sleep(k.costs.SyscallEntry)
+	if k.EagerDMATrigger {
+		// Ablation: fire the DMA before the thread is suspended. If the
+		// round trip completes within the deschedule window, the wake is
+		// lost and the thread sleeps forever — the race of §IV-D.
+		trigger()
+		p.Sleep(k.costs.ContextSwitchAway)
+		t.State = TaskSuspended
+	} else {
+		// Paper ordering: suspend first (state published), then let the
+		// scheduler fire the deferred trigger from the task's migration
+		// flag.
+		t.State = TaskSuspended
+		t.MigrationTrigger = trigger
+		p.Sleep(k.costs.ContextSwitchAway)
+		if t.MigrationTrigger != nil {
+			t.MigrationTrigger()
+			t.MigrationTrigger = nil
+		}
+	}
+	t.suspendWait(p)
+	// Woken by the IRQ handler: charge the scheduler's wake-to-run path
+	// and the syscall return.
+	p.Sleep(k.costs.WakeupSchedule)
+	p.Sleep(k.costs.SyscallExit)
+}
+
+// DeliverMSI is called by the DMA engine's completion callback to model
+// the MSI interrupt that wakes a suspended thread. It runs in the device's
+// process context; the interrupt and handler costs are charged to the
+// woken thread's timeline via a wake timestamp adjustment — the thread
+// sleeps WakeupSchedule after waking, and the IRQ costs are modeled as a
+// delayed wake.
+func (k *Kernel) DeliverMSI(pid int) {
+	t, ok := k.tasks[pid]
+	if !ok {
+		k.env.Trace().Addf(k.env.Now(), "irq", "MSI for unknown pid %d", pid)
+		return
+	}
+	// Model interrupt-entry + handler latency by scheduling the wake
+	// after the IRQ path completes.
+	k.env.SpawnDaemon(fmt.Sprintf("irq-wake-%d", pid), func(p *sim.Proc) {
+		p.Sleep(k.costs.InterruptEntry + k.costs.IRQHandler)
+		if !t.Wake() {
+			k.env.Trace().Addf(p.Now(), "irq", "lost wakeup for pid %d (state %v)", pid, t.State)
+		}
+	})
+}

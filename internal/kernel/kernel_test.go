@@ -1,0 +1,385 @@
+package kernel_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"flick/internal/asm"
+	"flick/internal/cpu"
+	"flick/internal/isa"
+	"flick/internal/kernel"
+	"flick/internal/multibin"
+	"flick/internal/paging"
+	"flick/internal/platform"
+	"flick/internal/sim"
+)
+
+// newMachine builds a default platform machine (kernel included, Flick
+// runtime NOT activated) and loads the given program.
+func newMachine(t *testing.T, src string) (*platform.Machine, *kernel.Program) {
+	t.Helper()
+	m, err := platform.New(platform.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := asm.Assemble("test.fasm", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := multibin.Link(multibin.LinkConfig{}, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := m.Kernel.LoadProgram(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, prog
+}
+
+func TestLoadProgramMapsSegmentsWithNXConvention(t *testing.T) {
+	m, prog := newMachine(t, `
+.func main isa=host
+    halt
+.endfunc
+.func remote isa=nxp
+    ret
+.endfunc
+.data hdata isa=host
+    .word64 7
+.enddata
+.data ndata isa=nxp
+    .word64 9
+.enddata
+`)
+	tables := m.Kernel.Tables()
+	check := func(sym string, wantNX, wantW bool) {
+		va := prog.Image.Symbols[sym]
+		w, err := tables.Walk(va)
+		if err != nil {
+			t.Fatalf("%s: %v", sym, err)
+		}
+		if w.Flags.NX != wantNX || w.Flags.Writable != wantW {
+			t.Errorf("%s: flags %+v, want NX=%v W=%v", sym, w.Flags, wantNX, wantW)
+		}
+	}
+	check("main", false, false)  // host text: executable, read-only
+	check("remote", true, false) // NxP text: NX set (the Flick trick)
+	check("hdata", true, true)
+	check("ndata", true, true)
+
+	// .data.nxp must live physically in board DRAM (behind the DDR BAR).
+	w, err := tables.Walk(prog.Image.Symbols["ndata"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.PhysAddr < m.DDRBar.HostBase || w.PhysAddr >= m.DDRBar.HostBase+m.NxPDDR.Size() {
+		t.Errorf(".data.nxp at %#x, outside the board DRAM BAR [%#x,...)", w.PhysAddr, m.DDRBar.HostBase)
+	}
+	// Host data must live in host DRAM.
+	w, err = tables.Walk(prog.Image.Symbols["hdata"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.PhysAddr >= m.HostDRAM.Size() {
+		t.Errorf(".data at %#x, outside host DRAM", w.PhysAddr)
+	}
+}
+
+func TestLoadedProgramContentsReachable(t *testing.T) {
+	m, prog := newMachine(t, `
+.func main isa=host
+    halt
+.endfunc
+.data blob isa=nxp align=8
+    .word64 0x1122334455667788
+.enddata
+`)
+	w, err := m.Kernel.Tables().Walk(prog.Image.Symbols["blob"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.HostView.ReadU64(w.PhysAddr)
+	if err != nil || v != 0x1122334455667788 {
+		t.Errorf("nxp data contents = %#x, %v", v, err)
+	}
+}
+
+func TestNxPDataWindowUsesHugePages(t *testing.T) {
+	m, _ := newMachine(t, ".func main isa=host\n halt\n.endfunc")
+	w, err := m.Kernel.Tables().Walk(0x4_0000_0000 + 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.PageSize != paging.PageSize1G {
+		t.Errorf("window page size = %#x, want 1 GiB", w.PageSize)
+	}
+	if w.PhysAddr != m.DDRBar.HostBase+12345 {
+		t.Errorf("window phys = %#x", w.PhysAddr)
+	}
+}
+
+func TestDoubleLoadRejected(t *testing.T) {
+	m, _ := newMachine(t, ".func main isa=host\n halt\n.endfunc")
+	obj, _ := asm.Assemble("x.fasm", ".func main isa=host\n halt\n.endfunc")
+	im, _ := multibin.Link(multibin.LinkConfig{}, obj)
+	if _, err := m.Kernel.LoadProgram(im); err == nil {
+		t.Error("second LoadProgram accepted")
+	}
+}
+
+func TestStartThreadAndRun(t *testing.T) {
+	m, prog := newMachine(t, `
+.func main isa=host
+    ; a0 = x → returns x*3 via exit code
+    muli a0, a0, 3
+    sys  1
+.endfunc
+`)
+	task, err := m.Kernel.StartThread("main", prog.Image.Entry, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Env.Run()
+	if task.State != kernel.TaskDone {
+		t.Fatalf("state = %v", task.State)
+	}
+	if task.ExitCode != 42 {
+		t.Errorf("exit = %d", task.ExitCode)
+	}
+	if got, ok := m.Kernel.TaskByPID(task.PID); !ok || got != task {
+		t.Error("TaskByPID lookup failed")
+	}
+}
+
+func TestSequentialTasksShareTheCore(t *testing.T) {
+	m, prog := newMachine(t, `
+.func main isa=host
+    sys 3          ; print a0
+    movi a0, 0
+    halt
+.endfunc
+`)
+	for i := uint64(1); i <= 3; i++ {
+		if _, err := m.Kernel.StartThread("t", prog.Image.Entry, i*11); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Env.Run()
+	if got := m.Kernel.Console(); got != "11\n22\n33\n" {
+		t.Errorf("console = %q (tasks must run FIFO)", got)
+	}
+}
+
+func TestThreadStacksAreDistinct(t *testing.T) {
+	m, prog := newMachine(t, `
+.func main isa=host
+    mov a0, sp
+    sys 1
+.endfunc
+`)
+	t1, _ := m.Kernel.StartThread("a", prog.Image.Entry)
+	t2, _ := m.Kernel.StartThread("b", prog.Image.Entry)
+	m.Env.Run()
+	if t1.ExitCode == t2.ExitCode {
+		t.Errorf("threads shared a stack top: %#x", t1.ExitCode)
+	}
+}
+
+func TestUnknownSyscallKillsTask(t *testing.T) {
+	m, prog := newMachine(t, `
+.func main isa=host
+    sys 99
+    halt
+.endfunc
+`)
+	task, _ := m.Kernel.StartThread("main", prog.Image.Entry)
+	m.Env.Run()
+	if task.Err == nil || !strings.Contains(task.Err.Error(), "unknown syscall") {
+		t.Errorf("task.Err = %v", task.Err)
+	}
+}
+
+func TestFatalFaultWithoutRedirect(t *testing.T) {
+	m, prog := newMachine(t, `
+.func main isa=host
+    call remote      ; no Flick runtime → NX fault is fatal
+    halt
+.endfunc
+.func remote isa=nxp
+    ret
+.endfunc
+`)
+	task, _ := m.Kernel.StartThread("main", prog.Image.Entry)
+	m.Env.Run()
+	var f *cpu.Fault
+	if !errors.As(task.Err, &f) || f.Kind != cpu.FaultFetchNX {
+		t.Errorf("task.Err = %v, want NX fault", task.Err)
+	}
+}
+
+func TestMigrationRedirectHook(t *testing.T) {
+	m, prog := newMachine(t, `
+.func main isa=host
+    movi a0, 1
+    call remote
+    sys  1          ; exits with whatever the handler left in a0
+.endfunc
+.func remote isa=nxp
+    ret
+.endfunc
+.func fake_handler isa=host
+    native 9
+.endfunc
+`)
+	var sawFaultAddr uint64
+	m.Natives.Register(9, func(p *sim.Proc, c *cpu.Core) error {
+		// A stand-in migration handler: record the fault address and
+		// return 77 as the "migrated call's" result.
+		sawFaultAddr = m.Kernel.CurrentTask().FaultAddr
+		c.Context().SetReg(isa.A0, 77)
+		return nil
+	})
+	handlerVA := prog.Image.Symbols["fake_handler"]
+	m.Kernel.SetMigrationRedirect(func(task *kernel.Task, f *cpu.Fault) (uint64, bool) {
+		return handlerVA, true
+	})
+	task, _ := m.Kernel.StartThread("main", prog.Image.Entry)
+	m.Env.Run()
+	if task.Err != nil {
+		t.Fatal(task.Err)
+	}
+	if sawFaultAddr != prog.Image.Symbols["remote"] {
+		t.Errorf("FaultAddr = %#x, want remote's address", sawFaultAddr)
+	}
+	if task.ExitCode != 77 {
+		t.Errorf("exit = %d: handler's return did not flow to the call site", task.ExitCode)
+	}
+	if m.Kernel.Faults() != 1 {
+		t.Errorf("fault count = %d", m.Kernel.Faults())
+	}
+}
+
+func TestSuspendWakeRoundTrip(t *testing.T) {
+	m, prog := newMachine(t, `
+.func main isa=host
+    call blocker
+    sys  1
+.endfunc
+.func blocker isa=host
+    native 9
+.endfunc
+`)
+	var wakeAt, resumeAt sim.Time
+	m.Natives.Register(9, func(p *sim.Proc, c *cpu.Core) error {
+		task := m.Kernel.CurrentTask()
+		m.Kernel.MigrateAndSuspend(p, task, func() {
+			// Trigger: schedule a wake 10 µs out (a fake device).
+			m.Env.SpawnDaemon("fake-dev", func(d *sim.Proc) {
+				d.Sleep(10 * sim.Microsecond)
+				wakeAt = d.Now()
+				task.Wake()
+			})
+		})
+		resumeAt = p.Now()
+		c.Context().SetReg(isa.A0, 5)
+		return nil
+	})
+	task, _ := m.Kernel.StartThread("main", prog.Image.Entry)
+	m.Env.Run()
+	if task.Err != nil || task.ExitCode != 5 {
+		t.Fatalf("task = %v exit %d", task.Err, task.ExitCode)
+	}
+	if wakeAt == 0 || resumeAt <= wakeAt {
+		t.Errorf("resume (%v) must follow the wake (%v) by the scheduler latency", resumeAt, wakeAt)
+	}
+	if gap := resumeAt.Sub(wakeAt); gap < m.Kernel.Costs().WakeupSchedule {
+		t.Errorf("wake→resume gap %v < WakeupSchedule", gap)
+	}
+}
+
+func TestWakeOnRunningTaskIsLost(t *testing.T) {
+	m, prog := newMachine(t, ".func main isa=host\n halt\n.endfunc")
+	task, _ := m.Kernel.StartThread("main", prog.Image.Entry)
+	if task.Wake() {
+		t.Error("Wake on a non-suspended task claimed success")
+	}
+	m.Env.Run()
+}
+
+func TestBumpAllocator(t *testing.T) {
+	b := kernel.NewBump("test", 0x1000, 0x100)
+	a1, err := b.Alloc(16, 16)
+	if err != nil || a1 != 0x1000 {
+		t.Fatalf("a1 = %#x, %v", a1, err)
+	}
+	a2, err := b.Alloc(1, 64)
+	if err != nil || a2 != 0x1040 {
+		t.Fatalf("a2 = %#x, %v (alignment)", a2, err)
+	}
+	if b.Used() != 0x41 {
+		t.Errorf("Used = %#x", b.Used())
+	}
+	if _, err := b.Alloc(0x1000, 8); err == nil {
+		t.Error("over-allocation accepted")
+	}
+	if b.Remaining() == 0 {
+		t.Error("Remaining = 0 too early")
+	}
+}
+
+func TestNxPStackAllocation(t *testing.T) {
+	_, prog := newMachine(t, ".func main isa=host\n halt\n.endfunc")
+	s1, err := prog.AllocNxPStack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := prog.AllocNxPStack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 == s2 {
+		t.Error("NxP stacks collide")
+	}
+	if s1%8 != 0 || s2%8 != 0 {
+		t.Error("NxP stack tops unaligned")
+	}
+}
+
+func TestConsoleHelpers(t *testing.T) {
+	m, _ := newMachine(t, ".func main isa=host\n halt\n.endfunc")
+	m.Kernel.ConsoleWrite("hi")
+	if m.Kernel.Console() != "hi" {
+		t.Error("ConsoleWrite lost data")
+	}
+}
+
+func TestSymbolVA(t *testing.T) {
+	_, prog := newMachine(t, ".func main isa=host\n halt\n.endfunc")
+	if _, err := prog.SymbolVA("main"); err != nil {
+		t.Error(err)
+	}
+	if _, err := prog.SymbolVA("missing"); err == nil {
+		t.Error("missing symbol resolved")
+	}
+}
+
+func TestTaskStateString(t *testing.T) {
+	states := []kernel.TaskState{kernel.TaskRunnable, kernel.TaskRunning, kernel.TaskSuspended, kernel.TaskDone}
+	seen := map[string]bool{}
+	for _, s := range states {
+		str := s.String()
+		if str == "" || seen[str] {
+			t.Errorf("bad state string %q", str)
+		}
+		seen[str] = true
+	}
+}
+
+func TestTooManyThreadArgs(t *testing.T) {
+	m, prog := newMachine(t, ".func main isa=host\n halt\n.endfunc")
+	if _, err := m.Kernel.StartThread("x", prog.Image.Entry, 1, 2, 3, 4, 5, 6, 7); err == nil {
+		t.Error("7 args accepted")
+	}
+}

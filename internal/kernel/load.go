@@ -1,0 +1,260 @@
+package kernel
+
+import (
+	"errors"
+	"fmt"
+
+	"flick/internal/isa"
+	"flick/internal/multibin"
+	"flick/internal/paging"
+)
+
+// Layout fixes the virtual and physical placement policy of loaded
+// programs. Physical bases refer to the host's view (NxP resources appear
+// at their BAR addresses). Zero NxP bases disable the NxP mappings, for
+// host-only configurations.
+type Layout struct {
+	// Host-side virtual regions.
+	HostStackTop  uint64 // top of the first thread stack (grows down)
+	HostStackSize uint64 // per-thread stack size
+	HostHeapVA    uint64
+	HostHeapSize  uint64
+	// Host-side physical carve-outs (outside the frame allocator range).
+	HostHeapPA  uint64
+	HostStackPA uint64
+
+	// NxP DDR window: one VA range mapped with huge pages onto the
+	// board's DRAM, the paper's four-1GB-entries design.
+	NxPDataVA   uint64
+	NxPDataPA   uint64 // BAR base in the host view
+	NxPDataSize uint64
+	NxPHugePage uint64
+
+	// TaggedISAs switches the loader to §IV-C3 tagged mode: text pages
+	// carry an ISA tag in the PTE software bits (tag = ISA id + 1)
+	// instead of relying on NX polarity. Required for >2 ISAs.
+	TaggedISAs bool
+
+	// NxP stacks live in board BRAM (paper: "on-chip block RAM for its
+	// local stacks").
+	NxPStackVA     uint64
+	NxPStackPA     uint64 // BAR base in the host view
+	NxPStackRegion uint64
+	NxPStackSize   uint64 // per-thread
+}
+
+func (l Layout) withDefaults() Layout {
+	def := func(v *uint64, d uint64) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	def(&l.HostStackTop, 0x7FFF_0000)
+	def(&l.HostStackSize, 1<<20)
+	def(&l.HostHeapVA, 0x2000_0000)
+	def(&l.HostHeapSize, 64<<20)
+	def(&l.HostHeapPA, 0x0400_0000)
+	def(&l.HostStackPA, 0x0800_0000)
+	def(&l.NxPDataVA, 0x4_0000_0000)
+	def(&l.NxPHugePage, paging.PageSize1G)
+	def(&l.NxPStackVA, 0x5_0000_0000)
+	def(&l.NxPStackSize, 64<<10)
+	return l
+}
+
+// Bump is a monotonic region allocator over an already-mapped VA range.
+type Bump struct {
+	Name              string
+	base, next, limit uint64
+}
+
+// NewBump creates an allocator over [base, base+size).
+func NewBump(name string, base, size uint64) *Bump {
+	return &Bump{Name: name, base: base, next: base, limit: base + size}
+}
+
+// Alloc reserves size bytes at the given power-of-two alignment.
+func (b *Bump) Alloc(size, align uint64) (uint64, error) {
+	if align == 0 {
+		align = 8
+	}
+	va := (b.next + align - 1) &^ (align - 1)
+	if va+size > b.limit || va+size < va {
+		return 0, fmt.Errorf("kernel: %s allocator exhausted (%d bytes requested, %d free)",
+			b.Name, size, b.limit-b.next)
+	}
+	b.next = va + size
+	return va, nil
+}
+
+// Used reports allocated bytes.
+func (b *Bump) Used() uint64 { return b.next - b.base }
+
+// Remaining reports free bytes.
+func (b *Bump) Remaining() uint64 { return b.limit - b.next }
+
+// Program is a loaded multi-ISA executable plus its runtime regions.
+type Program struct {
+	Image    *multibin.Image
+	HostHeap *Bump
+	NxPHeap  *Bump // nil when the platform has no NxP window
+
+	k             *Kernel
+	hostStackNext uint64 // next stack top VA
+	hostStackPA   uint64
+	nxpStackNext  uint64 // next NxP stack VA (within the BRAM window)
+}
+
+// LoadProgram maps a linked image according to the paper's placement
+// policy (§III-D): host text executable (NX clear), NxP text loaded into
+// host memory but marked NX — the extended-mprotect trick — host data in
+// host DRAM, and `.data.nxp` sections copied into the board's DRAM. It
+// also maps the NxP data window with huge pages and the NxP stack region.
+func (k *Kernel) LoadProgram(im *multibin.Image) (*Program, error) {
+	if k.program != nil {
+		return nil, errors.New("kernel: a program is already loaded")
+	}
+	lay := k.layout
+	nxpDataCursor := lay.NxPDataPA // physical carve within board DRAM
+
+	for _, seg := range im.Segments {
+		if len(seg.Bytes) == 0 {
+			continue
+		}
+		nPages := (uint64(len(seg.Bytes)) + paging.PageSize4K - 1) / paging.PageSize4K
+		flags := paging.Flags{User: true}
+		switch {
+		case seg.Kind == multibin.SecText && seg.ISA == isa.ISAHost:
+			// Executable on the host: NX clear.
+		case seg.Kind == multibin.SecText:
+			// Board-ISA text: lives in host memory (the board I-caches
+			// hide the link latency), NX set so host execution faults.
+			flags.NX = true
+		default:
+			flags.Writable = true
+			flags.NX = true
+		}
+		if lay.TaggedISAs && seg.Kind == multibin.SecText {
+			flags.ISATag = uint8(seg.ISA) + 1
+		}
+
+		useNxPDDR := seg.Kind == multibin.SecData && seg.ISA != isa.ISAHost && lay.NxPDataSize != 0
+		for i := uint64(0); i < nPages; i++ {
+			var pa uint64
+			if useNxPDDR {
+				pa = nxpDataCursor
+				nxpDataCursor += paging.PageSize4K
+			} else {
+				frame, err := k.alloc.Alloc()
+				if err != nil {
+					return nil, fmt.Errorf("kernel: loading %s: %w", seg.Name, err)
+				}
+				pa = frame
+			}
+			lo := i * paging.PageSize4K
+			hi := min(lo+paging.PageSize4K, uint64(len(seg.Bytes)))
+			if err := k.phys.Write(pa, seg.Bytes[lo:hi]); err != nil {
+				return nil, err
+			}
+			if err := k.tables.Map(seg.VA+lo, pa, paging.PageSize4K, flags); err != nil {
+				return nil, fmt.Errorf("kernel: mapping %s: %w", seg.Name, err)
+			}
+		}
+	}
+
+	prog := &Program{
+		Image:         im,
+		k:             k,
+		hostStackNext: lay.HostStackTop,
+		hostStackPA:   lay.HostStackPA,
+	}
+
+	// Host heap: contiguous physical carve, 2 MiB pages.
+	if err := k.tables.MapRange(lay.HostHeapVA, lay.HostHeapPA, lay.HostHeapSize,
+		paging.PageSize2M, paging.Flags{Writable: true, User: true, NX: true}); err != nil {
+		return nil, fmt.Errorf("kernel: mapping host heap: %w", err)
+	}
+	prog.HostHeap = NewBump("host-heap", lay.HostHeapVA, lay.HostHeapSize)
+
+	// NxP DDR window: huge pages over the whole board DRAM. The low part
+	// holding `.data.nxp` is aliased (rw data under its own 4K mappings
+	// too); the NxP heap starts above the carve.
+	if lay.NxPDataSize != 0 {
+		pageSize := windowPageSize(lay.NxPHugePage, lay.NxPDataVA, lay.NxPDataPA, lay.NxPDataSize)
+		if err := k.tables.MapRange(lay.NxPDataVA, lay.NxPDataPA, lay.NxPDataSize,
+			pageSize, paging.Flags{Writable: true, User: true, NX: true}); err != nil {
+			return nil, fmt.Errorf("kernel: mapping NxP data window: %w", err)
+		}
+		carve := nxpDataCursor - lay.NxPDataPA
+		prog.NxPHeap = NewBump("nxp-heap", lay.NxPDataVA+carve, lay.NxPDataSize-carve)
+	}
+
+	// NxP stack region (BRAM).
+	if lay.NxPStackRegion != 0 {
+		if err := k.tables.MapRange(lay.NxPStackVA, lay.NxPStackPA, lay.NxPStackRegion,
+			paging.PageSize4K, paging.Flags{Writable: true, User: true, NX: true}); err != nil {
+			return nil, fmt.Errorf("kernel: mapping NxP stacks: %w", err)
+		}
+		prog.nxpStackNext = lay.NxPStackVA
+	}
+
+	k.program = prog
+	return prog, nil
+}
+
+// windowPageSize picks the largest supported page size, no bigger than
+// preferred, that divides the window's base addresses and length — small
+// board-DRAM configurations cannot be mapped with 1 GiB pages.
+func windowPageSize(preferred, va, pa, length uint64) uint64 {
+	if preferred == 0 {
+		preferred = paging.PageSize1G
+	}
+	for _, size := range []uint64{paging.PageSize1G, paging.PageSize2M, paging.PageSize4K} {
+		if size <= preferred && va%size == 0 && pa%size == 0 && length%size == 0 {
+			return size
+		}
+	}
+	return paging.PageSize4K
+}
+
+// Program returns the loaded program.
+func (k *Kernel) Program() *Program { return k.program }
+
+// allocHostStack maps a fresh thread stack and returns its top VA.
+func (p *Program) allocHostStack() (uint64, error) {
+	lay := p.k.layout
+	top := p.hostStackNext
+	base := top - lay.HostStackSize
+	if err := p.k.tables.MapRange(base, p.hostStackPA, lay.HostStackSize,
+		paging.PageSize4K, paging.Flags{Writable: true, User: true, NX: true}); err != nil {
+		return 0, fmt.Errorf("kernel: mapping host stack: %w", err)
+	}
+	p.hostStackPA += lay.HostStackSize
+	p.hostStackNext = base - paging.PageSize4K // guard gap
+	return top, nil
+}
+
+// AllocNxPStack reserves an NxP-local stack for a thread and returns its
+// top VA. The Flick host migration handler calls this on a thread's first
+// migration (Listing 1, lines 3-4).
+func (p *Program) AllocNxPStack() (uint64, error) {
+	lay := p.k.layout
+	if p.nxpStackNext == 0 {
+		return 0, errors.New("kernel: platform has no NxP stack region")
+	}
+	base := p.nxpStackNext
+	if base+lay.NxPStackSize > lay.NxPStackVA+lay.NxPStackRegion {
+		return 0, errors.New("kernel: out of NxP stack space")
+	}
+	p.nxpStackNext += lay.NxPStackSize
+	return base + lay.NxPStackSize, nil
+}
+
+// SymbolVA resolves a linked symbol.
+func (p *Program) SymbolVA(name string) (uint64, error) {
+	va, ok := p.Image.Symbols[name]
+	if !ok {
+		return 0, fmt.Errorf("kernel: symbol %q not in image", name)
+	}
+	return va, nil
+}

@@ -1,0 +1,91 @@
+package kernel
+
+import (
+	"fmt"
+
+	"flick/internal/cpu"
+	"flick/internal/isa"
+	"flick/internal/sim"
+)
+
+// TaskState mirrors the states the Flick path uses.
+type TaskState int
+
+const (
+	// TaskRunnable is on the run queue, waiting for the core.
+	TaskRunnable TaskState = iota
+	// TaskRunning is installed on the host core.
+	TaskRunning
+	// TaskSuspended is blocked in the migration ioctl (TASK_KILLABLE in
+	// the paper), waiting for a wake from the DMA interrupt handler.
+	TaskSuspended
+	// TaskDone has exited.
+	TaskDone
+)
+
+func (s TaskState) String() string {
+	switch s {
+	case TaskRunnable:
+		return "runnable"
+	case TaskRunning:
+		return "running"
+	case TaskSuspended:
+		return "suspended"
+	case TaskDone:
+		return "done"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Task is the simulated task_struct. The Flick-specific fields at the
+// bottom are the paper's additions: the saved faulting address, the NxP
+// stack pointer, and the migration flag checked by the scheduler.
+type Task struct {
+	PID   int
+	Name  string
+	Ctx   *cpu.Context
+	State TaskState
+
+	ExitCode uint64
+	Err      error // fatal fault or runtime error, if any
+
+	wake        *sim.Cond
+	wakePending bool
+
+	// FaultAddr is the NX-faulting instruction address saved by the page
+	// fault handler — the address of the function to migrate to.
+	FaultAddr uint64
+	// BoardStacks holds the thread's stack top in board-local memory for
+	// each board core it has migrated to; entries are allocated on the
+	// first migration toward that core.
+	BoardStacks map[isa.ISA]uint64
+	// MigrationTrigger is the paper's "migration flag" in the task
+	// struct: a deferred action (the descriptor DMA kick) the scheduler
+	// fires only after the thread is suspended, closing the race in
+	// §IV-D.
+	MigrationTrigger func()
+}
+
+// Suspend blocks the calling simulated process until Wake. The caller must
+// have set State to TaskSuspended *before* arming whatever will cause the
+// wake; Wake on a non-suspended task is a no-op, exactly like waking a
+// running task in the real kernel.
+func (t *Task) suspendWait(p *sim.Proc) {
+	p.WaitFor(t.wake, func() bool { return t.wakePending })
+	t.wakePending = false
+	t.State = TaskRunning
+}
+
+// Wake marks the task runnable if it is suspended (or mid-suspension with
+// State already published). Waking a task that has not yet published
+// TaskSuspended is lost — the race the post-suspend trigger rule exists to
+// avoid.
+func (t *Task) Wake() bool {
+	if t.State != TaskSuspended {
+		return false
+	}
+	t.wakePending = true
+	t.wake.Signal()
+	return true
+}

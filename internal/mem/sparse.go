@@ -1,0 +1,88 @@
+// Package mem models the physical memories of the simulated machine: host
+// DDR4, the NxP board's DDR3, boot ROMs, and memory-mapped device registers.
+// It is a pure storage layer — all timing lives with the interconnect and
+// core models — but it is faithful about structure: addresses are physical,
+// regions are explicit, and the same backing store can be aliased into both
+// the host's and the NxP's view of the physical address space, which is how
+// the PCIe BAR window is modeled.
+package mem
+
+import "fmt"
+
+// chunkBits selects the sparse allocation granule (64 KiB). Multi-gigabyte
+// simulated DIMMs only consume real memory for the granules actually
+// touched, so a "4 GB" NxP board costs nothing until a workload writes it.
+const chunkBits = 16
+const chunkSize = 1 << chunkBits
+
+// Sparse is a sparsely-allocated byte store of a fixed logical size.
+// The zero value is not usable; create one with NewSparse.
+type Sparse struct {
+	size   uint64
+	chunks map[uint64][]byte
+}
+
+// NewSparse creates a sparse store holding size bytes, all initially zero.
+func NewSparse(size uint64) *Sparse {
+	return &Sparse{size: size, chunks: make(map[uint64][]byte)}
+}
+
+// Size returns the logical size in bytes.
+func (s *Sparse) Size() uint64 { return s.size }
+
+// AllocatedBytes reports how much backing memory has been materialized.
+func (s *Sparse) AllocatedBytes() uint64 {
+	return uint64(len(s.chunks)) * chunkSize
+}
+
+func (s *Sparse) chunkFor(off uint64, create bool) []byte {
+	key := off >> chunkBits
+	c := s.chunks[key]
+	if c == nil && create {
+		c = make([]byte, chunkSize)
+		s.chunks[key] = c
+	}
+	return c
+}
+
+// ReadAt copies len(buf) bytes starting at off into buf. Reads of never-
+// written granules observe zeros. It panics if the range exceeds the store;
+// range validation against region bounds happens in the caller.
+func (s *Sparse) ReadAt(off uint64, buf []byte) {
+	if off+uint64(len(buf)) > s.size {
+		panic(fmt.Sprintf("mem: sparse read [%#x,+%d) beyond size %#x", off, len(buf), s.size))
+	}
+	for len(buf) > 0 {
+		inChunk := off & (chunkSize - 1)
+		n := chunkSize - inChunk
+		if n > uint64(len(buf)) {
+			n = uint64(len(buf))
+		}
+		if c := s.chunkFor(off, false); c != nil {
+			copy(buf[:n], c[inChunk:inChunk+n])
+		} else {
+			clear(buf[:n])
+		}
+		buf = buf[n:]
+		off += n
+	}
+}
+
+// WriteAt copies buf into the store starting at off, materializing granules
+// as needed.
+func (s *Sparse) WriteAt(off uint64, buf []byte) {
+	if off+uint64(len(buf)) > s.size {
+		panic(fmt.Sprintf("mem: sparse write [%#x,+%d) beyond size %#x", off, len(buf), s.size))
+	}
+	for len(buf) > 0 {
+		inChunk := off & (chunkSize - 1)
+		n := chunkSize - inChunk
+		if n > uint64(len(buf)) {
+			n = uint64(len(buf))
+		}
+		c := s.chunkFor(off, true)
+		copy(c[inChunk:inChunk+n], buf[:n])
+		buf = buf[n:]
+		off += n
+	}
+}

@@ -1,0 +1,115 @@
+// Package mmu models the memory management units that service TLB misses.
+// The host cores have a conventional hardware walker over local DRAM; the
+// NxP board implements its walker as a tiny microcontroller (the paper uses
+// a MicroBlaze) whose walks cross the PCIe link to read the host-resident
+// page tables — which is why NxP TLB misses are expensive and why the data
+// region uses 1 GB pages.
+package mmu
+
+import (
+	"errors"
+
+	"flick/internal/paging"
+	"flick/internal/sim"
+	"flick/internal/tlb"
+)
+
+// WalkReadCost computes the cost of one 8-byte page-table read at physical
+// address pa, as seen by this MMU. The platform binds this to either a
+// local-DRAM cost (host) or a PCIe round trip (NxP).
+type WalkReadCost func(pa uint64) sim.Duration
+
+// MMU couples a TLB with a page walker and a cost model. One MMU instance
+// serves one core's instruction or data port.
+type MMU struct {
+	Name string
+	TLB  *tlb.TLB
+
+	tables   *paging.Tables
+	readCost WalkReadCost
+	perMiss  sim.Duration // fixed handling overhead per miss (microcode dispatch)
+
+	walks    uint64
+	walkTime sim.Duration
+}
+
+// New creates an MMU. tables may be replaced later via SetTables (the
+// kernel switches address spaces by pointing the MMU at another hierarchy,
+// the simulated equivalent of loading CR3/PTBR).
+func New(name string, t *tlb.TLB, tables *paging.Tables, cost WalkReadCost, perMiss sim.Duration) *MMU {
+	return &MMU{Name: name, TLB: t, tables: tables, readCost: cost, perMiss: perMiss}
+}
+
+// SetTables switches the MMU to a different page-table hierarchy and
+// flushes the TLB, modeling a PTBR load during context switch.
+func (m *MMU) SetTables(t *paging.Tables) {
+	m.tables = t
+	m.TLB.Flush()
+}
+
+// Tables returns the active hierarchy.
+func (m *MMU) Tables() *paging.Tables { return m.tables }
+
+// ErrNoTables is returned when translating with no address space loaded.
+var ErrNoTables = errors.New("mmu: no page tables loaded")
+
+// Translate resolves va, charging virtual time on p for any page walk. TLB
+// hits are free here (their single-cycle cost is folded into the core's
+// per-access cost). A missing translation surfaces the paging error
+// untimed-walk-free; permission checks are the core's job since NX polarity
+// differs between host and NxP.
+func (m *MMU) Translate(p *sim.Proc, va uint64) (tlb.Result, error) {
+	if r, ok := m.TLB.Lookup(va); ok {
+		return r, nil
+	}
+	if m.tables == nil {
+		return tlb.Result{}, ErrNoTables
+	}
+	w, err := m.tables.Walk(va)
+	if err != nil {
+		// Even a failing walk costs the reads it performed before
+		// missing; charge the worst case of the miss level.
+		if nm := (*paging.NotMappedError)(nil); errors.As(err, &nm) && p != nil {
+			p.Sleep(m.perMiss)
+			for i := 0; i <= nm.Level; i++ {
+				p.Sleep(m.readCost(0))
+			}
+		}
+		return tlb.Result{}, err
+	}
+	cost := m.perMiss
+	for _, pa := range w.Reads {
+		cost += m.readCost(pa)
+	}
+	if p != nil {
+		p.Sleep(cost)
+	}
+	// Hardware walkers set the Accessed bit as part of the miss service.
+	if err := m.tables.MarkAccessed(w, false); err != nil {
+		return tlb.Result{}, err
+	}
+	m.walks++
+	m.walkTime += cost
+	return m.TLB.Insert(va, w), nil
+}
+
+// Probe translates va without charging time or touching statistics, for
+// debugger-style inspection.
+func (m *MMU) Probe(va uint64) (tlb.Result, error) {
+	if r, ok := m.TLB.Lookup(va); ok {
+		return r, nil
+	}
+	if m.tables == nil {
+		return tlb.Result{}, ErrNoTables
+	}
+	w, err := m.tables.Walk(va)
+	if err != nil {
+		return tlb.Result{}, err
+	}
+	return m.TLB.Insert(va, w), nil
+}
+
+// Stats reports the number of completed walks and their total cost.
+func (m *MMU) Stats() (walks uint64, walkTime sim.Duration) {
+	return m.walks, m.walkTime
+}

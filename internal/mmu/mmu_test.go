@@ -1,0 +1,186 @@
+package mmu
+
+import (
+	"errors"
+	"testing"
+
+	"flick/internal/mem"
+	"flick/internal/paging"
+	"flick/internal/sim"
+	"flick/internal/tlb"
+)
+
+func newTables(t *testing.T) *paging.Tables {
+	t.Helper()
+	phys := mem.NewAddressSpace("host")
+	if err := phys.Map(0, mem.NewRAM("dram", 64<<20)); err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := paging.NewFrameAlloc(1<<20, 16<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := paging.New(phys, alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestTranslateChargesWalkOnMissOnly(t *testing.T) {
+	tb := newTables(t)
+	if err := tb.Map(0x1000, 0x8000, paging.PageSize4K, paging.Flags{Writable: true}); err != nil {
+		t.Fatal(err)
+	}
+	perRead := 800 * sim.Nanosecond // cross-PCIe table read
+	perMiss := 50 * sim.Nanosecond
+	m := New("nxp-mmu", tlb.New("tlb", 16), tb, func(pa uint64) sim.Duration { return perRead }, perMiss)
+
+	env := sim.NewEnv()
+	var missCost, hitCost sim.Duration
+	env.Spawn("core", func(p *sim.Proc) {
+		t0 := p.Now()
+		r, err := m.Translate(p, 0x1008)
+		if err != nil {
+			t.Errorf("translate: %v", err)
+			return
+		}
+		if r.Phys != 0x8008 {
+			t.Errorf("Phys = %#x", r.Phys)
+		}
+		missCost = p.Now().Sub(t0)
+
+		t1 := p.Now()
+		if _, err := m.Translate(p, 0x1800); err != nil {
+			t.Errorf("hit translate: %v", err)
+		}
+		hitCost = p.Now().Sub(t1)
+	})
+	env.Run()
+
+	// A 4K walk reads 4 levels.
+	if want := perMiss + 4*perRead; missCost != want {
+		t.Errorf("miss cost = %v, want %v", missCost, want)
+	}
+	if hitCost != 0 {
+		t.Errorf("hit cost = %v, want 0", hitCost)
+	}
+	walks, wt := m.Stats()
+	if walks != 1 || wt != missCost {
+		t.Errorf("stats = %d, %v", walks, wt)
+	}
+}
+
+func TestHugePageWalkCheaper(t *testing.T) {
+	tb := newTables(t)
+	if err := tb.Map(0x0, 0x0, paging.PageSize4K, paging.Flags{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Map(1<<30, 0, paging.PageSize1G, paging.Flags{Writable: true}); err != nil {
+		t.Fatal(err)
+	}
+	perRead := 800 * sim.Nanosecond
+	m := New("nxp-mmu", tlb.New("tlb", 16), tb, func(pa uint64) sim.Duration { return perRead }, 0)
+	env := sim.NewEnv()
+	var c4k, c1g sim.Duration
+	env.Spawn("core", func(p *sim.Proc) {
+		t0 := p.Now()
+		if _, err := m.Translate(p, 0x10); err != nil {
+			t.Errorf("4k: %v", err)
+		}
+		c4k = p.Now().Sub(t0)
+		t1 := p.Now()
+		if _, err := m.Translate(p, 1<<30+5); err != nil {
+			t.Errorf("1g: %v", err)
+		}
+		c1g = p.Now().Sub(t1)
+	})
+	env.Run()
+	if c4k != 4*perRead || c1g != 2*perRead {
+		t.Errorf("walk costs 4K=%v 1G=%v, want 4x and 2x per-read", c4k, c1g)
+	}
+}
+
+func TestTranslateNotMapped(t *testing.T) {
+	tb := newTables(t)
+	m := New("mmu", tlb.New("tlb", 4), tb, func(uint64) sim.Duration { return sim.Nanosecond }, 0)
+	env := sim.NewEnv()
+	env.Spawn("core", func(p *sim.Proc) {
+		_, err := m.Translate(p, 0xdead000)
+		var nm *paging.NotMappedError
+		if !errors.As(err, &nm) {
+			t.Errorf("err = %v", err)
+		}
+	})
+	env.Run()
+}
+
+func TestSetTablesFlushesTLB(t *testing.T) {
+	tb1 := newTables(t)
+	tb2 := newTables(t)
+	if err := tb1.Map(0x1000, 0xA000, paging.PageSize4K, paging.Flags{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb2.Map(0x1000, 0xB000, paging.PageSize4K, paging.Flags{}); err != nil {
+		t.Fatal(err)
+	}
+	m := New("mmu", tlb.New("tlb", 4), tb1, func(uint64) sim.Duration { return 0 }, 0)
+	env := sim.NewEnv()
+	env.Spawn("core", func(p *sim.Proc) {
+		r, err := m.Translate(p, 0x1000)
+		if err != nil || r.Phys != 0xA000 {
+			t.Errorf("first = %+v, %v", r, err)
+		}
+		m.SetTables(tb2) // context switch
+		r, err = m.Translate(p, 0x1000)
+		if err != nil || r.Phys != 0xB000 {
+			t.Errorf("after switch = %+v, %v (stale TLB?)", r, err)
+		}
+	})
+	env.Run()
+	if m.Tables() != tb2 {
+		t.Error("Tables() did not track SetTables")
+	}
+}
+
+func TestNoTables(t *testing.T) {
+	m := New("mmu", tlb.New("tlb", 4), nil, func(uint64) sim.Duration { return 0 }, 0)
+	if _, err := m.Translate(nil, 0x1000); !errors.Is(err, ErrNoTables) {
+		t.Errorf("err = %v, want ErrNoTables", err)
+	}
+}
+
+func TestProbeDoesNotChargeTime(t *testing.T) {
+	tb := newTables(t)
+	if err := tb.Map(0x1000, 0xA000, paging.PageSize4K, paging.Flags{}); err != nil {
+		t.Fatal(err)
+	}
+	m := New("mmu", tlb.New("tlb", 4), tb, func(uint64) sim.Duration { return sim.Second }, 0)
+	r, err := m.Probe(0x1000)
+	if err != nil || r.Phys != 0xA000 {
+		t.Errorf("probe = %+v, %v", r, err)
+	}
+	walks, _ := m.Stats()
+	if walks != 0 {
+		t.Error("probe counted as a walk")
+	}
+}
+
+func TestTranslateSetsAccessedBit(t *testing.T) {
+	tb := newTables(t)
+	if err := tb.Map(0x1000, 0xA000, paging.PageSize4K, paging.Flags{}); err != nil {
+		t.Fatal(err)
+	}
+	m := New("mmu", tlb.New("tlb", 4), tb, func(uint64) sim.Duration { return 0 }, 0)
+	env := sim.NewEnv()
+	env.Spawn("core", func(p *sim.Proc) {
+		if _, err := m.Translate(p, 0x1000); err != nil {
+			t.Error(err)
+		}
+	})
+	env.Run()
+	a, _, err := tb.Accessed(0x1000)
+	if err != nil || !a {
+		t.Errorf("accessed bit not set by walk: %v, %v", a, err)
+	}
+}

@@ -1,0 +1,148 @@
+// Package multibin implements the multi-ISA binary format of the Flick
+// toolchain: relocatable objects whose sections are tagged with their
+// target ISA (`.text` vs `.text.nxp`, `.data` vs `.data.nxp`), a linker
+// that lays all sections out in one shared virtual address space with
+// page-aligned ISA boundaries and applies each ISA's relocation method, and
+// the linked image the loader maps with per-section NX bits.
+//
+// This is the simulation counterpart of the paper's toolchain changes
+// (§IV-C): section renaming in the NxP compiler, a custom linker script
+// forcing 4 KiB alignment, and a linker carrying relocation functions for
+// both ISAs.
+package multibin
+
+import (
+	"fmt"
+
+	"flick/internal/isa"
+)
+
+// SectionKind separates code from data.
+type SectionKind int
+
+const (
+	// SecText holds instructions for the section's ISA.
+	SecText SectionKind = iota
+	// SecData holds initialized data (and BSS, as explicit zeros).
+	SecData
+)
+
+func (k SectionKind) String() string {
+	if k == SecText {
+		return "text"
+	}
+	return "data"
+}
+
+// SectionName returns the conventional section name for a kind and ISA:
+// host sections keep the plain name, NxP sections get the ".nxp" suffix
+// (the paper's toolchain renames RISC-V output to ".text.riscv").
+func SectionName(kind SectionKind, is isa.ISA) string {
+	base := ".text"
+	if kind == SecData {
+		base = ".data"
+	}
+	switch is {
+	case isa.ISANxP:
+		return base + ".nxp"
+	case isa.ISADsp:
+		return base + ".dsp"
+	default:
+		return base
+	}
+}
+
+// Symbol is a named location within a section.
+type Symbol struct {
+	Name   string
+	Off    uint64 // offset within the section
+	Size   uint64
+	Global bool
+}
+
+// RelocKind selects the patch computation.
+type RelocKind int
+
+const (
+	// RelocPCRel32 patches a 32-bit signed field with S + A - P, where P
+	// is the address of the referencing instruction's start.
+	RelocPCRel32 RelocKind = iota
+	// RelocAbs64 patches a 64-bit field with S + A.
+	RelocAbs64
+	// RelocAbsLo32 patches a 32-bit field with the low half of S + A
+	// (the NxP movi of a movi/orhi pair).
+	RelocAbsLo32
+	// RelocAbsHi32 patches a 32-bit field with the high half of S + A.
+	RelocAbsHi32
+)
+
+func (k RelocKind) String() string {
+	switch k {
+	case RelocPCRel32:
+		return "PCREL32"
+	case RelocAbs64:
+		return "ABS64"
+	case RelocAbsLo32:
+		return "ABSLO32"
+	case RelocAbsHi32:
+		return "ABSHI32"
+	default:
+		return fmt.Sprintf("reloc(%d)", int(k))
+	}
+}
+
+// Reloc is one pending patch within a section.
+type Reloc struct {
+	Off      uint64 // offset of the patched field within the section
+	Width    int    // field width in bytes (4 or 8)
+	InstrOff uint64 // offset of the referencing instruction (PC base for PCRel)
+	Kind     RelocKind
+	Symbol   string
+	Addend   int64
+}
+
+// Section is one relocatable section of an object.
+type Section struct {
+	Name    string
+	ISA     isa.ISA
+	Kind    SectionKind
+	Align   uint64
+	Bytes   []byte
+	Symbols []Symbol
+	Relocs  []Reloc
+}
+
+// Object is the assembler's output: an unlinked collection of sections.
+type Object struct {
+	Sections []*Section
+}
+
+// Section returns the named section, creating it if needed with the
+// conventions for kind/ISA.
+func (o *Object) Section(kind SectionKind, is isa.ISA) *Section {
+	name := SectionName(kind, is)
+	for _, s := range o.Sections {
+		if s.Name == name {
+			return s
+		}
+	}
+	align := uint64(16)
+	if is == isa.ISANxP {
+		align = uint64(isa.NxpInstrLen)
+	}
+	s := &Section{Name: name, ISA: is, Kind: kind, Align: align}
+	o.Sections = append(o.Sections, s)
+	return s
+}
+
+// FindSymbol locates a symbol by name across all sections.
+func (o *Object) FindSymbol(name string) (*Section, Symbol, bool) {
+	for _, s := range o.Sections {
+		for _, sym := range s.Symbols {
+			if sym.Name == name {
+				return s, sym, true
+			}
+		}
+	}
+	return nil, Symbol{}, false
+}

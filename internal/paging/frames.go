@@ -1,0 +1,62 @@
+// Package paging implements x86-64-style virtual memory for the simulated
+// machine: four-level page tables stored in simulated physical memory, a
+// software page walker, 4 KiB/2 MiB/1 GiB page sizes, and the permission
+// bits — most importantly the Non-Executable bit — that Flick repurposes to
+// trigger thread migration.
+//
+// The tables are bit-compatible with the x86-64 layout (present, writable,
+// user, PS, NX at bit 63, 52-bit frame numbers) so the simulated NxP MMU
+// genuinely walks the same structures the host kernel maintains, exactly as
+// the paper's hardware does.
+package paging
+
+import "fmt"
+
+// PageSize4K etc. are the supported leaf page sizes.
+const (
+	PageSize4K uint64 = 4 << 10
+	PageSize2M uint64 = 2 << 20
+	PageSize1G uint64 = 1 << 30
+)
+
+// FrameAlloc hands out physical 4 KiB frames from a fixed range, used for
+// page-table pages and kernel allocations. Freed frames are recycled LIFO.
+type FrameAlloc struct {
+	base, limit uint64
+	next        uint64
+	free        []uint64
+}
+
+// NewFrameAlloc manages frames in [base, base+size). Both must be 4 KiB
+// aligned.
+func NewFrameAlloc(base, size uint64) (*FrameAlloc, error) {
+	if base%PageSize4K != 0 || size%PageSize4K != 0 {
+		return nil, fmt.Errorf("paging: frame range [%#x,+%#x) not 4K aligned", base, size)
+	}
+	return &FrameAlloc{base: base, limit: base + size, next: base}, nil
+}
+
+// Alloc returns the physical address of a fresh 4 KiB frame.
+func (f *FrameAlloc) Alloc() (uint64, error) {
+	if n := len(f.free); n > 0 {
+		fr := f.free[n-1]
+		f.free = f.free[:n-1]
+		return fr, nil
+	}
+	if f.next >= f.limit {
+		return 0, fmt.Errorf("paging: out of physical frames (range [%#x,%#x))", f.base, f.limit)
+	}
+	fr := f.next
+	f.next += PageSize4K
+	return fr, nil
+}
+
+// Free returns a frame to the allocator.
+func (f *FrameAlloc) Free(frame uint64) {
+	f.free = append(f.free, frame)
+}
+
+// Allocated returns the number of frames currently handed out.
+func (f *FrameAlloc) Allocated() int {
+	return int((f.next-f.base)/PageSize4K) - len(f.free)
+}

@@ -1,0 +1,28 @@
+package paging
+
+import (
+	"testing"
+
+	"flick/internal/mem"
+)
+
+// BenchmarkWalk4K measures the software page walker (the simulator's
+// hottest path on TLB misses).
+func BenchmarkWalk4K(b *testing.B) {
+	phys := mem.NewAddressSpace("host")
+	if err := phys.Map(0, mem.NewRAM("dram", 64<<20)); err != nil {
+		b.Fatal(err)
+	}
+	alloc, _ := NewFrameAlloc(1<<20, 16<<20)
+	tb, _ := New(phys, alloc)
+	if err := tb.Map(0x40000000, 0x200000, PageSize4K, Flags{Writable: true}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tb.Walk(0x40000123); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,389 @@
+package paging
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"flick/internal/mem"
+)
+
+func newTestTables(t *testing.T) (*Tables, *mem.AddressSpace, *FrameAlloc) {
+	t.Helper()
+	phys := mem.NewAddressSpace("host")
+	if err := phys.Map(0, mem.NewRAM("dram", 64<<20)); err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := NewFrameAlloc(1<<20, 32<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := New(phys, alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb, phys, alloc
+}
+
+func TestFrameAllocBasics(t *testing.T) {
+	a, err := NewFrameAlloc(0x10000, 0x3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, _ := a.Alloc()
+	f2, _ := a.Alloc()
+	if f1 != 0x10000 || f2 != 0x11000 {
+		t.Errorf("frames = %#x, %#x", f1, f2)
+	}
+	a.Free(f1)
+	f3, _ := a.Alloc()
+	if f3 != f1 {
+		t.Errorf("free frame not recycled: got %#x", f3)
+	}
+	if a.Allocated() != 2 {
+		t.Errorf("Allocated = %d, want 2", a.Allocated())
+	}
+	if _, err := a.Alloc(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(); err == nil {
+		t.Error("exhausted allocator did not fail")
+	}
+}
+
+func TestFrameAllocAlignment(t *testing.T) {
+	if _, err := NewFrameAlloc(0x1001, 0x1000); err == nil {
+		t.Error("unaligned base accepted")
+	}
+	if _, err := NewFrameAlloc(0x1000, 0x1234); err == nil {
+		t.Error("unaligned size accepted")
+	}
+}
+
+func TestMapWalk4K(t *testing.T) {
+	tb, _, _ := newTestTables(t)
+	va, pa := uint64(0x4000_0000), uint64(0x20_0000)
+	if err := tb.Map(va, pa, PageSize4K, Flags{Writable: true, User: true}); err != nil {
+		t.Fatal(err)
+	}
+	w, err := tb.Walk(va + 0x123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.PhysAddr != pa+0x123 {
+		t.Errorf("PhysAddr = %#x, want %#x", w.PhysAddr, pa+0x123)
+	}
+	if w.PageSize != PageSize4K || w.PageBase != pa {
+		t.Errorf("page = %#x/%#x", w.PageBase, w.PageSize)
+	}
+	if !w.Flags.Writable || !w.Flags.User || w.Flags.NX {
+		t.Errorf("flags = %+v", w.Flags)
+	}
+	if len(w.Reads) != 4 {
+		t.Errorf("4K walk performed %d reads, want 4", len(w.Reads))
+	}
+}
+
+func TestMapWalkHugePages(t *testing.T) {
+	tb, _, _ := newTestTables(t)
+	// 2M page.
+	if err := tb.Map(0x6000_0000, 0x60_0000, PageSize2M, Flags{Writable: true}); err != nil {
+		t.Fatal(err)
+	}
+	w, err := tb.Walk(0x6000_0000 + 0x12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.PageSize != PageSize2M || w.PhysAddr != 0x60_0000+0x12345 {
+		t.Errorf("2M walk = %+v", w)
+	}
+	if len(w.Reads) != 3 {
+		t.Errorf("2M walk performed %d reads, want 3", len(w.Reads))
+	}
+	// 1G page (the paper's NxP data region uses four of these for 4 GB).
+	// Use a VA outside the PDPT entry the 2M mapping above occupies.
+	if err := tb.Map(2<<30, 0, PageSize1G, Flags{Writable: true, User: true}); err != nil {
+		t.Fatal(err)
+	}
+	w, err = tb.Walk(2<<30 + 0xABCDE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.PageSize != PageSize1G || w.PhysAddr != 0xABCDE {
+		t.Errorf("1G walk = %+v", w)
+	}
+	if len(w.Reads) != 2 {
+		t.Errorf("1G walk performed %d reads, want 2", len(w.Reads))
+	}
+}
+
+func TestMapAlignmentAndDuplicates(t *testing.T) {
+	tb, _, _ := newTestTables(t)
+	if err := tb.Map(0x1234, 0, PageSize4K, Flags{}); err == nil {
+		t.Error("unaligned va accepted")
+	}
+	if err := tb.Map(0x1000, 0x10, PageSize4K, Flags{}); err == nil {
+		t.Error("unaligned pa accepted")
+	}
+	if err := tb.Map(0x1000, 0x1000, 12345, Flags{}); err == nil {
+		t.Error("bogus page size accepted")
+	}
+	if err := tb.Map(0x1000, 0x1000, PageSize4K, Flags{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Map(0x1000, 0x2000, PageSize4K, Flags{}); err == nil {
+		t.Error("double map accepted")
+	}
+	// Mapping a 4K page under an existing 1G leaf must fail.
+	if err := tb.Map(1<<30, 0, PageSize1G, Flags{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Map(1<<30+PageSize4K, 0, PageSize4K, Flags{}); err == nil {
+		t.Error("4K map under huge page accepted")
+	}
+}
+
+func TestNonCanonical(t *testing.T) {
+	tb, _, _ := newTestTables(t)
+	bad := uint64(0x0000_9000_0000_0000)
+	if err := tb.Map(bad, 0, PageSize4K, Flags{}); err == nil {
+		t.Error("non-canonical map accepted")
+	}
+	if _, err := tb.Walk(bad); err == nil {
+		t.Error("non-canonical walk succeeded")
+	}
+	if !Canonical(0xFFFF_8000_0000_0000) {
+		t.Error("high-half canonical address rejected")
+	}
+}
+
+func TestWalkNotMapped(t *testing.T) {
+	tb, _, _ := newTestTables(t)
+	_, err := tb.Walk(0xdead000)
+	var nm *NotMappedError
+	if !errors.As(err, &nm) {
+		t.Fatalf("err = %v, want NotMappedError", err)
+	}
+	if nm.Level != 0 {
+		t.Errorf("miss level = %d, want 0 (empty root)", nm.Level)
+	}
+	// Map a sibling so intermediate levels exist, then probe a hole.
+	if err := tb.Map(0x2000, 0x3000, PageSize4K, Flags{}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = tb.Walk(0x5000)
+	if !errors.As(err, &nm) || nm.Level != 3 {
+		t.Errorf("err = %v, want miss at leaf level", err)
+	}
+	if got := tb.TableReads(0x5000); got != 4 {
+		t.Errorf("TableReads at leaf hole = %d, want 4", got)
+	}
+}
+
+func TestUnmap(t *testing.T) {
+	tb, _, _ := newTestTables(t)
+	if err := tb.Map(0x7000, 0x8000, PageSize4K, Flags{}); err != nil {
+		t.Fatal(err)
+	}
+	size, err := tb.Unmap(0x7000)
+	if err != nil || size != PageSize4K {
+		t.Fatalf("Unmap = %v, %v", size, err)
+	}
+	if _, err := tb.Walk(0x7000); err == nil {
+		t.Error("walk succeeded after unmap")
+	}
+	// Remap is now allowed.
+	if err := tb.Map(0x7000, 0x9000, PageSize4K, Flags{}); err != nil {
+		t.Errorf("remap after unmap failed: %v", err)
+	}
+}
+
+func TestProtectSetNX(t *testing.T) {
+	tb, _, _ := newTestTables(t)
+	// Three pages; set NX on the middle one only.
+	for i := uint64(0); i < 3; i++ {
+		if err := tb.Map(0x10000+i*PageSize4K, 0x20000+i*PageSize4K, PageSize4K, Flags{Writable: true, User: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tb.SetNX(0x11000, PageSize4K, true); err != nil {
+		t.Fatal(err)
+	}
+	for i, wantNX := range []bool{false, true, false} {
+		w, err := tb.Walk(0x10000 + uint64(i)*PageSize4K)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Flags.NX != wantNX {
+			t.Errorf("page %d NX = %v, want %v", i, w.Flags.NX, wantNX)
+		}
+		if !w.Flags.Writable || !w.Flags.User {
+			t.Errorf("page %d lost other flags: %+v", i, w.Flags)
+		}
+	}
+	// Clearing NX restores executability.
+	if err := tb.SetNX(0x11000, PageSize4K, false); err != nil {
+		t.Fatal(err)
+	}
+	w, _ := tb.Walk(0x11000)
+	if w.Flags.NX {
+		t.Error("NX not cleared")
+	}
+}
+
+func TestProtectRangeSpanningSizes(t *testing.T) {
+	tb, _, _ := newTestTables(t)
+	if err := tb.Map(0x0, 0x0, PageSize4K, Flags{Writable: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Map(0x20_0000, 0x40_0000, PageSize2M, Flags{Writable: true}); err != nil {
+		t.Fatal(err)
+	}
+	// Protect over an unmapped hole must fail like mprotect(ENOMEM).
+	if err := tb.SetNX(0, 0x40_0000, true); err == nil {
+		t.Error("protect across hole succeeded")
+	}
+	if err := tb.SetNX(0x20_0000, PageSize2M, true); err != nil {
+		t.Fatal(err)
+	}
+	w, _ := tb.Walk(0x20_0000)
+	if !w.Flags.NX {
+		t.Error("huge page NX not set")
+	}
+}
+
+func TestMapRange(t *testing.T) {
+	tb, _, _ := newTestTables(t)
+	if err := tb.MapRange(0x40000, 0x80000, 8*PageSize4K, PageSize4K, Flags{User: true}); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 8; i++ {
+		w, err := tb.Walk(0x40000 + i*PageSize4K)
+		if err != nil {
+			t.Fatalf("page %d: %v", i, err)
+		}
+		if w.PhysAddr != 0x80000+i*PageSize4K {
+			t.Errorf("page %d → %#x", i, w.PhysAddr)
+		}
+	}
+	if err := tb.MapRange(0, 0, PageSize4K+1, PageSize4K, Flags{}); err == nil {
+		t.Error("ragged range accepted")
+	}
+}
+
+func TestHugePagesReduceWalkDepthAndFrames(t *testing.T) {
+	// The paper's argument: 4 GB of NxP storage mapped with 1 GB pages
+	// needs only four TLB entries and the page-table footprint stays tiny.
+	tb, _, alloc := newTestTables(t)
+	before := alloc.Allocated()
+	if err := tb.MapRange(0x1_0000_0000, 4<<30, 4<<30, PageSize1G, Flags{Writable: true, User: true}); err != nil {
+		t.Fatal(err)
+	}
+	if used := alloc.Allocated() - before; used > 2 {
+		t.Errorf("1G mappings consumed %d table frames, want ≤2", used)
+	}
+}
+
+func TestWalkReadsGoThroughPhysicalMemory(t *testing.T) {
+	// Corrupting the physical bytes of a PTE must change the walk result:
+	// proof the tables genuinely live in simulated memory.
+	tb, phys, _ := newTestTables(t)
+	if err := tb.Map(0x9000, 0xA000, PageSize4K, Flags{}); err != nil {
+		t.Fatal(err)
+	}
+	w, err := tb.Walk(0x9000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := phys.WriteU64(w.PTEAddr, 0); err != nil { // clear P bit behind the API's back
+		t.Fatal(err)
+	}
+	if _, err := tb.Walk(0x9000); err == nil {
+		t.Error("walk ignored physical PTE contents")
+	}
+}
+
+func TestMapWalkRoundTripProperty(t *testing.T) {
+	tb, _, _ := newTestTables(t)
+	used := map[uint64]bool{}
+	f := func(vaSeed, paSeed uint32, off uint16) bool {
+		va := (uint64(vaSeed) << 14) % (1 << 46)
+		va &^= PageSize4K - 1
+		if used[va] {
+			return true
+		}
+		used[va] = true
+		pa := (uint64(paSeed) << 12) & addrMask
+		if err := tb.Map(va, pa, PageSize4K, Flags{Writable: true}); err != nil {
+			return false
+		}
+		w, err := tb.Walk(va + uint64(off)%PageSize4K)
+		if err != nil {
+			return false
+		}
+		return w.PhysAddr == pa+uint64(off)%PageSize4K && w.PageSize == PageSize4K
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccessedDirtyBits(t *testing.T) {
+	tb, _, _ := newTestTables(t)
+	if err := tb.Map(0x9000, 0xA000, PageSize4K, Flags{Writable: true}); err != nil {
+		t.Fatal(err)
+	}
+	a, d, err := tb.Accessed(0x9000)
+	if err != nil || a || d {
+		t.Fatalf("fresh page A/D = %v/%v, %v", a, d, err)
+	}
+	w, err := tb.Walk(0x9000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.MarkAccessed(w, false); err != nil {
+		t.Fatal(err)
+	}
+	a, d, _ = tb.Accessed(0x9000)
+	if !a || d {
+		t.Errorf("after access: A/D = %v/%v, want true/false", a, d)
+	}
+	if err := tb.MarkAccessed(w, true); err != nil {
+		t.Fatal(err)
+	}
+	a, d, _ = tb.Accessed(0x9000)
+	if !a || !d {
+		t.Errorf("after dirty: A/D = %v/%v, want true/true", a, d)
+	}
+	// A/D bits must not disturb translation or flags.
+	w2, err := tb.Walk(0x9000)
+	if err != nil || w2.PhysAddr != 0xA000 || !w2.Flags.Writable {
+		t.Errorf("walk after A/D = %+v, %v", w2, err)
+	}
+}
+
+func TestISATagRoundTrip(t *testing.T) {
+	tb, _, _ := newTestTables(t)
+	if err := tb.Map(0x4000, 0x5000, PageSize4K, Flags{ISATag: 3}); err != nil {
+		t.Fatal(err)
+	}
+	w, err := tb.Walk(0x4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Flags.ISATag != 3 {
+		t.Errorf("ISATag = %d, want 3", w.Flags.ISATag)
+	}
+	// Protect must preserve and rewrite the tag with the other flags.
+	if err := tb.Protect(0x4000, PageSize4K, func(f Flags) Flags {
+		f.ISATag = 5
+		f.Writable = true
+		return f
+	}); err != nil {
+		t.Fatal(err)
+	}
+	w, _ = tb.Walk(0x4000)
+	if w.Flags.ISATag != 5 || !w.Flags.Writable {
+		t.Errorf("after protect: %+v", w.Flags)
+	}
+}

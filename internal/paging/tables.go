@@ -1,0 +1,356 @@
+package paging
+
+import (
+	"fmt"
+
+	"flick/internal/mem"
+)
+
+// PTE permission and status bits, matching the x86-64 layout.
+const (
+	BitPresent  uint64 = 1 << 0
+	BitWritable uint64 = 1 << 1
+	BitUser     uint64 = 1 << 2
+	BitAccessed uint64 = 1 << 5
+	BitDirty    uint64 = 1 << 6
+	BitPS       uint64 = 1 << 7 // page size: leaf at PDPT/PD level
+	BitNX       uint64 = 1 << 63
+
+	// ISA tag in the software-available bits 52-54 (ignored by real x86
+	// MMUs) — the paper's §IV-C3 suggestion for distinguishing more than
+	// two ISAs. Tag 0 means "untagged"; loaders running in tagged mode
+	// use tag = ISA id + 1 on text pages.
+	isaTagShift uint64 = 52
+	isaTagMask  uint64 = 0x7 << isaTagShift
+
+	addrMask uint64 = 0x000F_FFFF_FFFF_F000 // bits 12..51
+)
+
+// Flags is the software-facing view of leaf permissions.
+type Flags struct {
+	Writable bool
+	User     bool
+	NX       bool
+	// ISATag identifies which ISA may execute the page when the platform
+	// runs in tagged mode (0 = untagged / not executable by tag).
+	ISATag uint8
+}
+
+func (f Flags) pteBits() uint64 {
+	b := BitPresent
+	if f.Writable {
+		b |= BitWritable
+	}
+	if f.User {
+		b |= BitUser
+	}
+	if f.NX {
+		b |= BitNX
+	}
+	b |= (uint64(f.ISATag) << isaTagShift) & isaTagMask
+	return b
+}
+
+func flagsFromPTE(pte uint64) Flags {
+	return Flags{
+		Writable: pte&BitWritable != 0,
+		User:     pte&BitUser != 0,
+		NX:       pte&BitNX != 0,
+		ISATag:   uint8((pte & isaTagMask) >> isaTagShift),
+	}
+}
+
+// Tables is one address space's page-table hierarchy. The root frame's
+// physical address is the simulated CR3/PTBR value that both the host cores
+// and the NxP MMU load.
+type Tables struct {
+	phys  *mem.AddressSpace // the view the tables live in (host view)
+	alloc *FrameAlloc
+	root  uint64
+}
+
+// New allocates an empty hierarchy.
+func New(phys *mem.AddressSpace, alloc *FrameAlloc) (*Tables, error) {
+	root, err := alloc.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	if err := zeroFrame(phys, root); err != nil {
+		return nil, err
+	}
+	return &Tables{phys: phys, alloc: alloc, root: root}, nil
+}
+
+// Root returns the physical address of the top-level table (the PTBR/CR3
+// value).
+func (t *Tables) Root() uint64 { return t.root }
+
+// Phys returns the address-space view the tables are stored in.
+func (t *Tables) Phys() *mem.AddressSpace { return t.phys }
+
+func zeroFrame(phys *mem.AddressSpace, frame uint64) error {
+	var zeros [512]byte
+	for off := uint64(0); off < PageSize4K; off += uint64(len(zeros)) {
+		if err := phys.Write(frame+off, zeros[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// levelForSize returns the depth (0 = PML4) at which a page of the given
+// size is a leaf, or an error for unsupported sizes.
+func levelForSize(size uint64) (int, error) {
+	switch size {
+	case PageSize4K:
+		return 3, nil
+	case PageSize2M:
+		return 2, nil
+	case PageSize1G:
+		return 1, nil
+	default:
+		return 0, fmt.Errorf("paging: unsupported page size %#x", size)
+	}
+}
+
+// indexAt extracts the 9-bit table index for depth level (0 = PML4) from a
+// virtual address.
+func indexAt(va uint64, level int) uint64 {
+	shift := uint(39 - 9*level)
+	return (va >> shift) & 0x1FF
+}
+
+// Canonical reports whether va is a canonical 48-bit address.
+func Canonical(va uint64) bool {
+	top := va >> 47
+	return top == 0 || top == 0x1FFFF
+}
+
+// Map installs a translation va→pa for one page of the given size. Both
+// addresses must be size-aligned; intermediate tables are created on
+// demand. Remapping an existing leaf is an error (unmap first).
+func (t *Tables) Map(va, pa, size uint64, flags Flags) error {
+	leafLevel, err := levelForSize(size)
+	if err != nil {
+		return err
+	}
+	if va%size != 0 || pa%size != 0 {
+		return fmt.Errorf("paging: map va=%#x pa=%#x not aligned to %#x", va, pa, size)
+	}
+	if !Canonical(va) {
+		return fmt.Errorf("paging: non-canonical va %#x", va)
+	}
+	table := t.root
+	for level := 0; level < leafLevel; level++ {
+		entryAddr := table + indexAt(va, level)*8
+		pte, err := t.phys.ReadU64(entryAddr)
+		if err != nil {
+			return err
+		}
+		if pte&BitPresent == 0 {
+			frame, err := t.alloc.Alloc()
+			if err != nil {
+				return err
+			}
+			if err := zeroFrame(t.phys, frame); err != nil {
+				return err
+			}
+			// Intermediate entries carry the most permissive bits;
+			// leaves restrict. NX at an upper level would force NX on
+			// the whole subtree, so leave it clear here.
+			pte = frame | BitPresent | BitWritable | BitUser
+			if err := t.phys.WriteU64(entryAddr, pte); err != nil {
+				return err
+			}
+		} else if pte&BitPS != 0 {
+			return fmt.Errorf("paging: va %#x already covered by a huge page at level %d", va, level)
+		}
+		table = pte & addrMask
+	}
+	entryAddr := table + indexAt(va, leafLevel)*8
+	pte, err := t.phys.ReadU64(entryAddr)
+	if err != nil {
+		return err
+	}
+	if pte&BitPresent != 0 {
+		return fmt.Errorf("paging: va %#x already mapped", va)
+	}
+	leaf := (pa & addrMask) | flags.pteBits()
+	if leafLevel < 3 {
+		leaf |= BitPS
+	}
+	return t.phys.WriteU64(entryAddr, leaf)
+}
+
+// MapRange maps [va, va+length) to [pa, pa+length) using pages of the given
+// size. length must be a multiple of size.
+func (t *Tables) MapRange(va, pa, length, size uint64, flags Flags) error {
+	if length%size != 0 {
+		return fmt.Errorf("paging: range length %#x not a multiple of page size %#x", length, size)
+	}
+	for off := uint64(0); off < length; off += size {
+		if err := t.Map(va+off, pa+off, size, flags); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Unmap removes the translation for the page containing va. It returns the
+// page size that was unmapped.
+func (t *Tables) Unmap(va uint64) (uint64, error) {
+	w, err := t.Walk(va)
+	if err != nil {
+		return 0, err
+	}
+	if err := t.phys.WriteU64(w.PTEAddr, 0); err != nil {
+		return 0, err
+	}
+	return w.PageSize, nil
+}
+
+// NotMappedError reports a walk that found no present translation.
+type NotMappedError struct {
+	VA    uint64
+	Level int
+}
+
+func (e *NotMappedError) Error() string {
+	return fmt.Sprintf("paging: va %#x not mapped (missing at level %d)", e.VA, e.Level)
+}
+
+// Walk is the software page walker. It performs the same sequence of
+// physical reads hardware would and reports them in Reads, so callers (the
+// NxP MMU, the host core model) can charge the correct per-level costs.
+type Walk struct {
+	VA       uint64
+	PhysAddr uint64 // translated physical address of VA itself
+	PageBase uint64 // physical base of the containing page
+	PageSize uint64
+	Flags    Flags
+	PTEAddr  uint64   // physical address of the leaf entry
+	Reads    []uint64 // physical addresses read during the walk, in order
+}
+
+// Walk translates va. A missing translation returns *NotMappedError (with
+// the partial read trace discarded); physical access errors pass through.
+func (t *Tables) Walk(va uint64) (Walk, error) {
+	if !Canonical(va) {
+		return Walk{}, fmt.Errorf("paging: non-canonical va %#x", va)
+	}
+	w := Walk{VA: va}
+	table := t.root
+	for level := 0; level < 4; level++ {
+		entryAddr := table + indexAt(va, level)*8
+		w.Reads = append(w.Reads, entryAddr)
+		pte, err := t.phys.ReadU64(entryAddr)
+		if err != nil {
+			return Walk{}, err
+		}
+		if pte&BitPresent == 0 {
+			return Walk{}, &NotMappedError{VA: va, Level: level}
+		}
+		isLeaf := level == 3 || pte&BitPS != 0
+		if isLeaf {
+			size := uint64(PageSize4K)
+			switch level {
+			case 1:
+				size = PageSize1G
+			case 2:
+				size = PageSize2M
+			case 3:
+				size = PageSize4K
+			default:
+				return Walk{}, fmt.Errorf("paging: PS bit at level %d", level)
+			}
+			base := pte & addrMask
+			// For huge pages the low bits of the frame field below the
+			// page size must be zero; mask accordingly.
+			base &^= size - 1
+			w.PageBase = base
+			w.PageSize = size
+			w.PhysAddr = base + va%size
+			w.Flags = flagsFromPTE(pte)
+			w.PTEAddr = entryAddr
+			return w, nil
+		}
+		table = pte & addrMask
+	}
+	panic("paging: walk fell off the hierarchy")
+}
+
+// Protect rewrites the leaf flags for every mapped page intersecting
+// [va, va+length). Pages are visited at their natural size; unmapped gaps
+// are an error, mirroring mprotect semantics.
+func (t *Tables) Protect(va, length uint64, mutate func(Flags) Flags) error {
+	end := va + length
+	for addr := va; addr < end; {
+		w, err := t.Walk(addr)
+		if err != nil {
+			return err
+		}
+		newFlags := mutate(w.Flags)
+		pte, err := t.phys.ReadU64(w.PTEAddr)
+		if err != nil {
+			return err
+		}
+		pte &^= BitWritable | BitUser | BitNX | isaTagMask
+		pte |= newFlags.pteBits() &^ BitPresent
+		if err := t.phys.WriteU64(w.PTEAddr, pte); err != nil {
+			return err
+		}
+		addr = w.PageBase + w.PageSize
+	}
+	return nil
+}
+
+// SetNX marks [va, va+length) non-executable (nx=true) or executable
+// (nx=false). This is the extended-mprotect operation the Flick loader uses
+// on `.text.nxp` sections.
+func (t *Tables) SetNX(va, length uint64, nx bool) error {
+	return t.Protect(va, length, func(f Flags) Flags {
+		f.NX = nx
+		return f
+	})
+}
+
+// MarkAccessed sets the Accessed (and optionally Dirty) bit on the leaf
+// PTE of a completed walk, as a hardware walker does while servicing a
+// TLB miss.
+func (t *Tables) MarkAccessed(w Walk, dirty bool) error {
+	pte, err := t.phys.ReadU64(w.PTEAddr)
+	if err != nil {
+		return err
+	}
+	pte |= BitAccessed
+	if dirty {
+		pte |= BitDirty
+	}
+	return t.phys.WriteU64(w.PTEAddr, pte)
+}
+
+// Accessed reports the A/D bits of the page containing va.
+func (t *Tables) Accessed(va uint64) (accessed, dirty bool, err error) {
+	w, err := t.Walk(va)
+	if err != nil {
+		return false, false, err
+	}
+	pte, err := t.phys.ReadU64(w.PTEAddr)
+	if err != nil {
+		return false, false, err
+	}
+	return pte&BitAccessed != 0, pte&BitDirty != 0, nil
+}
+
+// TableReads returns how many physical reads a walk of va would perform
+// (the TLB-miss depth), without error side effects.
+func (t *Tables) TableReads(va uint64) int {
+	w, err := t.Walk(va)
+	if err != nil {
+		if nm, ok := err.(*NotMappedError); ok {
+			return nm.Level + 1
+		}
+		return 0
+	}
+	return len(w.Reads)
+}

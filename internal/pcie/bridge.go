@@ -1,0 +1,94 @@
+package pcie
+
+import (
+	"fmt"
+
+	"flick/internal/mem"
+)
+
+// BAR records one Base Address Register window: an NxP board resource
+// exposed into the host's physical address space. HostBase is assigned
+// dynamically by the host at enumeration time; LocalBase is where the same
+// resource lives in the board's native address map. The difference between
+// the two is the remap offset the host driver programs into the NxP TLB so
+// the NxP observes the same physical addresses as the host (paper Fig. 3).
+type BAR struct {
+	Index     int
+	Region    *mem.Region
+	HostBase  uint64
+	LocalBase uint64
+}
+
+// RemapDelta returns HostBase - LocalBase as a two's-complement delta.
+// Adding it to a host-view physical address inside the window yields the
+// board-local address (and vice versa by subtraction).
+func (b BAR) RemapDelta() uint64 { return b.HostBase - b.LocalBase }
+
+// Contains reports whether hostAddr falls inside the window's host range.
+func (b BAR) Contains(hostAddr uint64) bool {
+	return hostAddr >= b.HostBase && hostAddr < b.HostBase+b.Region.Size()
+}
+
+// Bridge is the PCIe endpoint logic on the NxP board: it owns the BAR
+// windows and performs host enumeration (address assignment). The bridge
+// maps each exposed region into the host's address-space view; the board's
+// own view is managed by the platform.
+type Bridge struct {
+	link     LinkParams
+	hostView *mem.AddressSpace
+	nextBase uint64
+	bars     []BAR
+}
+
+// NewBridge creates a bridge whose BAR allocator starts handing out host
+// addresses at windowBase (the paper's example assigns BAR0 at
+// 0xA000_0000).
+func NewBridge(link LinkParams, hostView *mem.AddressSpace, windowBase uint64) *Bridge {
+	return &Bridge{link: link, hostView: hostView, nextBase: windowBase}
+}
+
+// Link returns the bridge's link parameters.
+func (b *Bridge) Link() LinkParams { return b.link }
+
+// Expose allocates a BAR for region, maps it into the host view at the next
+// naturally-aligned address, and returns the BAR record. localBase is the
+// region's address in the board's native map.
+func (b *Bridge) Expose(region *mem.Region, localBase uint64) (BAR, error) {
+	size := ceilPow2(region.Size())
+	base := alignUp(b.nextBase, size)
+	if err := b.hostView.Map(base, region); err != nil {
+		return BAR{}, fmt.Errorf("pcie: exposing %q: %w", region.Name, err)
+	}
+	bar := BAR{Index: len(b.bars), Region: region, HostBase: base, LocalBase: localBase}
+	b.bars = append(b.bars, bar)
+	b.nextBase = base + size
+	return bar, nil
+}
+
+// BARs returns the allocated windows in index order.
+func (b *Bridge) BARs() []BAR { return b.bars }
+
+// FindBAR returns the window containing hostAddr, if any.
+func (b *Bridge) FindBAR(hostAddr uint64) (BAR, bool) {
+	for _, bar := range b.bars {
+		if bar.Contains(hostAddr) {
+			return bar, true
+		}
+	}
+	return BAR{}, false
+}
+
+// ceilPow2 rounds v up to the next power of two (minimum 4 KiB, the PCIe
+// minimum BAR granularity).
+func ceilPow2(v uint64) uint64 {
+	p := uint64(4096)
+	for p < v {
+		p <<= 1
+	}
+	return p
+}
+
+// alignUp rounds v up to a multiple of align (a power of two).
+func alignUp(v, align uint64) uint64 {
+	return (v + align - 1) &^ (align - 1)
+}

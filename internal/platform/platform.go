@@ -1,0 +1,417 @@
+// Package platform assembles the simulated evaluation machine of the
+// paper's Table I: a dual-socket-class x86 host with DDR4, and a
+// PCIe-attached FPGA board carrying a 200 MHz in-order NxP core, 4 GB of
+// DDR3, block RAM for thread stacks, and a register file for the DMA
+// mailbox — all glued by a PCIe 3.0 x8 bridge with BAR windows and TLB
+// remapping, forming one shared-memory heterogeneous-ISA multicore.
+//
+// The latency parameters are calibrated against the paper's measurements:
+// a host load from board DRAM costs ≈825 ns round trip, an NxP load from
+// its local DRAM ≈267 ns (§V).
+package platform
+
+import (
+	"fmt"
+
+	"flick/internal/cpu"
+	"flick/internal/isa"
+	"flick/internal/kernel"
+	"flick/internal/mem"
+	"flick/internal/mmu"
+	"flick/internal/paging"
+	"flick/internal/pcie"
+	"flick/internal/sim"
+	"flick/internal/tlb"
+)
+
+// Board-local physical addresses (the NxP's native view).
+const (
+	LocalBRAMBase = 0x6000_0000
+	LocalRegsBase = 0x7000_0000
+	LocalDDRBase  = 0x8000_0000
+)
+
+// Params sizes and calibrates the machine.
+type Params struct {
+	HostDRAM uint64 // bytes of host memory
+	NxPDDR   uint64 // bytes of board DRAM (sparse; default 4 GB)
+	NxPBRAM  uint64 // bytes of board block RAM
+
+	// HostCores is the number of host cores sharing the run queue
+	// (default 1; the Table I server has 12, but the paper's experiments
+	// are single-threaded).
+	HostCores int
+
+	HostCycle sim.Duration // 2.4 GHz
+	NxPCycle  sim.Duration // 200 MHz
+
+	// EnableDSP adds a second board core with the third ISA (the paper's
+	// §IV-C3 "more than two ISAs" extension). All cores then run in
+	// PTE-tagged execution mode instead of NX polarity.
+	EnableDSP bool
+	DSPCycle  sim.Duration // 400 MHz when enabled
+
+	Link        pcie.LinkParams
+	DMAOverhead sim.Duration
+
+	HostITLB, HostDTLB int
+	NxPITLB, NxPDTLB   int
+
+	// NxPWindowPage is the page size used to map the NxP data window
+	// (default 1 GiB — the paper's four-entry TLB coverage; set 2 MiB
+	// for the huge-page ablation).
+	NxPWindowPage   uint64
+	NxPICacheLines  int
+	HostICacheLines int
+
+	// Effective latencies of one data access, excluding any link
+	// crossing (the link cost is computed from Link).
+	HostDRAMAccess sim.Duration // host core → host DRAM (cache-filtered)
+	HostDRAMDevice sim.Duration // raw DRAM array latency seen by remote readers
+	NxPDDRAccess   sim.Duration // NxP core → board DRAM (the paper's 267 ns)
+	NxPBRAMAccess  sim.Duration
+	RegsAccess     sim.Duration // NxP core → local registers
+
+	HostWalkRead  sim.Duration // host page walker per level (cached walks)
+	NxPWalkPerReq sim.Duration // NxP MMU microcode dispatch per miss
+
+	HostFetchLine sim.Duration // host I-miss line fill
+}
+
+// DefaultParams returns the calibrated Table I machine.
+func DefaultParams() Params {
+	return Params{
+		HostDRAM:        256 << 20,
+		NxPDDR:          4 << 30,
+		NxPBRAM:         1 << 20,
+		HostCycle:       417 * sim.Picosecond, // 2.4 GHz
+		NxPCycle:        5 * sim.Nanosecond,   // 200 MHz
+		Link:            pcie.PCIe3x8(),
+		DMAOverhead:     100 * sim.Nanosecond,
+		HostITLB:        128,
+		HostDTLB:        128,
+		NxPITLB:         16, // paper §IV-A
+		NxPDTLB:         16,
+		NxPICacheLines:  256, // 16 KiB
+		HostICacheLines: 512,
+		HostDRAMAccess:  4 * sim.Nanosecond,
+		HostDRAMDevice:  90 * sim.Nanosecond,
+		NxPDDRAccess:    267 * sim.Nanosecond, // paper §V
+		NxPBRAMAccess:   10 * sim.Nanosecond,  // 2 cycles
+		RegsAccess:      50 * sim.Nanosecond,
+		HostWalkRead:    20 * sim.Nanosecond,
+		NxPWalkPerReq:   250 * sim.Nanosecond, // microcoded MMU dispatch
+		HostFetchLine:   1 * sim.Nanosecond,
+	}
+}
+
+// Machine is the assembled platform.
+type Machine struct {
+	Params Params
+	Env    *sim.Env
+
+	HostView *mem.AddressSpace
+	NxPView  *mem.AddressSpace
+	HostDRAM *mem.Region
+	NxPDDR   *mem.Region
+	NxPBRAM  *mem.Region
+
+	Bridge  *pcie.Bridge
+	DDRBar  pcie.BAR
+	BRAMBar pcie.BAR
+	DMA     *pcie.Engine
+
+	Alloc  *paging.FrameAlloc
+	Tables *paging.Tables
+
+	Natives *cpu.NativeTable
+	Host    *cpu.Core // the first host core
+	Hosts   []*cpu.Core
+	NxP     *cpu.Core
+	// DSP is the second board core (nil unless Params.EnableDSP).
+	DSP *cpu.Core
+
+	Kernel *kernel.Kernel
+
+	nxpTLBs []*tlb.TLB
+}
+
+// New builds the machine: memories, bridge enumeration, TLB remap
+// programming (the host "driver" computing BAR deltas, Fig. 3), page
+// tables, cores, and kernel.
+func New(params Params) (*Machine, error) {
+	m := &Machine{Params: params, Env: sim.NewEnv()}
+
+	m.HostView = mem.NewAddressSpace("host-view")
+	m.NxPView = mem.NewAddressSpace("nxp-view")
+	m.HostDRAM = mem.NewRAM("host-dram", params.HostDRAM)
+	m.NxPDDR = mem.NewRAM("nxp-ddr", params.NxPDDR)
+	m.NxPBRAM = mem.NewRAM("nxp-bram", params.NxPBRAM)
+
+	// Host DRAM is visible at 0 from both sides (the PCIe bridge maps
+	// host memory into the NxP address space, §III-A).
+	if err := m.HostView.Map(0, m.HostDRAM); err != nil {
+		return nil, err
+	}
+	if err := m.NxPView.Map(0, m.HostDRAM); err != nil {
+		return nil, err
+	}
+	// Board resources at their native local addresses.
+	if err := m.NxPView.Map(LocalDDRBase, m.NxPDDR); err != nil {
+		return nil, err
+	}
+	if err := m.NxPView.Map(LocalBRAMBase, m.NxPBRAM); err != nil {
+		return nil, err
+	}
+
+	// PCIe enumeration: the host assigns BAR windows above its DRAM.
+	m.Bridge = pcie.NewBridge(params.Link, m.HostView, 0x1_0000_0000)
+	var err error
+	if m.DDRBar, err = m.Bridge.Expose(m.NxPDDR, LocalDDRBase); err != nil {
+		return nil, err
+	}
+	if m.BRAMBar, err = m.Bridge.Expose(m.NxPBRAM, LocalBRAMBase); err != nil {
+		return nil, err
+	}
+
+	m.DMA = pcie.NewEngine(m.Env, params.Link, params.DMAOverhead)
+
+	// Kernel page tables in host DRAM.
+	if m.Alloc, err = paging.NewFrameAlloc(1<<20, 47<<20); err != nil {
+		return nil, err
+	}
+	if m.Tables, err = paging.New(m.HostView, m.Alloc); err != nil {
+		return nil, err
+	}
+
+	m.Natives = cpu.NewNativeTable()
+	m.buildCores()
+
+	m.Kernel = kernel.New(kernel.Config{
+		Env:    m.Env,
+		Phys:   m.HostView,
+		Alloc:  m.Alloc,
+		Tables: m.Tables,
+		Costs:  kernel.DefaultCosts(),
+		Layout: kernel.Layout{
+			NxPDataPA:      m.DDRBar.HostBase,
+			NxPDataSize:    params.NxPDDR,
+			NxPHugePage:    params.NxPWindowPage,
+			NxPStackPA:     m.BRAMBar.HostBase + BRAMMailboxCarve,
+			NxPStackRegion: params.NxPBRAM - BRAMMailboxCarve,
+			TaggedISAs:     params.EnableDSP,
+		},
+	})
+	for _, h := range m.Hosts {
+		h.SetSysHandler(m.Kernel.Syscall)
+		h.SetFaultHandler(m.Kernel.HostFault)
+		m.Kernel.AttachHostCore(h)
+	}
+	return m, nil
+}
+
+// BRAMMailboxCarve reserves the low BRAM bytes for the DMA mailbox rings;
+// NxP thread stacks start above it.
+const BRAMMailboxCarve = 8 << 10
+
+// MustNew builds a default machine or panics — a convenience for examples
+// and benchmarks.
+func MustNew() *Machine {
+	m, err := New(DefaultParams())
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func (m *Machine) buildCores() {
+	p := m.Params
+	// In DSP (3-ISA) configurations every core uses PTE-tagged execution;
+	// tag = ISA id + 1.
+	tagOf := func(is isa.ISA) uint8 {
+		if !p.EnableDSP {
+			return 0
+		}
+		return uint8(is) + 1
+	}
+
+	// Host cores: each with its own MMUs/TLBs/I-cache, sharing the page
+	// tables (one OS image) and native table.
+	hostWalk := func(pa uint64) sim.Duration { return p.HostWalkRead }
+	nHost := p.HostCores
+	if nHost <= 0 {
+		nHost = 1
+	}
+	for i := 0; i < nHost; i++ {
+		name := fmt.Sprintf("host%d", i)
+		hITLB := tlb.New(name+"-itlb", p.HostITLB)
+		hDTLB := tlb.New(name+"-dtlb", p.HostDTLB)
+		m.Hosts = append(m.Hosts, cpu.New(cpu.Config{
+			Name: name, ISA: isa.ISAHost,
+			IMMU:        mmu.New(name+"-immu", hITLB, m.Tables, hostWalk, 0),
+			DMMU:        mmu.New(name+"-dmmu", hDTLB, m.Tables, hostWalk, 0),
+			Phys:        m.HostView,
+			CycleTime:   p.HostCycle,
+			ExecNX:      false,
+			ISATag:      tagOf(isa.ISAHost),
+			AccessCost:  m.hostAccessCost,
+			FetchCost:   func(uint64) sim.Duration { return p.HostFetchLine },
+			ICacheLines: p.HostICacheLines,
+			Natives:     m.Natives,
+		}))
+	}
+	m.Host = m.Hosts[0]
+
+	// NxP MMUs: microcoded walker crossing the link to read host-resident
+	// page tables (§IV-A), with BAR remapping programmed by the driver.
+	nxpWalk := func(pa uint64) sim.Duration {
+		return p.Link.ReadLatency(8) + p.HostDRAMDevice
+	}
+	nITLB := tlb.New("nxp-itlb", p.NxPITLB)
+	nDTLB := tlb.New("nxp-dtlb", p.NxPDTLB)
+	for _, t := range []*tlb.TLB{nITLB, nDTLB} {
+		t.AddRemap(tlb.Remap{HostBase: m.DDRBar.HostBase, Size: m.NxPDDR.Size(), Delta: m.DDRBar.RemapDelta()})
+		t.AddRemap(tlb.Remap{HostBase: m.BRAMBar.HostBase, Size: m.NxPBRAM.Size(), Delta: m.BRAMBar.RemapDelta()})
+		m.nxpTLBs = append(m.nxpTLBs, t)
+	}
+	m.NxP = cpu.New(cpu.Config{
+		Name: "nxp0", ISA: isa.ISANxP,
+		IMMU:        mmu.New("nxp-immu", nITLB, m.Tables, nxpWalk, p.NxPWalkPerReq),
+		DMMU:        mmu.New("nxp-dmmu", nDTLB, m.Tables, nxpWalk, p.NxPWalkPerReq),
+		Phys:        m.NxPView,
+		CycleTime:   p.NxPCycle,
+		ExecNX:      true,
+		ISATag:      tagOf(isa.ISANxP),
+		AccessCost:  m.nxpAccessCost,
+		FetchCost:   m.nxpFetchCost,
+		ICacheLines: p.NxPICacheLines,
+		Natives:     m.Natives,
+	})
+
+	if p.EnableDSP {
+		dspCycle := p.DSPCycle
+		if dspCycle == 0 {
+			dspCycle = 2500 * sim.Picosecond // 400 MHz
+		}
+		dITLB := tlb.New("dsp-itlb", p.NxPITLB)
+		dDTLB := tlb.New("dsp-dtlb", p.NxPDTLB)
+		for _, t := range []*tlb.TLB{dITLB, dDTLB} {
+			t.AddRemap(tlb.Remap{HostBase: m.DDRBar.HostBase, Size: m.NxPDDR.Size(), Delta: m.DDRBar.RemapDelta()})
+			t.AddRemap(tlb.Remap{HostBase: m.BRAMBar.HostBase, Size: m.NxPBRAM.Size(), Delta: m.BRAMBar.RemapDelta()})
+			m.nxpTLBs = append(m.nxpTLBs, t)
+		}
+		m.DSP = cpu.New(cpu.Config{
+			Name: "dsp0", ISA: isa.ISADsp,
+			IMMU:        mmu.New("dsp-immu", dITLB, m.Tables, nxpWalk, p.NxPWalkPerReq),
+			DMMU:        mmu.New("dsp-dmmu", dDTLB, m.Tables, nxpWalk, p.NxPWalkPerReq),
+			Phys:        m.NxPView,
+			CycleTime:   dspCycle,
+			ISATag:      tagOf(isa.ISADsp),
+			AccessCost:  m.nxpAccessCost,
+			FetchCost:   m.nxpFetchCost,
+			ICacheLines: p.NxPICacheLines,
+			Natives:     m.Natives,
+		})
+	}
+}
+
+// ProgramScratchpadHole programs the NxP MMU's translation bypass (§IV-A:
+// "the MMU can be configured to open holes in the NxP virtual address
+// space, bypassing the page table traversal"): accesses to [va, va+size)
+// map linearly onto board-local physical memory at localPA with no page
+// walk ever, turning that window into a private scratchpad.
+func (m *Machine) ProgramScratchpadHole(va, size, localPA uint64) {
+	for _, t := range m.nxpTLBs {
+		t.AddHole(tlb.Hole{VABase: va, Size: size, PhysBase: localPA})
+	}
+}
+
+// ExposeNxPDevice maps a board device (e.g. the mailbox register file)
+// into both views and programs the remap windows, returning its BAR.
+func (m *Machine) ExposeNxPDevice(r *mem.Region, localBase uint64) (pcie.BAR, error) {
+	if err := m.NxPView.Map(localBase, r); err != nil {
+		return pcie.BAR{}, err
+	}
+	bar, err := m.Bridge.Expose(r, localBase)
+	if err != nil {
+		return pcie.BAR{}, err
+	}
+	for _, t := range m.nxpTLBs {
+		t.AddRemap(tlb.Remap{HostBase: bar.HostBase, Size: r.Size(), Delta: bar.RemapDelta()})
+	}
+	return bar, nil
+}
+
+// hostAccessCost prices a host-core data access by target region: local
+// DRAM is cache-filtered and cheap; anything behind a BAR is an
+// uncacheable PCIe transaction (reads ≈825 ns round trip).
+func (m *Machine) hostAccessCost(pa uint64, size int, write bool) sim.Duration {
+	r, _, err := m.HostView.Lookup(pa)
+	if err != nil {
+		return m.Params.HostDRAMAccess
+	}
+	switch r {
+	case m.HostDRAM:
+		return m.Params.HostDRAMAccess
+	case m.NxPDDR:
+		if write {
+			return m.Params.Link.WriteLatency(size)
+		}
+		return m.Params.Link.ReadLatency(size) + m.Params.HostDRAMDevice
+	case m.NxPBRAM:
+		if write {
+			return m.Params.Link.WriteLatency(size)
+		}
+		return m.Params.Link.ReadLatency(size) + m.Params.NxPBRAMAccess
+	default: // device registers
+		if write {
+			return m.Params.Link.WriteLatency(size)
+		}
+		return m.Params.Link.ReadLatency(size) + m.Params.RegsAccess
+	}
+}
+
+// nxpAccessCost prices an NxP-core data access. pa is post-remap: board
+// resources appear at their local addresses.
+func (m *Machine) nxpAccessCost(pa uint64, size int, write bool) sim.Duration {
+	r, _, err := m.NxPView.Lookup(pa)
+	if err != nil {
+		return m.Params.NxPDDRAccess
+	}
+	switch r {
+	case m.NxPDDR:
+		return m.Params.NxPDDRAccess
+	case m.NxPBRAM:
+		return m.Params.NxPBRAMAccess
+	case m.HostDRAM:
+		if write {
+			return m.Params.Link.WriteLatency(size)
+		}
+		return m.Params.Link.ReadLatency(size) + m.Params.HostDRAMDevice
+	default:
+		return m.Params.RegsAccess
+	}
+}
+
+// nxpFetchCost prices an NxP I-cache line fill: instructions live in host
+// DRAM (paper §III-D), so cold fills cross the link.
+func (m *Machine) nxpFetchCost(pa uint64) sim.Duration {
+	r, _, err := m.NxPView.Lookup(pa)
+	if err != nil {
+		return m.Params.NxPDDRAccess
+	}
+	switch r {
+	case m.HostDRAM:
+		return m.Params.Link.ReadLatency(64) + m.Params.HostDRAMDevice
+	case m.NxPDDR:
+		return m.Params.NxPDDRAccess + 8*m.Params.NxPCycle
+	default:
+		return m.Params.NxPBRAMAccess
+	}
+}
+
+// String summarizes the machine, Table I style.
+func (m *Machine) String() string {
+	return fmt.Sprintf("host %v/cycle + NxP %v/cycle over %v; board DRAM %d MiB at BAR %#x",
+		m.Params.HostCycle, m.Params.NxPCycle, m.Params.Link, m.NxPDDR.Size()>>20, m.DDRBar.HostBase)
+}

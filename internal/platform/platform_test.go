@@ -1,0 +1,183 @@
+package platform
+
+import (
+	"testing"
+
+	"flick/internal/mem"
+	"flick/internal/sim"
+)
+
+func TestMachineAssembly(t *testing.T) {
+	m, err := New(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BAR enumeration: the DDR window must be size-aligned above the
+	// allocator base, and local/host views must alias the same storage.
+	if m.DDRBar.HostBase%m.NxPDDR.Size() != 0 {
+		t.Errorf("DDR BAR %#x not naturally aligned", m.DDRBar.HostBase)
+	}
+	if err := m.HostView.WriteU64(m.DDRBar.HostBase+0x40, 0xFEED); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.NxPView.ReadU64(LocalDDRBase + 0x40)
+	if err != nil || v != 0xFEED {
+		t.Errorf("BAR aliasing broken: %#x, %v", v, err)
+	}
+	// BRAM likewise.
+	if err := m.NxPView.WriteU64(LocalBRAMBase+0x10, 0xBEEF); err != nil {
+		t.Fatal(err)
+	}
+	v, err = m.HostView.ReadU64(m.BRAMBar.HostBase + 0x10)
+	if err != nil || v != 0xBEEF {
+		t.Errorf("BRAM aliasing broken: %#x, %v", v, err)
+	}
+	if m.String() == "" {
+		t.Error("empty machine description")
+	}
+}
+
+func TestHostAccessCostCalibration(t *testing.T) {
+	m, err := New(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Host → board DRAM read: the paper's 825 ns figure (±3%).
+	got := m.hostAccessCost(m.DDRBar.HostBase, 8, false)
+	want := 825 * sim.Nanosecond
+	if diff := got - want; diff < -25*sim.Nanosecond || diff > 25*sim.Nanosecond {
+		t.Errorf("host→NxP DDR read = %v, want ≈825ns", got)
+	}
+	// Posted writes are much cheaper than reads.
+	if w := m.hostAccessCost(m.DDRBar.HostBase, 8, true); w >= got/2 {
+		t.Errorf("posted write %v not much cheaper than read %v", w, got)
+	}
+	// Local DRAM is cheap.
+	if l := m.hostAccessCost(0x1000, 8, false); l >= 20*sim.Nanosecond {
+		t.Errorf("host local access = %v", l)
+	}
+}
+
+func TestNxPAccessCostCalibration(t *testing.T) {
+	m, err := New(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NxP → local DDR: the paper's 267 ns.
+	if got := m.nxpAccessCost(LocalDDRBase+0x100, 8, false); got != 267*sim.Nanosecond {
+		t.Errorf("NxP local DDR = %v, want 267ns", got)
+	}
+	// NxP → BRAM: a couple of cycles.
+	if got := m.nxpAccessCost(LocalBRAMBase, 8, false); got != 10*sim.Nanosecond {
+		t.Errorf("NxP BRAM = %v", got)
+	}
+	// NxP → host DRAM: a PCIe round trip.
+	if got := m.nxpAccessCost(0x1000, 8, false); got < 700*sim.Nanosecond {
+		t.Errorf("NxP→host read = %v, should cross the link", got)
+	}
+}
+
+func TestNxPFetchCostFavorsICache(t *testing.T) {
+	m, err := New(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Instruction lines live in host DRAM: fills cross the link.
+	if got := m.nxpFetchCost(0x2000); got < 700*sim.Nanosecond {
+		t.Errorf("NxP I-fill from host DRAM = %v", got)
+	}
+}
+
+func TestNxPTLBRemapProgrammed(t *testing.T) {
+	m, err := New(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The driver must have programmed remap windows covering the BARs:
+	// a translation yielding a BAR address must come out board-local.
+	r := m.NxP.DMMU().TLB.RemapReg()
+	if !r.Active() {
+		t.Fatal("NxP TLB remap not programmed")
+	}
+	if r.Apply(m.DDRBar.HostBase+123) != LocalDDRBase+123 {
+		t.Errorf("remap of DDR BAR base = %#x", r.Apply(m.DDRBar.HostBase+123))
+	}
+}
+
+func TestExposeNxPDevice(t *testing.T) {
+	m, err := New(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := mem.NewRAM("scratch", 4096)
+	bar, err := m.ExposeNxPDevice(dev, 0x7800_0000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.HostView.WriteU64(bar.HostBase, 42); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.NxPView.ReadU64(0x7800_0000)
+	if err != nil || v != 42 {
+		t.Errorf("device aliasing = %v, %v", v, err)
+	}
+}
+
+func TestCustomParams(t *testing.T) {
+	p := DefaultParams()
+	p.NxPDDR = 64 << 20
+	p.NxPWindowPage = 2 << 20
+	m, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NxPDDR.Size() != 64<<20 {
+		t.Error("DDR size override ignored")
+	}
+}
+
+func TestDefaultParamsMatchTableI(t *testing.T) {
+	p := DefaultParams()
+	if p.HostCycle != 417*sim.Picosecond {
+		t.Errorf("host clock = %v, want 2.4GHz-ish", p.HostCycle)
+	}
+	if p.NxPCycle != 5*sim.Nanosecond {
+		t.Errorf("NxP clock = %v, want 200MHz", p.NxPCycle)
+	}
+	if p.NxPDDR != 4<<30 {
+		t.Errorf("board DRAM = %d, want 4GB", p.NxPDDR)
+	}
+	if p.NxPITLB != 16 || p.NxPDTLB != 16 {
+		t.Error("NxP TLBs must have 16 entries (§IV-A)")
+	}
+}
+
+func TestScratchpadHoleBypassesWalk(t *testing.T) {
+	m, err := New(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Program a hole over an *unmapped* VA range: accesses must still
+	// translate (no page tables involved) and land in board DRAM.
+	const holeVA = 0x7000_0000_0000
+	m.ProgramScratchpadHole(holeVA, 1<<20, LocalDDRBase+0x10_0000)
+	r, ok := m.NxP.DMMU().TLB.Lookup(holeVA + 0x40)
+	if !ok {
+		t.Fatal("hole lookup missed")
+	}
+	if r.Phys != LocalDDRBase+0x10_0040 {
+		t.Errorf("hole phys = %#x", r.Phys)
+	}
+	// The host side has no such hole: the same VA is simply unmapped.
+	if _, ok := m.Host.DMMU().TLB.Lookup(holeVA); ok {
+		t.Error("hole leaked into the host TLB")
+	}
+	walksBefore, _ := m.NxP.DMMU().Stats()
+	if _, err := m.NxP.DMMU().Translate(nil, holeVA+0x80); err != nil {
+		t.Fatal(err)
+	}
+	walksAfter, _ := m.NxP.DMMU().Stats()
+	if walksAfter != walksBefore {
+		t.Error("hole access performed a page walk")
+	}
+}

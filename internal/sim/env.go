@@ -1,0 +1,307 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Env is a discrete-event simulation environment. Processes are spawned
+// with Spawn and advance virtual time with Proc.Sleep, Proc.Wait, and
+// related primitives. Run drives the simulation until no runnable work
+// remains or a stop condition fires.
+//
+// Exactly one process goroutine executes at a time; the scheduler goroutine
+// and the running process hand control back and forth over unbuffered
+// channels, so the simulation is fully deterministic despite being built
+// from goroutines.
+type Env struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	procs   []*Proc
+	running int // processes spawned and not yet finished
+
+	trace  *Trace
+	panicV any           // re-thrown panic from a process
+	yield  chan yieldMsg // handed a token each time the running process cedes control
+}
+
+// NewEnv creates an empty simulation environment at time zero.
+func NewEnv() *Env {
+	return &Env{trace: NewTrace(0), yield: make(chan yieldMsg)}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// Trace returns the environment's event trace.
+func (e *Env) Trace() *Trace { return e.trace }
+
+// SetTrace replaces the environment's trace (e.g. to bound its capacity or
+// enable recording). A nil trace disables recording entirely.
+func (e *Env) SetTrace(t *Trace) {
+	if t == nil {
+		t = NewTrace(0)
+	}
+	e.trace = t
+}
+
+// event is a scheduled resumption of a process.
+type event struct {
+	at   Time
+	seq  uint64
+	proc *Proc
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	*q = old[:n-1]
+	return ev
+}
+
+// procState tracks where a process is in its lifecycle.
+type procState int
+
+const (
+	stateNew procState = iota
+	stateRunnable
+	stateRunning
+	stateBlocked
+	stateDone
+)
+
+// Proc is a simulated process: a goroutine whose execution is interleaved
+// deterministically with all other processes in the same Env. All methods
+// must be called from within the process's own body function.
+type Proc struct {
+	env    *Env
+	name   string
+	state  procState
+	resume chan struct{}
+	body   func(*Proc)
+	daemon bool
+
+	// waitOn is the condition this process is blocked on, if any.
+	waitOn *Cond
+}
+
+// Name returns the process name given at Spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the environment the process belongs to.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// Spawn registers a new process that starts at the current virtual time.
+// The body runs on its own goroutine but only while the scheduler has
+// granted it control. Spawn may be called before Run or from inside a
+// running process.
+func (e *Env) Spawn(name string, body func(*Proc)) *Proc {
+	p := &Proc{
+		env:    e,
+		name:   name,
+		state:  stateNew,
+		resume: make(chan struct{}),
+		body:   body,
+	}
+	e.procs = append(e.procs, p)
+	e.running++
+	e.schedule(p, e.now)
+	return p
+}
+
+// SpawnDaemon registers a service process (device engine, scheduler loop)
+// that is expected to idle forever waiting for work. Daemons are excluded
+// from Deadlocked reports.
+func (e *Env) SpawnDaemon(name string, body func(*Proc)) *Proc {
+	p := e.Spawn(name, body)
+	p.daemon = true
+	return p
+}
+
+// schedule enqueues a resumption of p at time t.
+func (e *Env) schedule(p *Proc, t Time) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling %q in the past (%v < %v)", p.name, t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, event{at: t, seq: e.seq, proc: p})
+	if p.state != stateNew {
+		p.state = stateRunnable
+	}
+}
+
+// yieldMsg is the token a process hands back to the scheduler when it
+// cedes control (by sleeping, waiting, or finishing).
+type yieldMsg struct{}
+
+// run starts or resumes a process and waits until it yields or finishes.
+func (e *Env) step(ev event) {
+	p := ev.proc
+	if p.state == stateDone {
+		return
+	}
+	// A process can have stale queue entries (e.g. it was woken by Signal
+	// before its Sleep timer fired). Only the entry that matches a
+	// runnable/new process may run; others are dropped by the state check
+	// in the callers that enqueue them. Here we simply run whatever is
+	// runnable.
+	if p.state == stateBlocked {
+		return // stale timer for a process that re-blocked
+	}
+	e.now = ev.at
+	p.state = stateRunning
+	if p.body != nil {
+		body := p.body
+		p.body = nil
+		go func() {
+			defer func() {
+				if r := recover(); r != nil {
+					e.panicV = r
+				}
+				p.state = stateDone
+				e.running--
+				e.yield <- yieldMsg{}
+			}()
+			<-p.resume
+			body(p)
+		}()
+	}
+	p.resume <- struct{}{}
+	<-e.yield
+	if e.panicV != nil {
+		v := e.panicV
+		e.panicV = nil
+		panic(v)
+	}
+}
+
+// Run processes events until the queue is empty. It returns the final
+// virtual time. If processes remain blocked on conditions that nothing can
+// signal, Run returns anyway (the processes are abandoned); use Deadlocked
+// to inspect that state.
+func (e *Env) Run() Time {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(event)
+		e.step(ev)
+	}
+	return e.now
+}
+
+// RunUntil processes events with timestamps <= deadline and then stops,
+// setting the clock to the deadline if it ran dry earlier.
+func (e *Env) RunUntil(deadline Time) Time {
+	for len(e.queue) > 0 && e.queue[0].at <= deadline {
+		ev := heap.Pop(&e.queue).(event)
+		e.step(ev)
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// Deadlocked reports the names of processes that are still blocked after
+// Run returned. An empty result means every process ran to completion.
+func (e *Env) Deadlocked() []string {
+	var stuck []string
+	for _, p := range e.procs {
+		if p.state == stateBlocked && !p.daemon {
+			stuck = append(stuck, p.name)
+		}
+	}
+	sort.Strings(stuck)
+	return stuck
+}
+
+// Sleep suspends the process for d of virtual time. Negative durations are
+// treated as zero (a pure yield to same-time events scheduled earlier).
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.env.schedule(p, p.env.now.Add(d))
+	p.state = stateRunnable
+	p.env.yield <- yieldMsg{}
+	<-p.resume
+}
+
+// Yield cedes control so that other processes scheduled at the current
+// time can run before this one continues.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Cond is a waitable condition. Processes block on it with Proc.Wait and
+// are released in FIFO order by Signal or Broadcast. Unlike sync.Cond there
+// is no associated lock: the simulation's single-runner guarantee makes
+// explicit locking unnecessary.
+type Cond struct {
+	env     *Env
+	name    string
+	waiters []*Proc
+}
+
+// NewCond creates a condition bound to the environment.
+func (e *Env) NewCond(name string) *Cond {
+	return &Cond{env: e, name: name}
+}
+
+// Wait blocks the process until the condition is signaled.
+func (p *Proc) Wait(c *Cond) {
+	if c.env != p.env {
+		panic("sim: Wait on a Cond from a different Env")
+	}
+	c.waiters = append(c.waiters, p)
+	p.state = stateBlocked
+	p.waitOn = c
+	p.env.yield <- yieldMsg{}
+	<-p.resume
+	p.waitOn = nil
+}
+
+// WaitFor blocks until pred() is true, re-checking each time the condition
+// is signaled. The predicate is evaluated before the first wait, so a
+// condition that is already true never blocks.
+func (p *Proc) WaitFor(c *Cond, pred func() bool) {
+	for !pred() {
+		p.Wait(c)
+	}
+}
+
+// Signal wakes the longest-waiting process, if any. The woken process is
+// scheduled at the current time, after events already queued for now.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	p := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	c.env.schedule(p, c.env.now)
+}
+
+// Broadcast wakes every waiting process in FIFO order.
+func (c *Cond) Broadcast() {
+	ws := c.waiters
+	c.waiters = nil
+	for _, p := range ws {
+		c.env.schedule(p, c.env.now)
+	}
+}
+
+// Waiters returns the number of processes currently blocked on c.
+func (c *Cond) Waiters() int { return len(c.waiters) }

@@ -1,0 +1,16 @@
+package sim
+
+import "testing"
+
+// BenchmarkProcessSwitch measures one sleep/resume handoff — the unit cost
+// of every simulated event.
+func BenchmarkProcessSwitch(b *testing.B) {
+	env := NewEnv()
+	env.Spawn("p", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(Nanosecond)
+		}
+	})
+	b.ResetTimer()
+	env.Run()
+}

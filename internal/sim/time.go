@@ -1,0 +1,80 @@
+// Package sim provides a deterministic, process-oriented discrete-event
+// simulation engine. It is the substrate under every timed component of the
+// Flick reproduction: CPU cores, the PCIe link, the DMA engine, and the
+// mini-kernel all advance a shared virtual clock through this package.
+//
+// Determinism is the central design property: exactly one simulated process
+// executes at any instant, processes are resumed in (time, sequence) order,
+// and no wall-clock time or map iteration order can influence results. Two
+// runs of the same scenario produce identical event traces and identical
+// virtual-time measurements.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is a point in virtual time, measured in picoseconds since the start
+// of the simulation. Picosecond resolution lets sub-nanosecond costs (a
+// 2.4 GHz host cycle is ~417 ps) accumulate without rounding drift; the
+// int64 range still covers more than 100 days of simulated time.
+type Time int64
+
+// Duration is a span of virtual time in picoseconds.
+type Duration int64
+
+// Common durations.
+const (
+	Picosecond  Duration = 1
+	Nanosecond           = 1000 * Picosecond
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Nanoseconds returns the duration as a floating-point nanosecond count.
+func (d Duration) Nanoseconds() float64 { return float64(d) / float64(Nanosecond) }
+
+// Microseconds returns the duration as a floating-point microsecond count.
+func (d Duration) Microseconds() float64 { return float64(d) / float64(Microsecond) }
+
+// Seconds returns the duration as a floating-point second count.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Std converts the virtual duration to a time.Duration. Sub-nanosecond
+// remainders are truncated.
+func (d Duration) Std() time.Duration { return time.Duration(d/Nanosecond) * time.Nanosecond }
+
+// FromStd converts a time.Duration into a virtual Duration.
+func FromStd(d time.Duration) Duration { return Duration(d.Nanoseconds()) * Nanosecond }
+
+// String formats the duration with an adaptive unit, e.g. "18.3µs".
+func (d Duration) String() string {
+	switch {
+	case d == 0:
+		return "0s"
+	case d < Nanosecond && d > -Nanosecond:
+		return fmt.Sprintf("%dps", int64(d))
+	case d < Microsecond && d > -Microsecond:
+		return fmt.Sprintf("%.3gns", d.Nanoseconds())
+	case d < Millisecond && d > -Millisecond:
+		return fmt.Sprintf("%.4gµs", d.Microseconds())
+	case d < Second && d > -Second:
+		return fmt.Sprintf("%.4gms", float64(d)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.4gs", d.Seconds())
+	}
+}
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Duration reinterprets the time since simulation start as a Duration.
+func (t Time) Duration() Duration { return Duration(t) }
+
+// String formats the time as a duration since simulation start.
+func (t Time) String() string { return Duration(t).String() }

@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Event is a single recorded simulation event: a timestamped, categorized
+// message emitted by a component (core, DMA engine, kernel, ...).
+type Event struct {
+	At   Time
+	Kind string // short category, e.g. "fault", "dma", "migrate"
+	Msg  string
+}
+
+// String renders the event as "  18.3µs [migrate] host->nxp call".
+func (ev Event) String() string {
+	return fmt.Sprintf("%12v [%s] %s", ev.At, ev.Kind, ev.Msg)
+}
+
+// Trace is a bounded in-memory event log. A zero-capacity trace discards
+// events, so tracing can be left in hot paths without cost concerns beyond
+// a nil-ish check. Traces are not safe for concurrent use, which is fine:
+// the simulation runs one process at a time.
+type Trace struct {
+	cap    int
+	events []Event
+	drops  int
+}
+
+// NewTrace returns a trace that keeps at most capacity events. Capacity 0
+// disables recording.
+func NewTrace(capacity int) *Trace {
+	return &Trace{cap: capacity}
+}
+
+// Enabled reports whether the trace records events.
+func (t *Trace) Enabled() bool { return t != nil && t.cap > 0 }
+
+// Add records an event, dropping it if the trace is full or disabled.
+func (t *Trace) Add(at Time, kind, msg string) {
+	if !t.Enabled() {
+		return
+	}
+	if len(t.events) >= t.cap {
+		t.drops++
+		return
+	}
+	t.events = append(t.events, Event{At: at, Kind: kind, Msg: msg})
+}
+
+// Addf records a formatted event. The format arguments are not evaluated
+// into a string when the trace is disabled.
+func (t *Trace) Addf(at Time, kind, format string, args ...any) {
+	if !t.Enabled() {
+		return
+	}
+	t.Add(at, kind, fmt.Sprintf(format, args...))
+}
+
+// Events returns the recorded events in order.
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// Dropped returns how many events were discarded because the trace filled.
+func (t *Trace) Dropped() int {
+	if t == nil {
+		return 0
+	}
+	return t.drops
+}
+
+// Filter returns the recorded events whose Kind matches.
+func (t *Trace) Filter(kind string) []Event {
+	var out []Event
+	for _, ev := range t.Events() {
+		if ev.Kind == kind {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// WriteTo dumps the trace in a human-readable form.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	for _, ev := range t.Events() {
+		n, err := fmt.Fprintln(w, ev.String())
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	if d := t.Dropped(); d > 0 {
+		n, err := fmt.Fprintf(w, "... %d events dropped\n", d)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// String renders the whole trace.
+func (t *Trace) String() string {
+	var sb strings.Builder
+	_, _ = t.WriteTo(&sb)
+	return sb.String()
+}

@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTimeFormatting(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{0, "0s"},
+		{500 * Picosecond, "500ps"},
+		{267 * Nanosecond, "267ns"},
+		{Duration(18.3 * float64(Microsecond)), "18.3µs"},
+		{100 * Microsecond, "100µs"},
+		{5 * Millisecond, "5ms"},
+		{90 * Second, "90s"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := Time(0).Add(5 * Microsecond)
+	t1 := t0.Add(300 * Nanosecond)
+	if d := t1.Sub(t0); d != 300*Nanosecond {
+		t.Errorf("Sub = %v, want 300ns", d)
+	}
+	if t1.Duration() != 5*Microsecond+300*Nanosecond {
+		t.Errorf("Duration = %v", t1.Duration())
+	}
+}
+
+func TestDurationConversions(t *testing.T) {
+	d := Duration(18300 * Nanosecond)
+	if got := d.Microseconds(); got != 18.3 {
+		t.Errorf("Microseconds = %v, want 18.3", got)
+	}
+	if got := d.Nanoseconds(); got != 18300 {
+		t.Errorf("Nanoseconds = %v, want 18300", got)
+	}
+	if got := Duration(2 * Second).Seconds(); got != 2 {
+		t.Errorf("Seconds = %v, want 2", got)
+	}
+	if got := FromStd(d.Std()); got != d {
+		t.Errorf("round trip through time.Duration = %v, want %v", got, d)
+	}
+}
+
+func TestTraceRecordsAndBounds(t *testing.T) {
+	tr := NewTrace(3)
+	for i := 0; i < 5; i++ {
+		tr.Addf(Time(i), "k", "event %d", i)
+	}
+	if got := len(tr.Events()); got != 3 {
+		t.Errorf("len(Events) = %d, want 3", got)
+	}
+	if tr.Dropped() != 2 {
+		t.Errorf("Dropped = %d, want 2", tr.Dropped())
+	}
+	if !strings.Contains(tr.String(), "2 events dropped") {
+		t.Errorf("String() missing drop note:\n%s", tr.String())
+	}
+}
+
+func TestTraceDisabled(t *testing.T) {
+	tr := NewTrace(0)
+	tr.Add(0, "k", "msg")
+	if tr.Enabled() {
+		t.Error("zero-capacity trace reports Enabled")
+	}
+	if len(tr.Events()) != 0 {
+		t.Error("disabled trace recorded an event")
+	}
+	var nilTrace *Trace
+	if nilTrace.Enabled() {
+		t.Error("nil trace reports Enabled")
+	}
+	if nilTrace.Events() != nil || nilTrace.Dropped() != 0 {
+		t.Error("nil trace not inert")
+	}
+}
+
+func TestTraceFilter(t *testing.T) {
+	tr := NewTrace(10)
+	tr.Add(1, "dma", "a")
+	tr.Add(2, "fault", "b")
+	tr.Add(3, "dma", "c")
+	got := tr.Filter("dma")
+	if len(got) != 2 || got[0].Msg != "a" || got[1].Msg != "c" {
+		t.Errorf("Filter(dma) = %v", got)
+	}
+}
+
+func TestEnvTraceIntegration(t *testing.T) {
+	env := NewEnv()
+	env.SetTrace(NewTrace(16))
+	env.Spawn("p", func(p *Proc) {
+		p.Sleep(7 * Nanosecond)
+		env.Trace().Add(p.Now(), "test", "hello")
+	})
+	env.Run()
+	evs := env.Trace().Filter("test")
+	if len(evs) != 1 || evs[0].At != Time(7*Nanosecond) {
+		t.Errorf("trace events = %v", evs)
+	}
+	env.SetTrace(nil)
+	if env.Trace().Enabled() {
+		t.Error("SetTrace(nil) should install a disabled trace")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	ev := Event{At: Time(18300 * Nanosecond), Kind: "migrate", Msg: "host->nxp"}
+	s := ev.String()
+	if !strings.Contains(s, "18.3µs") || !strings.Contains(s, "[migrate]") {
+		t.Errorf("Event.String() = %q", s)
+	}
+}

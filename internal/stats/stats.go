@@ -1,0 +1,181 @@
+// Package stats renders the harness's results: aligned text tables (for
+// the paper's Tables II-IV) and simple ASCII line charts (for Figure 5's
+// series), so every experiment prints the same artifact the paper reports.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a titled grid with a header row.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row, stringifying each cell.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprint(c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len([]rune(c)) > widths[i] {
+				widths[i] = len([]rune(c))
+			}
+		}
+	}
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	if t.Title != "" {
+		fmt.Fprintln(w, t.Title)
+		fmt.Fprintln(w, strings.Repeat("=", max(total, len([]rune(t.Title)))))
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len([]rune(c))
+			}
+			fmt.Fprint(w, c, strings.Repeat(" ", pad+2))
+		}
+		fmt.Fprintln(w)
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintln(w, "  note:", n)
+	}
+}
+
+// String renders to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Render(&sb)
+	return sb.String()
+}
+
+// Series is one line of a chart.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Chart is a set of series over a shared X axis meaning.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// HLines draws horizontal reference lines (e.g. the baseline at 1.0).
+	HLines []float64
+}
+
+// Render draws an ASCII line chart. Width and height are the plot area in
+// characters.
+func (c *Chart) Render(w io.Writer, width, height int) {
+	if width < 16 {
+		width = 16
+	}
+	if height < 6 {
+		height = 6
+	}
+	var xmin, xmax, ymin, ymax float64
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			xmin, xmax = math.Min(xmin, s.X[i]), math.Max(xmax, s.X[i])
+			ymin, ymax = math.Min(ymin, s.Y[i]), math.Max(ymax, s.Y[i])
+		}
+	}
+	for _, h := range c.HLines {
+		ymin, ymax = math.Min(ymin, h), math.Max(ymax, h)
+	}
+	if math.IsInf(xmin, 1) {
+		fmt.Fprintln(w, "(empty chart)")
+		return
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	plotY := func(y float64) int {
+		r := (y - ymin) / (ymax - ymin)
+		row := int(math.Round(float64(height-1) * (1 - r)))
+		return min(max(row, 0), height-1)
+	}
+	plotX := func(x float64) int {
+		r := (x - xmin) / (xmax - xmin)
+		col := int(math.Round(float64(width-1) * r))
+		return min(max(col, 0), width-1)
+	}
+	for _, h := range c.HLines {
+		row := plotY(h)
+		for col := 0; col < width; col++ {
+			grid[row][col] = '-'
+		}
+	}
+	marks := []byte{'*', 'o', '+', 'x', '#', '@'}
+	for si, s := range c.Series {
+		mark := marks[si%len(marks)]
+		for i := range s.X {
+			grid[plotY(s.Y[i])][plotX(s.X[i])] = mark
+		}
+	}
+
+	if c.Title != "" {
+		fmt.Fprintln(w, c.Title)
+	}
+	fmt.Fprintf(w, "%8.3g ┤%s\n", ymax, string(grid[0]))
+	for i := 1; i < height-1; i++ {
+		fmt.Fprintf(w, "%8s │%s\n", "", string(grid[i]))
+	}
+	fmt.Fprintf(w, "%8.3g ┤%s\n", ymin, string(grid[height-1]))
+	fmt.Fprintf(w, "%8s  %-8.4g%s%8.4g\n", "", xmin, strings.Repeat(" ", max(width-16, 1)), xmax)
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(w, "%8s  x: %s   y: %s\n", "", c.XLabel, c.YLabel)
+	}
+	for si, s := range c.Series {
+		fmt.Fprintf(w, "%8s  %c %s\n", "", marks[si%len(marks)], s.Name)
+	}
+}
+
+// String renders with a default size.
+func (c *Chart) String() string {
+	var sb strings.Builder
+	c.Render(&sb, 64, 16)
+	return sb.String()
+}

@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		Title:   "Demo",
+		Headers: []string{"Name", "Value"},
+		Notes:   []string{"a note"},
+	}
+	tb.AddRow("alpha", 1)
+	tb.AddRow("beta-very-long", 123456)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Demo" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.Contains(out, "beta-very-long") || !strings.Contains(out, "123456") {
+		t.Error("rows missing")
+	}
+	if !strings.Contains(out, "note: a note") {
+		t.Error("note missing")
+	}
+	// Columns align: "Value" and "1" start at the same offset.
+	hdr := -1
+	for _, ln := range lines {
+		if i := strings.Index(ln, "Value"); i >= 0 {
+			hdr = i
+		}
+		if i := strings.Index(ln, "123456"); i >= 0 && hdr >= 0 && i != hdr {
+			t.Errorf("column misaligned: header at %d, cell at %d", hdr, i)
+		}
+	}
+}
+
+func TestChartRendering(t *testing.T) {
+	c := &Chart{
+		Title:  "T",
+		XLabel: "x",
+		YLabel: "y",
+		HLines: []float64{1},
+		Series: []Series{
+			{Name: "up", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}},
+			{Name: "flat", X: []float64{0, 3}, Y: []float64{1.5, 1.5}},
+		},
+	}
+	out := c.String()
+	if !strings.Contains(out, "T") || !strings.Contains(out, "up") || !strings.Contains(out, "flat") {
+		t.Errorf("chart missing pieces:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("series marks missing")
+	}
+	if !strings.Contains(out, "-") {
+		t.Error("hline missing")
+	}
+}
+
+func TestChartEmptyAndDegenerate(t *testing.T) {
+	empty := &Chart{}
+	if !strings.Contains(empty.String(), "empty") {
+		t.Error("empty chart should say so")
+	}
+	// Single point (degenerate ranges) must not panic or divide by zero.
+	single := &Chart{Series: []Series{{Name: "p", X: []float64{5}, Y: []float64{2}}}}
+	if single.String() == "" {
+		t.Error("single-point chart rendered nothing")
+	}
+}
+
+func TestChartClampsTinyDimensions(t *testing.T) {
+	c := &Chart{Series: []Series{{Name: "p", X: []float64{0, 1}, Y: []float64{0, 1}}}}
+	var sb strings.Builder
+	c.Render(&sb, 1, 1) // must clamp, not panic
+	if sb.Len() == 0 {
+		t.Error("no output")
+	}
+}

@@ -1,0 +1,191 @@
+// Package tlb implements the translation lookaside buffers of the simulated
+// cores. The NxP's TLB carries two features the paper calls out explicitly:
+// a BAR remap control register, so physical addresses that fall inside the
+// host-assigned PCIe BAR window are shifted to the board-local address of
+// the same resource (Fig. 3), and programmable "holes" that bypass page
+// translation entirely for scratchpad-style direct access.
+package tlb
+
+import (
+	"fmt"
+
+	"flick/internal/paging"
+)
+
+// Entry is one cached translation.
+type Entry struct {
+	VABase   uint64
+	PageSize uint64
+	PhysBase uint64 // host-view physical base (pre-remap)
+	Flags    paging.Flags
+}
+
+// covers reports whether the entry translates va.
+func (e Entry) covers(va uint64) bool {
+	return va >= e.VABase && va < e.VABase+e.PageSize
+}
+
+// Remap is the BAR remap control register: addresses inside
+// [HostBase, HostBase+Size) are shifted by -Delta to produce board-local
+// physical addresses. A zero Remap is inactive.
+type Remap struct {
+	HostBase uint64
+	Size     uint64
+	Delta    uint64 // HostBase - LocalBase
+}
+
+// Active reports whether the register has been programmed.
+func (r Remap) Active() bool { return r.Size != 0 }
+
+// Apply rewrites pa if it falls inside the window.
+func (r Remap) Apply(pa uint64) uint64 {
+	if r.Active() && pa >= r.HostBase && pa < r.HostBase+r.Size {
+		return pa - r.Delta
+	}
+	return pa
+}
+
+// Hole is a programmable MMU bypass: virtual range [VABase, VABase+Size)
+// maps linearly onto local physical memory at PhysBase without touching the
+// page tables. Holes are always writable, non-user, executable.
+type Hole struct {
+	VABase   uint64
+	Size     uint64
+	PhysBase uint64
+}
+
+// TLB is a fully-associative, LRU-replaced translation cache. The paper's
+// NxP core uses 16-entry I- and D-TLBs; the host model uses larger ones.
+// TLB is a pure structure — timing is charged by the MMU and core models.
+type TLB struct {
+	Name     string
+	capacity int
+	entries  []Entry // LRU order: most recent last
+	remaps   []Remap
+	holes    []Hole
+
+	hits, misses uint64
+}
+
+// New creates a TLB with the given entry capacity.
+func New(name string, capacity int) *TLB {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("tlb: capacity %d", capacity))
+	}
+	return &TLB{Name: name, capacity: capacity}
+}
+
+// SetRemap programs the BAR remap control register bank to a single
+// window. The host driver does this once it learns where the host mapped
+// the board's BARs.
+func (t *TLB) SetRemap(r Remap) { t.remaps = []Remap{r} }
+
+// AddRemap appends a remap window; the board exposes one per BAR.
+func (t *TLB) AddRemap(r Remap) { t.remaps = append(t.remaps, r) }
+
+// RemapReg returns the first remap register value (zero if none).
+func (t *TLB) RemapReg() Remap {
+	if len(t.remaps) == 0 {
+		return Remap{}
+	}
+	return t.remaps[0]
+}
+
+// applyRemap rewrites pa through the first matching window.
+func (t *TLB) applyRemap(pa uint64) uint64 {
+	for _, r := range t.remaps {
+		if r.Active() && pa >= r.HostBase && pa < r.HostBase+r.Size {
+			return pa - r.Delta
+		}
+	}
+	return pa
+}
+
+// AddHole programs a translation bypass window.
+func (t *TLB) AddHole(h Hole) { t.holes = append(t.holes, h) }
+
+// Result is a successful translation.
+type Result struct {
+	Phys     uint64 // final physical address (post-remap, requester view)
+	Flags    paging.Flags
+	PageSize uint64
+	Hit      bool // satisfied from the TLB (or a hole) without a walk
+}
+
+// Lookup translates va if a hole or cached entry covers it. The boolean
+// reports success; a false return means the caller must walk the tables
+// and Insert the result.
+func (t *TLB) Lookup(va uint64) (Result, bool) {
+	for _, h := range t.holes {
+		if va >= h.VABase && va < h.VABase+h.Size {
+			return Result{
+				Phys:     h.PhysBase + (va - h.VABase),
+				Flags:    paging.Flags{Writable: true},
+				PageSize: h.Size,
+				Hit:      true,
+			}, true
+		}
+	}
+	for i := len(t.entries) - 1; i >= 0; i-- {
+		e := t.entries[i]
+		if e.covers(va) {
+			// Refresh LRU position.
+			copy(t.entries[i:], t.entries[i+1:])
+			t.entries[len(t.entries)-1] = e
+			t.hits++
+			return Result{
+				Phys:     t.applyRemap(e.PhysBase + (va - e.VABase)),
+				Flags:    e.Flags,
+				PageSize: e.PageSize,
+				Hit:      true,
+			}, true
+		}
+	}
+	t.misses++
+	return Result{}, false
+}
+
+// Insert caches a walked translation, evicting the least recently used
+// entry if full, and returns the translation result for va.
+func (t *TLB) Insert(va uint64, w paging.Walk) Result {
+	e := Entry{
+		VABase:   va &^ (w.PageSize - 1),
+		PageSize: w.PageSize,
+		PhysBase: w.PageBase,
+		Flags:    w.Flags,
+	}
+	if len(t.entries) >= t.capacity {
+		copy(t.entries, t.entries[1:])
+		t.entries = t.entries[:len(t.entries)-1]
+	}
+	t.entries = append(t.entries, e)
+	return Result{
+		Phys:     t.applyRemap(w.PageBase + (va - e.VABase)),
+		Flags:    w.Flags,
+		PageSize: w.PageSize,
+		Hit:      false,
+	}
+}
+
+// Flush drops all cached entries (context switch / PTBR change). Holes and
+// the remap register survive: they are board configuration, not process
+// state.
+func (t *TLB) Flush() { t.entries = t.entries[:0] }
+
+// FlushPage drops any entry covering va (TLB shootdown after protection
+// changes, e.g. the loader flipping NX bits).
+func (t *TLB) FlushPage(va uint64) {
+	out := t.entries[:0]
+	for _, e := range t.entries {
+		if !e.covers(va) {
+			out = append(out, e)
+		}
+	}
+	t.entries = out
+}
+
+// Stats reports lifetime hit/miss counts.
+func (t *TLB) Stats() (hits, misses uint64) { return t.hits, t.misses }
+
+// Len returns the number of cached entries.
+func (t *TLB) Len() int { return len(t.entries) }

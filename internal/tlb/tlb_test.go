@@ -1,0 +1,137 @@
+package tlb
+
+import (
+	"testing"
+
+	"flick/internal/paging"
+)
+
+func walkFor(va, pa, size uint64, flags paging.Flags) paging.Walk {
+	base := va &^ (size - 1)
+	pbase := pa &^ (size - 1)
+	return paging.Walk{VA: va, PhysAddr: pbase + (va - base), PageBase: pbase, PageSize: size, Flags: flags}
+}
+
+func TestLookupMissThenHit(t *testing.T) {
+	tl := New("d-tlb", 4)
+	if _, ok := tl.Lookup(0x1000); ok {
+		t.Fatal("empty TLB hit")
+	}
+	r := tl.Insert(0x1234, walkFor(0x1234, 0x9234, paging.PageSize4K, paging.Flags{Writable: true}))
+	if r.Phys != 0x9234 || r.Hit {
+		t.Errorf("insert result = %+v", r)
+	}
+	r2, ok := tl.Lookup(0x1FF8)
+	if !ok || r2.Phys != 0x9FF8 || !r2.Hit {
+		t.Errorf("hit = %+v, %v", r2, ok)
+	}
+	hits, misses := tl.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats = %d/%d", hits, misses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	tl := New("d-tlb", 2)
+	tl.Insert(0x1000, walkFor(0x1000, 0xA000, paging.PageSize4K, paging.Flags{}))
+	tl.Insert(0x2000, walkFor(0x2000, 0xB000, paging.PageSize4K, paging.Flags{}))
+	// Touch 0x1000 so 0x2000 becomes LRU.
+	if _, ok := tl.Lookup(0x1000); !ok {
+		t.Fatal("expected hit")
+	}
+	tl.Insert(0x3000, walkFor(0x3000, 0xC000, paging.PageSize4K, paging.Flags{}))
+	if _, ok := tl.Lookup(0x2000); ok {
+		t.Error("LRU entry not evicted")
+	}
+	if _, ok := tl.Lookup(0x1000); !ok {
+		t.Error("recently used entry evicted")
+	}
+	if tl.Len() != 2 {
+		t.Errorf("Len = %d", tl.Len())
+	}
+}
+
+func TestHugePageEntryCoverage(t *testing.T) {
+	tl := New("d-tlb", 16)
+	tl.Insert(1<<30, walkFor(1<<30, 4<<30, paging.PageSize1G, paging.Flags{Writable: true, User: true}))
+	r, ok := tl.Lookup(1<<30 + 123456789)
+	if !ok {
+		t.Fatal("1G entry did not cover offset")
+	}
+	if want := uint64(4<<30 + 123456789); r.Phys != want {
+		t.Errorf("Phys = %#x, want %#x", r.Phys, want)
+	}
+}
+
+func TestRemapRegister(t *testing.T) {
+	// The paper's Fig. 3 example: local DDR at 0x80000000 exposed at host
+	// 0xA0000000 → delta 0x20000000.
+	tl := New("nxp-d-tlb", 16)
+	tl.SetRemap(Remap{HostBase: 0xA000_0000, Size: 4 << 20, Delta: 0x2000_0000})
+	tl.Insert(0x4_0000_0000, walkFor(0x4_0000_0000, 0xA000_0000, paging.PageSize4K, paging.Flags{Writable: true}))
+	r, ok := tl.Lookup(0x4_0000_0010)
+	if !ok {
+		t.Fatal("miss")
+	}
+	if r.Phys != 0x8000_0010 {
+		t.Errorf("remapped phys = %#x, want 0x80000010", r.Phys)
+	}
+	// Addresses outside the window pass through.
+	tl.Insert(0x5_0000_0000, walkFor(0x5_0000_0000, 0x1000, paging.PageSize4K, paging.Flags{}))
+	r, _ = tl.Lookup(0x5_0000_0000)
+	if r.Phys != 0x1000 {
+		t.Errorf("non-window phys = %#x", r.Phys)
+	}
+	if !tl.RemapReg().Active() {
+		t.Error("remap register reads back inactive")
+	}
+}
+
+func TestHolesBypassTranslation(t *testing.T) {
+	tl := New("nxp-d-tlb", 16)
+	tl.AddHole(Hole{VABase: 0xFFFF_8000_0000_0000, Size: 1 << 20, PhysBase: 0x8100_0000})
+	r, ok := tl.Lookup(0xFFFF_8000_0000_0040)
+	if !ok || r.Phys != 0x8100_0040 || !r.Hit {
+		t.Errorf("hole lookup = %+v, %v", r, ok)
+	}
+	// Holes survive a flush; entries don't.
+	tl.Insert(0x1000, walkFor(0x1000, 0x2000, paging.PageSize4K, paging.Flags{}))
+	tl.Flush()
+	if _, ok := tl.Lookup(0x1000); ok {
+		t.Error("entry survived flush")
+	}
+	if _, ok := tl.Lookup(0xFFFF_8000_0000_0040); !ok {
+		t.Error("hole did not survive flush")
+	}
+}
+
+func TestFlushPage(t *testing.T) {
+	tl := New("d-tlb", 16)
+	tl.Insert(0x1000, walkFor(0x1000, 0xA000, paging.PageSize4K, paging.Flags{}))
+	tl.Insert(0x2000, walkFor(0x2000, 0xB000, paging.PageSize4K, paging.Flags{}))
+	tl.FlushPage(0x1FFF)
+	if _, ok := tl.Lookup(0x1000); ok {
+		t.Error("FlushPage missed target")
+	}
+	if _, ok := tl.Lookup(0x2000); !ok {
+		t.Error("FlushPage dropped innocent entry")
+	}
+}
+
+func TestFlagsPreserved(t *testing.T) {
+	tl := New("i-tlb", 16)
+	tl.Insert(0x7000, walkFor(0x7000, 0x8000, paging.PageSize4K, paging.Flags{NX: true, User: true}))
+	r, _ := tl.Lookup(0x7000)
+	if !r.Flags.NX || !r.Flags.User || r.Flags.Writable {
+		t.Errorf("flags = %+v", r.Flags)
+	}
+}
+
+func TestZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("capacity 0 accepted")
+		}
+	}()
+	New("bad", 0)
+}
