@@ -91,11 +91,11 @@ func BenchmarkFig5a(b *testing.B) {
 	var flickPts, slowPts []workloads.PointerChasePoint
 	for i := 0; i < b.N; i++ {
 		var err error
-		flickPts, err = workloads.SweepPointerChase(points, 3, 0, false)
+		flickPts, err = workloads.SweepPointerChase(points, 3, 0, false, 42)
 		if err != nil {
 			b.Fatal(err)
 		}
-		slowPts, err = workloads.SweepPointerChase(points, 2, 500*sim.Microsecond, false)
+		slowPts, err = workloads.SweepPointerChase(points, 2, 500*sim.Microsecond, false, 42)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -112,7 +112,7 @@ func BenchmarkFig5b(b *testing.B) {
 	var pts []workloads.PointerChasePoint
 	for i := 0; i < b.N; i++ {
 		var err error
-		pts, err = workloads.SweepPointerChase(points, 3, 0, true)
+		pts, err = workloads.SweepPointerChase(points, 3, 0, true, 42)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -353,4 +353,24 @@ w:
 	b.ReportMetric(one, "virt-calls/s-1tenant")
 	b.ReportMetric(four, "virt-calls/s-4tenants")
 	b.ReportMetric(four/one, "x-aggregate-scaling")
+}
+
+// BenchmarkSchedulerSpeedup measures the wall-clock effect of the job
+// scheduler's -jobs knob on Figure 5a (the widest job graph: 3 lines x
+// len(ChasePoints) independent machines). Results are byte-identical at
+// every width (TestAllDeterministicAcrossWorkerCounts); on a multi-core
+// machine wall time per op should drop roughly linearly until the graph
+// width or core count saturates. ns/op is the whole-figure wall time.
+func BenchmarkSchedulerSpeedup(b *testing.B) {
+	for _, jobs := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			o := opts()
+			o.Jobs = jobs
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Fig5a(o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

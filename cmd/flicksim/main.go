@@ -6,25 +6,37 @@
 //	flicksim [flags] <experiment>...
 //	flicksim all
 //
-// Experiments: table2, table3, table4, fig5a, fig5b, latency, stubs.
+// Experiments: table2, table3, breakdown, latency, fig5a, fig5b, table4,
+// stubs, tenants, kv.
+//
+// Each experiment expands into a graph of independent simulation jobs
+// (one private machine per job) executed by -jobs parallel workers.
+// Artifacts on stdout are byte-identical for every -jobs value; progress
+// and timing go to stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
 	"time"
 
 	"flick/internal/experiments"
+	"flick/internal/runner"
 )
 
 func main() {
 	full := flag.Bool("full", false, "paper-scale parameters (minutes of runtime)")
 	scale := flag.Int("bfs-scale", 0, "override Table IV dataset divisor (1 = paper scale)")
 	iters := flag.Int("iters", 0, "override averaging iteration count")
+	jobs := flag.Int("jobs", runtime.NumCPU(), "parallel simulation jobs (1 = serial; results are identical either way)")
+	timeout := flag.Duration("timeout", 0, "abort an experiment after this wall-clock duration (0 = no limit)")
+	quiet := flag.Bool("quiet", false, "suppress per-job progress lines on stderr")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: flicksim [flags] <experiment>...\n")
-		fmt.Fprintf(os.Stderr, "experiments: table2 table3 table4 fig5a fig5b latency breakdown stubs tenants kv all\n")
+		fmt.Fprintf(os.Stderr, "experiments: %s all\n", strings.Join(experiments.IDs(), " "))
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -44,81 +56,45 @@ func main() {
 		o.NullCallIters = *iters
 		o.BFSIters = *iters
 	}
+	o.Jobs = *jobs
+	o.Timeout = *timeout
+	if !*quiet {
+		o.Progress = progress
+	}
 
 	ids := flag.Args()
 	if len(ids) == 1 && ids[0] == "all" {
-		ids = []string{"table2", "table3", "breakdown", "latency", "fig5a", "fig5b", "table4", "stubs", "tenants", "kv"}
+		ids = experiments.IDs()
 	}
 	for _, id := range ids {
+		r, ok := experiments.Get(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "flicksim: unknown experiment %q\n", id)
+			os.Exit(2)
+		}
 		start := time.Now()
-		if err := runOne(id, o); err != nil {
+		if err := r.Run(o, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "flicksim: %s: %v\n", id, err)
 			os.Exit(1)
 		}
-		fmt.Printf("  [%s regenerated in %.1fs wall time]\n\n", id, time.Since(start).Seconds())
+		fmt.Println()
+		fmt.Fprintf(os.Stderr, "  [%s regenerated in %.1fs wall time, %d jobs wide]\n",
+			id, time.Since(start).Seconds(), o.Jobs)
 	}
 }
 
-func runOne(id string, o experiments.Options) error {
-	switch id {
-	case "table2":
-		t, err := experiments.Table2(o)
-		if err != nil {
-			return err
-		}
-		t.Render(os.Stdout)
-	case "table3":
-		t, _, err := experiments.Table3(o)
-		if err != nil {
-			return err
-		}
-		t.Render(os.Stdout)
-	case "table4":
-		t, _, err := experiments.Table4(o)
-		if err != nil {
-			return err
-		}
-		t.Render(os.Stdout)
-	case "fig5a":
-		c, err := experiments.Fig5a(o)
-		if err != nil {
-			return err
-		}
-		c.Render(os.Stdout, 72, 18)
-	case "fig5b":
-		c, err := experiments.Fig5b(o)
-		if err != nil {
-			return err
-		}
-		c.Render(os.Stdout, 72, 18)
-	case "breakdown":
-		t, err := experiments.Breakdown(o)
-		if err != nil {
-			return err
-		}
-		t.Render(os.Stdout)
-	case "latency":
-		t, err := experiments.Latency(o)
-		if err != nil {
-			return err
-		}
-		t.Render(os.Stdout)
-	case "stubs":
-		experiments.StubAblation().Render(os.Stdout)
-	case "tenants":
-		t, err := experiments.Tenants(o)
-		if err != nil {
-			return err
-		}
-		t.Render(os.Stdout)
-	case "kv":
-		t, err := experiments.KVStore(o)
-		if err != nil {
-			return err
-		}
-		t.Render(os.Stdout)
-	default:
-		return fmt.Errorf("unknown experiment %q", id)
+// progress prints per-job lifecycle lines so long Full() runs are
+// observable. Stderr only: stdout carries nothing but the artifacts.
+func progress(e runner.Event) {
+	if e.Err != nil {
+		fmt.Fprintf(os.Stderr, "  [%d/%d] FAIL  %-36s %6.2fs  %v\n",
+			e.Finished, e.Total, e.Name, e.Elapsed.Seconds(), e.Err)
+		return
 	}
-	return nil
+	if e.Done {
+		fmt.Fprintf(os.Stderr, "  [%d/%d] done  %-36s %6.2fs\n",
+			e.Finished, e.Total, e.Name, e.Elapsed.Seconds())
+	} else {
+		fmt.Fprintf(os.Stderr, "  [%d/%d] start %s\n", e.Started, e.Total, e.Name)
+	}
 }

@@ -43,7 +43,7 @@ func main() {
 	}
 	cols := make([][]float64, len(lines))
 	for i, ln := range lines {
-		pts, err := workloads.SweepPointerChase(points, 3, ln.extra, false)
+		pts, err := workloads.SweepPointerChase(points, 3, ln.extra, false, 42)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"bytes"
+	"sync/atomic"
+	"testing"
+
+	"flick/internal/runner"
+)
+
+// goldenOpts is the smallest option set that still exercises every
+// experiment's job graph.
+func goldenOpts(jobs int) Options {
+	o := tiny()
+	o.Jobs = jobs
+	return o
+}
+
+func renderAll(t *testing.T, o Options) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := All(o, &buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestAllDeterministicAcrossWorkerCounts is the scheduler's core
+// guarantee: the rendered artifacts are byte-identical whether the job
+// graph runs serially or eight machines wide, because each job is
+// deterministic and the merge is ordered.
+func TestAllDeterministicAcrossWorkerCounts(t *testing.T) {
+	serial := renderAll(t, goldenOpts(1))
+	parallel := renderAll(t, goldenOpts(8))
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("jobs=1 and jobs=8 rendered different artifacts:\n--- jobs=1 ---\n%s\n--- jobs=8 ---\n%s",
+			serial, parallel)
+	}
+	if len(serial) == 0 {
+		t.Fatal("All rendered nothing")
+	}
+}
+
+// TestAllDeterministicAcrossRuns re-runs the same parallel configuration:
+// a fixed seed must give a fixed artifact even with eight workers racing.
+func TestAllDeterministicAcrossRuns(t *testing.T) {
+	first := renderAll(t, goldenOpts(8))
+	second := renderAll(t, goldenOpts(8))
+	if !bytes.Equal(first, second) {
+		t.Fatal("two jobs=8 runs with the same seed rendered different artifacts")
+	}
+}
+
+// TestFig5aParallelMatchesSerial pins the acceptance artifact directly:
+// the fig5a chart at jobs=1 vs jobs=8.
+func TestFig5aParallelMatchesSerial(t *testing.T) {
+	render := func(jobs int) string {
+		o := tiny()
+		o.Jobs = jobs
+		c, err := Fig5a(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.String()
+	}
+	if s, p := render(1), render(8); s != p {
+		t.Fatalf("fig5a diverged:\n--- jobs=1 ---\n%s\n--- jobs=8 ---\n%s", s, p)
+	}
+}
+
+// TestProgressReportsEveryJob checks the observability contract: a run
+// reports exactly one start and one finish per emitted job.
+func TestProgressReportsEveryJob(t *testing.T) {
+	var starts, finishes atomic.Int32
+	o := tiny()
+	o.Jobs = 4
+	o.Progress = func(e runner.Event) {
+		if e.Done {
+			finishes.Add(1)
+		} else {
+			starts.Add(1)
+		}
+	}
+	if _, err := KVStore(o); err != nil {
+		t.Fatal(err)
+	}
+	// KVStore emits one job per batch size (4 batches).
+	if starts.Load() != 4 || finishes.Load() != 4 {
+		t.Errorf("starts=%d finishes=%d, want 4/4", starts.Load(), finishes.Load())
+	}
+}

@@ -1,20 +1,36 @@
 // Package experiments regenerates every table and figure of the paper's
-// evaluation section. Each function runs the corresponding workload on the
-// simulated platform and renders the same artifact the paper reports; the
+// evaluation section. Each experiment *emits* a list of independent,
+// self-contained simulation jobs (one private machine per job, one
+// derived seed per job) and hands them to the internal/runner scheduler;
+// thread-safe order-preserving collectors in internal/stats then assemble
+// the same artifact the paper reports regardless of completion order.
+// Results are therefore bit-identical for any Options.Jobs value. The
 // bench harness (bench_test.go) and the flicksim CLI both call in here.
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"math"
+	"time"
 
 	"flick/internal/baseline"
+	"flick/internal/runner"
 	"flick/internal/sim"
 	"flick/internal/stats"
 	"flick/internal/workloads"
 )
 
+// SeedZero requests a literal zero RNG seed. The Seed field's zero value
+// selects the default (Quick) seed — the usual Go zero-value collision —
+// so seed 0 itself needs an explicit sentinel.
+const SeedZero int64 = math.MinInt64
+
 // Options tunes fidelity versus runtime. Zero values pick CI-friendly
-// defaults; Full selects paper-scale parameters.
+// defaults; Full selects paper-scale parameters. All counts are
+// meaningful only at >= 1: zero means "use the default" and negative
+// values are rejected, so every explicitly-requestable value (including
+// paper scale, which is always 1 or larger) stays expressible.
 type Options struct {
 	// NullCallIters is the Table II/III averaging count (paper: 10000).
 	NullCallIters int
@@ -22,11 +38,25 @@ type Options struct {
 	ChasePoints []int
 	// ChaseCalls is the per-point averaging count.
 	ChaseCalls int
-	// BFSScale divides the Table IV dataset sizes (1 = paper scale).
+	// BFSScale divides the Table IV dataset sizes (1 = paper scale; zero
+	// selects the Quick default of 64, so request paper scale explicitly
+	// with BFSScale: 1).
 	BFSScale int
 	// BFSIters is the Table IV averaging count (paper: 10).
 	BFSIters int
-	Seed     int64
+	// Seed is the base RNG seed; every job derives its own independent
+	// seed from it (runner.DeriveSeed). Zero selects the default seed;
+	// use SeedZero to request a literal zero.
+	Seed int64
+
+	// Jobs is the scheduler's worker count: how many independent simulated
+	// machines run concurrently. 0 or 1 runs serially. Virtual-time
+	// results are identical for every value (see EXPERIMENTS.md).
+	Jobs int
+	// Timeout bounds one experiment's wall-clock runtime (0 = none).
+	Timeout time.Duration
+	// Progress observes job scheduling (nil = silent).
+	Progress runner.ProgressFunc
 }
 
 // Quick returns options sized for seconds-scale runs.
@@ -61,7 +91,25 @@ func Full() Options {
 	}
 }
 
-func (o Options) withDefaults() Options {
+// withDefaults validates the options and fills zero values from Quick.
+func (o Options) withDefaults() (Options, error) {
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"NullCallIters", o.NullCallIters},
+		{"ChaseCalls", o.ChaseCalls},
+		{"BFSScale", o.BFSScale},
+		{"BFSIters", o.BFSIters},
+		{"Jobs", o.Jobs},
+	} {
+		if f.v < 0 {
+			return o, fmt.Errorf("experiments: %s = %d; counts must be >= 1 (or 0 for the default)", f.name, f.v)
+		}
+	}
+	if o.Timeout < 0 {
+		return o, fmt.Errorf("experiments: negative Timeout %v", o.Timeout)
+	}
 	q := Quick()
 	if o.NullCallIters == 0 {
 		o.NullCallIters = q.NullCallIters
@@ -78,18 +126,56 @@ func (o Options) withDefaults() Options {
 	if o.BFSIters == 0 {
 		o.BFSIters = q.BFSIters
 	}
-	if o.Seed == 0 {
+	switch o.Seed {
+	case 0:
 		o.Seed = q.Seed
+	case SeedZero:
+		o.Seed = 0
 	}
-	return o
+	if o.Jobs == 0 {
+		o.Jobs = 1
+	}
+	return o, nil
+}
+
+// pool builds the scheduler configuration for one experiment run.
+func (o Options) pool() runner.Pool {
+	return runner.Pool{Workers: o.Jobs, Timeout: o.Timeout, OnEvent: o.Progress}
 }
 
 func us(d sim.Duration) string { return fmt.Sprintf("%.1fµs", d.Microseconds()) }
 
+// measureNullCall runs the two Table III phases as independent jobs and
+// combines them exactly as the paper does (the reverse direction is
+// isolated by subtraction).
+func measureNullCall(o Options) (workloads.NullCallResult, error) {
+	cfg := workloads.NullCallConfig{Iterations: o.NullCallIters}
+	jobs := []runner.Job[sim.Duration]{
+		{ID: 0, Name: "nullcall/host-nxp-host", Run: func(context.Context) (sim.Duration, error) {
+			return workloads.NullCallPhase(cfg, false)
+		}},
+		{ID: 1, Name: "nullcall/nested-return-trip", Run: func(context.Context) (sim.Duration, error) {
+			return workloads.NullCallPhase(cfg, true)
+		}},
+	}
+	rs, err := runner.Run(context.Background(), o.pool(), jobs)
+	if err != nil {
+		return workloads.NullCallResult{}, err
+	}
+	return workloads.NullCallResult{
+		Iterations:  o.NullCallIters,
+		HostNxPHost: rs[0],
+		NxPHostNxP:  rs[1] - rs[0],
+	}, nil
+}
+
 // Table2 reproduces "Thread migration overhead from prior work and Flick".
 func Table2(o Options) (*stats.Table, error) {
-	o = o.withDefaults()
-	r, err := workloads.RunNullCall(workloads.NullCallConfig{Iterations: o.NullCallIters})
+	o, err := o.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	r, err := measureNullCall(o)
 	if err != nil {
 		return nil, err
 	}
@@ -110,8 +196,11 @@ func Table2(o Options) (*stats.Table, error) {
 
 // Table3 reproduces "Flick thread migration round trip overhead".
 func Table3(o Options) (*stats.Table, *workloads.NullCallResult, error) {
-	o = o.withDefaults()
-	r, err := workloads.RunNullCall(workloads.NullCallConfig{Iterations: o.NullCallIters})
+	o, err := o.withDefaults()
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := measureNullCall(o)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -125,63 +214,128 @@ func Table3(o Options) (*stats.Table, *workloads.NullCallResult, error) {
 	return t, &r, nil
 }
 
-// fig5 runs one Figure 5 panel.
-func fig5(o Options, interval bool, title string) (*stats.Chart, error) {
-	type lineSpec struct {
+// fig5 runs one Figure 5 panel: every (line, sweep point) pair is one
+// scheduler job writing into a shared order-preserving collector. The
+// three lines share per-point seeds so they sample identical chains at
+// each x position.
+func fig5(o Options, interval bool, tag, title string) (*stats.Chart, error) {
+	lines := []struct {
 		name  string
 		extra sim.Duration
-	}
-	lines := []lineSpec{
+	}{
 		{"Flick", 0},
 		{"500µs migration", 500 * sim.Microsecond},
 		{"1ms migration", sim.Millisecond},
 	}
-	chart := &stats.Chart{
+	names := make([]string, len(lines))
+	for i, ln := range lines {
+		names[i] = ln.name
+	}
+	sc := stats.NewSeriesCollector(names, len(o.ChasePoints))
+	jobs := make([]runner.Job[struct{}], 0, len(lines)*len(o.ChasePoints))
+	for li, ln := range lines {
+		for pi, n := range o.ChasePoints {
+			seed := runner.DeriveSeed(o.Seed, uint64(pi))
+			extra := ln.extra
+			li, pi, n := li, pi, n
+			jobs = append(jobs, runner.Job[struct{}]{
+				ID:   len(jobs),
+				Name: fmt.Sprintf("%s/%s/n=%d", tag, ln.name, n),
+				Seed: seed,
+				Run: func(context.Context) (struct{}, error) {
+					p, err := workloads.MeasureChasePoint(n, o.ChaseCalls, extra, interval, seed)
+					if err != nil {
+						return struct{}{}, err
+					}
+					sc.Set(li, pi, float64(p.Nodes), p.Normalized)
+					return struct{}{}, nil
+				},
+			})
+		}
+	}
+	if _, err := runner.Run(context.Background(), o.pool(), jobs); err != nil {
+		return nil, err
+	}
+	return &stats.Chart{
 		Title:  title,
 		XLabel: "memory accesses per migration",
 		YLabel: "normalized performance (baseline = 1)",
 		HLines: []float64{1},
-	}
-	for _, ln := range lines {
-		pts, err := workloads.SweepPointerChase(o.ChasePoints, o.ChaseCalls, ln.extra, interval)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", ln.name, err)
-		}
-		s := stats.Series{Name: ln.name}
-		for _, p := range pts {
-			s.X = append(s.X, float64(p.Nodes))
-			s.Y = append(s.Y, p.Normalized)
-		}
-		chart.Series = append(chart.Series, s)
-	}
-	return chart, nil
+		Series: sc.Series(),
+	}, nil
 }
 
 // Fig5a reproduces the frequent-migration pointer-chasing panel.
 func Fig5a(o Options) (*stats.Chart, error) {
-	o = o.withDefaults()
-	return fig5(o, false, "Figure 5a: pointer chasing, migration on every call")
+	o, err := o.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return fig5(o, false, "fig5a", "Figure 5a: pointer chasing, migration on every call")
 }
 
 // Fig5b reproduces the 100 µs-interval panel.
 func Fig5b(o Options) (*stats.Chart, error) {
-	o = o.withDefaults()
-	return fig5(o, true, "Figure 5b: pointer chasing, one migration per 100µs")
+	o, err := o.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return fig5(o, true, "fig5b", "Figure 5b: pointer chasing, one migration per 100µs")
 }
 
-// Table4 reproduces "BFS datasets and execution time".
+// Table4 reproduces "BFS datasets and execution time". Each (dataset,
+// mode) cell is one job; the two modes of a dataset share a derived seed
+// so they traverse the same synthetic graph.
 func Table4(o Options) (*stats.Table, []workloads.Table4Row, error) {
-	o = o.withDefaults()
+	o, err := o.withDefaults()
+	if err != nil {
+		return nil, nil, err
+	}
+	datasets := workloads.Table4Datasets
+	scaled := make([]workloads.Dataset, len(datasets))
+	jobs := make([]runner.Job[sim.Duration], 0, 2*len(datasets))
+	for di, d := range datasets {
+		ds := d.Scale(o.BFSScale)
+		scaled[di] = ds
+		seed := runner.DeriveSeed(o.Seed, uint64(di))
+		for _, baselineMode := range []bool{true, false} {
+			mode, bm := "flick", baselineMode
+			if bm {
+				mode = "baseline"
+			}
+			jobs = append(jobs, runner.Job[sim.Duration]{
+				ID:   len(jobs),
+				Name: fmt.Sprintf("table4/%s/%s", ds.Name, mode),
+				Seed: seed,
+				Run: func(context.Context) (sim.Duration, error) {
+					r, err := workloads.RunBFS(workloads.BFSConfig{
+						Dataset: ds, Iterations: o.BFSIters, Baseline: bm, Seed: seed,
+					})
+					if err != nil {
+						return 0, err
+					}
+					return r.PerIter, nil
+				},
+			})
+		}
+	}
+	rs, err := runner.Run(context.Background(), o.pool(), jobs)
+	if err != nil {
+		return nil, nil, err
+	}
+
 	t := &stats.Table{
 		Title:   "Table IV: BFS datasets and execution time",
 		Headers: []string{"Dataset", "Vertices", "Edges", "Baseline", "Flick", "Speedup"},
 	}
-	var rows []workloads.Table4Row
-	for _, d := range workloads.Table4Datasets {
-		ds := d.Scale(o.BFSScale)
-		row, err := workloads.RunTable4Row(ds, o.BFSIters, o.Seed)
-		if err != nil {
-			return nil, nil, err
+	rows := make([]workloads.Table4Row, 0, len(datasets))
+	for di, ds := range scaled {
+		base, fl := rs[2*di], rs[2*di+1]
+		row := workloads.Table4Row{
+			Dataset:  ds,
+			Baseline: base,
+			Flick:    fl,
+			Speedup:  float64(base) / float64(fl),
 		}
 		rows = append(rows, row)
 		t.AddRow(ds.Name, ds.Vertices, ds.Edges,
@@ -197,12 +351,36 @@ func Table4(o Options) (*stats.Table, []workloads.Table4Row, error) {
 	return t, rows, nil
 }
 
-// Latency reproduces the §V access-latency measurements.
+// Latency reproduces the §V access-latency measurements: the four timing
+// loops and the page-fault constant are five independent jobs.
 func Latency(o Options) (*stats.Table, error) {
-	o = o.withDefaults()
-	r, err := workloads.MeasureLatencies(o.NullCallIters, nil)
+	o, err := o.withDefaults()
 	if err != nil {
 		return nil, err
+	}
+	iters := o.NullCallIters
+	modeJob := func(id int, name string, mode workloads.LatencyMode) runner.Job[sim.Duration] {
+		return runner.Job[sim.Duration]{ID: id, Name: name, Run: func(context.Context) (sim.Duration, error) {
+			return workloads.RunLatencyMode(mode, iters, nil)
+		}}
+	}
+	jobs := []runner.Job[sim.Duration]{
+		modeJob(0, "latency/host-loads", workloads.LatencyHostLoads),
+		modeJob(1, "latency/host-nop", workloads.LatencyHostNop),
+		modeJob(2, "latency/nxp-loads", workloads.LatencyNxPLoads),
+		modeJob(3, "latency/nxp-nop", workloads.LatencyNxPNop),
+		{ID: 4, Name: "latency/pagefault", Run: func(context.Context) (sim.Duration, error) {
+			return workloads.PageFaultCost(nil)
+		}},
+	}
+	rs, err := runner.Run(context.Background(), o.pool(), jobs)
+	if err != nil {
+		return nil, err
+	}
+	r := workloads.LatencyResult{
+		HostToNxPStorage:  (rs[0] - rs[1]) / sim.Duration(iters),
+		NxPToLocalStorage: (rs[2] - rs[3]) / sim.Duration(iters),
+		HostPageFault:     rs[4],
 	}
 	t := &stats.Table{
 		Title:   "§V access latencies",
@@ -215,7 +393,8 @@ func Latency(o Options) (*stats.Table, error) {
 }
 
 // StubAblation renders the §III-B analysis: NX-fault triggering vs
-// compiler-inserted stubs.
+// compiler-inserted stubs. Pure cost-model arithmetic — no simulation
+// jobs to schedule.
 func StubAblation() *stats.Table {
 	m := baseline.DefaultStubModel()
 	t := &stats.Table{
@@ -242,8 +421,11 @@ func StubAblation() *stats.Table {
 // round trip from the live cost model — the provenance of Table III's
 // 18.3 µs. The sum is asserted against the measured round trip.
 func Breakdown(o Options) (*stats.Table, error) {
-	o = o.withDefaults()
-	r, err := workloads.RunNullCall(workloads.NullCallConfig{Iterations: o.NullCallIters})
+	o, err := o.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	r, err := measureNullCall(o)
 	if err != nil {
 		return nil, err
 	}
@@ -263,27 +445,49 @@ func Breakdown(o Options) (*stats.Table, error) {
 
 // Tenants renders the multi-tenant NxP contention experiment (an extension
 // beyond the paper): several host threads, one per host core, share the
-// single board core through Flick migrations.
+// single board core through Flick migrations. One job per tenant count;
+// the per-tenant slowdown column is computed from the ordered results
+// after the pool drains.
 func Tenants(o Options) (*stats.Table, error) {
-	o = o.withDefaults()
+	o, err := o.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	type contention struct {
+		total sim.Duration
+		calls int
+	}
+	tenantCounts := []int{1, 2, 4, 8}
+	jobs := make([]runner.Job[contention], len(tenantCounts))
+	for i, tenants := range tenantCounts {
+		tenants := tenants
+		jobs[i] = runner.Job[contention]{
+			ID:   i,
+			Name: fmt.Sprintf("tenants/%d", tenants),
+			Run: func(context.Context) (contention, error) {
+				total, calls, err := workloads.RunMultiTenant(tenants, 12)
+				if err != nil {
+					return contention{}, err
+				}
+				return contention{total, calls}, nil
+			},
+		}
+	}
+	rs, err := runner.Run(context.Background(), o.pool(), jobs)
+	if err != nil {
+		return nil, err
+	}
 	t := &stats.Table{
 		Title:   "Extension: multi-tenant NxP contention",
 		Headers: []string{"Tenants", "Total time", "Aggregate calls/s", "Per-tenant slowdown"},
 	}
-	var base float64
-	for _, tenants := range []int{1, 2, 4, 8} {
-		total, calls, err := workloads.RunMultiTenant(tenants, 12)
-		if err != nil {
-			return nil, err
-		}
-		perSec := float64(calls) / total.Seconds()
-		if tenants == 1 {
-			base = total.Seconds()
-		}
+	base := rs[0].total.Seconds()
+	for i, tenants := range tenantCounts {
+		perSec := float64(rs[i].calls) / rs[i].total.Seconds()
 		t.AddRow(tenants,
-			fmt.Sprintf("%.0fµs", total.Seconds()*1e6),
+			fmt.Sprintf("%.0fµs", rs[i].total.Seconds()*1e6),
 			fmt.Sprintf("%.0f", perSec),
-			fmt.Sprintf("%.2fx", total.Seconds()/base))
+			fmt.Sprintf("%.2fx", rs[i].total.Seconds()/base))
 	}
 	t.Notes = append(t.Notes,
 		"each tenant performs 12 migrated ~5µs board jobs; the single NxP serializes job bodies while migration phases overlap")
@@ -291,20 +495,41 @@ func Tenants(o Options) (*stats.Table, error) {
 }
 
 // KVStore renders the near-data key-value extension experiment: per-lookup
-// latency versus migration batch size.
+// latency versus migration batch size. One job per batch size, each
+// filling its reserved row slot in a shared collector.
 func KVStore(o Options) (*stats.Table, error) {
-	o = o.withDefaults()
-	pts, err := workloads.SweepKVBatch([]int{1, 4, 16, 64}, 128, o.Seed)
+	o, err := o.withDefaults()
 	if err != nil {
+		return nil, err
+	}
+	batches := []int{1, 4, 16, 64}
+	rc := stats.NewRowCollector(len(batches))
+	jobs := make([]runner.Job[struct{}], len(batches))
+	for i, b := range batches {
+		i, b := i, b
+		seed := runner.DeriveSeed(o.Seed, uint64(i))
+		jobs[i] = runner.Job[struct{}]{
+			ID:   i,
+			Name: fmt.Sprintf("kv/batch=%d", b),
+			Seed: seed,
+			Run: func(context.Context) (struct{}, error) {
+				p, err := workloads.MeasureKVPoint(b, 128, seed)
+				if err != nil {
+					return struct{}{}, err
+				}
+				rc.Set(i, p.Batch, p.Flick, p.Baseline, fmt.Sprintf("%.2fx", p.Normalized))
+				return struct{}{}, nil
+			},
+		}
+	}
+	if _, err := runner.Run(context.Background(), o.pool(), jobs); err != nil {
 		return nil, err
 	}
 	t := &stats.Table{
 		Title:   "Extension: near-data KV lookups vs batch size",
 		Headers: []string{"Batch", "Flick/lookup", "Host-direct/lookup", "Normalized"},
 	}
-	for _, p := range pts {
-		t.AddRow(p.Batch, p.Flick, p.Baseline, fmt.Sprintf("%.2fx", p.Normalized))
-	}
+	rc.FillTable(t)
 	t.Notes = append(t.Notes, "the application-shaped form of Figure 5's work-per-migration axis")
 	return t, nil
 }

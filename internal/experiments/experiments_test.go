@@ -3,6 +3,7 @@ package experiments
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 // tiny returns options small enough for unit-test latency.
@@ -105,10 +106,16 @@ func TestStubAblationArtifact(t *testing.T) {
 }
 
 func TestOptionsDefaults(t *testing.T) {
-	var o Options
-	o = o.withDefaults()
+	var zero Options
+	o, err := zero.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if o.NullCallIters == 0 || len(o.ChasePoints) == 0 || o.BFSScale == 0 || o.Seed == 0 {
 		t.Errorf("defaults not filled: %+v", o)
+	}
+	if o.Jobs != 1 {
+		t.Errorf("default Jobs = %d, want 1 (serial)", o.Jobs)
 	}
 	full := Full()
 	if full.BFSScale != 1 || full.NullCallIters != 10000 {
@@ -116,6 +123,55 @@ func TestOptionsDefaults(t *testing.T) {
 	}
 	if len(full.ChasePoints) != 256 {
 		t.Errorf("full sweep points = %d, want 256 (4..1024 step 4)", len(full.ChasePoints))
+	}
+}
+
+func TestOptionsExplicitValuesSurviveDefaulting(t *testing.T) {
+	// Paper scale is 1 on every count field, which must never be
+	// mistaken for "unset" (the zero-value collision the defaults guard
+	// against).
+	o, err := Options{NullCallIters: 1, ChaseCalls: 1, BFSScale: 1, BFSIters: 1, Jobs: 1}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.NullCallIters != 1 || o.ChaseCalls != 1 || o.BFSScale != 1 || o.BFSIters != 1 {
+		t.Errorf("explicit 1s overridden: %+v", o)
+	}
+}
+
+func TestOptionsSeedZeroSentinel(t *testing.T) {
+	o, err := Options{Seed: SeedZero}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Seed != 0 {
+		t.Errorf("SeedZero mapped to %d, want literal 0", o.Seed)
+	}
+	o, err = Options{}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Seed != Quick().Seed {
+		t.Errorf("unset seed = %d, want the Quick default", o.Seed)
+	}
+}
+
+func TestOptionsRejectNegativeCounts(t *testing.T) {
+	for _, bad := range []Options{
+		{NullCallIters: -1},
+		{ChaseCalls: -3},
+		{BFSScale: -64},
+		{BFSIters: -1},
+		{Jobs: -2},
+		{Timeout: -time.Second},
+	} {
+		if _, err := bad.withDefaults(); err == nil {
+			t.Errorf("options %+v accepted, want error", bad)
+		}
+	}
+	// The error surfaces through the public experiment entry points too.
+	if _, err := Table2(Options{NullCallIters: -1}); err == nil {
+		t.Error("Table2 accepted negative options")
 	}
 }
 

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// Runner couples an experiment id to its artifact generator: Run emits
+// the experiment's job graph, waits for the scheduler, and renders the
+// assembled artifact to w.
+type Runner struct {
+	ID    string
+	Title string
+	Run   func(o Options, w io.Writer) error
+}
+
+// chartSize is the plot area every chart-producing experiment renders at,
+// shared by the CLI and the golden determinism tests.
+const (
+	chartWidth  = 72
+	chartHeight = 18
+)
+
+// Registry lists every experiment in presentation order — the order
+// `flicksim all` regenerates them.
+var Registry = []Runner{
+	{"table2", "Table II: migration overhead vs prior work", func(o Options, w io.Writer) error {
+		t, err := Table2(o)
+		if err != nil {
+			return err
+		}
+		t.Render(w)
+		return nil
+	}},
+	{"table3", "Table III: round-trip overhead", func(o Options, w io.Writer) error {
+		t, _, err := Table3(o)
+		if err != nil {
+			return err
+		}
+		t.Render(w)
+		return nil
+	}},
+	{"breakdown", "round-trip component decomposition", func(o Options, w io.Writer) error {
+		t, err := Breakdown(o)
+		if err != nil {
+			return err
+		}
+		t.Render(w)
+		return nil
+	}},
+	{"latency", "§V access latencies", func(o Options, w io.Writer) error {
+		t, err := Latency(o)
+		if err != nil {
+			return err
+		}
+		t.Render(w)
+		return nil
+	}},
+	{"fig5a", "Figure 5a: pointer chasing, migration per call", func(o Options, w io.Writer) error {
+		c, err := Fig5a(o)
+		if err != nil {
+			return err
+		}
+		c.Render(w, chartWidth, chartHeight)
+		return nil
+	}},
+	{"fig5b", "Figure 5b: pointer chasing, migration per 100µs", func(o Options, w io.Writer) error {
+		c, err := Fig5b(o)
+		if err != nil {
+			return err
+		}
+		c.Render(w, chartWidth, chartHeight)
+		return nil
+	}},
+	{"table4", "Table IV: BFS datasets and execution time", func(o Options, w io.Writer) error {
+		t, _, err := Table4(o)
+		if err != nil {
+			return err
+		}
+		t.Render(w)
+		return nil
+	}},
+	{"stubs", "ablation: NX fault vs compiler stubs", func(o Options, w io.Writer) error {
+		StubAblation().Render(w)
+		return nil
+	}},
+	{"tenants", "extension: multi-tenant NxP contention", func(o Options, w io.Writer) error {
+		t, err := Tenants(o)
+		if err != nil {
+			return err
+		}
+		t.Render(w)
+		return nil
+	}},
+	{"kv", "extension: near-data KV lookups vs batch size", func(o Options, w io.Writer) error {
+		t, err := KVStore(o)
+		if err != nil {
+			return err
+		}
+		t.Render(w)
+		return nil
+	}},
+}
+
+// Get returns the registered experiment with the given id.
+func Get(id string) (Runner, bool) {
+	for _, r := range Registry {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}
+
+// IDs lists the registered experiment ids in presentation order.
+func IDs() []string {
+	ids := make([]string, len(Registry))
+	for i, r := range Registry {
+		ids[i] = r.ID
+	}
+	return ids
+}
+
+// All regenerates every registered experiment in order, rendering each
+// artifact to w separated by a blank line. The output is byte-identical
+// for any Options.Jobs value.
+func All(o Options, w io.Writer) error {
+	for _, r := range Registry {
+		if err := r.Run(o, w); err != nil {
+			return fmt.Errorf("%s: %w", r.ID, err)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

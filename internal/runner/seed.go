@@ -1,0 +1,15 @@
+package runner
+
+// DeriveSeed expands a base seed into a stream of statistically
+// independent per-job seeds using the splitmix64 finalizer (Steele et
+// al., "Fast splittable pseudorandom number generators"). Jobs seeded
+// this way never share an RNG stream with one another or with the base,
+// and the derivation depends only on (base, index) — never on worker
+// count or completion order — so sweeps are reproducible under any
+// parallelism.
+func DeriveSeed(base int64, index uint64) int64 {
+	z := uint64(base) + (index+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}

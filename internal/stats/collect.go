@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"fmt"
+	"sync"
+)
+
+// RowCollector assembles a fixed number of table rows from concurrent
+// writers. Each row occupies a pre-assigned slot, so the finished table
+// is identical no matter which writer finishes first — the ordered-merge
+// half of the scheduler's determinism contract.
+type RowCollector struct {
+	mu   sync.Mutex
+	rows [][]string
+}
+
+// NewRowCollector reserves slots rows.
+func NewRowCollector(slots int) *RowCollector {
+	return &RowCollector{rows: make([][]string, slots)}
+}
+
+// Set fills one slot, stringifying each cell. Safe for concurrent use;
+// slots may be filled in any order.
+func (c *RowCollector) Set(slot int, cells ...any) {
+	row := make([]string, len(cells))
+	for i, cell := range cells {
+		row[i] = fmt.Sprint(cell)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rows[slot] = row
+}
+
+// Rows returns the filled slots in order, skipping any left unset.
+func (c *RowCollector) Rows() [][]string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([][]string, 0, len(c.rows))
+	for _, r := range c.rows {
+		if r != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// FillTable appends the collected rows to a table in slot order.
+func (c *RowCollector) FillTable(t *Table) {
+	t.Rows = append(t.Rows, c.Rows()...)
+}
+
+// SeriesCollector assembles chart series from concurrent writers: every
+// (series, point) pair has a reserved cell, so the rendered chart is
+// byte-identical regardless of completion order.
+type SeriesCollector struct {
+	mu     sync.Mutex
+	series []Series
+}
+
+// NewSeriesCollector reserves points cells for each named series.
+func NewSeriesCollector(names []string, points int) *SeriesCollector {
+	c := &SeriesCollector{series: make([]Series, len(names))}
+	for i, name := range names {
+		c.series[i] = Series{
+			Name: name,
+			X:    make([]float64, points),
+			Y:    make([]float64, points),
+		}
+	}
+	return c
+}
+
+// Set fills one cell. Safe for concurrent use.
+func (c *SeriesCollector) Set(series, point int, x, y float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.series[series].X[point] = x
+	c.series[series].Y[point] = y
+}
+
+// Series returns the assembled series in declaration order.
+func (c *SeriesCollector) Series() []Series {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Series, len(c.series))
+	for i, s := range c.series {
+		out[i] = Series{
+			Name: s.Name,
+			X:    append([]float64(nil), s.X...),
+			Y:    append([]float64(nil), s.Y...),
+		}
+	}
+	return out
+}

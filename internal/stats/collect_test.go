@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestRowCollectorOrderIndependent(t *testing.T) {
+	// Fill slots in a shuffled order from many goroutines; the assembled
+	// table must come out in slot order.
+	const n = 40
+	c := NewRowCollector(n)
+	order := rand.New(rand.NewSource(1)).Perm(n)
+	var wg sync.WaitGroup
+	for _, slot := range order {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			c.Set(slot, fmt.Sprintf("row%d", slot), slot*10)
+		}(slot)
+	}
+	wg.Wait()
+	rows := c.Rows()
+	if len(rows) != n {
+		t.Fatalf("rows = %d, want %d", len(rows), n)
+	}
+	for i, r := range rows {
+		if r[0] != fmt.Sprintf("row%d", i) || r[1] != fmt.Sprint(i*10) {
+			t.Fatalf("row %d = %v", i, r)
+		}
+	}
+
+	tab := &Table{Headers: []string{"name", "value"}}
+	c.FillTable(tab)
+	if len(tab.Rows) != n {
+		t.Fatalf("table rows = %d", len(tab.Rows))
+	}
+}
+
+func TestRowCollectorSkipsUnsetSlots(t *testing.T) {
+	c := NewRowCollector(3)
+	c.Set(2, "last")
+	c.Set(0, "first")
+	rows := c.Rows()
+	if len(rows) != 2 || rows[0][0] != "first" || rows[1][0] != "last" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestSeriesCollectorOrderIndependent(t *testing.T) {
+	const points = 32
+	names := []string{"a", "b", "c"}
+	c := NewSeriesCollector(names, points)
+	var wg sync.WaitGroup
+	for s := range names {
+		for p := 0; p < points; p++ {
+			wg.Add(1)
+			go func(s, p int) {
+				defer wg.Done()
+				c.Set(s, p, float64(p), float64(s*1000+p))
+			}(s, p)
+		}
+	}
+	wg.Wait()
+	series := c.Series()
+	if len(series) != 3 {
+		t.Fatalf("series = %d", len(series))
+	}
+	for s, ser := range series {
+		if ser.Name != names[s] {
+			t.Errorf("series %d name = %q", s, ser.Name)
+		}
+		for p := 0; p < points; p++ {
+			if ser.X[p] != float64(p) || ser.Y[p] != float64(s*1000+p) {
+				t.Fatalf("series %d point %d = (%g, %g)", s, p, ser.X[p], ser.Y[p])
+			}
+		}
+	}
+	// The returned slices are copies: mutating them must not corrupt the
+	// collector.
+	series[0].Y[0] = -1
+	if c.Series()[0].Y[0] == -1 {
+		t.Error("Series() aliases internal state")
+	}
+}

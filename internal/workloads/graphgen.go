@@ -61,6 +61,13 @@ func (g *CSR) Degree(v int) int { return int(g.Offsets[v+1] - g.Offsets[v]) }
 // networks. Vertex 0 is made reachable-rich: generated sources are
 // additionally wired so BFS from 0 covers most of the graph (each vertex
 // gets at least one incoming edge from a lower-numbered vertex).
+//
+// The generator owns its RNG: all randomness flows from the seed argument
+// through a locally-constructed rand.Rand, never package-global state, so
+// concurrent generation on scheduler workers is safe and a given
+// (Dataset, seed) pair always yields the same graph. Callers running
+// several generations in one sweep should hand each a seed derived via
+// runner.DeriveSeed so the streams are independent.
 func GenerateRMAT(d Dataset, seed int64) *CSR {
 	rng := rand.New(rand.NewSource(seed))
 	v := d.Vertices

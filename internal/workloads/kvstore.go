@@ -7,6 +7,7 @@ import (
 
 	"flick"
 	"flick/internal/platform"
+	"flick/internal/runner"
 	"flick/internal/sim"
 )
 
@@ -314,29 +315,42 @@ type KVPoint struct {
 	Normalized float64
 }
 
+// MeasureKVPoint measures one batch-size sample: Flick and host-direct
+// lookups over the same seeded table and query stream. Self-contained, so
+// batch sizes can run concurrently as scheduler jobs.
+func MeasureKVPoint(batch, queries int, seed int64) (KVPoint, error) {
+	q := queries - queries%batch
+	if q == 0 {
+		q = batch
+	}
+	f, err := RunKVStore(KVConfig{Queries: q, Batch: batch, Seed: seed})
+	if err != nil {
+		return KVPoint{}, fmt.Errorf("flick batch %d: %w", batch, err)
+	}
+	base, err := RunKVStore(KVConfig{Queries: q, Batch: batch, Baseline: true, Seed: seed})
+	if err != nil {
+		return KVPoint{}, fmt.Errorf("baseline batch %d: %w", batch, err)
+	}
+	return KVPoint{
+		Batch:      batch,
+		Flick:      f.PerLookup,
+		Baseline:   base.PerLookup,
+		Normalized: float64(base.PerLookup) / float64(f.PerLookup),
+	}, nil
+}
+
 // SweepKVBatch measures per-lookup cost across batch sizes: the service-
-// shaped version of Figure 5's accesses-per-migration axis.
+// shaped version of Figure 5's accesses-per-migration axis. Per-batch
+// seeds are derived from seed by position, matching the parallel
+// experiment scheduler's derivation for the same sweep.
 func SweepKVBatch(batches []int, queries int, seed int64) ([]KVPoint, error) {
 	out := make([]KVPoint, 0, len(batches))
-	for _, b := range batches {
-		q := queries - queries%b
-		if q == 0 {
-			q = b
-		}
-		f, err := RunKVStore(KVConfig{Queries: q, Batch: b, Seed: seed})
+	for i, b := range batches {
+		p, err := MeasureKVPoint(b, queries, runner.DeriveSeed(seed, uint64(i)))
 		if err != nil {
-			return nil, fmt.Errorf("flick batch %d: %w", b, err)
+			return nil, err
 		}
-		base, err := RunKVStore(KVConfig{Queries: q, Batch: b, Baseline: true, Seed: seed})
-		if err != nil {
-			return nil, fmt.Errorf("baseline batch %d: %w", b, err)
-		}
-		out = append(out, KVPoint{
-			Batch:      b,
-			Flick:      f.PerLookup,
-			Baseline:   base.PerLookup,
-			Normalized: float64(base.PerLookup) / float64(f.PerLookup),
-		})
+		out = append(out, p)
 	}
 	return out, nil
 }

@@ -108,60 +108,90 @@ type LatencyResult struct {
 	HostPageFault sim.Duration
 }
 
-// MeasureLatencies runs the access-latency microbenchmarks.
-func MeasureLatencies(iterations int, params *platform.Params) (LatencyResult, error) {
+// LatencyMode selects one access-latency measurement loop (the argument
+// the microbenchmark's dispatch function switches on).
+type LatencyMode uint64
+
+const (
+	// LatencyHostLoads times host loads from board DRAM over PCIe.
+	LatencyHostLoads LatencyMode = 0
+	// LatencyNxPLoads times NxP loads from its local DRAM.
+	LatencyNxPLoads LatencyMode = 1
+	// LatencyHostNop is the host loop without the load (subtrahend).
+	LatencyHostNop LatencyMode = 2
+	// LatencyNxPNop is the NxP loop without the load (subtrahend).
+	LatencyNxPNop LatencyMode = 3
+)
+
+// RunLatencyMode measures one loop's total elapsed virtual time on a
+// private machine; callers difference loaded against no-load loops. Each
+// invocation is self-contained, so modes can run concurrently as
+// scheduler jobs.
+func RunLatencyMode(mode LatencyMode, iterations int, params *platform.Params) (sim.Duration, error) {
 	if iterations <= 0 {
 		iterations = 2000
 	}
-	run := func(mode uint64) (sim.Duration, error) {
-		sys, err := flick.Build(flick.Config{
-			Sources: map[string]string{"latency.fasm": latencySource},
-			Params:  params,
-		})
-		if err != nil {
-			return 0, err
-		}
-		buf, err := sys.Program.NxPHeap.Alloc(4096, 4096)
-		if err != nil {
-			return 0, err
-		}
-		elapsedNS, err := sys.RunProgram("main", buf, uint64(iterations), mode)
-		if err != nil {
-			return 0, err
-		}
-		return sim.Duration(elapsedNS) * sim.Nanosecond, nil
-	}
-
-	var res LatencyResult
-	hostLd, err := run(0)
-	if err != nil {
-		return res, err
-	}
-	hostNop, err := run(2)
-	if err != nil {
-		return res, err
-	}
-	nxpLd, err := run(1)
-	if err != nil {
-		return res, err
-	}
-	nxpNop, err := run(3)
-	if err != nil {
-		return res, err
-	}
-	res.HostToNxPStorage = (hostLd - hostNop) / sim.Duration(iterations)
-	res.NxPToLocalStorage = (nxpLd - nxpNop) / sim.Duration(iterations)
-
-	// The page-fault component: measured on the host kernel's fault path
-	// (the simulator charges it as one block, as the paper reports one
-	// number).
 	sys, err := flick.Build(flick.Config{
 		Sources: map[string]string{"latency.fasm": latencySource},
 		Params:  params,
 	})
 	if err != nil {
+		return 0, err
+	}
+	buf, err := sys.Program.NxPHeap.Alloc(4096, 4096)
+	if err != nil {
+		return 0, err
+	}
+	elapsedNS, err := sys.RunProgram("main", buf, uint64(iterations), uint64(mode))
+	if err != nil {
+		return 0, err
+	}
+	return sim.Duration(elapsedNS) * sim.Nanosecond, nil
+}
+
+// PageFaultCost reports the host kernel's NX-fault handling cost on a
+// machine built with params — the paper's separately-quoted 0.7 µs
+// component (the simulator charges it as one block, as the paper reports
+// one number).
+func PageFaultCost(params *platform.Params) (sim.Duration, error) {
+	sys, err := flick.Build(flick.Config{
+		Sources: map[string]string{"latency.fasm": latencySource},
+		Params:  params,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return sys.Kernel.Costs().PageFaultEntry, nil
+}
+
+// MeasureLatencies runs the access-latency microbenchmarks serially; the
+// experiment scheduler runs the same five measurements as parallel jobs.
+func MeasureLatencies(iterations int, params *platform.Params) (LatencyResult, error) {
+	if iterations <= 0 {
+		iterations = 2000
+	}
+	var res LatencyResult
+	hostLd, err := RunLatencyMode(LatencyHostLoads, iterations, params)
+	if err != nil {
 		return res, err
 	}
-	res.HostPageFault = sys.Kernel.Costs().PageFaultEntry
+	hostNop, err := RunLatencyMode(LatencyHostNop, iterations, params)
+	if err != nil {
+		return res, err
+	}
+	nxpLd, err := RunLatencyMode(LatencyNxPLoads, iterations, params)
+	if err != nil {
+		return res, err
+	}
+	nxpNop, err := RunLatencyMode(LatencyNxPNop, iterations, params)
+	if err != nil {
+		return res, err
+	}
+	res.HostToNxPStorage = (hostLd - hostNop) / sim.Duration(iterations)
+	res.NxPToLocalStorage = (nxpLd - nxpNop) / sim.Duration(iterations)
+	res.HostPageFault, err = PageFaultCost(params)
+	if err != nil {
+		return res, err
+	}
 	return res, nil
 }

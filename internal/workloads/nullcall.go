@@ -80,36 +80,49 @@ type NullCallConfig struct {
 	Params *platform.Params
 }
 
+// NullCallPhase runs one Table III phase on a private machine and returns
+// the average per-call round trip. nested=false measures the plain
+// host→NxP→host call; nested=true has the NxP function bounce through a
+// host function, so subtracting the plain phase isolates the reverse
+// direction. Each phase is self-contained, so the two can run
+// concurrently as scheduler jobs.
+func NullCallPhase(cfg NullCallConfig, nested bool) (sim.Duration, error) {
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 10000
+	}
+	mode := uint64(0)
+	if nested {
+		mode = 1
+	}
+	sys, err := flick.Build(flick.Config{
+		Sources: map[string]string{"nullcall.fasm": nullCallSource},
+		Params:  cfg.Params,
+	})
+	if err != nil {
+		return 0, err
+	}
+	sys.Runtime.ExtraMigrationLatency = cfg.ExtraMigrationLatency
+	elapsedNS, err := sys.RunProgram("main", uint64(cfg.Iterations), mode)
+	if err != nil {
+		return 0, err
+	}
+	wantCalls := cfg.Iterations + 1
+	if got := sys.Runtime.Stats().H2NCalls; got != wantCalls {
+		return 0, fmt.Errorf("workloads: expected %d migrations, saw %d", wantCalls, got)
+	}
+	return sim.Duration(elapsedNS) * sim.Nanosecond / sim.Duration(cfg.Iterations), nil
+}
+
 // RunNullCall executes both phases of the Table III microbenchmark.
 func RunNullCall(cfg NullCallConfig) (NullCallResult, error) {
 	if cfg.Iterations <= 0 {
 		cfg.Iterations = 10000
 	}
-	run := func(mode uint64) (sim.Duration, error) {
-		sys, err := flick.Build(flick.Config{
-			Sources: map[string]string{"nullcall.fasm": nullCallSource},
-			Params:  cfg.Params,
-		})
-		if err != nil {
-			return 0, err
-		}
-		sys.Runtime.ExtraMigrationLatency = cfg.ExtraMigrationLatency
-		elapsedNS, err := sys.RunProgram("main", uint64(cfg.Iterations), mode)
-		if err != nil {
-			return 0, err
-		}
-		wantCalls := cfg.Iterations + 1
-		if got := sys.Runtime.Stats().H2NCalls; got != wantCalls {
-			return 0, fmt.Errorf("workloads: expected %d migrations, saw %d", wantCalls, got)
-		}
-		return sim.Duration(elapsedNS) * sim.Nanosecond / sim.Duration(cfg.Iterations), nil
-	}
-
-	h2n, err := run(0)
+	h2n, err := NullCallPhase(cfg, false)
 	if err != nil {
 		return NullCallResult{}, err
 	}
-	both, err := run(1)
+	both, err := NullCallPhase(cfg, true)
 	if err != nil {
 		return NullCallResult{}, err
 	}

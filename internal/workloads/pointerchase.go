@@ -9,6 +9,7 @@ import (
 	"flick/internal/cpu"
 	"flick/internal/isa"
 	"flick/internal/platform"
+	"flick/internal/runner"
 	"flick/internal/sim"
 )
 
@@ -236,30 +237,46 @@ type PointerChasePoint struct {
 	Normalized float64 // baseline/flick: >1 means Flick wins
 }
 
-// SweepPointerChase reproduces one Figure 5 panel: for each node count it
-// measures Flick and the host-direct baseline and reports normalized
-// performance. interval selects the Fig. 5b variant.
-func SweepPointerChase(nodeCounts []int, calls int, extra sim.Duration, interval bool) ([]PointerChasePoint, error) {
+// MeasureChasePoint measures one Figure 5 sample: the Flick and the
+// host-direct traversal of the same seeded chain at one list length.
+// Both sides share the seed so the normalization compares identical node
+// placements. The measurement is self-contained (two private machines),
+// so points can run concurrently as scheduler jobs.
+func MeasureChasePoint(nodes, calls int, extra sim.Duration, interval bool, seed int64) (PointerChasePoint, error) {
 	flickMode, baseMode := ChaseFlick, ChaseBaseline
 	if interval {
 		flickMode, baseMode = ChaseFlickInterval, ChaseBaselineInterval
 	}
+	f, err := RunPointerChase(PointerChaseConfig{
+		Nodes: nodes, Calls: calls, Mode: flickMode, ExtraMigrationLatency: extra, Seed: seed})
+	if err != nil {
+		return PointerChasePoint{}, fmt.Errorf("flick n=%d: %w", nodes, err)
+	}
+	b, err := RunPointerChase(PointerChaseConfig{Nodes: nodes, Calls: calls, Mode: baseMode, Seed: seed})
+	if err != nil {
+		return PointerChasePoint{}, fmt.Errorf("baseline n=%d: %w", nodes, err)
+	}
+	return PointerChasePoint{
+		Nodes:      nodes,
+		Flick:      f,
+		Baseline:   b,
+		Normalized: float64(b) / float64(f),
+	}, nil
+}
+
+// SweepPointerChase reproduces one Figure 5 panel: for each node count it
+// measures Flick and the host-direct baseline and reports normalized
+// performance. interval selects the Fig. 5b variant. Per-point seeds are
+// derived from seed by position, matching what the parallel experiment
+// scheduler produces for the same sweep.
+func SweepPointerChase(nodeCounts []int, calls int, extra sim.Duration, interval bool, seed int64) ([]PointerChasePoint, error) {
 	out := make([]PointerChasePoint, 0, len(nodeCounts))
-	for _, n := range nodeCounts {
-		f, err := RunPointerChase(PointerChaseConfig{Nodes: n, Calls: calls, Mode: flickMode, ExtraMigrationLatency: extra})
+	for i, n := range nodeCounts {
+		p, err := MeasureChasePoint(n, calls, extra, interval, runner.DeriveSeed(seed, uint64(i)))
 		if err != nil {
-			return nil, fmt.Errorf("flick n=%d: %w", n, err)
+			return nil, err
 		}
-		b, err := RunPointerChase(PointerChaseConfig{Nodes: n, Calls: calls, Mode: baseMode})
-		if err != nil {
-			return nil, fmt.Errorf("baseline n=%d: %w", n, err)
-		}
-		out = append(out, PointerChasePoint{
-			Nodes:      n,
-			Flick:      f,
-			Baseline:   b,
-			Normalized: float64(b) / float64(f),
-		})
+		out = append(out, p)
 	}
 	return out, nil
 }

@@ -41,7 +41,7 @@ func TestNullCallExtraLatency(t *testing.T) {
 func TestPointerChaseSteadyStateRatio(t *testing.T) {
 	// Fig 5a right side: the benefit stabilizes around 2.6x — the
 	// relative latency of host vs NxP access to the board DRAM.
-	pts, err := SweepPointerChase([]int{512}, 4, 0, false)
+	pts, err := SweepPointerChase([]int{512}, 4, 0, false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +53,7 @@ func TestPointerChaseSteadyStateRatio(t *testing.T) {
 func TestPointerChaseCrossover(t *testing.T) {
 	// Fig 5a: Flick breaks even around 32 accesses per migration; far
 	// below it loses badly, far above it wins.
-	pts, err := SweepPointerChase([]int{4, 16, 32, 48, 64, 256}, 4, 0, false)
+	pts, err := SweepPointerChase([]int{4, 16, 32, 48, 64, 256}, 4, 0, false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,14 +84,14 @@ func TestPointerChaseSlowMigrationNeedsFarMoreWork(t *testing.T) {
 	// Fig 5a dashed lines: a 500 µs-migration system is still far below
 	// baseline at 256 accesses per migration (where Flick is already
 	// >2x ahead), and a 1 ms system hasn't reached baseline even at 1024.
-	slow500, err := SweepPointerChase([]int{256}, 2, 500*sim.Microsecond, false)
+	slow500, err := SweepPointerChase([]int{256}, 2, 500*sim.Microsecond, false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if slow500[0].Normalized >= 0.7 {
 		t.Errorf("500µs system at n=256: normalized %.2f, want well below baseline", slow500[0].Normalized)
 	}
-	slow1ms, err := SweepPointerChase([]int{1024}, 2, sim.Millisecond, false)
+	slow1ms, err := SweepPointerChase([]int{1024}, 2, sim.Millisecond, false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,11 +103,11 @@ func TestPointerChaseSlowMigrationNeedsFarMoreWork(t *testing.T) {
 func TestPointerChaseIntervalReducesBenefit(t *testing.T) {
 	// Fig 5b: with 100 µs of host work between migrations, the benefit
 	// at large n drops to ≈2x, and the penalty at small n is milder.
-	a, err := SweepPointerChase([]int{8, 1024}, 3, 0, false)
+	a, err := SweepPointerChase([]int{8, 1024}, 3, 0, false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := SweepPointerChase([]int{8, 1024}, 3, 0, true)
+	b, err := SweepPointerChase([]int{8, 1024}, 3, 0, true, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
