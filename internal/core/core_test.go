@@ -545,10 +545,10 @@ func TestMigrationTraceEvents(t *testing.T) {
 		t.Fatal(err)
 	}
 	tr := sys.Machine.Env.Trace()
-	if len(tr.Filter("fault")) != 1 {
-		t.Errorf("fault events = %d", len(tr.Filter("fault")))
+	if len(tr.Filter(sim.KindFault)) != 1 {
+		t.Errorf("fault events = %d", len(tr.Filter(sim.KindFault)))
 	}
-	if got := len(tr.Filter("dma")); got != 2 {
+	if got := len(tr.Filter(sim.KindDMA)); got != 2 {
 		t.Errorf("dma events = %d, want 2 (one descriptor each way)", got)
 	}
 }

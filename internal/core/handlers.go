@@ -56,7 +56,7 @@ func (rt *Runtime) executeOnBoard(p *sim.Proc, c *cpu.Core, t *kernel.Task, targ
 	if err != nil {
 		return err
 	}
-	rt.M.Env.Trace().Addf(p.Now(), "migrate", "pid %d: host → board call, target %#x", t.PID, target)
+	rt.M.Env.Emit(sim.Event{Comp: "runtime", Kind: sim.KindSched, Addr: target, Aux: uint64(t.PID), Note: "host → board call"})
 	// prepare_host_to_nxp_call + ioctl_migrate_and_suspend (lines 5-6).
 	call := Descriptor{
 		Kind:     DescCall,
@@ -90,6 +90,7 @@ func (rt *Runtime) executeOnBoard(p *sim.Proc, c *cpu.Core, t *kernel.Task, targ
 			// here — it may itself fault and recurse into this handler.
 			// The return is addressed to the board frame that asked.
 			rt.stats.N2HCalls++
+			rt.M.Env.Emit(sim.Event{Comp: "runtime", Kind: sim.KindMigrate, Addr: d.Target, Aux: uint64(t.PID), Note: "n2h"})
 			ret, err := c.Call(p, d.Target, d.Args[0], d.Args[1], d.Args[2], d.Args[3], d.Args[4], d.Args[5])
 			if err != nil {
 				return err
@@ -147,7 +148,7 @@ func (rt *Runtime) nxpHandler(p *sim.Proc, c *cpu.Core) error {
 	// waiter must be registered before the doorbell rings so the response
 	// cannot race past us. The call is stamped with this core's ISA so
 	// the host addresses its return descriptor back to this frame.
-	rt.M.Env.Trace().Addf(p.Now(), "migrate", "pid %d: %s → host call, target %#x", pid, c.Name(), target)
+	rt.M.Env.Emit(sim.Event{Comp: c.Name(), Kind: sim.KindSched, Addr: target, Aux: uint64(pid), Note: "board → host call"})
 	call := Descriptor{Kind: DescCall, PID: pid, Target: target, Args: c.Args(), ReplyISA: uint32(c.ISA())}
 	p.Sleep(rt.Costs.NxPHandlerWork + rt.ExtraMigrationLatency)
 	local, slot := rt.Mbox.StageN2HSlot()
@@ -169,6 +170,7 @@ func (rt *Runtime) nxpHandler(p *sim.Proc, c *cpu.Core) error {
 		case DescCall:
 			// Lines 6-9: a nested host→NxP call while we wait.
 			rt.stats.H2NCalls++
+			rt.M.Env.Emit(sim.Event{Comp: c.Name(), Kind: sim.KindMigrate, Addr: d.Target, Aux: uint64(pid), Note: "h2n"})
 			p.Sleep(rt.Costs.NxPContextSwitch)
 			ret, err := c.Call(p, d.Target, d.Args[0], d.Args[1], d.Args[2], d.Args[3], d.Args[4], d.Args[5])
 			if err != nil {

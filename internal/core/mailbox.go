@@ -205,7 +205,7 @@ func (mb *Mailbox) h2nArrived(slot int) {
 			w.cond.Signal()
 			return
 		}
-		mb.env.Trace().Addf(mb.env.Now(), "mbox", "orphan return descriptor for pid %d", d.PID)
+		mb.env.Emit(sim.Event{Comp: "mbox", Kind: sim.KindMailbox, Aux: uint64(d.PID), Note: "orphan return descriptor"})
 		return
 	}
 	// Calls go to the core that can execute the target: a blocked frame
@@ -213,7 +213,7 @@ func (mb *Mailbox) h2nArrived(slot int) {
 	// scheduler dispatches a fresh frame.
 	target, ok := mb.route(d.Target)
 	if !ok || target == isa.ISAHost {
-		mb.env.Trace().Addf(mb.env.Now(), "mbox", "unroutable call target %#x for pid %d", d.Target, d.PID)
+		mb.env.Emit(sim.Event{Comp: "mbox", Kind: sim.KindMailbox, Addr: d.Target, Aux: uint64(d.PID), Note: "unroutable call target"})
 		return
 	}
 	if w, ok := mb.waiters[waiterKey{pid: d.PID, is: target}]; ok {

@@ -256,6 +256,13 @@ func Activate(m *platform.Machine, prog *kernel.Program) (*Runtime, error) {
 			rt.schedulerLoop(p, core)
 		})
 	}
+
+	// Publish the runtime's migration counters. Gauge-based over the stats
+	// the runtime already maintains, so the call paths stay untouched.
+	reg := m.Env.Metrics()
+	reg.Gauge("flick.h2n_calls", func() uint64 { return uint64(rt.stats.H2NCalls) })
+	reg.Gauge("flick.n2h_calls", func() uint64 { return uint64(rt.stats.N2HCalls) })
+	reg.Gauge("flick.nx_faults", func() uint64 { return uint64(rt.stats.NXFaults) })
 	return rt, nil
 }
 
@@ -291,7 +298,7 @@ func (rt *Runtime) boardFault(p *sim.Proc, c *cpu.Core, f *cpu.Fault) error {
 			p.Sleep(rt.Costs.NxPFaultEntry)
 			st.faultAddr = f.VA
 			c.Context().PC = st.handlerVA
-			rt.M.Env.Trace().Addf(p.Now(), "fault", "%s fault at %#x → board handler", c.Name(), f.VA)
+			rt.M.Env.Emit(sim.Event{Comp: c.Name(), Kind: sim.KindFault, Addr: f.VA, Aux: st.handlerVA, Note: "wrong-ISA fetch → board handler"})
 			return nil
 		}
 	}
@@ -309,10 +316,11 @@ func (rt *Runtime) schedulerLoop(p *sim.Proc, core *cpu.Core) {
 		rt.readStatusReg(p)
 		d := rt.readDescNxP(p, rt.Mbox.H2NRingLocal(slot))
 		if d.Kind != DescCall {
-			rt.M.Env.Trace().Addf(p.Now(), "sched", "unexpected %v descriptor at top level", d.Kind)
+			rt.M.Env.Emit(sim.Event{Comp: core.Name(), Kind: sim.KindSched, Aux: uint64(d.PID), Note: "unexpected descriptor at top level"})
 			continue
 		}
 		rt.stats.H2NCalls++
+		rt.M.Env.Emit(sim.Event{Comp: core.Name(), Kind: sim.KindMigrate, Addr: d.Target, Aux: uint64(d.PID), Note: "h2n"})
 		p.Sleep(rt.Costs.NxPContextSwitch)
 		ctx := &cpu.Context{}
 		ctx.SetReg(isa.SP, d.NxPStack)
@@ -333,7 +341,7 @@ func (rt *Runtime) failTask(pid uint32, err error) {
 	if t, ok := rt.K.TaskByPID(int(pid)); ok {
 		t.Err = fmt.Errorf("core: error during NxP execution: %w", err)
 	}
-	rt.M.Env.Trace().Addf(rt.M.Env.Now(), "sched", "pid %d failed on NxP: %v", pid, err)
+	rt.M.Env.Emit(sim.Event{Comp: "runtime", Kind: sim.KindSched, Aux: uint64(pid), Note: "task failed on board"})
 }
 
 // sendReturnToHost stages and ships an NxP→host return descriptor.

@@ -88,6 +88,29 @@ type Core struct {
 
 	instret uint64
 	cycles  uint64
+	faults  uint64
+}
+
+// Register publishes the core's counters into a metrics registry under
+// "cpu.<name>.*". Gauge-based: the fetch/execute hot loop keeps its plain
+// counters, sampled only at snapshot time.
+func (c *Core) Register(m *sim.Metrics) {
+	prefix := "cpu." + c.cfg.Name + "."
+	m.Gauge(prefix+"instret", func() uint64 { return c.instret })
+	m.Gauge(prefix+"cycles", func() uint64 { return c.cycles })
+	m.Gauge(prefix+"faults", func() uint64 { return c.faults })
+	m.Gauge(prefix+"icache.hits", func() uint64 {
+		if c.icache == nil {
+			return 0
+		}
+		return c.icache.hits
+	})
+	m.Gauge(prefix+"icache.fills", func() uint64 {
+		if c.icache == nil {
+			return 0
+		}
+		return c.icache.fills
+	})
 }
 
 // New builds a core from cfg.
@@ -129,6 +152,9 @@ func (c *Core) Halted() bool { return c.halted }
 
 // Stats returns retired-instruction and consumed-cycle counts.
 func (c *Core) Stats() (instret, cycles uint64) { return c.instret, c.cycles }
+
+// Faults returns the number of faults the core has taken (handled or not).
+func (c *Core) Faults() uint64 { return c.faults }
 
 // SetFaultHandler replaces the fault hook (the Flick runtime installs the
 // NxP-side handler after the platform builds the core).
@@ -249,6 +275,7 @@ func (c *Core) Step(p *sim.Proc) error {
 			}
 		}
 	}
+	c.faults++
 	if c.cfg.Fault != nil {
 		if err := c.cfg.Fault(p, c, f); err != nil {
 			return err

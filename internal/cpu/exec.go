@@ -223,6 +223,7 @@ func b2u(b bool) uint64 {
 
 // deliver routes a synchronous fault through the handler.
 func (c *Core) deliver(p *sim.Proc, f *Fault) error {
+	c.faults++
 	if c.cfg.Fault != nil {
 		return c.cfg.Fault(p, c, f)
 	}

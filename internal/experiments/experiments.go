@@ -57,6 +57,10 @@ type Options struct {
 	Timeout time.Duration
 	// Progress observes job scheduling (nil = silent).
 	Progress runner.ProgressFunc
+	// Obs, when non-nil, collects every job's metrics and event trace.
+	// Job slots are reserved here at graph-construction time (serially),
+	// so the aggregate is byte-identical for any Jobs value.
+	Obs *stats.Obs
 }
 
 // Quick returns options sized for seconds-scale runs.
@@ -145,17 +149,24 @@ func (o Options) pool() runner.Pool {
 
 func us(d sim.Duration) string { return fmt.Sprintf("%.1fµs", d.Microseconds()) }
 
+// observer reserves an observability slot for the named job; nil-safe, so
+// experiments call it unconditionally while building their job graphs.
+func (o Options) observer(job string) *sim.Observer { return o.Obs.Job(job) }
+
 // measureNullCall runs the two Table III phases as independent jobs and
 // combines them exactly as the paper does (the reverse direction is
 // isolated by subtraction).
 func measureNullCall(o Options) (workloads.NullCallResult, error) {
 	cfg := workloads.NullCallConfig{Iterations: o.NullCallIters}
+	plain, nested := cfg, cfg
+	plain.Obs = o.observer("nullcall/host-nxp-host")
+	nested.Obs = o.observer("nullcall/nested-return-trip")
 	jobs := []runner.Job[sim.Duration]{
 		{ID: 0, Name: "nullcall/host-nxp-host", Run: func(context.Context) (sim.Duration, error) {
-			return workloads.NullCallPhase(cfg, false)
+			return workloads.NullCallPhase(plain, false)
 		}},
 		{ID: 1, Name: "nullcall/nested-return-trip", Run: func(context.Context) (sim.Duration, error) {
-			return workloads.NullCallPhase(cfg, true)
+			return workloads.NullCallPhase(nested, true)
 		}},
 	}
 	rs, err := runner.Run(context.Background(), o.pool(), jobs)
@@ -238,12 +249,14 @@ func fig5(o Options, interval bool, tag, title string) (*stats.Chart, error) {
 			seed := runner.DeriveSeed(o.Seed, uint64(pi))
 			extra := ln.extra
 			li, pi, n := li, pi, n
+			name := fmt.Sprintf("%s/%s/n=%d", tag, ln.name, n)
+			obs := o.observer(name)
 			jobs = append(jobs, runner.Job[struct{}]{
 				ID:   len(jobs),
-				Name: fmt.Sprintf("%s/%s/n=%d", tag, ln.name, n),
+				Name: name,
 				Seed: seed,
 				Run: func(context.Context) (struct{}, error) {
-					p, err := workloads.MeasureChasePoint(n, o.ChaseCalls, extra, interval, seed)
+					p, err := workloads.MeasureChasePoint(n, o.ChaseCalls, extra, interval, seed, obs)
 					if err != nil {
 						return struct{}{}, err
 					}
@@ -303,13 +316,15 @@ func Table4(o Options) (*stats.Table, []workloads.Table4Row, error) {
 			if bm {
 				mode = "baseline"
 			}
+			name := fmt.Sprintf("table4/%s/%s", ds.Name, mode)
+			obs := o.observer(name)
 			jobs = append(jobs, runner.Job[sim.Duration]{
 				ID:   len(jobs),
-				Name: fmt.Sprintf("table4/%s/%s", ds.Name, mode),
+				Name: name,
 				Seed: seed,
 				Run: func(context.Context) (sim.Duration, error) {
 					r, err := workloads.RunBFS(workloads.BFSConfig{
-						Dataset: ds, Iterations: o.BFSIters, Baseline: bm, Seed: seed,
+						Dataset: ds, Iterations: o.BFSIters, Baseline: bm, Seed: seed, Obs: obs,
 					})
 					if err != nil {
 						return 0, err
@@ -360,8 +375,9 @@ func Latency(o Options) (*stats.Table, error) {
 	}
 	iters := o.NullCallIters
 	modeJob := func(id int, name string, mode workloads.LatencyMode) runner.Job[sim.Duration] {
+		obs := o.observer(name)
 		return runner.Job[sim.Duration]{ID: id, Name: name, Run: func(context.Context) (sim.Duration, error) {
-			return workloads.RunLatencyMode(mode, iters, nil)
+			return workloads.RunLatencyMode(mode, iters, nil, obs)
 		}}
 	}
 	jobs := []runner.Job[sim.Duration]{
@@ -461,11 +477,13 @@ func Tenants(o Options) (*stats.Table, error) {
 	jobs := make([]runner.Job[contention], len(tenantCounts))
 	for i, tenants := range tenantCounts {
 		tenants := tenants
+		name := fmt.Sprintf("tenants/%d", tenants)
+		obs := o.observer(name)
 		jobs[i] = runner.Job[contention]{
 			ID:   i,
-			Name: fmt.Sprintf("tenants/%d", tenants),
+			Name: name,
 			Run: func(context.Context) (contention, error) {
-				total, calls, err := workloads.RunMultiTenant(tenants, 12)
+				total, calls, err := workloads.RunMultiTenant(tenants, 12, obs)
 				if err != nil {
 					return contention{}, err
 				}
@@ -508,12 +526,14 @@ func KVStore(o Options) (*stats.Table, error) {
 	for i, b := range batches {
 		i, b := i, b
 		seed := runner.DeriveSeed(o.Seed, uint64(i))
+		name := fmt.Sprintf("kv/batch=%d", b)
+		obs := o.observer(name)
 		jobs[i] = runner.Job[struct{}]{
 			ID:   i,
-			Name: fmt.Sprintf("kv/batch=%d", b),
+			Name: name,
 			Seed: seed,
 			Run: func(context.Context) (struct{}, error) {
-				p, err := workloads.MeasureKVPoint(b, 128, seed)
+				p, err := workloads.MeasureKVPoint(b, 128, seed, obs)
 				if err != nil {
 					return struct{}{}, err
 				}

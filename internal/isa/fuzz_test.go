@@ -1,0 +1,98 @@
+package isa
+
+import (
+	"bytes"
+	"testing"
+)
+
+var fuzzCodecs = []Codec{HostCodec{}, NxpCodec{}, DspCodec{}}
+
+// FuzzDecode throws arbitrary bytes at every decoder. Whatever comes
+// back, the decoder must not panic, must report a sane length, and any
+// successfully decoded instruction must survive an encode/decode round
+// trip unchanged — the contract the cores' fetch paths and the
+// relocation patcher rely on.
+func FuzzDecode(f *testing.F) {
+	for _, c := range fuzzCodecs {
+		for _, ins := range []Instr{
+			{Op: OpNop},
+			{Op: OpAddi, Rd: T0, Rs: T0, Imm: -1},
+			{Op: OpLd8, Rd: A3, Rs: A0},
+			{Op: OpBne, Rs: T5, Rt: ZR, Imm: -16},
+			{Op: OpCall, Imm: 1 << 20},
+		} {
+			if b, err := c.Encode(ins); err == nil {
+				f.Add(byte(c.ISA()), b)
+			}
+		}
+	}
+	f.Add(byte(0), []byte{})
+	f.Add(byte(1), bytes.Repeat([]byte{0x96}, 16))
+
+	f.Fuzz(func(t *testing.T, sel byte, b []byte) {
+		c := fuzzCodecs[int(sel)%len(fuzzCodecs)]
+		ins, n, err := c.Decode(b)
+		if err != nil {
+			return // rejecting garbage is the expected outcome
+		}
+		if n <= 0 || n > len(b) || n > c.MaxLen() {
+			t.Fatalf("%v: decode length %d out of range (input %d, max %d)", c.ISA(), n, len(b), c.MaxLen())
+		}
+		if !ins.Op.Valid() {
+			t.Fatalf("%v: decode accepted invalid op %d", c.ISA(), ins.Op)
+		}
+		enc, err := c.Encode(ins)
+		if err != nil {
+			t.Fatalf("%v: decoded %v but cannot re-encode it: %v", c.ISA(), ins, err)
+		}
+		ins2, n2, err := c.Decode(enc)
+		if err != nil {
+			t.Fatalf("%v: re-encoding of %v does not decode: %v", c.ISA(), ins, err)
+		}
+		if ins2 != ins {
+			t.Fatalf("%v: round trip changed the instruction: %v -> % x -> %v", c.ISA(), ins, enc, ins2)
+		}
+		if n2 != len(enc) {
+			t.Fatalf("%v: canonical encoding length %d but decode consumed %d", c.ISA(), len(enc), n2)
+		}
+	})
+}
+
+// FuzzEncodeDecodeRoundTrip drives the opposite direction: arbitrary
+// Instr fields through every encoder. Anything an encoder accepts must
+// decode back, and the decoded instruction must re-encode to the exact
+// same bytes (canonical-form stability, which multibin patching needs).
+func FuzzEncodeDecodeRoundTrip(f *testing.F) {
+	f.Add(byte(OpNop), byte(0), byte(0), byte(0), int64(0))
+	f.Add(byte(OpAddi), byte(T5), byte(T5), byte(0), int64(-1))
+	f.Add(byte(OpMovi), byte(A0), byte(0), byte(0), int64(1)<<31)
+	f.Add(byte(OpSt4), byte(A1), byte(A2), byte(0), int64(4096))
+	f.Add(byte(OpBeq), byte(0), byte(T0), byte(ZR), int64(-128))
+
+	f.Fuzz(func(t *testing.T, op, rd, rs, rt byte, imm int64) {
+		ins := Instr{Op: Op(op), Rd: Reg(rd), Rs: Reg(rs), Rt: Reg(rt), Imm: imm}
+		for _, c := range fuzzCodecs {
+			enc, err := c.Encode(ins)
+			if err != nil {
+				continue // out-of-range fields are the encoder's to reject
+			}
+			if len(enc) > c.MaxLen() {
+				t.Fatalf("%v: encoding of %v is %d bytes, max %d", c.ISA(), ins, len(enc), c.MaxLen())
+			}
+			dec, n, err := c.Decode(enc)
+			if err != nil {
+				t.Fatalf("%v: encoded %v but cannot decode % x: %v", c.ISA(), ins, enc, err)
+			}
+			if n != len(enc) {
+				t.Fatalf("%v: decode of %v consumed %d of %d bytes", c.ISA(), ins, n, len(enc))
+			}
+			enc2, err := c.Encode(dec)
+			if err != nil {
+				t.Fatalf("%v: cannot re-encode decoded %v: %v", c.ISA(), dec, err)
+			}
+			if !bytes.Equal(enc, enc2) {
+				t.Fatalf("%v: encoding not canonical: %v -> % x, %v -> % x", c.ISA(), ins, enc, dec, enc2)
+			}
+		}
+	})
+}

@@ -65,6 +65,10 @@ type Kernel struct {
 	EagerDMATrigger bool
 
 	faults int
+
+	mSyscalls    *sim.Counter
+	mCtxSwitches *sim.Counter
+	mIRQs        *sim.Counter
 }
 
 // New creates a kernel and spawns the host core's scheduler loop process.
@@ -82,6 +86,12 @@ func New(cfg Config) *Kernel {
 	}
 	k.runqC = cfg.Env.NewCond("kernel.runq")
 	k.current = make(map[*cpu.Core]*Task)
+	reg := cfg.Env.Metrics()
+	k.mSyscalls = reg.Counter("kernel.syscalls")
+	k.mCtxSwitches = reg.Counter("kernel.context_switches")
+	k.mIRQs = reg.Counter("kernel.irqs")
+	reg.Gauge("kernel.migrations", func() uint64 { return uint64(k.faults) })
+	reg.Gauge("kernel.tasks", func() uint64 { return uint64(k.nextPID - 1) })
 	return k
 }
 
@@ -186,6 +196,8 @@ func (k *Kernel) hostCoreLoop(p *sim.Proc, core *cpu.Core) {
 		k.runq = k.runq[1:]
 		k.current[core] = t
 		t.State = TaskRunning
+		k.mCtxSwitches.Inc()
+		k.env.Emit(sim.Event{Comp: "kernel", Kind: sim.KindCtxSwitch, Aux: uint64(t.PID), Note: core.Name()})
 		core.SetContext(t.Ctx)
 		err := core.Run(p, 0)
 		switch {
@@ -201,6 +213,8 @@ func (k *Kernel) hostCoreLoop(p *sim.Proc, core *cpu.Core) {
 
 // Syscall is the host core's SYS handler.
 func (k *Kernel) Syscall(p *sim.Proc, c *cpu.Core, num int64) error {
+	k.mSyscalls.Inc()
+	k.env.Emit(sim.Event{Comp: "kernel", Kind: sim.KindSyscall, Aux: uint64(num)})
 	p.Sleep(k.costs.SyscallEntry)
 	defer p.Sleep(k.costs.SyscallExit)
 	ctx := c.Context()
@@ -239,7 +253,7 @@ func (k *Kernel) HostFault(p *sim.Proc, c *cpu.Core, f *cpu.Fault) error {
 			k.faults++
 			t.FaultAddr = f.VA
 			c.Context().PC = handler
-			k.env.Trace().Addf(p.Now(), "fault", "NX fault at %#x → migration handler %#x", f.VA, handler)
+			k.env.Emit(sim.Event{Comp: "kernel", Kind: sim.KindFault, Addr: f.VA, Aux: handler, Note: "NX fault → migration handler"})
 			return nil
 		}
 	}
@@ -286,17 +300,20 @@ func (k *Kernel) MigrateAndSuspend(p *sim.Proc, t *Task, trigger func()) {
 // sleeps WakeupSchedule after waking, and the IRQ costs are modeled as a
 // delayed wake.
 func (k *Kernel) DeliverMSI(pid int) {
+	k.mIRQs.Inc()
 	t, ok := k.tasks[pid]
 	if !ok {
-		k.env.Trace().Addf(k.env.Now(), "irq", "MSI for unknown pid %d", pid)
+		k.env.Emit(sim.Event{Comp: "kernel", Kind: sim.KindIRQ, Aux: uint64(pid), Note: "MSI for unknown pid"})
 		return
 	}
 	// Model interrupt-entry + handler latency by scheduling the wake
 	// after the IRQ path completes.
 	k.env.SpawnDaemon(fmt.Sprintf("irq-wake-%d", pid), func(p *sim.Proc) {
 		p.Sleep(k.costs.InterruptEntry + k.costs.IRQHandler)
-		if !t.Wake() {
-			k.env.Trace().Addf(p.Now(), "irq", "lost wakeup for pid %d (state %v)", pid, t.State)
+		if t.Wake() {
+			k.env.Emit(sim.Event{Comp: "kernel", Kind: sim.KindIRQ, Aux: uint64(pid), Note: "MSI wake"})
+		} else {
+			k.env.Emit(sim.Event{Comp: "kernel", Kind: sim.KindIRQ, Aux: uint64(pid), Note: "lost wakeup"})
 		}
 	})
 }

@@ -29,8 +29,19 @@ type MMU struct {
 	readCost WalkReadCost
 	perMiss  sim.Duration // fixed handling overhead per miss (microcode dispatch)
 
-	walks    uint64
-	walkTime sim.Duration
+	translates uint64
+	walks      uint64
+	walkTime   sim.Duration
+}
+
+// Register publishes the MMU's counters into a metrics registry under
+// "mmu.<name>.*". Gauge-based: the translate path keeps its plain
+// counters, sampled only at snapshot time.
+func (m *MMU) Register(reg *sim.Metrics) {
+	prefix := "mmu." + m.Name + "."
+	reg.Gauge(prefix+"translates", func() uint64 { return m.translates })
+	reg.Gauge(prefix+"walks", func() uint64 { return m.walks })
+	reg.Gauge(prefix+"walk_ns", func() uint64 { return uint64(m.walkTime / sim.Nanosecond) })
 }
 
 // New creates an MMU. tables may be replaced later via SetTables (the
@@ -59,6 +70,7 @@ var ErrNoTables = errors.New("mmu: no page tables loaded")
 // untimed-walk-free; permission checks are the core's job since NX polarity
 // differs between host and NxP.
 func (m *MMU) Translate(p *sim.Proc, va uint64) (tlb.Result, error) {
+	m.translates++
 	if r, ok := m.TLB.Lookup(va); ok {
 		return r, nil
 	}
@@ -93,10 +105,12 @@ func (m *MMU) Translate(p *sim.Proc, va uint64) (tlb.Result, error) {
 	return m.TLB.Insert(va, w), nil
 }
 
-// Probe translates va without charging time or touching statistics, for
-// debugger-style inspection.
+// Probe translates va without charging time or touching statistics or
+// cached state, for debugger-style inspection. Unlike Translate it leaves
+// the TLB's LRU order, hit/miss counters, and contents untouched, so
+// probing never perturbs the metrics invariants.
 func (m *MMU) Probe(va uint64) (tlb.Result, error) {
-	if r, ok := m.TLB.Lookup(va); ok {
+	if r, ok := m.TLB.Peek(va); ok {
 		return r, nil
 	}
 	if m.tables == nil {
@@ -106,7 +120,7 @@ func (m *MMU) Probe(va uint64) (tlb.Result, error) {
 	if err != nil {
 		return tlb.Result{}, err
 	}
-	return m.TLB.Insert(va, w), nil
+	return m.TLB.ResultFor(va, w), nil
 }
 
 // Stats reports the number of completed walks and their total cost.

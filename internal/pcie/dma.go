@@ -33,6 +33,8 @@ type Engine struct {
 	queue []Request
 	kick  *sim.Cond
 	stats EngineStats
+
+	mTransferNS *sim.Histogram
 }
 
 // EngineStats counts the engine's lifetime activity.
@@ -46,6 +48,11 @@ type EngineStats struct {
 func NewEngine(env *sim.Env, link LinkParams, overhead sim.Duration) *Engine {
 	e := &Engine{env: env, link: link, extra: overhead}
 	e.kick = env.NewCond("dma.kick")
+	reg := env.Metrics()
+	reg.Gauge("dma.transfers", func() uint64 { return uint64(e.stats.Transfers) })
+	reg.Gauge("dma.bytes", func() uint64 { return uint64(e.stats.Bytes) })
+	reg.Gauge("dma.busy_ns", func() uint64 { return uint64(e.stats.Busy / sim.Nanosecond) })
+	e.mTransferNS = reg.Histogram("dma.transfer_ns")
 	env.SpawnDaemon("dma-engine", e.run)
 	return e
 }
@@ -90,7 +97,8 @@ func (e *Engine) run(p *sim.Proc) {
 		e.stats.Transfers++
 		e.stats.Bytes += int64(req.Size)
 		e.stats.Busy += cost
-		p.Env().Trace().Addf(p.Now(), "dma", "%s: %d B %#x->%#x (%v)", req.Tag, req.Size, req.Src, req.Dst, cost)
+		e.mTransferNS.Observe(uint64(cost / sim.Nanosecond))
+		p.Env().Emit(sim.Event{Comp: "dma", Kind: sim.KindDMA, Addr: req.Src, Aux: req.Dst, Size: int64(req.Size), Note: req.Tag})
 		if req.OnDone != nil {
 			req.OnDone(p.Now())
 		}

@@ -187,6 +187,24 @@ func New(params Params) (*Machine, error) {
 	m.Natives = cpu.NewNativeTable()
 	m.buildCores()
 
+	// Publish every core's counters (and those of its MMUs and TLBs) into
+	// the environment's metrics registry. Registration is gauge-based, so
+	// the simulation hot loops are untouched; the registry samples the
+	// components only when a report is taken.
+	reg := m.Env.Metrics()
+	cores := append([]*cpu.Core{}, m.Hosts...)
+	cores = append(cores, m.NxP)
+	if m.DSP != nil {
+		cores = append(cores, m.DSP)
+	}
+	for _, c := range cores {
+		c.Register(reg)
+		for _, u := range []*mmu.MMU{c.IMMU(), c.DMMU()} {
+			u.Register(reg)
+			u.TLB.Register(reg)
+		}
+	}
+
 	m.Kernel = kernel.New(kernel.Config{
 		Env:    m.Env,
 		Phys:   m.HostView,

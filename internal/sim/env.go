@@ -22,14 +22,31 @@ type Env struct {
 	procs   []*Proc
 	running int // processes spawned and not yet finished
 
-	trace  *Trace
-	panicV any           // re-thrown panic from a process
-	yield  chan yieldMsg // handed a token each time the running process cedes control
+	trace   *Trace
+	metrics *Metrics
+	panicV  any           // re-thrown panic from a process
+	yield   chan yieldMsg // handed a token each time the running process cedes control
 }
 
-// NewEnv creates an empty simulation environment at time zero.
-func NewEnv() *Env {
-	return &Env{trace: NewTrace(0), yield: make(chan yieldMsg)}
+// EnvOption configures a new environment.
+type EnvOption func(*Env)
+
+// WithTraceCapacity bounds the environment's event trace at capacity
+// events (0 disables recording; events past the bound are counted as
+// drops, never silently lost).
+func WithTraceCapacity(capacity int) EnvOption {
+	return func(e *Env) { e.trace = NewTrace(capacity) }
+}
+
+// NewEnv creates an empty simulation environment at time zero. Without
+// options the trace has capacity zero (recording off); the metrics
+// registry always exists so components can register unconditionally.
+func NewEnv(opts ...EnvOption) *Env {
+	e := &Env{trace: NewTrace(0), metrics: NewMetrics(), yield: make(chan yieldMsg)}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
 }
 
 // Now returns the current virtual time.
@@ -38,6 +55,9 @@ func (e *Env) Now() Time { return e.now }
 // Trace returns the environment's event trace.
 func (e *Env) Trace() *Trace { return e.trace }
 
+// Metrics returns the environment's metrics registry.
+func (e *Env) Metrics() *Metrics { return e.metrics }
+
 // SetTrace replaces the environment's trace (e.g. to bound its capacity or
 // enable recording). A nil trace disables recording entirely.
 func (e *Env) SetTrace(t *Trace) {
@@ -45,6 +65,32 @@ func (e *Env) SetTrace(t *Trace) {
 		t = NewTrace(0)
 	}
 	e.trace = t
+}
+
+// SetTraceCap replaces the trace with a fresh one bounded at capacity
+// events. Previously recorded events are discarded.
+func (e *Env) SetTraceCap(capacity int) { e.trace = NewTrace(capacity) }
+
+// Emit records ev in the trace, stamping it with the current virtual time.
+// When tracing is disabled this is a single branch; callers on hot paths
+// may still want to guard expensive payload construction with
+// Trace().Enabled().
+func (e *Env) Emit(ev Event) {
+	if !e.trace.Enabled() {
+		return
+	}
+	ev.At = e.now
+	e.trace.Add(ev)
+}
+
+// Report assembles the environment's observability data: the final metrics
+// snapshot plus the recorded event trace.
+func (e *Env) Report() Report {
+	return Report{
+		Metrics: e.metrics.Snapshot(),
+		Events:  e.trace.Events(),
+		Dropped: e.trace.Dropped(),
+	}
 }
 
 // event is a scheduled resumption of a process.

@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestCounterNilSafe(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Error("nil counter not inert")
+	}
+	c = &Counter{}
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Errorf("Value = %d, want 42", got)
+	}
+}
+
+func TestHistogramNilSafe(t *testing.T) {
+	var h *Histogram
+	h.Observe(10)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil histogram not inert")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := &Histogram{}
+	for _, v := range []uint64{0, 1, 2, 3, 4, 1000, math.MaxUint64} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 {
+		t.Errorf("Count = %d, want 7", h.Count())
+	}
+	m := NewMetrics()
+	*m.Histogram("h") = *h
+	s := m.Snapshot()
+	if len(s.Histograms) != 1 {
+		t.Fatalf("Histograms = %v", s.Histograms)
+	}
+	hs := s.Histograms[0]
+	var total uint64
+	for i, b := range hs.Buckets {
+		total += b.Count
+		if i > 0 && hs.Buckets[i-1].Le >= b.Le {
+			t.Errorf("buckets not ascending: %v", hs.Buckets)
+		}
+	}
+	if total != 7 {
+		t.Errorf("bucket counts sum to %d, want 7", total)
+	}
+	// 0 lands in the le=0 bucket, 1 in le=1, {2,3} in le=3, 4 in le=7,
+	// 1000 in le=1023, MaxUint64 in the top bucket.
+	want := map[uint64]uint64{0: 1, 1: 1, 3: 2, 7: 1, 1023: 1, math.MaxUint64: 1}
+	for _, b := range hs.Buckets {
+		if want[b.Le] != b.Count {
+			t.Errorf("bucket le=%d count=%d, want %d", b.Le, b.Count, want[b.Le])
+		}
+	}
+}
+
+func TestMetricsNilSafe(t *testing.T) {
+	var m *Metrics
+	c := m.Counter("x")
+	c.Inc()
+	m.Gauge("g", func() uint64 { return 1 })
+	h := m.Histogram("h")
+	h.Observe(1)
+	s := m.Snapshot()
+	if len(s.Counters) != 0 || len(s.Histograms) != 0 {
+		t.Error("nil metrics snapshot not empty")
+	}
+}
+
+func TestMetricsSnapshotSortedAndStable(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("zzz").Add(3)
+	m.Counter("aaa").Inc()
+	m.Gauge("mmm", func() uint64 { return 7 })
+	s := m.Snapshot()
+	if !sort.SliceIsSorted(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name }) {
+		t.Errorf("counters not sorted: %v", s.Counters)
+	}
+	if s.Counter("aaa") != 1 || s.Counter("zzz") != 3 || s.Counter("mmm") != 7 {
+		t.Errorf("snapshot values wrong: %v", s.Counters)
+	}
+	if s.Counter("missing") != 0 {
+		t.Error("missing counter should read 0")
+	}
+	// Same-name lookups return the same instrument.
+	if m.Counter("aaa") != m.Counter("aaa") {
+		t.Error("Counter not idempotent")
+	}
+	if m.Histogram("h") != m.Histogram("h") {
+		t.Error("Histogram not idempotent")
+	}
+}
+
+func TestObserverNilSafe(t *testing.T) {
+	var o *Observer
+	if o.Cap() != 0 {
+		t.Error("nil observer Cap != 0")
+	}
+	o.Collect(NewEnv()) // must not panic or build a report
+	called := false
+	o = &Observer{TraceCap: 4, OnReport: func(Report) { called = true }}
+	if o.Cap() != 4 {
+		t.Error("Cap != 4")
+	}
+	o.Collect(nil)
+	if called {
+		t.Error("Collect(nil) delivered a report")
+	}
+	o.Collect(NewEnv())
+	if !called {
+		t.Error("Collect did not deliver")
+	}
+}
+
+func TestEnvMetricsIntegration(t *testing.T) {
+	env := NewEnv()
+	c := env.Metrics().Counter("test.count")
+	env.Metrics().Gauge("test.gauge", func() uint64 { return 11 })
+	env.Spawn("p", func(p *Proc) {
+		c.Inc()
+		c.Inc()
+	})
+	env.Run()
+	rep := env.Report()
+	if rep.Metrics.Counter("test.count") != 2 {
+		t.Errorf("test.count = %d, want 2", rep.Metrics.Counter("test.count"))
+	}
+	if rep.Metrics.Counter("test.gauge") != 11 {
+		t.Errorf("test.gauge = %d, want 11", rep.Metrics.Counter("test.gauge"))
+	}
+}
+
+func TestBucketLe(t *testing.T) {
+	if BucketLe(0) != 0 || BucketLe(1) != 1 || BucketLe(2) != 3 || BucketLe(10) != 1023 {
+		t.Error("BucketLe wrong for small buckets")
+	}
+	if BucketLe(64) != math.MaxUint64 || BucketLe(100) != math.MaxUint64 {
+		t.Error("BucketLe wrong for top bucket")
+	}
+}

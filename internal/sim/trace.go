@@ -6,17 +6,79 @@ import (
 	"strings"
 )
 
-// Event is a single recorded simulation event: a timestamped, categorized
-// message emitted by a component (core, DMA engine, kernel, ...).
-type Event struct {
-	At   Time
-	Kind string // short category, e.g. "fault", "dma", "migrate"
-	Msg  string
+// Kind categorizes a trace event. The enum replaces the free-form strings
+// the trace used to carry so consumers can filter and aggregate without
+// string matching, and so the Chrome trace export has stable categories.
+type Kind uint8
+
+const (
+	KindNone      Kind = iota
+	KindFault          // page/NX fault taken by a core
+	KindMigrate        // an ISA-crossing call crossed the PCIe boundary
+	KindSyscall        // host syscall entry
+	KindCtxSwitch      // kernel installed a task on a core
+	KindIRQ            // interrupt delivery (MSI)
+	KindDMA            // one DMA transfer completed
+	KindSched          // scheduler/dispatch protocol event
+	KindMailbox        // descriptor mailbox event
+	KindTLB            // TLB maintenance (flush, shootdown)
+)
+
+var kindNames = [...]string{
+	KindNone:      "none",
+	KindFault:     "fault",
+	KindMigrate:   "migrate",
+	KindSyscall:   "syscall",
+	KindCtxSwitch: "ctxsw",
+	KindIRQ:       "irq",
+	KindDMA:       "dma",
+	KindSched:     "sched",
+	KindMailbox:   "mbox",
+	KindTLB:       "tlb",
 }
 
-// String renders the event as "  18.3µs [migrate] host->nxp call".
+// String returns the short lower-case category name, e.g. "migrate".
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is a single recorded simulation event: a timestamped, typed record
+// emitted by a component (core, DMA engine, kernel, ...). The payload
+// fields are generic by design — Addr and Aux carry the event's two most
+// useful numbers (a virtual address and a PID, a source and a destination)
+// and Size carries a byte count where one applies. Note is a short
+// human-readable qualifier ("h2n", "lost wakeup"), never required for
+// machine consumption.
+type Event struct {
+	At   Time
+	Comp string // emitting component, e.g. "kernel", "dma", "core/host0"
+	Kind Kind
+	Addr uint64 // primary address-like payload (VA, source address, ...)
+	Aux  uint64 // secondary payload (PID, destination address, ...)
+	Size int64  // byte count, when the event moves data
+	Note string // short qualifier for humans
+}
+
+// String renders the event as "  18.3µs [migrate] core/host0: h2n ...".
 func (ev Event) String() string {
-	return fmt.Sprintf("%12v [%s] %s", ev.At, ev.Kind, ev.Msg)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%12v [%s] %s", ev.At, ev.Kind, ev.Comp)
+	if ev.Note != "" {
+		fmt.Fprintf(&sb, ": %s", ev.Note)
+	}
+	if ev.Addr != 0 {
+		fmt.Fprintf(&sb, " addr=%#x", ev.Addr)
+	}
+	if ev.Aux != 0 {
+		fmt.Fprintf(&sb, " aux=%d", ev.Aux)
+	}
+	if ev.Size != 0 {
+		fmt.Fprintf(&sb, " size=%d", ev.Size)
+	}
+	return sb.String()
 }
 
 // Trace is a bounded in-memory event log. A zero-capacity trace discards
@@ -38,8 +100,17 @@ func NewTrace(capacity int) *Trace {
 // Enabled reports whether the trace records events.
 func (t *Trace) Enabled() bool { return t != nil && t.cap > 0 }
 
+// Cap returns the trace's capacity.
+func (t *Trace) Cap() int {
+	if t == nil {
+		return 0
+	}
+	return t.cap
+}
+
 // Add records an event, dropping it if the trace is full or disabled.
-func (t *Trace) Add(at Time, kind, msg string) {
+// Dropped events are counted, never silently lost.
+func (t *Trace) Add(ev Event) {
 	if !t.Enabled() {
 		return
 	}
@@ -47,16 +118,7 @@ func (t *Trace) Add(at Time, kind, msg string) {
 		t.drops++
 		return
 	}
-	t.events = append(t.events, Event{At: at, Kind: kind, Msg: msg})
-}
-
-// Addf records a formatted event. The format arguments are not evaluated
-// into a string when the trace is disabled.
-func (t *Trace) Addf(at Time, kind, format string, args ...any) {
-	if !t.Enabled() {
-		return
-	}
-	t.Add(at, kind, fmt.Sprintf(format, args...))
+	t.events = append(t.events, ev)
 }
 
 // Events returns the recorded events in order.
@@ -76,7 +138,7 @@ func (t *Trace) Dropped() int {
 }
 
 // Filter returns the recorded events whose Kind matches.
-func (t *Trace) Filter(kind string) []Event {
+func (t *Trace) Filter(kind Kind) []Event {
 	var out []Event
 	for _, ev := range t.Events() {
 		if ev.Kind == kind {

@@ -55,7 +55,7 @@ func TestDurationConversions(t *testing.T) {
 func TestTraceRecordsAndBounds(t *testing.T) {
 	tr := NewTrace(3)
 	for i := 0; i < 5; i++ {
-		tr.Addf(Time(i), "k", "event %d", i)
+		tr.Add(Event{At: Time(i), Kind: KindSched, Aux: uint64(i)})
 	}
 	if got := len(tr.Events()); got != 3 {
 		t.Errorf("len(Events) = %d, want 3", got)
@@ -66,11 +66,14 @@ func TestTraceRecordsAndBounds(t *testing.T) {
 	if !strings.Contains(tr.String(), "2 events dropped") {
 		t.Errorf("String() missing drop note:\n%s", tr.String())
 	}
+	if tr.Cap() != 3 {
+		t.Errorf("Cap = %d, want 3", tr.Cap())
+	}
 }
 
 func TestTraceDisabled(t *testing.T) {
 	tr := NewTrace(0)
-	tr.Add(0, "k", "msg")
+	tr.Add(Event{Kind: KindSched})
 	if tr.Enabled() {
 		t.Error("zero-capacity trace reports Enabled")
 	}
@@ -81,33 +84,35 @@ func TestTraceDisabled(t *testing.T) {
 	if nilTrace.Enabled() {
 		t.Error("nil trace reports Enabled")
 	}
-	if nilTrace.Events() != nil || nilTrace.Dropped() != 0 {
+	if nilTrace.Events() != nil || nilTrace.Dropped() != 0 || nilTrace.Cap() != 0 {
 		t.Error("nil trace not inert")
 	}
 }
 
 func TestTraceFilter(t *testing.T) {
 	tr := NewTrace(10)
-	tr.Add(1, "dma", "a")
-	tr.Add(2, "fault", "b")
-	tr.Add(3, "dma", "c")
-	got := tr.Filter("dma")
-	if len(got) != 2 || got[0].Msg != "a" || got[1].Msg != "c" {
-		t.Errorf("Filter(dma) = %v", got)
+	tr.Add(Event{At: 1, Kind: KindDMA, Note: "a"})
+	tr.Add(Event{At: 2, Kind: KindFault, Note: "b"})
+	tr.Add(Event{At: 3, Kind: KindDMA, Note: "c"})
+	got := tr.Filter(KindDMA)
+	if len(got) != 2 || got[0].Note != "a" || got[1].Note != "c" {
+		t.Errorf("Filter(KindDMA) = %v", got)
 	}
 }
 
 func TestEnvTraceIntegration(t *testing.T) {
-	env := NewEnv()
-	env.SetTrace(NewTrace(16))
+	env := NewEnv(WithTraceCapacity(16))
 	env.Spawn("p", func(p *Proc) {
 		p.Sleep(7 * Nanosecond)
-		env.Trace().Add(p.Now(), "test", "hello")
+		env.Emit(Event{Comp: "test", Kind: KindSched, Note: "hello"})
 	})
 	env.Run()
-	evs := env.Trace().Filter("test")
+	evs := env.Trace().Filter(KindSched)
 	if len(evs) != 1 || evs[0].At != Time(7*Nanosecond) {
 		t.Errorf("trace events = %v", evs)
+	}
+	if evs[0].Comp != "test" || evs[0].Note != "hello" {
+		t.Errorf("event payload = %+v", evs[0])
 	}
 	env.SetTrace(nil)
 	if env.Trace().Enabled() {
@@ -115,10 +120,67 @@ func TestEnvTraceIntegration(t *testing.T) {
 	}
 }
 
+// TestEnvDefaultTraceConfigurable locks the fix for NewEnv always building
+// a capacity-0 trace with no way to opt in at construction time: both the
+// EnvOption and SetTraceCap must enable recording, and a trace that fills
+// must count drops rather than silently changing semantics.
+func TestEnvDefaultTraceConfigurable(t *testing.T) {
+	if NewEnv().Trace().Enabled() {
+		t.Error("default env should not record events")
+	}
+	env := NewEnv(WithTraceCapacity(2))
+	if !env.Trace().Enabled() || env.Trace().Cap() != 2 {
+		t.Fatalf("WithTraceCapacity(2) not applied: cap=%d", env.Trace().Cap())
+	}
+	env.Spawn("p", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			env.Emit(Event{Comp: "p", Kind: KindSched, Aux: uint64(i)})
+			p.Sleep(Nanosecond)
+		}
+	})
+	env.Run()
+	if got := len(env.Trace().Events()); got != 2 {
+		t.Errorf("full trace kept %d events, want 2", got)
+	}
+	if got := env.Trace().Dropped(); got != 3 {
+		t.Errorf("Dropped = %d, want 3", got)
+	}
+	rep := env.Report()
+	if rep.Dropped != 3 || len(rep.Events) != 2 {
+		t.Errorf("Report dropped=%d events=%d, want 3/2", rep.Dropped, len(rep.Events))
+	}
+
+	env2 := NewEnv()
+	env2.SetTraceCap(8)
+	if !env2.Trace().Enabled() || env2.Trace().Cap() != 8 {
+		t.Errorf("SetTraceCap(8) not applied: cap=%d", env2.Trace().Cap())
+	}
+}
+
 func TestEventString(t *testing.T) {
-	ev := Event{At: Time(18300 * Nanosecond), Kind: "migrate", Msg: "host->nxp"}
+	ev := Event{At: Time(18300 * Nanosecond), Comp: "core/host0", Kind: KindMigrate, Note: "h2n", Addr: 0x1000, Aux: 7}
 	s := ev.String()
-	if !strings.Contains(s, "18.3µs") || !strings.Contains(s, "[migrate]") {
-		t.Errorf("Event.String() = %q", s)
+	for _, want := range []string{"18.3µs", "[migrate]", "core/host0", "h2n", "addr=0x1000", "aux=7"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Event.String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindFault:     "fault",
+		KindMigrate:   "migrate",
+		KindDMA:       "dma",
+		KindIRQ:       "irq",
+		KindSyscall:   "syscall",
+		KindCtxSwitch: "ctxsw",
+		KindTLB:       "tlb",
+		Kind(200):     "kind(200)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
 	}
 }

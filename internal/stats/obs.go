@@ -1,0 +1,236 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"flick/internal/sim"
+)
+
+// Obs aggregates the observability Reports of a run's simulation jobs into
+// one deterministic view, independent of how many scheduler workers ran
+// them or in what order they finished.
+//
+// Determinism rests on two properties. Job slots are assigned by Job() at
+// job-graph construction time, which is serial, so the slot order is fixed
+// before any worker starts; the assembled trace concatenates per-slot
+// events in that order. Metrics are merged by per-name summation, which is
+// commutative, so the totals are independent of completion order. Both
+// serializers therefore emit byte-identical output for any worker count.
+type Obs struct {
+	traceCap int
+
+	mu   sync.Mutex
+	jobs []*obsJob
+}
+
+type obsJob struct {
+	name    string
+	reports []sim.Report
+}
+
+// NewObs creates a collector. Each job's environment records up to
+// traceCap events (0 collects metrics only).
+func NewObs(traceCap int) *Obs {
+	return &Obs{traceCap: traceCap}
+}
+
+// Job reserves the next slot and returns the observer a workload should
+// run under. Call it while building the job graph (serially), not from
+// worker goroutines, so slot order — and therefore trace order — is
+// deterministic. The returned observer's OnReport is safe to invoke from
+// any worker; a job may deliver several reports (one per machine it
+// builds), which stay in delivery order within the slot.
+//
+// A nil *Obs returns a nil observer, which disables collection at zero
+// cost.
+func (o *Obs) Job(name string) *sim.Observer {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	j := &obsJob{name: name}
+	o.jobs = append(o.jobs, j)
+	o.mu.Unlock()
+	return &sim.Observer{
+		TraceCap: o.traceCap,
+		OnReport: func(r sim.Report) {
+			o.mu.Lock()
+			j.reports = append(j.reports, r)
+			o.mu.Unlock()
+		},
+	}
+}
+
+// Jobs returns the number of reserved job slots.
+func (o *Obs) Jobs() int {
+	if o == nil {
+		return 0
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.jobs)
+}
+
+// Merged returns the sum of every collected report's metrics, name-sorted.
+func (o *Obs) Merged() sim.Snapshot {
+	if o == nil {
+		return sim.Snapshot{}
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	counters := make(map[string]uint64)
+	type hist struct {
+		count, sum uint64
+		buckets    map[uint64]uint64
+	}
+	hists := make(map[string]*hist)
+	for _, j := range o.jobs {
+		for _, r := range j.reports {
+			for _, c := range r.Metrics.Counters {
+				counters[c.Name] += c.Value
+			}
+			for _, hs := range r.Metrics.Histograms {
+				h := hists[hs.Name]
+				if h == nil {
+					h = &hist{buckets: make(map[uint64]uint64)}
+					hists[hs.Name] = h
+				}
+				h.count += hs.Count
+				h.sum += hs.Sum
+				for _, b := range hs.Buckets {
+					h.buckets[b.Le] += b.Count
+				}
+			}
+		}
+	}
+	var s sim.Snapshot
+	for name, v := range counters {
+		s.Counters = append(s.Counters, sim.Sample{Name: name, Value: v})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	for name, h := range hists {
+		hs := sim.HistogramSample{Name: name, Count: h.count, Sum: h.sum}
+		for le, n := range h.buckets {
+			hs.Buckets = append(hs.Buckets, sim.Bucket{Le: le, Count: n})
+		}
+		sort.Slice(hs.Buckets, func(i, j int) bool { return hs.Buckets[i].Le < hs.Buckets[j].Le })
+		s.Histograms = append(s.Histograms, hs)
+	}
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// metricsJSON is the -metrics-out schema: stable keys (encoding/json sorts
+// map keys), aggregated across every job.
+type metricsJSON struct {
+	Jobs       int                 `json:"jobs"`
+	Counters   map[string]uint64   `json:"counters"`
+	Histograms map[string]histJSON `json:"histograms"`
+}
+
+type histJSON struct {
+	Count uint64 `json:"count"`
+	Sum   uint64 `json:"sum"`
+	// Buckets lists [upper_bound, count] pairs in ascending bound order;
+	// only non-empty buckets appear.
+	Buckets [][2]uint64 `json:"buckets"`
+}
+
+// WriteMetricsJSON serializes the merged metrics with stable keys. The
+// output is byte-identical for any scheduler worker count.
+func (o *Obs) WriteMetricsJSON(w io.Writer) error {
+	m := o.Merged()
+	out := metricsJSON{
+		Jobs:       o.Jobs(),
+		Counters:   make(map[string]uint64, len(m.Counters)),
+		Histograms: make(map[string]histJSON, len(m.Histograms)),
+	}
+	for _, c := range m.Counters {
+		out.Counters[c.Name] = c.Value
+	}
+	for _, h := range m.Histograms {
+		hj := histJSON{Count: h.Count, Sum: h.Sum, Buckets: [][2]uint64{}}
+		for _, b := range h.Buckets {
+			hj.Buckets = append(hj.Buckets, [2]uint64{b.Le, b.Count})
+		}
+		out.Histograms[h.Name] = hj
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// chromeEvent is one entry of the Chrome trace-event format (the JSON
+// chrome://tracing and Perfetto load). Each simulation job becomes a
+// process; its typed events become instant events on thread 0.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds of virtual time
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace serializes every job's recorded events in Chrome
+// trace-event JSON. Jobs appear as processes named after the job, in slot
+// order, so the file is byte-identical for any scheduler worker count.
+func (o *Obs) WriteChromeTrace(w io.Writer) error {
+	var out chromeTrace
+	out.DisplayTimeUnit = "ns"
+	out.TraceEvents = []chromeEvent{}
+	o.mu.Lock()
+	jobs := o.jobs
+	o.mu.Unlock()
+	for i, j := range jobs {
+		pid := i + 1
+		dropped := 0
+		for _, r := range j.reports {
+			dropped += r.Dropped
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]any{"name": j.name, "dropped_events": dropped},
+		})
+		for _, r := range j.reports {
+			for _, ev := range r.Events {
+				args := map[string]any{"comp": ev.Comp}
+				if ev.Note != "" {
+					args["note"] = ev.Note
+				}
+				if ev.Addr != 0 {
+					args["addr"] = fmt.Sprintf("%#x", ev.Addr)
+				}
+				if ev.Aux != 0 {
+					args["aux"] = ev.Aux
+				}
+				if ev.Size != 0 {
+					args["size"] = ev.Size
+				}
+				out.TraceEvents = append(out.TraceEvents, chromeEvent{
+					Name: ev.Kind.String(),
+					Cat:  ev.Kind.String(),
+					Ph:   "i",
+					TS:   float64(ev.At) / 1e6, // ps → µs
+					PID:  pid,
+					TID:  0,
+					S:    "t",
+					Args: args,
+				})
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"flick/internal/paging"
+	"flick/internal/sim"
 )
 
 // Entry is one cached translation.
@@ -64,7 +65,20 @@ type TLB struct {
 	remaps   []Remap
 	holes    []Hole
 
-	hits, misses uint64
+	hits, misses        uint64
+	flushes, shootdowns uint64
+}
+
+// Register publishes the TLB's counters into a metrics registry under
+// "tlb.<name>.*". Registration is gauge-based: the hot lookup path keeps
+// its plain uint64 counters and the registry samples them only when a
+// snapshot is taken.
+func (t *TLB) Register(m *sim.Metrics) {
+	prefix := "tlb." + t.Name + "."
+	m.Gauge(prefix+"hits", func() uint64 { return t.hits })
+	m.Gauge(prefix+"misses", func() uint64 { return t.misses })
+	m.Gauge(prefix+"flushes", func() uint64 { return t.flushes })
+	m.Gauge(prefix+"shootdowns", func() uint64 { return t.shootdowns })
 }
 
 // New creates a TLB with the given entry capacity.
@@ -145,6 +159,46 @@ func (t *TLB) Lookup(va uint64) (Result, bool) {
 	return Result{}, false
 }
 
+// Peek translates va like Lookup but without refreshing LRU order or
+// updating hit/miss statistics — for debugger-style inspection that must
+// not perturb the metrics invariants.
+func (t *TLB) Peek(va uint64) (Result, bool) {
+	for _, h := range t.holes {
+		if va >= h.VABase && va < h.VABase+h.Size {
+			return Result{
+				Phys:     h.PhysBase + (va - h.VABase),
+				Flags:    paging.Flags{Writable: true},
+				PageSize: h.Size,
+				Hit:      true,
+			}, true
+		}
+	}
+	for i := len(t.entries) - 1; i >= 0; i-- {
+		e := t.entries[i]
+		if e.covers(va) {
+			return Result{
+				Phys:     t.applyRemap(e.PhysBase + (va - e.VABase)),
+				Flags:    e.Flags,
+				PageSize: e.PageSize,
+				Hit:      true,
+			}, true
+		}
+	}
+	return Result{}, false
+}
+
+// ResultFor computes the Result Insert would return for a walked
+// translation without caching it.
+func (t *TLB) ResultFor(va uint64, w paging.Walk) Result {
+	base := va &^ (w.PageSize - 1)
+	return Result{
+		Phys:     t.applyRemap(w.PageBase + (va - base)),
+		Flags:    w.Flags,
+		PageSize: w.PageSize,
+		Hit:      false,
+	}
+}
+
 // Insert caches a walked translation, evicting the least recently used
 // entry if full, and returns the translation result for va.
 func (t *TLB) Insert(va uint64, w paging.Walk) Result {
@@ -170,11 +224,15 @@ func (t *TLB) Insert(va uint64, w paging.Walk) Result {
 // Flush drops all cached entries (context switch / PTBR change). Holes and
 // the remap register survive: they are board configuration, not process
 // state.
-func (t *TLB) Flush() { t.entries = t.entries[:0] }
+func (t *TLB) Flush() {
+	t.entries = t.entries[:0]
+	t.flushes++
+}
 
 // FlushPage drops any entry covering va (TLB shootdown after protection
 // changes, e.g. the loader flipping NX bits).
 func (t *TLB) FlushPage(va uint64) {
+	t.shootdowns++
 	out := t.entries[:0]
 	for _, e := range t.entries {
 		if !e.covers(va) {

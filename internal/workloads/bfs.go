@@ -92,6 +92,8 @@ type BFSConfig struct {
 	Params     *platform.Params
 	// SkipVisitCall drops the per-vertex host call (ablation).
 	SkipVisitCall bool
+	// Obs, when non-nil, receives the run's observability report.
+	Obs *sim.Observer
 }
 
 // BFSResult is one Table IV measurement.
@@ -115,6 +117,7 @@ func RunBFS(cfg BFSConfig) (BFSResult, error) {
 	sys, err := flick.Build(flick.Config{
 		Sources: map[string]string{"bfs.fasm": bfsSource},
 		Params:  cfg.Params,
+		Obs:     cfg.Obs,
 	})
 	if err != nil {
 		return BFSResult{}, err
@@ -146,6 +149,7 @@ func RunBFS(cfg BFSConfig) (BFSResult, error) {
 		mode = 1
 	}
 	elapsedNS, err := sys.RunProgram("main", uint64(cfg.Iterations), mode)
+	cfg.Obs.Collect(sys)
 	if err != nil {
 		return BFSResult{}, err
 	}
@@ -341,13 +345,14 @@ type Table4Row struct {
 	Speedup  float64 // baseline/flick
 }
 
-// RunTable4Row produces one row of Table IV.
-func RunTable4Row(d Dataset, iterations int, seed int64) (Table4Row, error) {
-	base, err := RunBFS(BFSConfig{Dataset: d, Iterations: iterations, Baseline: true, Seed: seed})
+// RunTable4Row produces one row of Table IV. obs, when non-nil, receives
+// both machines' observability reports.
+func RunTable4Row(d Dataset, iterations int, seed int64, obs *sim.Observer) (Table4Row, error) {
+	base, err := RunBFS(BFSConfig{Dataset: d, Iterations: iterations, Baseline: true, Seed: seed, Obs: obs})
 	if err != nil {
 		return Table4Row{}, fmt.Errorf("baseline %s: %w", d.Name, err)
 	}
-	fl, err := RunBFS(BFSConfig{Dataset: d, Iterations: iterations, Seed: seed})
+	fl, err := RunBFS(BFSConfig{Dataset: d, Iterations: iterations, Seed: seed, Obs: obs})
 	if err != nil {
 		return Table4Row{}, fmt.Errorf("flick %s: %w", d.Name, err)
 	}

@@ -175,6 +175,8 @@ type KVConfig struct {
 	Baseline bool
 	Seed     int64
 	Params   *platform.Params
+	// Obs, when non-nil, receives the run's observability report.
+	Obs *sim.Observer
 }
 
 // KVResult is one measurement.
@@ -249,6 +251,7 @@ func RunKVStore(cfg KVConfig) (KVResult, error) {
 	sys, err := flick.Build(flick.Config{
 		Sources: map[string]string{"kv.fasm": kvStoreSource},
 		Params:  cfg.Params,
+		Obs:     cfg.Obs,
 	})
 	if err != nil {
 		return KVResult{}, err
@@ -274,6 +277,7 @@ func RunKVStore(cfg KVConfig) (KVResult, error) {
 	}
 	elapsedNS, err := sys.RunProgram("main",
 		queryVA, uint64(cfg.Queries), tableVA, mask, uint64(cfg.Batch), mode)
+	cfg.Obs.Collect(sys)
 	if err != nil {
 		return KVResult{}, err
 	}
@@ -317,17 +321,18 @@ type KVPoint struct {
 
 // MeasureKVPoint measures one batch-size sample: Flick and host-direct
 // lookups over the same seeded table and query stream. Self-contained, so
-// batch sizes can run concurrently as scheduler jobs.
-func MeasureKVPoint(batch, queries int, seed int64) (KVPoint, error) {
+// batch sizes can run concurrently as scheduler jobs. obs, when non-nil,
+// receives both machines' observability reports.
+func MeasureKVPoint(batch, queries int, seed int64, obs *sim.Observer) (KVPoint, error) {
 	q := queries - queries%batch
 	if q == 0 {
 		q = batch
 	}
-	f, err := RunKVStore(KVConfig{Queries: q, Batch: batch, Seed: seed})
+	f, err := RunKVStore(KVConfig{Queries: q, Batch: batch, Seed: seed, Obs: obs})
 	if err != nil {
 		return KVPoint{}, fmt.Errorf("flick batch %d: %w", batch, err)
 	}
-	base, err := RunKVStore(KVConfig{Queries: q, Batch: batch, Baseline: true, Seed: seed})
+	base, err := RunKVStore(KVConfig{Queries: q, Batch: batch, Baseline: true, Seed: seed, Obs: obs})
 	if err != nil {
 		return KVPoint{}, fmt.Errorf("baseline batch %d: %w", batch, err)
 	}
@@ -346,7 +351,7 @@ func MeasureKVPoint(batch, queries int, seed int64) (KVPoint, error) {
 func SweepKVBatch(batches []int, queries int, seed int64) ([]KVPoint, error) {
 	out := make([]KVPoint, 0, len(batches))
 	for i, b := range batches {
-		p, err := MeasureKVPoint(b, queries, runner.DeriveSeed(seed, uint64(i)))
+		p, err := MeasureKVPoint(b, queries, runner.DeriveSeed(seed, uint64(i)), nil)
 		if err != nil {
 			return nil, err
 		}

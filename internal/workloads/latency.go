@@ -126,14 +126,16 @@ const (
 // RunLatencyMode measures one loop's total elapsed virtual time on a
 // private machine; callers difference loaded against no-load loops. Each
 // invocation is self-contained, so modes can run concurrently as
-// scheduler jobs.
-func RunLatencyMode(mode LatencyMode, iterations int, params *platform.Params) (sim.Duration, error) {
+// scheduler jobs. obs, when non-nil, receives the run's observability
+// report.
+func RunLatencyMode(mode LatencyMode, iterations int, params *platform.Params, obs *sim.Observer) (sim.Duration, error) {
 	if iterations <= 0 {
 		iterations = 2000
 	}
 	sys, err := flick.Build(flick.Config{
 		Sources: map[string]string{"latency.fasm": latencySource},
 		Params:  params,
+		Obs:     obs,
 	})
 	if err != nil {
 		return 0, err
@@ -143,6 +145,7 @@ func RunLatencyMode(mode LatencyMode, iterations int, params *platform.Params) (
 		return 0, err
 	}
 	elapsedNS, err := sys.RunProgram("main", buf, uint64(iterations), uint64(mode))
+	obs.Collect(sys)
 	if err != nil {
 		return 0, err
 	}
@@ -171,19 +174,19 @@ func MeasureLatencies(iterations int, params *platform.Params) (LatencyResult, e
 		iterations = 2000
 	}
 	var res LatencyResult
-	hostLd, err := RunLatencyMode(LatencyHostLoads, iterations, params)
+	hostLd, err := RunLatencyMode(LatencyHostLoads, iterations, params, nil)
 	if err != nil {
 		return res, err
 	}
-	hostNop, err := RunLatencyMode(LatencyHostNop, iterations, params)
+	hostNop, err := RunLatencyMode(LatencyHostNop, iterations, params, nil)
 	if err != nil {
 		return res, err
 	}
-	nxpLd, err := RunLatencyMode(LatencyNxPLoads, iterations, params)
+	nxpLd, err := RunLatencyMode(LatencyNxPLoads, iterations, params, nil)
 	if err != nil {
 		return res, err
 	}
-	nxpNop, err := RunLatencyMode(LatencyNxPNop, iterations, params)
+	nxpNop, err := RunLatencyMode(LatencyNxPNop, iterations, params, nil)
 	if err != nil {
 		return res, err
 	}

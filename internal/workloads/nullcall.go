@@ -78,6 +78,8 @@ type NullCallConfig struct {
 	ExtraMigrationLatency sim.Duration
 	// Params overrides the machine.
 	Params *platform.Params
+	// Obs, when non-nil, receives the run's observability report.
+	Obs *sim.Observer
 }
 
 // NullCallPhase runs one Table III phase on a private machine and returns
@@ -97,12 +99,14 @@ func NullCallPhase(cfg NullCallConfig, nested bool) (sim.Duration, error) {
 	sys, err := flick.Build(flick.Config{
 		Sources: map[string]string{"nullcall.fasm": nullCallSource},
 		Params:  cfg.Params,
+		Obs:     cfg.Obs,
 	})
 	if err != nil {
 		return 0, err
 	}
 	sys.Runtime.ExtraMigrationLatency = cfg.ExtraMigrationLatency
 	elapsedNS, err := sys.RunProgram("main", uint64(cfg.Iterations), mode)
+	cfg.Obs.Collect(sys)
 	if err != nil {
 		return 0, err
 	}
@@ -174,12 +178,14 @@ func RoundTripBreakdown() ([]BreakdownComponent, sim.Duration) {
 
 // RunMultiTenant starts one migrating thread per host core and reports the
 // completion time and total migrated calls — the contention experiment for
-// the SMP-host extension.
-func RunMultiTenant(tenants, callsPerTenant int) (sim.Duration, int, error) {
+// the SMP-host extension. obs, when non-nil, receives the run's
+// observability report.
+func RunMultiTenant(tenants, callsPerTenant int, obs *sim.Observer) (sim.Duration, int, error) {
 	params := platform.DefaultParams()
 	params.HostCores = tenants
 	sys, err := flick.Build(flick.Config{
 		Params: &params,
+		Obs:    obs,
 		Sources: map[string]string{"mt.fasm": `
 .func main isa=host
     ; a0 = calls
@@ -211,8 +217,10 @@ w:
 		}
 		tasks = append(tasks, task)
 	}
-	if _, err := sys.Run(); err != nil {
-		return 0, 0, err
+	_, runErr := sys.Run()
+	obs.Collect(sys)
+	if runErr != nil {
+		return 0, 0, runErr
 	}
 	for _, task := range tasks {
 		if task.Err != nil {

@@ -145,6 +145,8 @@ type PointerChaseConfig struct {
 	Seed int64
 	// Params overrides the machine.
 	Params *platform.Params
+	// Obs, when non-nil, receives the run's observability report.
+	Obs *sim.Observer
 }
 
 // RunPointerChase executes one configuration and returns the average time
@@ -159,6 +161,7 @@ func RunPointerChase(cfg PointerChaseConfig) (sim.Duration, error) {
 	sys, err := flick.Build(flick.Config{
 		Sources: map[string]string{"chase.fasm": pointerChaseSource},
 		Params:  cfg.Params,
+		Obs:     cfg.Obs,
 	})
 	if err != nil {
 		return 0, err
@@ -174,6 +177,7 @@ func RunPointerChase(cfg PointerChaseConfig) (sim.Duration, error) {
 		return 0, err
 	}
 	elapsedNS, err := sys.RunProgram("main", head, uint64(cfg.Nodes), uint64(cfg.Calls), uint64(cfg.Mode))
+	cfg.Obs.Collect(sys)
 	if err != nil {
 		return 0, err
 	}
@@ -241,18 +245,19 @@ type PointerChasePoint struct {
 // host-direct traversal of the same seeded chain at one list length.
 // Both sides share the seed so the normalization compares identical node
 // placements. The measurement is self-contained (two private machines),
-// so points can run concurrently as scheduler jobs.
-func MeasureChasePoint(nodes, calls int, extra sim.Duration, interval bool, seed int64) (PointerChasePoint, error) {
+// so points can run concurrently as scheduler jobs. obs, when non-nil,
+// receives both machines' observability reports.
+func MeasureChasePoint(nodes, calls int, extra sim.Duration, interval bool, seed int64, obs *sim.Observer) (PointerChasePoint, error) {
 	flickMode, baseMode := ChaseFlick, ChaseBaseline
 	if interval {
 		flickMode, baseMode = ChaseFlickInterval, ChaseBaselineInterval
 	}
 	f, err := RunPointerChase(PointerChaseConfig{
-		Nodes: nodes, Calls: calls, Mode: flickMode, ExtraMigrationLatency: extra, Seed: seed})
+		Nodes: nodes, Calls: calls, Mode: flickMode, ExtraMigrationLatency: extra, Seed: seed, Obs: obs})
 	if err != nil {
 		return PointerChasePoint{}, fmt.Errorf("flick n=%d: %w", nodes, err)
 	}
-	b, err := RunPointerChase(PointerChaseConfig{Nodes: nodes, Calls: calls, Mode: baseMode, Seed: seed})
+	b, err := RunPointerChase(PointerChaseConfig{Nodes: nodes, Calls: calls, Mode: baseMode, Seed: seed, Obs: obs})
 	if err != nil {
 		return PointerChasePoint{}, fmt.Errorf("baseline n=%d: %w", nodes, err)
 	}
@@ -272,7 +277,7 @@ func MeasureChasePoint(nodes, calls int, extra sim.Duration, interval bool, seed
 func SweepPointerChase(nodeCounts []int, calls int, extra sim.Duration, interval bool, seed int64) ([]PointerChasePoint, error) {
 	out := make([]PointerChasePoint, 0, len(nodeCounts))
 	for i, n := range nodeCounts {
-		p, err := MeasureChasePoint(n, calls, extra, interval, runner.DeriveSeed(seed, uint64(i)))
+		p, err := MeasureChasePoint(n, calls, extra, interval, runner.DeriveSeed(seed, uint64(i)), nil)
 		if err != nil {
 			return nil, err
 		}

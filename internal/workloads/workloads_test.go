@@ -171,7 +171,7 @@ func TestDatasetScale(t *testing.T) {
 // migration overhead makes Flick *slower* than the baseline.
 func TestBFSCorrectAndEpinionsShape(t *testing.T) {
 	d := Epinions1.Scale(64)
-	row, err := RunTable4Row(d, 1, 3)
+	row, err := RunTable4Row(d, 1, 3, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +190,7 @@ func TestBFSPokecShape(t *testing.T) {
 		t.Skip("heavier BFS shape test")
 	}
 	d := Pokec.Scale(256)
-	row, err := RunTable4Row(d, 1, 4)
+	row, err := RunTable4Row(d, 1, 4, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
