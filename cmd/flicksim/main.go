@@ -55,9 +55,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	quiet := fs.Bool("quiet", false, "suppress per-job progress lines on stderr")
 	metricsOut := fs.String("metrics-out", "", "write aggregated per-job metrics as JSON to this file")
 	traceOut := fs.String("trace-out", "", "write per-job event traces as Chrome trace-event JSON to this file")
+	faults := fs.String("faults", "", "fault-injection spec, e.g. 'dma.fail=0.05,msi.drop=0.1' (see docs/ROBUSTNESS.md)")
+	faultSeed := fs.Int64("fault-seed", 0, "base seed for the fault-injection streams (0 = inherit the workload seed)")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: flicksim [flags] <experiment>...\n")
-		fmt.Fprintf(stderr, "experiments: %s all\n", strings.Join(experiments.IDs(), " "))
+		fmt.Fprintf(stderr, "experiments: %s all soak\n", strings.Join(experiments.IDs(), " "))
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -81,6 +83,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	o.Jobs = *jobs
 	o.Timeout = *timeout
+	o.Faults = *faults
+	o.FaultSeed = *faultSeed
 	if !*quiet {
 		o.Progress = func(e runner.Event) { progress(stderr, e) }
 	}
@@ -97,6 +101,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ids = experiments.IDs()
 	}
 	for _, id := range ids {
+		// soak is not a registry experiment (it is a robustness gate, not a
+		// paper artifact, so "all" does not include it).
+		if id == "soak" {
+			start := time.Now()
+			if err := experiments.Soak(o, stdout); err != nil {
+				fmt.Fprintf(stderr, "flicksim: soak: %v\n", err)
+				return 1
+			}
+			fmt.Fprintln(stdout)
+			fmt.Fprintf(stderr, "  [soak passed in %.1fs wall time, %d jobs wide]\n",
+				time.Since(start).Seconds(), o.Jobs)
+			continue
+		}
 		r, ok := experiments.Get(id)
 		if !ok {
 			fmt.Fprintf(stderr, "flicksim: unknown experiment %q\n", id)

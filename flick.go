@@ -71,8 +71,15 @@ func Build(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	if cap := max(cfg.TraceCapacity, cfg.Obs.Cap()); cap > 0 {
-		m.Env.SetTraceCap(cap)
+	// Trace-capacity precedence: an explicit TraceCapacity always wins, even
+	// when it is smaller than what the Observer would ask for; the Observer's
+	// capacity applies only when TraceCapacity is zero (unset).
+	traceCap := cfg.TraceCapacity
+	if traceCap == 0 {
+		traceCap = cfg.Obs.Cap()
+	}
+	if traceCap > 0 {
+		m.Env.SetTraceCap(traceCap)
 	}
 
 	objects := append([]*multibin.Object(nil), cfg.Objects...)
@@ -162,6 +169,9 @@ func (s *System) Start(fn string, args ...uint64) (*kernel.Task, error) {
 func (s *System) Run() (sim.Time, error) {
 	end := s.Machine.Env.Run()
 	if stuck := s.Machine.Env.Deadlocked(); len(stuck) > 0 {
+		if tasks := s.Kernel.StuckTasks(); len(tasks) > 0 {
+			return end, fmt.Errorf("flick: simulation deadlocked with blocked processes: %v; stuck tasks: %v", stuck, tasks)
+		}
 		return end, fmt.Errorf("flick: simulation deadlocked with blocked processes: %v", stuck)
 	}
 	return end, nil

@@ -160,6 +160,61 @@ func TestTraceCapacityOption(t *testing.T) {
 	}
 }
 
+func TestTraceCapacityPrecedence(t *testing.T) {
+	src := map[string]string{"a.fasm": ".func main isa=host\n halt\n.endfunc"}
+	// An explicit TraceCapacity wins even when smaller than the Observer's
+	// request.
+	sys := flick.MustBuild(flick.Config{
+		Sources:       src,
+		TraceCapacity: 8,
+		Obs:           &sim.Observer{TraceCap: 64},
+	})
+	if got := sys.Machine.Env.Trace().Cap(); got != 8 {
+		t.Errorf("explicit TraceCapacity overridden: cap = %d, want 8", got)
+	}
+	// With TraceCapacity unset, the Observer's capacity applies.
+	sys = flick.MustBuild(flick.Config{
+		Sources: src,
+		Obs:     &sim.Observer{TraceCap: 64},
+	})
+	if got := sys.Machine.Env.Trace().Cap(); got != 64 {
+		t.Errorf("observer capacity ignored: cap = %d, want 64", got)
+	}
+}
+
+func TestDeadlockErrorNamesStuckTasks(t *testing.T) {
+	// A program that loses its migration wakeup must surface through the
+	// public API as a Deadlocked error that names the stuck task, not as a
+	// silent hang or an anonymous process list.
+	sys := flick.MustBuild(flick.Config{
+		Sources: map[string]string{"a.fasm": `
+.func main isa=host
+    call fastfn
+    halt
+.endfunc
+.func fastfn isa=nxp
+    ret
+.endfunc
+`},
+	})
+	// Recreate the §IV-D lost-wakeup race deterministically: fire the
+	// descriptor DMA before suspension and make descheduling slower than
+	// the NxP round trip.
+	sys.Kernel.EagerDMATrigger = true
+	costs := sys.Kernel.Costs()
+	costs.ContextSwitchAway = 500 * sim.Microsecond
+	sys.Kernel.SetCosts(costs)
+	_, err := sys.RunProgram("main")
+	if err == nil {
+		t.Fatal("lost-wakeup run returned no error")
+	}
+	for _, want := range []string{"deadlocked", "main", "pid 1", "suspended"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("err = %v, want it to mention %q", err, want)
+		}
+	}
+}
+
 func TestPreassembledObjects(t *testing.T) {
 	// The Objects field accepts pre-assembled inputs alongside sources.
 	sys := flick.MustBuild(flick.Config{

@@ -73,6 +73,12 @@ type Descriptor struct {
 	// one board ISA can have a blocked frame for the same thread
 	// (§IV-C3 extension).
 	ReplyISA uint32
+	// Seq makes descriptor delivery idempotent: the mailbox assigns a
+	// nonzero per-descriptor sequence number and receivers drop a slot
+	// whose sequence they have already consumed, so a replayed DMA burst
+	// is a no-op. Zero means "unsequenced" (legacy encodings) and is
+	// never deduplicated.
+	Seq uint32
 }
 
 // Encode serializes the descriptor into its 96-byte wire format.
@@ -88,6 +94,7 @@ func (d *Descriptor) Encode() [DescSize]byte {
 	binary.LittleEndian.PutUint64(b[72:], d.NxPStack)
 	binary.LittleEndian.PutUint64(b[80:], d.PTBR)
 	binary.LittleEndian.PutUint32(b[88:], d.ReplyISA)
+	binary.LittleEndian.PutUint32(b[92:], d.Seq)
 	return b
 }
 
@@ -110,5 +117,6 @@ func DecodeDescriptor(b []byte) (Descriptor, error) {
 	d.NxPStack = binary.LittleEndian.Uint64(b[72:])
 	d.PTBR = binary.LittleEndian.Uint64(b[80:])
 	d.ReplyISA = binary.LittleEndian.Uint32(b[88:])
+	d.Seq = binary.LittleEndian.Uint32(b[92:])
 	return d, nil
 }

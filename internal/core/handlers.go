@@ -128,7 +128,8 @@ func (rt *Runtime) OffloadCall(p *sim.Proc, c *cpu.Core, target uint64, args [6]
 // the suspended state is published (§IV-D).
 func (rt *Runtime) sendToNxPAndSuspend(p *sim.Proc, t *kernel.Task, d Descriptor) {
 	p.Sleep(rt.Costs.HostHandlerWork + rt.ExtraMigrationLatency)
-	pa, slot := rt.Mbox.StageH2NSlot()
+	pa, slot, seq := rt.Mbox.StageH2NSlot()
+	d.Seq = seq
 	rt.writeDescHost(p, pa, d)
 	rt.K.MigrateAndSuspend(p, t, func() { rt.Mbox.kickH2N(slot) })
 }
@@ -151,7 +152,8 @@ func (rt *Runtime) nxpHandler(p *sim.Proc, c *cpu.Core) error {
 	rt.M.Env.Emit(sim.Event{Comp: c.Name(), Kind: sim.KindSched, Addr: target, Aux: uint64(pid), Note: "board → host call"})
 	call := Descriptor{Kind: DescCall, PID: pid, Target: target, Args: c.Args(), ReplyISA: uint32(c.ISA())}
 	p.Sleep(rt.Costs.NxPHandlerWork + rt.ExtraMigrationLatency)
-	local, slot := rt.Mbox.StageN2HSlot()
+	local, slot, seq := rt.Mbox.StageN2HSlot()
+	call.Seq = seq
 	rt.writeDescNxP(p, local, call)
 	rt.Mbox.RegisterWaiter(pid, c.ISA())
 	rt.ringDoorbell(p, regN2HDoorbell, slot)
@@ -179,7 +181,8 @@ func (rt *Runtime) nxpHandler(p *sim.Proc, c *cpu.Core) error {
 			}
 			p.Sleep(rt.Costs.NxPHandlerWork)
 			back := Descriptor{Kind: DescReturn, PID: pid, RetVal: ret, ReplyISA: d.ReplyISA}
-			local, slot := rt.Mbox.StageN2HSlot()
+			local, slot, seq := rt.Mbox.StageN2HSlot()
+			back.Seq = seq
 			rt.writeDescNxP(p, local, back)
 			rt.Mbox.RegisterWaiter(pid, c.ISA())
 			rt.ringDoorbell(p, regN2HDoorbell, slot)

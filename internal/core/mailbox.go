@@ -30,6 +30,19 @@ const (
 // wakeFn is called at N2H descriptor arrival to raise the MSI.
 type wakeFn func(pid int)
 
+// failFn is called when a descriptor transfer is abandoned after
+// exhausting its DMA retry budget; pid owns the undeliverable descriptor.
+type failFn func(pid uint32, err error)
+
+// Descriptor-DMA retry policy: a failed burst is resubmitted after an
+// exponentially growing virtual-time backoff. The whole budget (~1.3 ms)
+// sits inside the kernel's migration-timeout window, so transport-level
+// failures surface as task errors before the kernel declares a timeout.
+const (
+	dmaMaxAttempts  = 8
+	dmaRetryBackoff = 5 * sim.Microsecond
+)
+
 // routeFn resolves a call target to the board ISA whose scheduler should
 // serve it (false for non-text targets).
 type routeFn func(target uint64) (isa.ISA, bool)
@@ -57,6 +70,16 @@ type Mailbox struct {
 	// the cursor laps it (at most mailboxSlots threads mid-migration).
 	busyH2N [mailboxSlots]bool
 
+	// seqCtr stamps every staged descriptor with a nonzero sequence
+	// number; h2nSeq/n2hSeq remember the last sequence consumed per slot
+	// so a replayed DMA burst (injected dma.dup) is dropped on arrival.
+	seqCtr uint32
+	h2nSeq [mailboxSlots]uint32
+	n2hSeq [mailboxSlots]uint32
+
+	// fail reports a descriptor abandoned after the DMA retry budget.
+	fail failFn
+
 	// Board-side routing: one scheduler queue per board ISA.
 	schedQ  map[isa.ISA][]int
 	schedC  map[isa.ISA]*sim.Cond
@@ -75,6 +98,11 @@ type Mailbox struct {
 
 	// stats
 	h2nSent, n2hSent int
+
+	// Transport-recovery counters, registered only under fault injection
+	// (nil-safe otherwise) so baseline snapshots carry no new keys.
+	mDMARetries *sim.Counter
+	mDupDrops   *sim.Counter
 }
 
 // waiterKey identifies a blocked migration-handler frame: which thread,
@@ -92,7 +120,7 @@ type mboxWaiter struct {
 
 // newMailbox wires the transport onto a machine. hostStaging/hostArrival
 // are host-DRAM physical addresses (one page each) supplied by the caller.
-func newMailbox(m *platform.Machine, hostStaging, hostArrival uint64, wake wakeFn, route routeFn) (*Mailbox, error) {
+func newMailbox(m *platform.Machine, hostStaging, hostArrival uint64, wake wakeFn, route routeFn, fail failFn) (*Mailbox, error) {
 	mb := &Mailbox{
 		env:          m.Env,
 		dma:          m.DMA,
@@ -104,8 +132,14 @@ func newMailbox(m *platform.Machine, hostStaging, hostArrival uint64, wake wakeF
 		n2hPending:   make(map[uint32]int),
 		wake:         wake,
 		route:        route,
+		fail:         fail,
 		schedQ:       make(map[isa.ISA][]int),
 		schedC:       make(map[isa.ISA]*sim.Cond),
+	}
+	if m.Injector != nil {
+		reg := m.Env.Metrics()
+		mb.mDMARetries = reg.Counter("migration.dma_retries")
+		mb.mDupDrops = reg.Counter("migration.dup_drops")
 	}
 	for _, is := range []isa.ISA{isa.ISANxP, isa.ISADsp} {
 		mb.schedC[is] = m.Env.NewCond("mailbox.sched." + is.String())
@@ -156,17 +190,28 @@ func (r *mailboxRegs) MMIOWrite(off uint64, buf []byte) error {
 
 // --- Host → NxP direction ------------------------------------------------
 
+// nextSeq returns the next descriptor sequence number (never zero — zero
+// marks unsequenced descriptors and is exempt from dedupe).
+func (mb *Mailbox) nextSeq() uint32 {
+	mb.seqCtr++
+	if mb.seqCtr == 0 {
+		mb.seqCtr = 1
+	}
+	return mb.seqCtr
+}
+
 // StageH2NSlot returns the host-DRAM physical address of the next outbound
-// staging slot and its index. The host migration handler writes the
-// descriptor there before the ioctl.
-func (mb *Mailbox) StageH2NSlot() (pa uint64, slot int) {
+// staging slot, its index, and the sequence number to stamp into the
+// descriptor (Descriptor.Seq) before writing it there. The host migration
+// handler writes the descriptor before the ioctl.
+func (mb *Mailbox) StageH2NSlot() (pa uint64, slot int, seq uint32) {
 	slot = mb.h2nCur % mailboxSlots
 	mb.h2nCur++
 	if mb.busyH2N[slot] {
 		panic(fmt.Sprintf("core: H2N mailbox ring overrun at slot %d (more than %d threads mid-migration)", slot, mailboxSlots))
 	}
 	mb.busyH2N[slot] = true
-	return mb.hostStaging + uint64(slot)*DescSize, slot
+	return mb.hostStaging + uint64(slot)*DescSize, slot, mb.nextSeq()
 }
 
 // kickH2N starts the single-burst DMA of a staged descriptor into the
@@ -179,23 +224,70 @@ func (mb *Mailbox) kickH2N(slot int) {
 		mb.h2nArrived(slot)
 		return
 	}
+	mb.submitH2N(slot, 0)
+}
+
+func (mb *Mailbox) submitH2N(slot, attempt int) {
 	src := mb.hostStaging + uint64(slot)*DescSize
 	dst := mb.bramHostBase + h2nRingOff + uint64(slot)*DescSize
 	mb.dma.Submit(pcie.Request{
 		SrcSpace: mb.host, Src: src,
 		DstSpace: mb.host, Dst: dst,
 		Size: DescSize, Tag: "h2n-desc",
-		OnDone: func(at sim.Time) { mb.h2nArrived(slot) },
+		OnDone: func(at sim.Time, ok bool) {
+			if ok {
+				mb.h2nArrived(slot)
+				return
+			}
+			mb.retryDMA("h2n-desc", slot, attempt, src, mb.submitH2N)
+		},
 	})
+}
+
+// retryDMA handles a failed descriptor burst: resubmit after a backoff, or
+// — once the budget is gone — peek the staged descriptor (still intact at
+// descPA; a failed burst writes nothing) and report the owning task.
+func (mb *Mailbox) retryDMA(tag string, slot, attempt int, descPA uint64, resubmit func(slot, attempt int)) {
+	if attempt+1 < dmaMaxAttempts {
+		mb.mDMARetries.Inc()
+		backoff := dmaRetryBackoff << uint(attempt)
+		mb.env.Emit(sim.Event{Comp: "mbox", Kind: sim.KindMailbox, Aux: uint64(slot), Note: tag + " retry"})
+		mb.env.SpawnDaemon(fmt.Sprintf("mbox-retry-%s-%d-%d", tag, slot, attempt), func(p *sim.Proc) {
+			p.Sleep(backoff)
+			resubmit(slot, attempt+1)
+		})
+		return
+	}
+	mb.env.Emit(sim.Event{Comp: "mbox", Kind: sim.KindMailbox, Aux: uint64(slot), Note: tag + " abandoned"})
+	if mb.fail == nil {
+		return
+	}
+	var b [DescSize]byte
+	if err := mb.host.Read(descPA, b[:]); err != nil {
+		return
+	}
+	d, err := DecodeDescriptor(b[:])
+	if err != nil {
+		return
+	}
+	mb.fail(d.PID, fmt.Errorf("core: %s DMA for slot %d failed after %d attempts", tag, slot, dmaMaxAttempts))
 }
 
 // h2nArrived routes a delivered host→NxP descriptor: returns and nested
 // calls go to the waiting migration-handler frame; fresh calls queue for
 // the scheduler.
 func (mb *Mailbox) h2nArrived(slot int) {
+	d := mb.peekH2N(slot)
+	if d.Seq != 0 && d.Seq == mb.h2nSeq[slot] {
+		// Replayed burst (injected dma.dup): this slot's descriptor was
+		// already consumed — idempotent drop.
+		mb.mDupDrops.Inc()
+		mb.env.Emit(sim.Event{Comp: "mbox", Kind: sim.KindMailbox, Aux: uint64(slot), Note: "duplicate h2n delivery dropped"})
+		return
+	}
+	mb.h2nSeq[slot] = d.Seq
 	mb.h2nCount++
 	mb.busyH2N[slot] = false
-	d := mb.peekH2N(slot)
 	if d.Kind == DescReturn {
 		// Returns go to the frame that asked: the waiter on the board
 		// core named by the reply-to field.
@@ -295,16 +387,18 @@ func (mb *Mailbox) WaitH2N(p *sim.Proc, pid uint32, is isa.ISA) int {
 // --- NxP → Host direction ------------------------------------------------
 
 // StageN2HSlot returns the physical address (in the NxP's view) of the
-// next outbound staging slot and its index: local BRAM normally, the host
-// arrival buffer directly in PIO mode. The NxP migration handler or
-// scheduler writes the descriptor there, then rings the N2H doorbell.
-func (mb *Mailbox) StageN2HSlot() (localPA uint64, slot int) {
+// next outbound staging slot, its index, and the sequence number to stamp
+// into the descriptor: local BRAM normally, the host arrival buffer
+// directly in PIO mode. The NxP migration handler or scheduler writes the
+// descriptor there, then rings the N2H doorbell.
+func (mb *Mailbox) StageN2HSlot() (localPA uint64, slot int, seq uint32) {
 	slot = mb.n2hCur % mailboxSlots
 	mb.n2hCur++
+	seq = mb.nextSeq()
 	if mb.pio {
-		return mb.hostArrival + uint64(slot)*DescSize, slot
+		return mb.hostArrival + uint64(slot)*DescSize, slot, seq
 	}
-	return platform.LocalBRAMBase + n2hStagingOff + uint64(slot)*DescSize, slot
+	return platform.LocalBRAMBase + n2hStagingOff + uint64(slot)*DescSize, slot, seq
 }
 
 // kickN2H DMAs a staged descriptor from BRAM into the host arrival buffer
@@ -317,13 +411,23 @@ func (mb *Mailbox) kickN2H(slot int) {
 		mb.n2hArrived(slot)
 		return
 	}
+	mb.submitN2H(slot, 0)
+}
+
+func (mb *Mailbox) submitN2H(slot, attempt int) {
 	src := mb.bramHostBase + n2hStagingOff + uint64(slot)*DescSize
 	dst := mb.hostArrival + uint64(slot)*DescSize
 	mb.dma.Submit(pcie.Request{
 		SrcSpace: mb.host, Src: src,
 		DstSpace: mb.host, Dst: dst,
 		Size: DescSize, Tag: "n2h-desc",
-		OnDone: func(at sim.Time) { mb.n2hArrived(slot) },
+		OnDone: func(at sim.Time, ok bool) {
+			if ok {
+				mb.n2hArrived(slot)
+				return
+			}
+			mb.retryDMA("n2h-desc", slot, attempt, src, mb.submitN2H)
+		},
 	})
 }
 
@@ -336,8 +440,43 @@ func (mb *Mailbox) n2hArrived(slot int) {
 	if err != nil {
 		panic(fmt.Sprintf("core: n2h arrival: %v", err))
 	}
+	if d.Seq != 0 && d.Seq == mb.n2hSeq[slot] {
+		mb.mDupDrops.Inc()
+		mb.env.Emit(sim.Event{Comp: "mbox", Kind: sim.KindMailbox, Aux: uint64(slot), Note: "duplicate n2h delivery dropped"})
+		return
+	}
+	mb.n2hSeq[slot] = d.Seq
 	mb.n2hPending[d.PID] = slot
 	mb.wake(int(d.PID))
+}
+
+// HasN2H reports whether an arrival descriptor is pending for pid — the
+// kernel's migration probe: it validates wakes and recovers descriptors
+// whose MSI was lost, without consuming the pending note.
+func (mb *Mailbox) HasN2H(pid uint32) bool {
+	_, ok := mb.n2hPending[pid]
+	return ok
+}
+
+// PendingFor reports whether pid's migration is alive inside the
+// transport: a board frame of the thread is blocked awaiting a descriptor,
+// or a delivered call for it sits in a scheduler queue. Used by the
+// kernel's migration probe to distinguish a slow callee from a lost wake;
+// untimed, like the other simulator-side routing inspections.
+func (mb *Mailbox) PendingFor(pid uint32) bool {
+	for k := range mb.waiters {
+		if k.pid == pid {
+			return true
+		}
+	}
+	for _, slots := range mb.schedQ {
+		for _, slot := range slots {
+			if mb.peekH2N(slot).PID == pid {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // TakeN2H returns the host-DRAM physical address of the pending arrival

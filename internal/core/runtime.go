@@ -185,6 +185,10 @@ type boardState struct {
 	handlerVA uint64
 	curPID    uint32
 	faultAddr uint64
+	// busy marks the window in which the scheduler is executing curPID's
+	// call (including everything nested under it) — the signal that tells
+	// the kernel's migration probe the callee is alive, not lost.
+	busy bool
 }
 
 // Activate installs the Flick runtime onto a machine with a loaded
@@ -224,9 +228,36 @@ func Activate(m *platform.Machine, prog *kernel.Program) (*Runtime, error) {
 		return nil, err
 	}
 	route := func(target uint64) (isa.ISA, bool) { return prog.Image.TextISA(target) }
-	if rt.Mbox, err = newMailbox(m, staging, arrival, func(pid int) { m.Kernel.DeliverMSI(pid) }, route); err != nil {
+	// A descriptor abandoned by the DMA retry machinery fails its task and
+	// wakes it so the host handler surfaces the error instead of waiting
+	// out the full migration timeout.
+	fail := func(pid uint32, err error) {
+		rt.failTask(pid, err)
+		if t, ok := m.Kernel.TaskByPID(int(pid)); ok {
+			t.Wake()
+		}
+	}
+	if rt.Mbox, err = newMailbox(m, staging, arrival, func(pid int) { m.Kernel.DeliverMSI(pid) }, route, fail); err != nil {
 		return nil, err
 	}
+	// The kernel validates migration wakes (and recovers lost MSIs) by
+	// probing the mailbox's pending-arrival table; the busy signals let it
+	// tell a long-running callee apart from a lost wake.
+	m.Kernel.SetMigrationProbe(func(pid int) kernel.ProbeState {
+		id := uint32(pid)
+		if rt.Mbox.HasN2H(id) {
+			return kernel.ProbeReady
+		}
+		for _, st := range rt.board {
+			if st.busy && st.curPID == id {
+				return kernel.ProbeBusy
+			}
+		}
+		if rt.Mbox.PendingFor(id) {
+			return kernel.ProbeBusy
+		}
+		return kernel.ProbeIdle
+	})
 
 	m.Natives.Register(NativeHostHandler, rt.hostHandler)
 	m.Natives.Register(NativeNxPHandler, rt.nxpHandler)
@@ -293,6 +324,13 @@ func (rt *Runtime) boardFault(p *sim.Proc, c *cpu.Core, f *cpu.Fault) error {
 	if st == nil {
 		return f
 	}
+	if f.Spurious {
+		// Injected ghost fault from a stale translation: pay the fault
+		// entry, flush the page everywhere, and resume at the same PC.
+		p.Sleep(rt.Costs.NxPFaultEntry)
+		rt.K.ShootdownPage(p, f.VA)
+		return nil
+	}
 	if f.Kind == cpu.FaultFetchNX || f.Kind == cpu.FaultFetchMisaligned {
 		if target, ok := rt.Prog.Image.TextISA(f.VA); ok && target != c.ISA() {
 			p.Sleep(rt.Costs.NxPFaultEntry)
@@ -326,12 +364,14 @@ func (rt *Runtime) schedulerLoop(p *sim.Proc, core *cpu.Core) {
 		ctx.SetReg(isa.SP, d.NxPStack)
 		core.SetContext(ctx)
 		st.curPID = d.PID
+		st.busy = true
 		ret, err := core.Call(p, d.Target, d.Args[0], d.Args[1], d.Args[2], d.Args[3], d.Args[4], d.Args[5])
 		if err != nil {
 			rt.failTask(d.PID, err)
 			ret = 0
 		}
 		rt.sendReturnToHost(p, d.PID, ret)
+		st.busy = false
 	}
 }
 
@@ -348,7 +388,8 @@ func (rt *Runtime) failTask(pid uint32, err error) {
 func (rt *Runtime) sendReturnToHost(p *sim.Proc, pid uint32, ret uint64) {
 	p.Sleep(rt.Costs.NxPHandlerWork)
 	d := Descriptor{Kind: DescReturn, PID: pid, RetVal: ret}
-	local, slot := rt.Mbox.StageN2HSlot()
+	local, slot, seq := rt.Mbox.StageN2HSlot()
+	d.Seq = seq
 	rt.writeDescNxP(p, local, d)
 	rt.ringDoorbell(p, regN2HDoorbell, slot)
 }

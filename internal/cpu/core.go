@@ -74,6 +74,11 @@ type Config struct {
 	Natives     *NativeTable
 	Sys         SysHandler
 	Fault       FaultHandler
+	// SpuriousFault, when non-nil, is polled before each instruction; a
+	// true return makes the core raise a ghost NX fetch fault (Spurious
+	// set) at the current PC — the fault-injection hook for exercising
+	// stale-TLB recovery paths.
+	SpuriousFault func() bool
 }
 
 // Core is one simulated processor. It executes whatever Context is
@@ -261,6 +266,17 @@ func (c *Core) Step(p *sim.Proc) error {
 	}
 	if c.halted {
 		return ErrHalted
+	}
+	if c.cfg.SpuriousFault != nil && c.cfg.SpuriousFault() {
+		f := &Fault{Kind: FaultFetchNX, ISA: c.cfg.ISA, VA: c.ctx.PC, PC: c.ctx.PC, Spurious: true}
+		c.faults++
+		if c.cfg.Fault != nil {
+			if err := c.cfg.Fault(p, c, f); err != nil {
+				return err
+			}
+			return nil
+		}
+		return f
 	}
 	phys, f := c.fetch(p)
 	if f == nil {

@@ -78,6 +78,11 @@ type Fault struct {
 	VA   uint64 // faulting address (fetch target or data address)
 	PC   uint64 // PC of the faulting instruction
 	Err  error  // underlying cause, if any
+	// Spurious marks an injected ghost fault: the permission check
+	// misfired (e.g. a stale TLB entry after a missed shootdown) and the
+	// page is actually fine. The handler's correct response is to flush
+	// the translation and resume at the same PC.
+	Spurious bool
 }
 
 func (f *Fault) Error() string {

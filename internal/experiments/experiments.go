@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"flick/internal/baseline"
+	"flick/internal/platform"
 	"flick/internal/runner"
 	"flick/internal/sim"
 	"flick/internal/stats"
@@ -48,6 +49,16 @@ type Options struct {
 	// seed from it (runner.DeriveSeed). Zero selects the default seed;
 	// use SeedZero to request a literal zero.
 	Seed int64
+	// Faults is a fault-injection spec (internal/faultinj grammar, e.g.
+	// "dma.fail=0.05,msi.drop=0.1") applied to every simulated machine the
+	// experiment builds. Empty disables injection entirely, leaving the
+	// machines — and their metrics output — byte-identical to a build that
+	// never heard of fault injection.
+	Faults string
+	// FaultSeed seeds the fault-injection streams; every job derives its
+	// own stream seed from it, independent of the workload Seed. Zero
+	// inherits Seed; use SeedZero to request a literal zero.
+	FaultSeed int64
 
 	// Jobs is the scheduler's worker count: how many independent simulated
 	// machines run concurrently. 0 or 1 runs serially. Virtual-time
@@ -136,10 +147,32 @@ func (o Options) withDefaults() (Options, error) {
 	case SeedZero:
 		o.Seed = 0
 	}
+	switch o.FaultSeed {
+	case 0:
+		o.FaultSeed = o.Seed
+	case SeedZero:
+		o.FaultSeed = 0
+	}
 	if o.Jobs == 0 {
 		o.Jobs = 1
 	}
 	return o, nil
+}
+
+// faultParams builds the machine override for the job at the given graph
+// position. It returns nil when no fault spec is configured, so the
+// default path hands workloads the same nil Params it always has. Each
+// job's injection streams are seeded from (FaultSeed, position), assigned
+// at graph-construction time, so results are reproducible for any Jobs
+// value.
+func (o Options) faultParams(job uint64) *platform.Params {
+	if o.Faults == "" {
+		return nil
+	}
+	p := platform.DefaultParams()
+	p.Faults = o.Faults
+	p.FaultSeed = runner.DeriveSeed(o.FaultSeed, job)
+	return &p
 }
 
 // pool builds the scheduler configuration for one experiment run.
@@ -160,7 +193,9 @@ func measureNullCall(o Options) (workloads.NullCallResult, error) {
 	cfg := workloads.NullCallConfig{Iterations: o.NullCallIters}
 	plain, nested := cfg, cfg
 	plain.Obs = o.observer("nullcall/host-nxp-host")
+	plain.Params = o.faultParams(0)
 	nested.Obs = o.observer("nullcall/nested-return-trip")
+	nested.Params = o.faultParams(1)
 	jobs := []runner.Job[sim.Duration]{
 		{ID: 0, Name: "nullcall/host-nxp-host", Run: func(context.Context) (sim.Duration, error) {
 			return workloads.NullCallPhase(plain, false)
@@ -251,12 +286,13 @@ func fig5(o Options, interval bool, tag, title string) (*stats.Chart, error) {
 			li, pi, n := li, pi, n
 			name := fmt.Sprintf("%s/%s/n=%d", tag, ln.name, n)
 			obs := o.observer(name)
+			params := o.faultParams(uint64(len(jobs)))
 			jobs = append(jobs, runner.Job[struct{}]{
 				ID:   len(jobs),
 				Name: name,
 				Seed: seed,
 				Run: func(context.Context) (struct{}, error) {
-					p, err := workloads.MeasureChasePoint(n, o.ChaseCalls, extra, interval, seed, obs)
+					p, err := workloads.MeasureChasePoint(n, o.ChaseCalls, extra, interval, seed, params, obs)
 					if err != nil {
 						return struct{}{}, err
 					}
@@ -318,13 +354,14 @@ func Table4(o Options) (*stats.Table, []workloads.Table4Row, error) {
 			}
 			name := fmt.Sprintf("table4/%s/%s", ds.Name, mode)
 			obs := o.observer(name)
+			params := o.faultParams(uint64(len(jobs)))
 			jobs = append(jobs, runner.Job[sim.Duration]{
 				ID:   len(jobs),
 				Name: name,
 				Seed: seed,
 				Run: func(context.Context) (sim.Duration, error) {
 					r, err := workloads.RunBFS(workloads.BFSConfig{
-						Dataset: ds, Iterations: o.BFSIters, Baseline: bm, Seed: seed, Obs: obs,
+						Dataset: ds, Iterations: o.BFSIters, Baseline: bm, Seed: seed, Params: params, Obs: obs,
 					})
 					if err != nil {
 						return 0, err
@@ -376,17 +413,19 @@ func Latency(o Options) (*stats.Table, error) {
 	iters := o.NullCallIters
 	modeJob := func(id int, name string, mode workloads.LatencyMode) runner.Job[sim.Duration] {
 		obs := o.observer(name)
+		params := o.faultParams(uint64(id))
 		return runner.Job[sim.Duration]{ID: id, Name: name, Run: func(context.Context) (sim.Duration, error) {
-			return workloads.RunLatencyMode(mode, iters, nil, obs)
+			return workloads.RunLatencyMode(mode, iters, params, obs)
 		}}
 	}
+	pfParams := o.faultParams(4)
 	jobs := []runner.Job[sim.Duration]{
 		modeJob(0, "latency/host-loads", workloads.LatencyHostLoads),
 		modeJob(1, "latency/host-nop", workloads.LatencyHostNop),
 		modeJob(2, "latency/nxp-loads", workloads.LatencyNxPLoads),
 		modeJob(3, "latency/nxp-nop", workloads.LatencyNxPNop),
 		{ID: 4, Name: "latency/pagefault", Run: func(context.Context) (sim.Duration, error) {
-			return workloads.PageFaultCost(nil)
+			return workloads.PageFaultCost(pfParams)
 		}},
 	}
 	rs, err := runner.Run(context.Background(), o.pool(), jobs)
@@ -479,11 +518,12 @@ func Tenants(o Options) (*stats.Table, error) {
 		tenants := tenants
 		name := fmt.Sprintf("tenants/%d", tenants)
 		obs := o.observer(name)
+		params := o.faultParams(uint64(i))
 		jobs[i] = runner.Job[contention]{
 			ID:   i,
 			Name: name,
 			Run: func(context.Context) (contention, error) {
-				total, calls, err := workloads.RunMultiTenant(tenants, 12, obs)
+				total, calls, err := workloads.RunMultiTenant(tenants, 12, params, obs)
 				if err != nil {
 					return contention{}, err
 				}
@@ -528,12 +568,13 @@ func KVStore(o Options) (*stats.Table, error) {
 		seed := runner.DeriveSeed(o.Seed, uint64(i))
 		name := fmt.Sprintf("kv/batch=%d", b)
 		obs := o.observer(name)
+		params := o.faultParams(uint64(i))
 		jobs[i] = runner.Job[struct{}]{
 			ID:   i,
 			Name: name,
 			Seed: seed,
 			Run: func(context.Context) (struct{}, error) {
-				p, err := workloads.MeasureKVPoint(b, 128, seed, obs)
+				p, err := workloads.MeasureKVPoint(b, 128, seed, params, obs)
 				if err != nil {
 					return struct{}{}, err
 				}

@@ -1,0 +1,193 @@
+package faultinj
+
+import (
+	"strings"
+	"testing"
+
+	"flick/internal/sim"
+)
+
+func TestParseSpec(t *testing.T) {
+	spec, err := Parse("dma.fail=0.05,msi.delay=0.2:25us,ipi.drop=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Rules) != 3 {
+		t.Fatalf("rules = %d, want 3", len(spec.Rules))
+	}
+	r := spec.Rules[1]
+	if r.Site != "msi" || r.Kind != "delay" || r.Prob != 0.2 || r.Dur != 25*sim.Microsecond {
+		t.Fatalf("rule[1] = %+v", r)
+	}
+	if got := spec.String(); got != "dma.fail=0.05,msi.delay=0.2:25us,ipi.drop=1" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	spec, err := Parse("")
+	if err != nil || !spec.Empty() {
+		t.Fatalf("Parse(\"\") = %+v, %v", spec, err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"dma.fail",          // no probability
+		"dmafail=0.5",       // no site.kind dot
+		".fail=0.5",         // empty site
+		"dma.=0.5",          // empty kind
+		"dma.fail=2",        // prob out of range
+		"dma.fail=-0.1",     // negative prob
+		"dma.fail=x",        // non-numeric prob
+		"msi.delay=0.5:10s", // unsupported unit
+		"msi.delay=0.5:zus", // non-numeric duration
+		"dma.fail=0.1,dma.fail=0.2", // duplicate clause
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestNilInjectorIsSafe(t *testing.T) {
+	var inj *Injector
+	if inj.Roll("dma", "fail") {
+		t.Fatal("nil Roll = true")
+	}
+	if d, ok := inj.Delay("msi", "delay"); ok || d != 0 {
+		t.Fatal("nil Delay fired")
+	}
+	if inj.RollFn("cpu", "spurious") != nil {
+		t.Fatal("nil RollFn != nil")
+	}
+	if inj.Enabled() {
+		t.Fatal("nil Enabled = true")
+	}
+	if inj.Counts() != nil {
+		t.Fatal("nil Counts != nil")
+	}
+}
+
+func TestRollDeterministicPerSeed(t *testing.T) {
+	spec, _ := Parse("dma.fail=0.3")
+	draw := func(seed int64) []bool {
+		inj := New(sim.NewEnv(), seed, spec)
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = inj.Roll("dma", "fail")
+		}
+		return out
+	}
+	a, b, c := draw(7), draw(7), draw(8)
+	same, diff := true, false
+	for i := range a {
+		same = same && a[i] == b[i]
+		diff = diff || a[i] != c[i]
+	}
+	if !same {
+		t.Fatal("same seed produced different draw sequences")
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical 64-draw sequences")
+	}
+}
+
+// Streams are per (site, kind): drawing one rule must not perturb another,
+// no matter the interleaving — this is what makes multi-site runs
+// reproducible under scheduling changes.
+func TestStreamsIndependent(t *testing.T) {
+	spec, _ := Parse("dma.fail=0.5,msi.drop=0.5")
+	solo := New(sim.NewEnv(), 3, spec)
+	var dmaSolo []bool
+	for i := 0; i < 32; i++ {
+		dmaSolo = append(dmaSolo, solo.Roll("dma", "fail"))
+	}
+	mixed := New(sim.NewEnv(), 3, spec)
+	var dmaMixed []bool
+	for i := 0; i < 32; i++ {
+		mixed.Roll("msi", "drop") // interleave draws on the other stream
+		dmaMixed = append(dmaMixed, mixed.Roll("dma", "fail"))
+	}
+	for i := range dmaSolo {
+		if dmaSolo[i] != dmaMixed[i] {
+			t.Fatalf("draw %d: interleaving msi.drop changed dma.fail stream", i)
+		}
+	}
+}
+
+func TestRollRateRoughlyMatchesProb(t *testing.T) {
+	spec, _ := Parse("dma.fail=0.25")
+	inj := New(sim.NewEnv(), 99, spec)
+	hits := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if inj.Roll("dma", "fail") {
+			hits++
+		}
+	}
+	if hits < n/5 || hits > n*3/10 {
+		t.Fatalf("hit rate %d/%d, want ~0.25", hits, n)
+	}
+}
+
+func TestCountersAndEvents(t *testing.T) {
+	env := sim.NewEnv()
+	env.SetTraceCap(16)
+	spec, _ := Parse("ipi.drop=1,msi.drop=0")
+	inj := New(env, 1, spec)
+	if !inj.Roll("ipi", "drop") {
+		t.Fatal("prob=1 rule did not fire")
+	}
+	if inj.Roll("msi", "drop") {
+		t.Fatal("prob=0 rule fired")
+	}
+	counters := make(map[string]uint64)
+	present := make(map[string]bool)
+	for _, s := range env.Metrics().Snapshot().Counters {
+		counters[s.Name] = s.Value
+		present[s.Name] = true
+	}
+	if counters["fault.injected.ipi.drop"] != 1 {
+		t.Fatalf("ipi.drop counter = %d, want 1", counters["fault.injected.ipi.drop"])
+	}
+	// Zero-rate rules still pre-register their counter so snapshots
+	// enumerate every injectable fault.
+	if !present["fault.injected.msi.drop"] || counters["fault.injected.msi.drop"] != 0 {
+		t.Fatalf("msi.drop counter = %d (present=%v), want 0 present",
+			counters["fault.injected.msi.drop"], present["fault.injected.msi.drop"])
+	}
+	found := false
+	for _, ev := range env.Trace().Events() {
+		if ev.Comp == "faultinj" && strings.Contains(ev.Note, "ipi.drop") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no faultinj trace event for injected ipi.drop")
+	}
+}
+
+func TestDelayReturnsRuleDuration(t *testing.T) {
+	spec, _ := Parse("msi.delay=1:25us")
+	inj := New(sim.NewEnv(), 1, spec)
+	d, ok := inj.Delay("msi", "delay")
+	if !ok || d != 25*sim.Microsecond {
+		t.Fatalf("Delay = %d, %v; want 25us, true", d, ok)
+	}
+	if _, ok := inj.Delay("dma", "delay"); ok {
+		t.Fatal("Delay fired for unconfigured site")
+	}
+}
+
+func TestRollFn(t *testing.T) {
+	spec, _ := Parse("cpu.spurious=1")
+	inj := New(sim.NewEnv(), 1, spec)
+	fn := inj.RollFn("cpu", "spurious")
+	if fn == nil || !fn() {
+		t.Fatal("RollFn for prob=1 rule did not fire")
+	}
+	if inj.RollFn("dma", "fail") != nil {
+		t.Fatal("RollFn != nil for unconfigured rule")
+	}
+}

@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 
 	"flick/internal/cpu"
+	"flick/internal/faultinj"
 	"flick/internal/isa"
 	"flick/internal/mem"
 	"flick/internal/paging"
@@ -29,6 +31,96 @@ type Config struct {
 	Tables *paging.Tables
 	Costs  Costs
 	Layout Layout
+	// Faults enables fault injection and the recovery machinery that
+	// answers it (migration timeouts, wake validation, IPI retries).
+	// Nil (the default) keeps the perfect-hardware fast path: no timers
+	// are armed and no recovery counters are registered.
+	Faults *faultinj.Injector
+	// Recovery tunes the retry/timeout parameters; zero fields take
+	// DefaultRecovery values.
+	Recovery Recovery
+}
+
+// Recovery parameterizes the migration protocol's failure handling.
+type Recovery struct {
+	// MigrationTimeout bounds one suspend-wait before the kernel probes
+	// the arrival buffer for a descriptor whose MSI may have been lost.
+	MigrationTimeout sim.Duration
+	// MaxRetries bounds the timeout-probe cycles before the migration is
+	// declared failed and the task gets a MigrationTimeoutError.
+	MaxRetries int
+	// IPIDeliver is the modeled latency of one shootdown IPI (and of the
+	// ack wait after a lost one).
+	IPIDeliver sim.Duration
+	// IPIRetries bounds re-sends of an unacknowledged shootdown IPI.
+	IPIRetries int
+}
+
+// DefaultRecovery returns the calibrated failure-handling parameters:
+// the migration timeout is ~10× a worst-case null-call round trip, so
+// false timeouts cannot occur on the fault-free path.
+func DefaultRecovery() Recovery {
+	return Recovery{
+		MigrationTimeout: 200 * sim.Microsecond,
+		MaxRetries:       10,
+		IPIDeliver:       2 * sim.Microsecond,
+		IPIRetries:       10,
+	}
+}
+
+func (r Recovery) withDefaults() Recovery {
+	d := DefaultRecovery()
+	if r.MigrationTimeout == 0 {
+		r.MigrationTimeout = d.MigrationTimeout
+	}
+	if r.MaxRetries == 0 {
+		r.MaxRetries = d.MaxRetries
+	}
+	if r.IPIDeliver == 0 {
+		r.IPIDeliver = d.IPIDeliver
+	}
+	if r.IPIRetries == 0 {
+		r.IPIRetries = d.IPIRetries
+	}
+	return r
+}
+
+// ProbeState is the migration probe's verdict on a suspended task's
+// in-flight migration.
+type ProbeState int
+
+const (
+	// ProbeIdle: no arrival descriptor and no sign of remote activity for
+	// the task. Consecutive idle windows count toward the migration
+	// timeout.
+	ProbeIdle ProbeState = iota
+	// ProbeBusy: the migration is alive remotely — the callee is still
+	// executing, queued for dispatch, or blocked mid-protocol. The kernel
+	// keeps waiting without consuming timeout budget: a slow callee is not
+	// a lost wake.
+	ProbeBusy
+	// ProbeReady: a return descriptor is pending in the arrival buffer.
+	// A wake with this state is valid; a timeout with this state means the
+	// MSI was lost and the wake can be recovered locally.
+	ProbeReady
+)
+
+// MigrationTimeoutError is the typed failure a task carries when every
+// retry of a migration wait expired without a descriptor arriving.
+type MigrationTimeoutError struct {
+	PID      int
+	Attempts int
+	Waited   sim.Duration
+}
+
+func (e *MigrationTimeoutError) Error() string {
+	return fmt.Sprintf("kernel: migration for pid %d timed out after %d waits (%v total)", e.PID, e.Attempts, e.Waited)
+}
+
+// ShootdownTarget is one remote TLB set reached by shootdown IPIs.
+type ShootdownTarget struct {
+	Name  string
+	Flush func(va uint64)
 }
 
 // MigrationRedirect decides what to do with an instruction NX fault: if it
@@ -58,6 +150,14 @@ type Kernel struct {
 	redirect MigrationRedirect
 	console  bytes.Buffer
 
+	inj      *faultinj.Injector
+	recovery Recovery
+	// probe reports the liveness of pid's in-flight migration — the
+	// MSI-loss recovery path, and the validator that rejects wakes raised
+	// by a late MSI from an earlier migration.
+	probe     func(pid int) ProbeState
+	shootdown []ShootdownTarget
+
 	// EagerDMATrigger reproduces the race of paper §IV-D when set: the
 	// migration trigger fires before the thread's suspended state is
 	// published, so a fast NxP round trip loses the wakeup. For ablation
@@ -69,6 +169,15 @@ type Kernel struct {
 	mSyscalls    *sim.Counter
 	mCtxSwitches *sim.Counter
 	mIRQs        *sim.Counter
+
+	// Recovery counters, registered only under fault injection (nil
+	// otherwise — sim.Counter methods are nil-safe), so baseline metrics
+	// snapshots carry no new keys.
+	mMigRetries    *sim.Counter
+	mMigTimeouts   *sim.Counter
+	mSpuriousWakes *sim.Counter
+	mShootIPIs     *sim.Counter
+	mShootRetries  *sim.Counter
 }
 
 // New creates a kernel and spawns the host core's scheduler loop process.
@@ -83,6 +192,8 @@ func New(cfg Config) *Kernel {
 		layout:  cfg.Layout.withDefaults(),
 		nextPID: 1,
 		tasks:   make(map[int]*Task),
+		inj:     cfg.Faults,
+		recovery: cfg.Recovery.withDefaults(),
 	}
 	k.runqC = cfg.Env.NewCond("kernel.runq")
 	k.current = make(map[*cpu.Core]*Task)
@@ -92,8 +203,27 @@ func New(cfg Config) *Kernel {
 	k.mIRQs = reg.Counter("kernel.irqs")
 	reg.Gauge("kernel.migrations", func() uint64 { return uint64(k.faults) })
 	reg.Gauge("kernel.tasks", func() uint64 { return uint64(k.nextPID - 1) })
+	if k.inj != nil {
+		k.mMigRetries = reg.Counter("migration.retries")
+		k.mMigTimeouts = reg.Counter("migration.timeouts")
+		k.mSpuriousWakes = reg.Counter("migration.spurious_wakes")
+		k.mShootIPIs = reg.Counter("shootdown.ipis")
+		k.mShootRetries = reg.Counter("shootdown.ipi_retries")
+	}
 	return k
 }
+
+// SetMigrationProbe installs the migration liveness check used to
+// validate wakes and to recover from lost MSIs. The Flick runtime wires
+// it to the mailbox's pending-descriptor table and the board schedulers'
+// execution state.
+func (k *Kernel) SetMigrationProbe(probe func(pid int) ProbeState) { k.probe = probe }
+
+// SetShootdownTargets registers the TLB sets reached by shootdown IPIs.
+func (k *Kernel) SetShootdownTargets(ts []ShootdownTarget) { k.shootdown = ts }
+
+// Recovery returns the effective failure-handling parameters.
+func (k *Kernel) Recovery() Recovery { return k.recovery }
 
 // AttachHostCore binds a host core and starts its scheduler process. The
 // core's Sys and Fault hooks must already point at this kernel (the
@@ -199,7 +329,13 @@ func (k *Kernel) hostCoreLoop(p *sim.Proc, core *cpu.Core) {
 		k.mCtxSwitches.Inc()
 		k.env.Emit(sim.Event{Comp: "kernel", Kind: sim.KindCtxSwitch, Aux: uint64(t.PID), Note: core.Name()})
 		core.SetContext(t.Ctx)
+		// While a task occupies the core its fate matters: drop daemon
+		// status so a task stuck forever (e.g. a lost migration wake)
+		// surfaces through Env.Deadlocked instead of being silently
+		// ignored as service-loop noise.
+		p.SetDaemon(false)
 		err := core.Run(p, 0)
+		p.SetDaemon(true)
 		switch {
 		case errors.Is(err, cpu.ErrHalted):
 			// Plain halt without sys exit.
@@ -239,6 +375,25 @@ func (k *Kernel) Syscall(p *sim.Proc, c *cpu.Core, num int64) error {
 	}
 }
 
+// StuckTasks describes every task that has started but not finished, for
+// deadlock diagnostics — "name[pid N] suspended" style, PID-ordered.
+func (k *Kernel) StuckTasks() []string {
+	pids := make([]int, 0, len(k.tasks))
+	for pid := range k.tasks {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	var out []string
+	for _, pid := range pids {
+		t := k.tasks[pid]
+		if t.State == TaskDone {
+			continue
+		}
+		out = append(out, fmt.Sprintf("%s[pid %d] %v", t.Name, t.PID, t.State))
+	}
+	return out
+}
+
 // HostFault is the host core's fault hook. NX instruction faults whose
 // target the registered redirect recognizes become migration-handler
 // redirects: the faulting address is saved in the task struct and the PC —
@@ -247,6 +402,14 @@ func (k *Kernel) Syscall(p *sim.Proc, c *cpu.Core, num int64) error {
 // (paper §IV-B1). Everything else is fatal to the task.
 func (k *Kernel) HostFault(p *sim.Proc, c *cpu.Core, f *cpu.Fault) error {
 	t := k.current[c]
+	if f.Spurious {
+		// Ghost fault from a stale translation: pay the fault entry,
+		// flush the offending page everywhere, and resume at the same
+		// PC — the refetch succeeds against the repaired TLBs.
+		p.Sleep(k.costs.PageFaultEntry)
+		k.ShootdownPage(p, f.VA)
+		return nil
+	}
 	if f.Kind == cpu.FaultFetchNX && k.redirect != nil && t != nil {
 		if handler, ok := k.redirect(t, f); ok {
 			p.Sleep(k.costs.PageFaultEntry)
@@ -286,11 +449,104 @@ func (k *Kernel) MigrateAndSuspend(p *sim.Proc, t *Task, trigger func()) {
 			t.MigrationTrigger = nil
 		}
 	}
-	t.suspendWait(p)
+	k.waitMigration(p, t)
 	// Woken by the IRQ handler: charge the scheduler's wake-to-run path
 	// and the syscall return.
 	p.Sleep(k.costs.WakeupSchedule)
 	p.Sleep(k.costs.SyscallExit)
+}
+
+// waitMigration blocks until the migration's return descriptor wakes the
+// task. Without fault injection this is a plain suspend-wait (no timers
+// armed, timing identical to the perfect-hardware model). Under injection
+// the wait is bounded: on timeout the kernel probes the arrival buffer —
+// recovering descriptors whose MSI was lost — and a wake that arrives with
+// no descriptor pending (a late MSI from an earlier migration) is rejected
+// and the task re-suspended. MaxRetries expiries with nothing to show fail
+// the migration with a MigrationTimeoutError.
+func (k *Kernel) waitMigration(p *sim.Proc, t *Task) {
+	if k.inj == nil {
+		t.suspendWait(p)
+		return
+	}
+	// idle counts *consecutive* timeout windows with no descriptor and no
+	// remote activity; any evidence of progress resets it, so a slow board
+	// call can run arbitrarily long while a genuinely lost migration still
+	// fails after MaxRetries idle windows.
+	idle := 0
+	for {
+		if t.suspendWaitTimeout(p, k.recovery.MigrationTimeout) {
+			if t.Err != nil || k.probe == nil || k.probe(t.PID) == ProbeReady {
+				return
+			}
+			k.mSpuriousWakes.Inc()
+			k.env.Emit(sim.Event{Comp: "kernel", Kind: sim.KindIRQ, Aux: uint64(t.PID), Note: "spurious wake rejected"})
+			t.State = TaskSuspended
+			continue
+		}
+		// Timeout expired: probe instead of resending anything, so the
+		// path stays idempotent.
+		if t.Err != nil {
+			t.State = TaskRunning
+			return
+		}
+		state := ProbeIdle
+		if k.probe != nil {
+			state = k.probe(t.PID)
+		}
+		switch state {
+		case ProbeReady:
+			// The descriptor landed but its MSI was lost — recover the
+			// wake locally.
+			k.mMigRetries.Inc()
+			k.env.Emit(sim.Event{Comp: "kernel", Kind: sim.KindIRQ, Aux: uint64(t.PID), Note: "migration recovered by probe"})
+			t.State = TaskRunning
+			return
+		case ProbeBusy:
+			idle = 0
+			continue
+		}
+		idle++
+		if idle >= k.recovery.MaxRetries {
+			k.mMigTimeouts.Inc()
+			t.Err = &MigrationTimeoutError{PID: t.PID, Attempts: idle, Waited: k.recovery.MigrationTimeout * sim.Duration(idle)}
+			k.env.Emit(sim.Event{Comp: "kernel", Kind: sim.KindFault, Aux: uint64(t.PID), Note: "migration timed out"})
+			t.State = TaskRunning
+			return
+		}
+		k.mMigRetries.Inc()
+	}
+}
+
+// ShootdownPage broadcasts a TLB shootdown for va's page to every
+// registered target, modeling the IPI fan-out. An injected ipi.drop loses
+// one IPI — the initiator waits out the ack window and re-sends, up to
+// IPIRetries times; ipi.delay stretches a delivery.
+func (k *Kernel) ShootdownPage(p *sim.Proc, va uint64) {
+	k.env.Emit(sim.Event{Comp: "kernel", Kind: sim.KindFault, Addr: va, Note: "tlb shootdown"})
+	for _, tgt := range k.shootdown {
+		delivered := false
+		for attempt := 0; attempt <= k.recovery.IPIRetries; attempt++ {
+			k.mShootIPIs.Inc()
+			if k.inj.Roll("ipi", "drop") {
+				// No ack comes back; wait out the window and resend.
+				k.mShootRetries.Inc()
+				p.Sleep(k.recovery.IPIDeliver)
+				continue
+			}
+			d := k.recovery.IPIDeliver
+			if extra, ok := k.inj.Delay("ipi", "delay"); ok {
+				d += extra
+			}
+			p.Sleep(d)
+			tgt.Flush(va)
+			delivered = true
+			break
+		}
+		if !delivered {
+			k.env.Emit(sim.Event{Comp: "kernel", Kind: sim.KindFault, Addr: va, Note: "shootdown IPI lost to " + tgt.Name})
+		}
+	}
 }
 
 // DeliverMSI is called by the DMA engine's completion callback to model
@@ -306,10 +562,17 @@ func (k *Kernel) DeliverMSI(pid int) {
 		k.env.Emit(sim.Event{Comp: "kernel", Kind: sim.KindIRQ, Aux: uint64(pid), Note: "MSI for unknown pid"})
 		return
 	}
+	if k.inj.Roll("msi", "drop") {
+		// The interrupt is lost; the migration-timeout probe recovers
+		// the already-delivered descriptor.
+		k.env.Emit(sim.Event{Comp: "kernel", Kind: sim.KindIRQ, Aux: uint64(pid), Note: "MSI dropped"})
+		return
+	}
+	extra, _ := k.inj.Delay("msi", "delay")
 	// Model interrupt-entry + handler latency by scheduling the wake
 	// after the IRQ path completes.
 	k.env.SpawnDaemon(fmt.Sprintf("irq-wake-%d", pid), func(p *sim.Proc) {
-		p.Sleep(k.costs.InterruptEntry + k.costs.IRQHandler)
+		p.Sleep(k.costs.InterruptEntry + k.costs.IRQHandler + extra)
 		if t.Wake() {
 			k.env.Emit(sim.Event{Comp: "kernel", Kind: sim.KindIRQ, Aux: uint64(pid), Note: "MSI wake"})
 		} else {

@@ -77,6 +77,19 @@ func (t *Task) suspendWait(p *sim.Proc) {
 	t.State = TaskRunning
 }
 
+// suspendWaitTimeout is suspendWait with a deadline: it returns true when
+// a wake arrived (state restored to running) and false when the timeout
+// expired first (the task stays suspended; the caller decides whether to
+// probe, re-wait, or fail the migration).
+func (t *Task) suspendWaitTimeout(p *sim.Proc, d sim.Duration) bool {
+	if p.WaitForTimeout(t.wake, d, func() bool { return t.wakePending }) {
+		t.wakePending = false
+		t.State = TaskRunning
+		return true
+	}
+	return false
+}
+
 // Wake marks the task runnable if it is suspended (or mid-suspension with
 // State already published). Waking a task that has not yet published
 // TaskSuspended is lost — the race the post-suspend trigger rule exists to

@@ -3,15 +3,24 @@ package pcie
 import (
 	"fmt"
 
+	"flick/internal/faultinj"
 	"flick/internal/mem"
 	"flick/internal/sim"
 )
+
+// DefaultQueueCap bounds the engine's submission queue. Descriptor traffic
+// in this platform is tiny (16 ring slots per direction), so the default
+// is far above anything the mailbox can generate; bulk-transfer users can
+// lower it with SetCapacity to exercise backpressure.
+const DefaultQueueCap = 256
 
 // Request is one DMA transfer: Size bytes from Src in SrcSpace to Dst in
 // DstSpace. Every request crosses the link (local copies don't need a DMA
 // engine in this platform). OnDone, if non-nil, runs at completion time in
 // the engine's process context — typical uses are bumping a status register
-// the NxP scheduler polls, or raising an MSI toward the host.
+// the NxP scheduler polls, or raising an MSI toward the host. ok is false
+// when the transfer was aborted by an injected fault: no data was written
+// and the caller must retry or fail the operation.
 type Request struct {
 	SrcSpace *mem.AddressSpace
 	Src      uint64
@@ -19,7 +28,7 @@ type Request struct {
 	Dst      uint64
 	Size     int
 	Tag      string
-	OnDone   func(at sim.Time)
+	OnDone   func(at sim.Time, ok bool)
 }
 
 // Engine is the board's descriptor DMA controller. It serves requests in
@@ -31,8 +40,11 @@ type Engine struct {
 	extra sim.Duration // per-transfer engine overhead (setup, completion)
 
 	queue []Request
+	cap   int
 	kick  *sim.Cond
+	space *sim.Cond
 	stats EngineStats
+	inj   *faultinj.Injector
 
 	mTransferNS *sim.Histogram
 }
@@ -42,12 +54,15 @@ type EngineStats struct {
 	Transfers int
 	Bytes     int64
 	Busy      sim.Duration
+	Failed    int // transfers aborted by injected faults
+	PeakQueue int // high-water mark of the submission queue
 }
 
 // NewEngine creates a DMA engine and spawns its service process in env.
 func NewEngine(env *sim.Env, link LinkParams, overhead sim.Duration) *Engine {
-	e := &Engine{env: env, link: link, extra: overhead}
+	e := &Engine{env: env, link: link, extra: overhead, cap: DefaultQueueCap}
 	e.kick = env.NewCond("dma.kick")
+	e.space = env.NewCond("dma.space")
 	reg := env.Metrics()
 	reg.Gauge("dma.transfers", func() uint64 { return uint64(e.stats.Transfers) })
 	reg.Gauge("dma.bytes", func() uint64 { return uint64(e.stats.Bytes) })
@@ -57,14 +72,61 @@ func NewEngine(env *sim.Env, link LinkParams, overhead sim.Duration) *Engine {
 	return e
 }
 
+// SetCapacity bounds the submission queue at n requests (panics if n < 1).
+func (e *Engine) SetCapacity(n int) {
+	if n < 1 {
+		panic(fmt.Sprintf("pcie: dma capacity %d", n))
+	}
+	e.cap = n
+}
+
+// Capacity returns the submission queue bound.
+func (e *Engine) Capacity() int { return e.cap }
+
+// SetInjector attaches a fault injector. Injected dma.fail aborts a
+// transfer (no data written, OnDone ok=false), dma.delay stretches one,
+// and dma.dup delivers a completed burst twice. The queue-depth gauges
+// are registered here — only fault-injection runs carry them, keeping
+// baseline metrics snapshots unchanged.
+func (e *Engine) SetInjector(inj *faultinj.Injector) {
+	e.inj = inj
+	if inj == nil {
+		return
+	}
+	reg := e.env.Metrics()
+	reg.Gauge("dma.queue.depth", func() uint64 { return uint64(len(e.queue)) })
+	reg.Gauge("dma.queue.peak", func() uint64 { return uint64(e.stats.PeakQueue) })
+}
+
 // Submit enqueues a transfer. It must be called from a running simulation
 // process (core, kernel, or another device); the transfer proceeds
-// asynchronously.
+// asynchronously. Submit cannot block, so a full queue panics — callers
+// that can wait should use SubmitFrom.
 func (e *Engine) Submit(req Request) {
 	if req.Size <= 0 {
 		panic(fmt.Sprintf("pcie: dma submit with size %d", req.Size))
 	}
+	if len(e.queue) >= e.cap {
+		panic(fmt.Sprintf("pcie: dma queue full (cap %d)", e.cap))
+	}
+	e.enqueue(req)
+}
+
+// SubmitFrom enqueues a transfer from process p, blocking p in virtual
+// time while the queue is at capacity.
+func (e *Engine) SubmitFrom(p *sim.Proc, req Request) {
+	if req.Size <= 0 {
+		panic(fmt.Sprintf("pcie: dma submit with size %d", req.Size))
+	}
+	p.WaitFor(e.space, func() bool { return len(e.queue) < e.cap })
+	e.enqueue(req)
+}
+
+func (e *Engine) enqueue(req Request) {
 	e.queue = append(e.queue, req)
+	if len(e.queue) > e.stats.PeakQueue {
+		e.stats.PeakQueue = len(e.queue)
+	}
 	e.kick.Signal()
 }
 
@@ -84,8 +146,23 @@ func (e *Engine) run(p *sim.Proc) {
 		p.WaitFor(e.kick, func() bool { return len(e.queue) > 0 })
 		req := e.queue[0]
 		e.queue = e.queue[1:]
+		e.space.Signal()
 		cost := e.TransferCost(req.Size)
+		if d, ok := e.inj.Delay("dma", "delay"); ok {
+			cost += d
+		}
 		p.Sleep(cost)
+		if e.inj.Roll("dma", "fail") {
+			// The burst aborts mid-flight: nothing reaches the
+			// destination, and the submitter hears about it.
+			e.stats.Failed++
+			e.stats.Busy += cost
+			p.Env().Emit(sim.Event{Comp: "dma", Kind: sim.KindDMA, Addr: req.Src, Aux: req.Dst, Size: int64(req.Size), Note: req.Tag + "!fail"})
+			if req.OnDone != nil {
+				req.OnDone(p.Now(), false)
+			}
+			continue
+		}
 		// Data becomes visible at completion time.
 		buf := make([]byte, req.Size)
 		if err := req.SrcSpace.Read(req.Src, buf); err != nil {
@@ -100,7 +177,17 @@ func (e *Engine) run(p *sim.Proc) {
 		e.mTransferNS.Observe(uint64(cost / sim.Nanosecond))
 		p.Env().Emit(sim.Event{Comp: "dma", Kind: sim.KindDMA, Addr: req.Src, Aux: req.Dst, Size: int64(req.Size), Note: req.Tag})
 		if req.OnDone != nil {
-			req.OnDone(p.Now())
+			req.OnDone(p.Now(), true)
+		}
+		if e.inj.Roll("dma", "dup") {
+			// Replayed burst: the same bytes land again and the
+			// completion fires a second time. Receivers dedupe on
+			// descriptor sequence numbers, so this must be a no-op
+			// at the protocol layer.
+			p.Env().Emit(sim.Event{Comp: "dma", Kind: sim.KindDMA, Addr: req.Src, Aux: req.Dst, Size: int64(req.Size), Note: req.Tag + "!dup"})
+			if req.OnDone != nil {
+				req.OnDone(p.Now(), true)
+			}
 		}
 	}
 }

@@ -74,7 +74,7 @@ func TestDMAEngineTransfersAndTiming(t *testing.T) {
 			SrcSpace: host, Src: 0x100,
 			DstSpace: nxp, Dst: 0x8000_0200,
 			Size: 64, Tag: "h2n-desc",
-			OnDone: func(at sim.Time) { doneAt = at },
+			OnDone: func(at sim.Time, ok bool) { doneAt = at },
 		})
 	})
 	env.Run()
@@ -108,7 +108,7 @@ func TestDMAEngineFIFOAndSerialization(t *testing.T) {
 				SrcSpace: host, Src: uint64(0x100 * (i + 1)),
 				DstSpace: nxp, Dst: 0x8000_0000 + uint64(0x100*(i+1)),
 				Size: 64, Tag: "t",
-				OnDone: func(at sim.Time) {
+				OnDone: func(at sim.Time, ok bool) {
 					completions = append(completions, i)
 					times = append(times, at)
 				},

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"flick/internal/cpu"
+	"flick/internal/faultinj"
 	"flick/internal/isa"
 	"flick/internal/kernel"
 	"flick/internal/mem"
@@ -76,6 +77,19 @@ type Params struct {
 	NxPWalkPerReq sim.Duration // NxP MMU microcode dispatch per miss
 
 	HostFetchLine sim.Duration // host I-miss line fill
+
+	// Faults, when non-empty, enables deterministic fault injection from
+	// the parsed spec (faultinj grammar: "site.kind=prob[:dur],...") and
+	// switches the kernel and mailbox into their recovery modes. Empty
+	// keeps the perfect-hardware model, bit-identical to a build without
+	// the fault plane.
+	Faults string
+	// FaultSeed seeds the per-rule splitmix64 streams; the same
+	// (FaultSeed, Faults) pair reproduces a run byte-for-byte.
+	FaultSeed int64
+	// Recovery overrides the kernel's retry/timeout parameters; zero
+	// fields take kernel.DefaultRecovery values.
+	Recovery kernel.Recovery
 }
 
 // DefaultParams returns the calibrated Table I machine.
@@ -133,7 +147,12 @@ type Machine struct {
 
 	Kernel *kernel.Kernel
 
-	nxpTLBs []*tlb.TLB
+	// Injector is the machine's fault-injection plane (nil when
+	// Params.Faults is empty — every consumer is nil-safe).
+	Injector *faultinj.Injector
+
+	nxpTLBs  []*tlb.TLB
+	hostTLBs []*tlb.TLB
 }
 
 // New builds the machine: memories, bridge enumeration, TLB remap
@@ -141,6 +160,16 @@ type Machine struct {
 // tables, cores, and kernel.
 func New(params Params) (*Machine, error) {
 	m := &Machine{Params: params, Env: sim.NewEnv()}
+
+	if params.Faults != "" {
+		spec, err := faultinj.Parse(params.Faults)
+		if err != nil {
+			return nil, err
+		}
+		if !spec.Empty() {
+			m.Injector = faultinj.New(m.Env, params.FaultSeed, spec)
+		}
+	}
 
 	m.HostView = mem.NewAddressSpace("host-view")
 	m.NxPView = mem.NewAddressSpace("nxp-view")
@@ -175,6 +204,7 @@ func New(params Params) (*Machine, error) {
 	}
 
 	m.DMA = pcie.NewEngine(m.Env, params.Link, params.DMAOverhead)
+	m.DMA.SetInjector(m.Injector)
 
 	// Kernel page tables in host DRAM.
 	if m.Alloc, err = paging.NewFrameAlloc(1<<20, 47<<20); err != nil {
@@ -206,11 +236,13 @@ func New(params Params) (*Machine, error) {
 	}
 
 	m.Kernel = kernel.New(kernel.Config{
-		Env:    m.Env,
-		Phys:   m.HostView,
-		Alloc:  m.Alloc,
-		Tables: m.Tables,
-		Costs:  kernel.DefaultCosts(),
+		Env:      m.Env,
+		Phys:     m.HostView,
+		Alloc:    m.Alloc,
+		Tables:   m.Tables,
+		Costs:    kernel.DefaultCosts(),
+		Faults:   m.Injector,
+		Recovery: params.Recovery,
 		Layout: kernel.Layout{
 			NxPDataPA:      m.DDRBar.HostBase,
 			NxPDataSize:    params.NxPDDR,
@@ -225,7 +257,34 @@ func New(params Params) (*Machine, error) {
 		h.SetFaultHandler(m.Kernel.HostFault)
 		m.Kernel.AttachHostCore(h)
 	}
+	if m.Injector != nil {
+		m.Kernel.SetShootdownTargets(m.shootdownTargets())
+	}
 	return m, nil
+}
+
+// shootdownTargets lists every TLB set a shootdown IPI must reach, one
+// entry per core, in deterministic build order.
+func (m *Machine) shootdownTargets() []kernel.ShootdownTarget {
+	flushAll := func(ts []*tlb.TLB) func(va uint64) {
+		return func(va uint64) {
+			for _, t := range ts {
+				t.FlushPage(va)
+			}
+		}
+	}
+	var out []kernel.ShootdownTarget
+	for i, h := range m.Hosts {
+		out = append(out, kernel.ShootdownTarget{
+			Name:  h.Name(),
+			Flush: flushAll(m.hostTLBs[2*i : 2*i+2]),
+		})
+	}
+	out = append(out, kernel.ShootdownTarget{Name: m.NxP.Name(), Flush: flushAll(m.nxpTLBs[:2])})
+	if m.DSP != nil {
+		out = append(out, kernel.ShootdownTarget{Name: m.DSP.Name(), Flush: flushAll(m.nxpTLBs[2:4])})
+	}
+	return out
 }
 
 // BRAMMailboxCarve reserves the low BRAM bytes for the DMA mailbox rings;
@@ -260,22 +319,27 @@ func (m *Machine) buildCores() {
 	if nHost <= 0 {
 		nHost = 1
 	}
+	// Injected ghost faults, shared across cores: one stream, drawn in
+	// deterministic execution order.
+	spurious := m.Injector.RollFn("cpu", "spurious")
 	for i := 0; i < nHost; i++ {
 		name := fmt.Sprintf("host%d", i)
 		hITLB := tlb.New(name+"-itlb", p.HostITLB)
 		hDTLB := tlb.New(name+"-dtlb", p.HostDTLB)
+		m.hostTLBs = append(m.hostTLBs, hITLB, hDTLB)
 		m.Hosts = append(m.Hosts, cpu.New(cpu.Config{
 			Name: name, ISA: isa.ISAHost,
-			IMMU:        mmu.New(name+"-immu", hITLB, m.Tables, hostWalk, 0),
-			DMMU:        mmu.New(name+"-dmmu", hDTLB, m.Tables, hostWalk, 0),
-			Phys:        m.HostView,
-			CycleTime:   p.HostCycle,
-			ExecNX:      false,
-			ISATag:      tagOf(isa.ISAHost),
-			AccessCost:  m.hostAccessCost,
-			FetchCost:   func(uint64) sim.Duration { return p.HostFetchLine },
-			ICacheLines: p.HostICacheLines,
-			Natives:     m.Natives,
+			IMMU:          mmu.New(name+"-immu", hITLB, m.Tables, hostWalk, 0),
+			DMMU:          mmu.New(name+"-dmmu", hDTLB, m.Tables, hostWalk, 0),
+			Phys:          m.HostView,
+			CycleTime:     p.HostCycle,
+			ExecNX:        false,
+			ISATag:        tagOf(isa.ISAHost),
+			AccessCost:    m.hostAccessCost,
+			FetchCost:     func(uint64) sim.Duration { return p.HostFetchLine },
+			ICacheLines:   p.HostICacheLines,
+			Natives:       m.Natives,
+			SpuriousFault: spurious,
 		}))
 	}
 	m.Host = m.Hosts[0]
@@ -294,16 +358,17 @@ func (m *Machine) buildCores() {
 	}
 	m.NxP = cpu.New(cpu.Config{
 		Name: "nxp0", ISA: isa.ISANxP,
-		IMMU:        mmu.New("nxp-immu", nITLB, m.Tables, nxpWalk, p.NxPWalkPerReq),
-		DMMU:        mmu.New("nxp-dmmu", nDTLB, m.Tables, nxpWalk, p.NxPWalkPerReq),
-		Phys:        m.NxPView,
-		CycleTime:   p.NxPCycle,
-		ExecNX:      true,
-		ISATag:      tagOf(isa.ISANxP),
-		AccessCost:  m.nxpAccessCost,
-		FetchCost:   m.nxpFetchCost,
-		ICacheLines: p.NxPICacheLines,
-		Natives:     m.Natives,
+		IMMU:          mmu.New("nxp-immu", nITLB, m.Tables, nxpWalk, p.NxPWalkPerReq),
+		DMMU:          mmu.New("nxp-dmmu", nDTLB, m.Tables, nxpWalk, p.NxPWalkPerReq),
+		Phys:          m.NxPView,
+		CycleTime:     p.NxPCycle,
+		ExecNX:        true,
+		ISATag:        tagOf(isa.ISANxP),
+		AccessCost:    m.nxpAccessCost,
+		FetchCost:     m.nxpFetchCost,
+		ICacheLines:   p.NxPICacheLines,
+		Natives:       m.Natives,
+		SpuriousFault: spurious,
 	})
 
 	if p.EnableDSP {
@@ -320,15 +385,16 @@ func (m *Machine) buildCores() {
 		}
 		m.DSP = cpu.New(cpu.Config{
 			Name: "dsp0", ISA: isa.ISADsp,
-			IMMU:        mmu.New("dsp-immu", dITLB, m.Tables, nxpWalk, p.NxPWalkPerReq),
-			DMMU:        mmu.New("dsp-dmmu", dDTLB, m.Tables, nxpWalk, p.NxPWalkPerReq),
-			Phys:        m.NxPView,
-			CycleTime:   dspCycle,
-			ISATag:      tagOf(isa.ISADsp),
-			AccessCost:  m.nxpAccessCost,
-			FetchCost:   m.nxpFetchCost,
-			ICacheLines: p.NxPICacheLines,
-			Natives:     m.Natives,
+			IMMU:          mmu.New("dsp-immu", dITLB, m.Tables, nxpWalk, p.NxPWalkPerReq),
+			DMMU:          mmu.New("dsp-dmmu", dDTLB, m.Tables, nxpWalk, p.NxPWalkPerReq),
+			Phys:          m.NxPView,
+			CycleTime:     dspCycle,
+			ISATag:        tagOf(isa.ISADsp),
+			AccessCost:    m.nxpAccessCost,
+			FetchCost:     m.nxpFetchCost,
+			ICacheLines:   p.NxPICacheLines,
+			Natives:       m.Natives,
+			SpuriousFault: spurious,
 		})
 	}
 }

@@ -93,11 +93,13 @@ func (e *Env) Report() Report {
 	}
 }
 
-// event is a scheduled resumption of a process.
+// event is a scheduled resumption of a process, or a timer expiry when
+// timer is non-nil.
 type event struct {
-	at   Time
-	seq  uint64
-	proc *Proc
+	at    Time
+	seq   uint64
+	proc  *Proc
+	timer *Timer
 }
 
 type eventQueue []event
@@ -147,6 +149,13 @@ type Proc struct {
 
 // Name returns the process name given at Spawn time.
 func (p *Proc) Name() string { return p.name }
+
+// SetDaemon flips the process's daemon flag at runtime. Service loops that
+// alternate between idling for work (daemon: an idle engine is not a
+// deadlock) and executing a task on behalf of a client (non-daemon: a task
+// stuck mid-protocol must surface in Deadlocked) toggle this around the
+// task-execution window.
+func (p *Proc) SetDaemon(v bool) { p.daemon = v }
 
 // Env returns the environment the process belongs to.
 func (p *Proc) Env() *Env { return p.env }
@@ -238,6 +247,24 @@ func (e *Env) step(ev event) {
 	}
 }
 
+// dispatch routes one popped event: timer expiries run their callback in
+// the scheduler's context; process resumptions go through step. A stopped
+// timer is skipped without advancing the clock, so canceled timeouts never
+// stretch the simulated end time.
+func (e *Env) dispatch(ev event) {
+	if ev.timer != nil {
+		t := ev.timer
+		if t.stopped {
+			return
+		}
+		e.now = ev.at
+		t.fired = true
+		t.fn()
+		return
+	}
+	e.step(ev)
+}
+
 // Run processes events until the queue is empty. It returns the final
 // virtual time. If processes remain blocked on conditions that nothing can
 // signal, Run returns anyway (the processes are abandoned); use Deadlocked
@@ -245,7 +272,7 @@ func (e *Env) step(ev event) {
 func (e *Env) Run() Time {
 	for len(e.queue) > 0 {
 		ev := heap.Pop(&e.queue).(event)
-		e.step(ev)
+		e.dispatch(ev)
 	}
 	return e.now
 }
@@ -255,12 +282,44 @@ func (e *Env) Run() Time {
 func (e *Env) RunUntil(deadline Time) Time {
 	for len(e.queue) > 0 && e.queue[0].at <= deadline {
 		ev := heap.Pop(&e.queue).(event)
-		e.step(ev)
+		e.dispatch(ev)
 	}
 	if e.now < deadline {
 		e.now = deadline
 	}
 	return e.now
+}
+
+// Timer is a pending AfterFunc callback. Stop cancels it; a stopped timer
+// is skipped by the event loop without advancing the virtual clock.
+type Timer struct {
+	fn      func()
+	stopped bool
+	fired   bool
+}
+
+// Stop cancels the timer, reporting whether it was still pending. Stopping
+// an already-fired or already-stopped timer is a no-op returning false.
+func (t *Timer) Stop() bool {
+	if t.fired || t.stopped {
+		return false
+	}
+	t.stopped = true
+	return true
+}
+
+// AfterFunc schedules fn to run once, d from now, in the scheduler's
+// context (fn may Signal conditions, schedule processes, or Spawn, but has
+// no process of its own and must not sleep). The returned Timer cancels
+// the callback via Stop.
+func (e *Env) AfterFunc(d Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	t := &Timer{fn: fn}
+	e.seq++
+	heap.Push(&e.queue, event{at: e.now.Add(d), seq: e.seq, timer: t})
+	return t
 }
 
 // Deadlocked reports the names of processes that are still blocked after
@@ -329,6 +388,36 @@ func (p *Proc) WaitFor(c *Cond, pred func() bool) {
 	}
 }
 
+// WaitForTimeout is WaitFor with a deadline: it blocks until pred() is
+// true (returning true) or until d of virtual time has passed without the
+// predicate becoming true (returning false). On the success path the
+// internal timer is stopped, so a satisfied wait never stretches the
+// simulation's end time.
+func (p *Proc) WaitForTimeout(c *Cond, d Duration, pred func() bool) bool {
+	if pred() {
+		return true
+	}
+	timedOut := false
+	t := p.env.AfterFunc(d, func() {
+		// Only interrupt the wait if the process is still parked on the
+		// condition; if a Signal got there first this expiry is moot.
+		if c.remove(p) {
+			timedOut = true
+			p.env.schedule(p, p.env.now)
+		}
+	})
+	for {
+		p.Wait(c)
+		if pred() {
+			t.Stop()
+			return true
+		}
+		if timedOut {
+			return false
+		}
+	}
+}
+
 // Signal wakes the longest-waiting process, if any. The woken process is
 // scheduled at the current time, after events already queued for now.
 func (c *Cond) Signal() {
@@ -351,3 +440,15 @@ func (c *Cond) Broadcast() {
 
 // Waiters returns the number of processes currently blocked on c.
 func (c *Cond) Waiters() int { return len(c.waiters) }
+
+// remove takes p off the wait list without scheduling it, reporting
+// whether it was present (the timeout path of WaitForTimeout).
+func (c *Cond) remove(p *Proc) bool {
+	for i, w := range c.waiters {
+		if w == p {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			return true
+		}
+	}
+	return false
+}

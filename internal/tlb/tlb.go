@@ -21,9 +21,11 @@ type Entry struct {
 	Flags    paging.Flags
 }
 
-// covers reports whether the entry translates va.
+// covers reports whether the entry translates va. The subtraction form is
+// deliberate: VABase+PageSize would wrap for a page ending at the top of
+// the address space and make the entry cover nothing.
 func (e Entry) covers(va uint64) bool {
-	return va >= e.VABase && va < e.VABase+e.PageSize
+	return va-e.VABase < e.PageSize
 }
 
 // Remap is the BAR remap control register: addresses inside
@@ -38,9 +40,11 @@ type Remap struct {
 // Active reports whether the register has been programmed.
 func (r Remap) Active() bool { return r.Size != 0 }
 
-// Apply rewrites pa if it falls inside the window.
+// Apply rewrites pa if it falls inside the window. Written as a wrap-safe
+// subtraction: HostBase+Size overflows for a window touching the top of
+// the physical address space.
 func (r Remap) Apply(pa uint64) uint64 {
-	if r.Active() && pa >= r.HostBase && pa < r.HostBase+r.Size {
+	if r.Active() && pa-r.HostBase < r.Size {
 		return pa - r.Delta
 	}
 	return pa
@@ -108,7 +112,7 @@ func (t *TLB) RemapReg() Remap {
 // applyRemap rewrites pa through the first matching window.
 func (t *TLB) applyRemap(pa uint64) uint64 {
 	for _, r := range t.remaps {
-		if r.Active() && pa >= r.HostBase && pa < r.HostBase+r.Size {
+		if r.Active() && pa-r.HostBase < r.Size {
 			return pa - r.Delta
 		}
 	}
@@ -131,7 +135,7 @@ type Result struct {
 // and Insert the result.
 func (t *TLB) Lookup(va uint64) (Result, bool) {
 	for _, h := range t.holes {
-		if va >= h.VABase && va < h.VABase+h.Size {
+		if va-h.VABase < h.Size {
 			return Result{
 				Phys:     h.PhysBase + (va - h.VABase),
 				Flags:    paging.Flags{Writable: true},
@@ -164,7 +168,7 @@ func (t *TLB) Lookup(va uint64) (Result, bool) {
 // not perturb the metrics invariants.
 func (t *TLB) Peek(va uint64) (Result, bool) {
 	for _, h := range t.holes {
-		if va >= h.VABase && va < h.VABase+h.Size {
+		if va-h.VABase < h.Size {
 			return Result{
 				Phys:     h.PhysBase + (va - h.VABase),
 				Flags:    paging.Flags{Writable: true},

@@ -135,3 +135,79 @@ func TestZeroCapacityPanics(t *testing.T) {
 	}()
 	New("bad", 0)
 }
+
+func TestCoversAtAddressSpaceTop(t *testing.T) {
+	// Regression: a page ending exactly at 2^64 used to compute
+	// VABase+PageSize, which wraps to 0 and makes the entry cover nothing.
+	top := ^uint64(0)
+	base := top &^ (paging.PageSize4K - 1)
+	e := Entry{VABase: base, PageSize: paging.PageSize4K, PhysBase: 0x9000}
+	if !e.covers(top) {
+		t.Errorf("entry [%#x, 2^64) does not cover %#x", base, top)
+	}
+	if !e.covers(base) {
+		t.Errorf("entry [%#x, 2^64) does not cover its own base", base)
+	}
+	if e.covers(base - 1) {
+		t.Errorf("entry [%#x, 2^64) covers %#x below it", base, base-1)
+	}
+	if e.covers(0) {
+		t.Error("top page covers va 0 (wraparound)")
+	}
+}
+
+func TestLookupHitAtAddressSpaceTop(t *testing.T) {
+	top := ^uint64(0)
+	base := top &^ (paging.PageSize4K - 1)
+	tl := New("d-tlb", 4)
+	tl.Insert(base, walkFor(base, 0x9000, paging.PageSize4K, paging.Flags{Writable: true}))
+	r, ok := tl.Lookup(top)
+	if !ok || r.Phys != 0x9000+paging.PageSize4K-1 {
+		t.Errorf("lookup(%#x) = %+v, %v", top, r, ok)
+	}
+	if _, ok := tl.Peek(top); !ok {
+		t.Errorf("peek(%#x) missed", top)
+	}
+	// FlushPage on the top page must drop the entry, not skip it.
+	tl.FlushPage(top)
+	if tl.Len() != 0 {
+		t.Errorf("entry survived shootdown at address-space top, len = %d", tl.Len())
+	}
+}
+
+func TestRemapAtAddressSpaceTop(t *testing.T) {
+	// A remap window touching the top of the physical address space:
+	// HostBase+Size wraps to 0, which used to deactivate the window.
+	base := ^uint64(0) - 0xFFF
+	r := Remap{HostBase: base, Size: 0x1000, Delta: base - 0x4000}
+	if got := r.Apply(base + 0x10); got != 0x4010 {
+		t.Errorf("Apply(%#x) = %#x, want 0x4010", base+0x10, got)
+	}
+	if got := r.Apply(base - 1); got != base-1 {
+		t.Errorf("Apply below window rewrote to %#x", got)
+	}
+	tl := New("n-dtlb", 4)
+	tl.AddRemap(r)
+	if got := tl.applyRemap(^uint64(0)); got != 0x4FFF {
+		t.Errorf("applyRemap(top) = %#x, want 0x4FFF", got)
+	}
+	if got := tl.applyRemap(0); got != 0 {
+		t.Errorf("applyRemap(0) = %#x, wraparound match", got)
+	}
+}
+
+func TestHoleAtAddressSpaceTop(t *testing.T) {
+	base := ^uint64(0) - 0xFFF
+	tl := New("n-dtlb", 4)
+	tl.AddHole(Hole{VABase: base, Size: 0x1000, PhysBase: 0x2000})
+	r, ok := tl.Lookup(^uint64(0))
+	if !ok || r.Phys != 0x2FFF {
+		t.Errorf("hole lookup at top = %+v, %v", r, ok)
+	}
+	if _, ok := tl.Lookup(0); ok {
+		t.Error("hole at top matched va 0 (wraparound)")
+	}
+	if _, ok := tl.Peek(^uint64(0)); !ok {
+		t.Error("peek missed hole at top")
+	}
+}

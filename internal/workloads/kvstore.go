@@ -321,18 +321,19 @@ type KVPoint struct {
 
 // MeasureKVPoint measures one batch-size sample: Flick and host-direct
 // lookups over the same seeded table and query stream. Self-contained, so
-// batch sizes can run concurrently as scheduler jobs. obs, when non-nil,
+// batch sizes can run concurrently as scheduler jobs. params, when
+// non-nil, overrides both machines' configuration; obs, when non-nil,
 // receives both machines' observability reports.
-func MeasureKVPoint(batch, queries int, seed int64, obs *sim.Observer) (KVPoint, error) {
+func MeasureKVPoint(batch, queries int, seed int64, params *platform.Params, obs *sim.Observer) (KVPoint, error) {
 	q := queries - queries%batch
 	if q == 0 {
 		q = batch
 	}
-	f, err := RunKVStore(KVConfig{Queries: q, Batch: batch, Seed: seed, Obs: obs})
+	f, err := RunKVStore(KVConfig{Queries: q, Batch: batch, Seed: seed, Params: params, Obs: obs})
 	if err != nil {
 		return KVPoint{}, fmt.Errorf("flick batch %d: %w", batch, err)
 	}
-	base, err := RunKVStore(KVConfig{Queries: q, Batch: batch, Baseline: true, Seed: seed, Obs: obs})
+	base, err := RunKVStore(KVConfig{Queries: q, Batch: batch, Baseline: true, Seed: seed, Params: params, Obs: obs})
 	if err != nil {
 		return KVPoint{}, fmt.Errorf("baseline batch %d: %w", batch, err)
 	}
@@ -351,7 +352,7 @@ func MeasureKVPoint(batch, queries int, seed int64, obs *sim.Observer) (KVPoint,
 func SweepKVBatch(batches []int, queries int, seed int64) ([]KVPoint, error) {
 	out := make([]KVPoint, 0, len(batches))
 	for i, b := range batches {
-		p, err := MeasureKVPoint(b, queries, runner.DeriveSeed(seed, uint64(i)), nil)
+		p, err := MeasureKVPoint(b, queries, runner.DeriveSeed(seed, uint64(i)), nil, nil)
 		if err != nil {
 			return nil, err
 		}

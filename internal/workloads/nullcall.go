@@ -178,10 +178,14 @@ func RoundTripBreakdown() ([]BreakdownComponent, sim.Duration) {
 
 // RunMultiTenant starts one migrating thread per host core and reports the
 // completion time and total migrated calls — the contention experiment for
-// the SMP-host extension. obs, when non-nil, receives the run's
-// observability report.
-func RunMultiTenant(tenants, callsPerTenant int, obs *sim.Observer) (sim.Duration, int, error) {
+// the SMP-host extension. p, when non-nil, is the base machine
+// configuration (HostCores is forced to tenants either way); obs, when
+// non-nil, receives the run's observability report.
+func RunMultiTenant(tenants, callsPerTenant int, p *platform.Params, obs *sim.Observer) (sim.Duration, int, error) {
 	params := platform.DefaultParams()
+	if p != nil {
+		params = *p
+	}
 	params.HostCores = tenants
 	sys, err := flick.Build(flick.Config{
 		Params: &params,

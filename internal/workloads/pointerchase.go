@@ -245,19 +245,20 @@ type PointerChasePoint struct {
 // host-direct traversal of the same seeded chain at one list length.
 // Both sides share the seed so the normalization compares identical node
 // placements. The measurement is self-contained (two private machines),
-// so points can run concurrently as scheduler jobs. obs, when non-nil,
-// receives both machines' observability reports.
-func MeasureChasePoint(nodes, calls int, extra sim.Duration, interval bool, seed int64, obs *sim.Observer) (PointerChasePoint, error) {
+// so points can run concurrently as scheduler jobs. params, when non-nil,
+// overrides both machines' configuration (the fault-injection soak uses
+// this); obs, when non-nil, receives both machines' observability reports.
+func MeasureChasePoint(nodes, calls int, extra sim.Duration, interval bool, seed int64, params *platform.Params, obs *sim.Observer) (PointerChasePoint, error) {
 	flickMode, baseMode := ChaseFlick, ChaseBaseline
 	if interval {
 		flickMode, baseMode = ChaseFlickInterval, ChaseBaselineInterval
 	}
 	f, err := RunPointerChase(PointerChaseConfig{
-		Nodes: nodes, Calls: calls, Mode: flickMode, ExtraMigrationLatency: extra, Seed: seed, Obs: obs})
+		Nodes: nodes, Calls: calls, Mode: flickMode, ExtraMigrationLatency: extra, Seed: seed, Params: params, Obs: obs})
 	if err != nil {
 		return PointerChasePoint{}, fmt.Errorf("flick n=%d: %w", nodes, err)
 	}
-	b, err := RunPointerChase(PointerChaseConfig{Nodes: nodes, Calls: calls, Mode: baseMode, Seed: seed, Obs: obs})
+	b, err := RunPointerChase(PointerChaseConfig{Nodes: nodes, Calls: calls, Mode: baseMode, Seed: seed, Params: params, Obs: obs})
 	if err != nil {
 		return PointerChasePoint{}, fmt.Errorf("baseline n=%d: %w", nodes, err)
 	}
@@ -277,7 +278,7 @@ func MeasureChasePoint(nodes, calls int, extra sim.Duration, interval bool, seed
 func SweepPointerChase(nodeCounts []int, calls int, extra sim.Duration, interval bool, seed int64) ([]PointerChasePoint, error) {
 	out := make([]PointerChasePoint, 0, len(nodeCounts))
 	for i, n := range nodeCounts {
-		p, err := MeasureChasePoint(n, calls, extra, interval, runner.DeriveSeed(seed, uint64(i)), nil)
+		p, err := MeasureChasePoint(n, calls, extra, interval, runner.DeriveSeed(seed, uint64(i)), nil, nil)
 		if err != nil {
 			return nil, err
 		}
