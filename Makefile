@@ -33,6 +33,8 @@ fuzz:
 	$(GO) test ./internal/isa -run '^$$' -fuzz FuzzDecode -fuzztime 10s
 	$(GO) test ./internal/isa -run '^$$' -fuzz FuzzEncodeDecodeRoundTrip -fuzztime 10s
 	$(GO) test ./internal/asm -run '^$$' -fuzz FuzzAssemble -fuzztime 10s
+	$(GO) test ./internal/kernel -run '^$$' -fuzz FuzzBoardScheduler -fuzztime 10s
+	$(GO) test . -run '^$$' -fuzz FuzzPlacementRouting -fuzztime 10s
 
 clean:
 	$(GO) clean ./...

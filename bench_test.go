@@ -308,6 +308,30 @@ func BenchmarkAblation_TransparencyCost(b *testing.B) {
 	b.ReportMetric(r.TransparencyCost.Microseconds(), "virt-µs-transparency")
 }
 
+// BenchmarkScaleOut measures board scale-out: eight migrating host
+// threads spread their calls across 1, 2, and 4 NxP boards under the
+// kernel's round-robin placement. The metric is aggregate migrated calls
+// per virtual second versus board count.
+func BenchmarkScaleOut(b *testing.B) {
+	run := func(boards int) float64 {
+		total, calls, err := workloads.RunScaleOut(8, 12, boards, "", nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return float64(calls) / total.Seconds()
+	}
+	var one, two, four float64
+	for i := 0; i < b.N; i++ {
+		one = run(1)
+		two = run(2)
+		four = run(4)
+	}
+	b.ReportMetric(one, "virt-calls/s-1board")
+	b.ReportMetric(two, "virt-calls/s-2boards")
+	b.ReportMetric(four, "virt-calls/s-4boards")
+	b.ReportMetric(four/one, "x-scaling-4boards")
+}
+
 // BenchmarkMultiTenantNxP measures board contention: several host threads
 // (one per host core) share the single NxP through Flick migrations. The
 // metric is aggregate migrated calls per virtual second versus tenants.

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"flick/internal/experiments"
+	"flick/internal/kernel"
 	"flick/internal/runner"
 	"flick/internal/stats"
 )
@@ -57,15 +58,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 	traceOut := fs.String("trace-out", "", "write per-job event traces as Chrome trace-event JSON to this file")
 	faults := fs.String("faults", "", "fault-injection spec, e.g. 'dma.fail=0.05,msi.drop=0.1' (see docs/ROBUSTNESS.md)")
 	faultSeed := fs.Int64("fault-seed", 0, "base seed for the fault-injection streams (0 = inherit the workload seed)")
+	boards := fs.Int("boards", 1, "number of NxP boards per simulated machine (see docs/SCALING.md)")
+	boardPolicy := fs.String("board-policy", "", "board placement policy: round-robin, least-loaded, or affinity (default round-robin)")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: flicksim [flags] <experiment>...\n")
-		fmt.Fprintf(stderr, "experiments: %s all soak\n", strings.Join(experiments.IDs(), " "))
+		fmt.Fprintf(stderr, "experiments: %s all soak scaleout\n", strings.Join(experiments.IDs(), " "))
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
+	if *boards < 1 {
+		fmt.Fprintf(stderr, "flicksim: -boards %d: must be >= 1\n", *boards)
+		fs.Usage()
+		return 2
+	}
+	if _, err := kernel.ParseBoardPolicy(*boardPolicy); err != nil {
+		fmt.Fprintf(stderr, "flicksim: -board-policy: %v\n", err)
 		fs.Usage()
 		return 2
 	}
@@ -85,6 +98,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	o.Timeout = *timeout
 	o.Faults = *faults
 	o.FaultSeed = *faultSeed
+	o.Boards = *boards
+	o.BoardPolicy = *boardPolicy
 	if !*quiet {
 		o.Progress = func(e runner.Event) { progress(stderr, e) }
 	}
@@ -101,6 +116,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ids = experiments.IDs()
 	}
 	for _, id := range ids {
+		// scaleout is not a registry experiment (it is a multi-board
+		// extension, not a paper artifact, so "all" does not include it).
+		if id == "scaleout" {
+			start := time.Now()
+			t, err := experiments.ScaleOut(o)
+			if err != nil {
+				fmt.Fprintf(stderr, "flicksim: scaleout: %v\n", err)
+				return 1
+			}
+			t.Render(stdout)
+			fmt.Fprintln(stdout)
+			fmt.Fprintf(stderr, "  [scaleout regenerated in %.1fs wall time, %d jobs wide]\n",
+				time.Since(start).Seconds(), o.Jobs)
+			continue
+		}
 		// soak is not a registry experiment (it is a robustness gate, not a
 		// paper artifact, so "all" does not include it).
 		if id == "soak" {

@@ -73,6 +73,74 @@ func TestQuietSuppressesProgress(t *testing.T) {
 	}
 }
 
+func TestBadBoardsExit2(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-quiet", "-boards", "0", "table3")
+	if code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+	if stdout != "" {
+		t.Errorf("error output leaked to stdout:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "-boards") || !strings.Contains(stderr, "usage: flicksim") {
+		t.Errorf("stderr missing flag name or usage:\n%s", stderr)
+	}
+}
+
+func TestBadBoardPolicyExit2(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-quiet", "-board-policy", "bogus", "table3")
+	if code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+	if stdout != "" {
+		t.Errorf("error output leaked to stdout:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "bogus") || !strings.Contains(stderr, "usage: flicksim") {
+		t.Errorf("stderr missing bad value or usage:\n%s", stderr)
+	}
+}
+
+// TestBoardsOneIsNoOp is the seed-compatibility gate at the CLI layer: a
+// single-board run with the flags spelled out must be byte-identical to
+// the same invocation without them.
+func TestBoardsOneIsNoOp(t *testing.T) {
+	render := func(extra ...string) (string, []byte) {
+		dir := t.TempDir()
+		mPath := filepath.Join(dir, "m.json")
+		args := append([]string{"-iters", "2", "-quiet", "-metrics-out", mPath}, extra...)
+		args = append(args, "table3")
+		code, stdout, stderr := runCLI(t, args...)
+		if code != 0 {
+			t.Fatalf("args=%v exit = %d, stderr:\n%s", extra, code, stderr)
+		}
+		mb, err := os.ReadFile(mPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stdout, mb
+	}
+	plainOut, plainMetrics := render()
+	flagOut, flagMetrics := render("-boards", "1")
+	if plainOut != flagOut {
+		t.Errorf("-boards 1 changed stdout:\n%s\nvs\n%s", plainOut, flagOut)
+	}
+	if !bytes.Equal(plainMetrics, flagMetrics) {
+		t.Errorf("-boards 1 changed the metrics JSON:\n%s\nvs\n%s", plainMetrics, flagMetrics)
+	}
+}
+
+func TestScaleOutSmoke(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-iters", "2", "-quiet", "-board-policy", "least-loaded", "scaleout")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "board scale-out") {
+		t.Errorf("stdout missing scale-out artifact:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "least-loaded") {
+		t.Errorf("table note does not name the policy:\n%s", stdout)
+	}
+}
+
 // TestMetricsAndTraceOut exercises the two output flags on a fast
 // experiment and sanity-checks both files parse and carry real data.
 func TestMetricsAndTraceOut(t *testing.T) {

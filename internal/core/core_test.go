@@ -608,7 +608,7 @@ func TestManySequentialMigratingThreads(t *testing.T) {
 	}
 	stacks := map[uint64]bool{}
 	for _, task := range tasks {
-		s := task.BoardStacks[isa.ISANxP]
+		s := task.BoardStacks[kernel.BoardStackKey{Board: 0, ISA: isa.ISANxP}]
 		if s == 0 || stacks[s] {
 			t.Errorf("NxP stack %#x missing or reused across live tasks", s)
 		}

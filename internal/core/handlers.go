@@ -23,39 +23,112 @@ func (rt *Runtime) hostHandler(p *sim.Proc, c *cpu.Core) error {
 	return rt.executeOnBoard(p, c, t, t.FaultAddr)
 }
 
-// boardStackFor returns the thread's stack top on the board core that
-// executes target, allocating it on the first migration toward that core
-// (Listing 1, lines 3-4).
-func (rt *Runtime) boardStackFor(p *sim.Proc, t *kernel.Task, target uint64) (uint64, error) {
+// boardStackFor returns the thread's stack top on the given board's core
+// of the target's ISA, allocating it on the first migration toward that
+// core (Listing 1, lines 3-4). Stacks live in board-local BRAM, so each
+// (board, ISA) pair a thread touches gets its own.
+func (rt *Runtime) boardStackFor(p *sim.Proc, t *kernel.Task, board int, target uint64) (uint64, error) {
 	is, ok := rt.Prog.Image.TextISA(target)
 	if !ok || is == isa.ISAHost {
 		return 0, fmt.Errorf("core: migration target %#x is not board text", target)
 	}
 	if t.BoardStacks == nil {
-		t.BoardStacks = make(map[isa.ISA]uint64)
+		t.BoardStacks = make(map[kernel.BoardStackKey]uint64)
 	}
-	if stack, ok := t.BoardStacks[is]; ok {
+	key := kernel.BoardStackKey{Board: board, ISA: is}
+	if stack, ok := t.BoardStacks[key]; ok {
 		return stack, nil
 	}
-	stack, err := rt.Prog.AllocNxPStack()
+	stack, err := rt.Prog.AllocNxPStackOn(board)
 	if err != nil {
 		return 0, err
 	}
 	p.Sleep(rt.Costs.StackInit)
-	t.BoardStacks[is] = stack
+	t.BoardStacks[key] = stack
 	return stack, nil
 }
 
-// executeOnBoard ships a call to the board core owning the target's ISA
-// and serves the descriptor protocol until the matching return arrives,
-// leaving the result in a0. It is the body shared by the transparent
-// fault-triggered path (hostHandler) and the explicit offload-style path
-// (OffloadCall).
+// pickBoard chooses the board for one migration of t toward target.
+// pinned placements (a blocked board frame of the thread that must be the
+// one to continue, or the DSP's fixed home on board 0) bypass the policy
+// scheduler and are exempt from failover.
+func (rt *Runtime) pickBoard(t *kernel.Task, target uint64) (board int, pinned bool) {
+	is, ok := rt.Prog.Image.TextISA(target)
+	if !ok {
+		return 0, true // surfaces as an error in boardStackFor
+	}
+	// A blocked migration-handler frame of this thread awaiting a
+	// descriptor pins follow-up calls to its board: the waiter is the
+	// frame that continues, and a fresh dispatch elsewhere would strand it.
+	pid := uint32(t.PID)
+	for _, st := range rt.states {
+		if st.core.ISA() == is && st.mbox.HasWaiter(pid, is) {
+			return st.idx, true
+		}
+	}
+	if is == isa.ISADsp {
+		return 0, true // the DSP lives on board 0
+	}
+	return rt.K.BoardSched().Pick(t.PID, nil), false
+}
+
+// canFailOver reports whether a failed dispatch may be retried on another
+// board: only failures that prove the call never dispatched qualify — a
+// migration timeout, or an h2n transport loss (the board never saw the
+// descriptor). An n2h loss means the call executed and its return is gone;
+// re-dispatching would run it twice.
+func canFailOver(err error) bool {
+	var te *TransportError
+	if errors.As(err, &te) {
+		return te.Dir == "h2n"
+	}
+	var mt *kernel.MigrationTimeoutError
+	return errors.As(err, &mt)
+}
+
+// executeOnBoard ships a call to a board core of the target's ISA —
+// chosen by the kernel's board scheduler — and serves the descriptor
+// protocol until the matching return arrives, leaving the result in a0.
+// It is the body shared by the transparent fault-triggered path
+// (hostHandler) and the explicit offload-style path (OffloadCall). When a
+// dispatch dies without ever reaching its board (migration timeout, h2n
+// transport loss), the call fails over to another board until every board
+// has been tried.
 func (rt *Runtime) executeOnBoard(p *sim.Proc, c *cpu.Core, t *kernel.Task, target uint64) error {
-	stack, err := rt.boardStackFor(p, t, target)
+	board, pinned := rt.pickBoard(t, target)
+	var exclude map[int]bool
+	for {
+		err := rt.dispatchToBoard(p, c, t, target, board)
+		if err == nil {
+			return nil
+		}
+		if pinned || !canFailOver(err) {
+			return err
+		}
+		if exclude == nil {
+			exclude = make(map[int]bool)
+		}
+		exclude[board] = true
+		if len(exclude) >= rt.K.BoardSched().NumBoards() {
+			return err
+		}
+		next := rt.K.BoardSched().Pick(t.PID, exclude)
+		rt.K.RecordFailover(t.PID, board, next)
+		t.Err = nil
+		board = next
+	}
+}
+
+// dispatchToBoard runs one placement attempt of the migrated call on the
+// given board.
+func (rt *Runtime) dispatchToBoard(p *sim.Proc, c *cpu.Core, t *kernel.Task, target uint64, board int) error {
+	stack, err := rt.boardStackFor(p, t, board, target)
 	if err != nil {
 		return err
 	}
+	sched := rt.K.BoardSched()
+	sched.Started(t.PID, board)
+	defer sched.Finished(board)
 	rt.M.Env.Emit(sim.Event{Comp: "runtime", Kind: sim.KindSched, Addr: target, Aux: uint64(t.PID), Note: "host → board call"})
 	// prepare_host_to_nxp_call + ioctl_migrate_and_suspend (lines 5-6).
 	call := Descriptor{
@@ -66,7 +139,7 @@ func (rt *Runtime) executeOnBoard(p *sim.Proc, c *cpu.Core, t *kernel.Task, targ
 		NxPStack: stack,
 		PTBR:     rt.K.Tables().Root(),
 	}
-	rt.sendToNxPAndSuspend(p, t, call)
+	rt.sendToNxPAndSuspend(p, rt.Mboxes[board], t, call)
 
 	// The while loop (lines 7-12): every wake is either an NxP→host call
 	// to serve or the final return.
@@ -74,7 +147,7 @@ func (rt *Runtime) executeOnBoard(p *sim.Proc, c *cpu.Core, t *kernel.Task, targ
 		if t.Err != nil {
 			return t.Err
 		}
-		pa, ok := rt.Mbox.TakeN2H(uint32(t.PID))
+		pa, src, ok := rt.takeN2H(uint32(t.PID))
 		if !ok {
 			return fmt.Errorf("core: pid %d woke without a pending descriptor", t.PID)
 		}
@@ -88,7 +161,8 @@ func (rt *Runtime) executeOnBoard(p *sim.Proc, c *cpu.Core, t *kernel.Task, targ
 		case DescCall:
 			// Lines 8-11: a board core called a host function; run it
 			// here — it may itself fault and recurse into this handler.
-			// The return is addressed to the board frame that asked.
+			// The return is addressed to the board frame that asked, via
+			// the mailbox the call came in on.
 			rt.stats.N2HCalls++
 			rt.M.Env.Emit(sim.Event{Comp: "runtime", Kind: sim.KindMigrate, Addr: d.Target, Aux: uint64(t.PID), Note: "n2h"})
 			ret, err := c.Call(p, d.Target, d.Args[0], d.Args[1], d.Args[2], d.Args[3], d.Args[4], d.Args[5])
@@ -96,11 +170,23 @@ func (rt *Runtime) executeOnBoard(p *sim.Proc, c *cpu.Core, t *kernel.Task, targ
 				return err
 			}
 			back := Descriptor{Kind: DescReturn, PID: uint32(t.PID), RetVal: ret, ReplyISA: d.ReplyISA}
-			rt.sendToNxPAndSuspend(p, t, back)
+			rt.sendToNxPAndSuspend(p, src, t, back)
 		default:
 			return fmt.Errorf("core: pid %d received descriptor kind %v", t.PID, d.Kind)
 		}
 	}
+}
+
+// takeN2H consumes the pending arrival descriptor for pid from whichever
+// board's mailbox holds it, returning the mailbox so replies can be routed
+// back the same way.
+func (rt *Runtime) takeN2H(pid uint32) (pa uint64, src *Mailbox, ok bool) {
+	for _, mb := range rt.Mboxes {
+		if pa, ok := mb.TakeN2H(pid); ok {
+			return pa, mb, true
+		}
+	}
+	return 0, nil, false
 }
 
 // OffloadCall is the offload-engine programming style the paper contrasts
@@ -123,15 +209,15 @@ func (rt *Runtime) OffloadCall(p *sim.Proc, c *cpu.Core, target uint64, args [6]
 	return c.Context().Reg(isa.A0), nil
 }
 
-// sendToNxPAndSuspend stages a descriptor, then performs the migration
-// ioctl: the kernel suspends the thread and fires the doorbell only after
-// the suspended state is published (§IV-D).
-func (rt *Runtime) sendToNxPAndSuspend(p *sim.Proc, t *kernel.Task, d Descriptor) {
+// sendToNxPAndSuspend stages a descriptor on the given board's mailbox,
+// then performs the migration ioctl: the kernel suspends the thread and
+// fires the doorbell only after the suspended state is published (§IV-D).
+func (rt *Runtime) sendToNxPAndSuspend(p *sim.Proc, mb *Mailbox, t *kernel.Task, d Descriptor) {
 	p.Sleep(rt.Costs.HostHandlerWork + rt.ExtraMigrationLatency)
-	pa, slot, seq := rt.Mbox.StageH2NSlot()
+	pa, slot, seq := mb.StageH2NSlot()
 	d.Seq = seq
 	rt.writeDescHost(p, pa, d)
-	rt.K.MigrateAndSuspend(p, t, func() { rt.Mbox.kickH2N(slot) })
+	rt.K.MigrateAndSuspend(p, t, func() { mb.kickH2N(slot) })
 }
 
 // nxpHandler is Listing 2: the NxP migration handler. The NxP fault
@@ -149,21 +235,22 @@ func (rt *Runtime) nxpHandler(p *sim.Proc, c *cpu.Core) error {
 	// waiter must be registered before the doorbell rings so the response
 	// cannot race past us. The call is stamped with this core's ISA so
 	// the host addresses its return descriptor back to this frame.
+	mb := st.mbox
 	rt.M.Env.Emit(sim.Event{Comp: c.Name(), Kind: sim.KindSched, Addr: target, Aux: uint64(pid), Note: "board → host call"})
 	call := Descriptor{Kind: DescCall, PID: pid, Target: target, Args: c.Args(), ReplyISA: uint32(c.ISA())}
 	p.Sleep(rt.Costs.NxPHandlerWork + rt.ExtraMigrationLatency)
-	local, slot, seq := rt.Mbox.StageN2HSlot()
+	local, slot, seq := mb.StageN2HSlot()
 	call.Seq = seq
 	rt.writeDescNxP(p, local, call)
-	rt.Mbox.RegisterWaiter(pid, c.ISA())
-	rt.ringDoorbell(p, regN2HDoorbell, slot)
+	mb.RegisterWaiter(pid, c.ISA())
+	rt.ringDoorbell(p, mb, regN2HDoorbell, slot)
 
 	// The while loop (lines 5-12).
 	for {
-		hslot := rt.Mbox.WaitH2N(p, pid, c.ISA())
+		hslot := mb.WaitH2N(p, pid, c.ISA())
 		p.Sleep(rt.Costs.NxPDispatch)
-		rt.readStatusReg(p)
-		d := rt.readDescNxP(p, rt.Mbox.H2NRingLocal(hslot))
+		rt.readStatusReg(p, mb)
+		d := rt.readDescNxP(p, mb.H2NRingLocal(hslot))
 		switch d.Kind {
 		case DescReturn:
 			// Lines 11-12: resume the NxP caller with the host's value.
@@ -181,11 +268,11 @@ func (rt *Runtime) nxpHandler(p *sim.Proc, c *cpu.Core) error {
 			}
 			p.Sleep(rt.Costs.NxPHandlerWork)
 			back := Descriptor{Kind: DescReturn, PID: pid, RetVal: ret, ReplyISA: d.ReplyISA}
-			local, slot, seq := rt.Mbox.StageN2HSlot()
+			local, slot, seq := mb.StageN2HSlot()
 			back.Seq = seq
 			rt.writeDescNxP(p, local, back)
-			rt.Mbox.RegisterWaiter(pid, c.ISA())
-			rt.ringDoorbell(p, regN2HDoorbell, slot)
+			mb.RegisterWaiter(pid, c.ISA())
+			rt.ringDoorbell(p, mb, regN2HDoorbell, slot)
 		default:
 			return fmt.Errorf("core: nxp handler received kind %v", d.Kind)
 		}

@@ -47,6 +47,21 @@ const (
 // serve it (false for non-text targets).
 type routeFn func(target uint64) (isa.ISA, bool)
 
+// TransportError is the typed failure for a descriptor abandoned by the
+// DMA retry machinery. Dir tells the failover logic whether the call ever
+// dispatched: an "h2n" loss means the board never saw the descriptor and
+// the migration may be retried on another board; an "n2h" loss means the
+// call already executed and its return is gone — never re-dispatch.
+type TransportError struct {
+	Dir   string // "h2n" or "n2h"
+	Board int
+	Slot  int
+	Err   error
+}
+
+func (e *TransportError) Error() string { return e.Err.Error() }
+func (e *TransportError) Unwrap() error { return e.Err }
+
 // Mailbox is the descriptor transport: the DMA engine's register file
 // (exposed to both sides), the BRAM rings, and the host-side staging and
 // arrival buffers. It also performs descriptor routing on the NxP side:
@@ -59,7 +74,12 @@ type Mailbox struct {
 
 	regs *mem.Region // MMIO register file
 
+	boardIdx int    // owning board's index
+	comp     string // event component name ("mbox", "mbox1", ...)
+
 	bramHostBase uint64 // BRAM ring base in the host view (BAR)
+	bramLocal    uint64 // BRAM ring base in the board-local view
+	regsLocal    uint64 // register file base in the board-local view
 	hostStaging  uint64 // host-DRAM staging for outbound H2N descriptors
 	hostArrival  uint64 // host-DRAM arrival buffer for N2H descriptors
 
@@ -69,6 +89,16 @@ type Mailbox struct {
 	// busyH2N guards against ring overrun: a slot must be consumed before
 	// the cursor laps it (at most mailboxSlots threads mid-migration).
 	busyH2N [mailboxSlots]bool
+	// n2hBusy marks N2H staging slots whose descriptor has not yet landed
+	// in the host arrival buffer. Together with busyH2N it lets PendingFor
+	// see descriptors that are mid-DMA (multi-board platforms only — see
+	// scanInflight), so a migration timeout can never race a still-in-
+	// flight descriptor into a double dispatch.
+	n2hBusy [mailboxSlots]bool
+	// scanInflight extends PendingFor to the in-flight slots above. Set
+	// only on multi-board platforms: single-board probes keep their
+	// historical answers bit-for-bit.
+	scanInflight bool
 
 	// seqCtr stamps every staged descriptor with a nonzero sequence
 	// number; h2nSeq/n2hSeq remember the last sequence consumed per slot
@@ -118,16 +148,27 @@ type mboxWaiter struct {
 	cond *sim.Cond
 }
 
-// newMailbox wires the transport onto a machine. hostStaging/hostArrival
-// are host-DRAM physical addresses (one page each) supplied by the caller.
-func newMailbox(m *platform.Machine, hostStaging, hostArrival uint64, wake wakeFn, route routeFn, fail failFn) (*Mailbox, error) {
+// newMailbox wires one board's transport onto a machine. hostStaging/
+// hostArrival are host-DRAM physical addresses (one page each) supplied by
+// the caller. Board 0 keeps the bare historical names ("mbox", "flick-regs",
+// "mailbox.sched.*"); later boards append their index.
+func newMailbox(m *platform.Machine, b *platform.Board, hostStaging, hostArrival uint64, wake wakeFn, route routeFn, fail failFn) (*Mailbox, error) {
+	sfx := ""
+	if b.Index > 0 {
+		sfx = fmt.Sprintf("%d", b.Index)
+	}
 	mb := &Mailbox{
 		env:          m.Env,
-		dma:          m.DMA,
+		dma:          b.DMA,
 		host:         m.HostView,
-		bramHostBase: m.BRAMBar.HostBase,
+		boardIdx:     b.Index,
+		comp:         "mbox" + sfx,
+		bramHostBase: b.BRAMBar.HostBase,
+		bramLocal:    b.LocalBRAM,
+		regsLocal:    b.LocalRegs,
 		hostStaging:  hostStaging,
 		hostArrival:  hostArrival,
+		scanInflight: len(m.Boards) > 1,
 		waiters:      make(map[waiterKey]*mboxWaiter),
 		n2hPending:   make(map[uint32]int),
 		wake:         wake,
@@ -142,14 +183,17 @@ func newMailbox(m *platform.Machine, hostStaging, hostArrival uint64, wake wakeF
 		mb.mDupDrops = reg.Counter("migration.dup_drops")
 	}
 	for _, is := range []isa.ISA{isa.ISANxP, isa.ISADsp} {
-		mb.schedC[is] = m.Env.NewCond("mailbox.sched." + is.String())
+		mb.schedC[is] = m.Env.NewCond("mailbox" + sfx + ".sched." + is.String())
 	}
-	mb.regs = mem.NewMMIO("flick-regs", 4096, (*mailboxRegs)(nil).bind(mb))
-	if _, err := m.ExposeNxPDevice(mb.regs, platform.LocalRegsBase); err != nil {
+	mb.regs = mem.NewMMIO("flick-regs"+sfx, 4096, (*mailboxRegs)(nil).bind(mb))
+	if _, err := m.ExposeNxPDevice(mb.regs, b.LocalRegs); err != nil {
 		return nil, err
 	}
 	return mb, nil
 }
+
+// Board returns the index of the board this mailbox belongs to.
+func (mb *Mailbox) Board() int { return mb.boardIdx }
 
 // mailboxRegs adapts the Mailbox to the MMIO device interface.
 type mailboxRegs struct{ mb *Mailbox }
@@ -239,26 +283,37 @@ func (mb *Mailbox) submitH2N(slot, attempt int) {
 				mb.h2nArrived(slot)
 				return
 			}
-			mb.retryDMA("h2n-desc", slot, attempt, src, mb.submitH2N)
+			mb.retryDMA("h2n", "h2n-desc", slot, attempt, src, mb.submitH2N)
 		},
 	})
 }
 
 // retryDMA handles a failed descriptor burst: resubmit after a backoff, or
 // — once the budget is gone — peek the staged descriptor (still intact at
-// descPA; a failed burst writes nothing) and report the owning task.
-func (mb *Mailbox) retryDMA(tag string, slot, attempt int, descPA uint64, resubmit func(slot, attempt int)) {
+// descPA; a failed burst writes nothing), release the slot, and report the
+// owning task with a typed TransportError so the failover logic can tell a
+// never-dispatched call (h2n loss) from an already-executed one (n2h loss).
+func (mb *Mailbox) retryDMA(dir, tag string, slot, attempt int, descPA uint64, resubmit func(slot, attempt int)) {
 	if attempt+1 < dmaMaxAttempts {
 		mb.mDMARetries.Inc()
 		backoff := dmaRetryBackoff << uint(attempt)
-		mb.env.Emit(sim.Event{Comp: "mbox", Kind: sim.KindMailbox, Aux: uint64(slot), Note: tag + " retry"})
-		mb.env.SpawnDaemon(fmt.Sprintf("mbox-retry-%s-%d-%d", tag, slot, attempt), func(p *sim.Proc) {
+		mb.env.Emit(sim.Event{Comp: mb.comp, Kind: sim.KindMailbox, Aux: uint64(slot), Note: tag + " retry"})
+		mb.env.SpawnDaemon(fmt.Sprintf("%s-retry-%s-%d-%d", mb.comp, tag, slot, attempt), func(p *sim.Proc) {
 			p.Sleep(backoff)
 			resubmit(slot, attempt+1)
 		})
 		return
 	}
-	mb.env.Emit(sim.Event{Comp: "mbox", Kind: sim.KindMailbox, Aux: uint64(slot), Note: tag + " abandoned"})
+	mb.env.Emit(sim.Event{Comp: mb.comp, Kind: sim.KindMailbox, Aux: uint64(slot), Note: tag + " abandoned"})
+	// The descriptor is dead: release its slot so the ring survives the
+	// loss (and, on multi-board platforms, so PendingFor stops reporting
+	// the migration alive — the timeout/failover path depends on it).
+	switch dir {
+	case "h2n":
+		mb.busyH2N[slot] = false
+	case "n2h":
+		mb.n2hBusy[slot] = false
+	}
 	if mb.fail == nil {
 		return
 	}
@@ -270,7 +325,12 @@ func (mb *Mailbox) retryDMA(tag string, slot, attempt int, descPA uint64, resubm
 	if err != nil {
 		return
 	}
-	mb.fail(d.PID, fmt.Errorf("core: %s DMA for slot %d failed after %d attempts", tag, slot, dmaMaxAttempts))
+	mb.fail(d.PID, &TransportError{
+		Dir:   dir,
+		Board: mb.boardIdx,
+		Slot:  slot,
+		Err:   fmt.Errorf("core: %s DMA for slot %d failed after %d attempts", tag, slot, dmaMaxAttempts),
+	})
 }
 
 // h2nArrived routes a delivered host→NxP descriptor: returns and nested
@@ -282,7 +342,7 @@ func (mb *Mailbox) h2nArrived(slot int) {
 		// Replayed burst (injected dma.dup): this slot's descriptor was
 		// already consumed — idempotent drop.
 		mb.mDupDrops.Inc()
-		mb.env.Emit(sim.Event{Comp: "mbox", Kind: sim.KindMailbox, Aux: uint64(slot), Note: "duplicate h2n delivery dropped"})
+		mb.env.Emit(sim.Event{Comp: mb.comp, Kind: sim.KindMailbox, Aux: uint64(slot), Note: "duplicate h2n delivery dropped"})
 		return
 	}
 	mb.h2nSeq[slot] = d.Seq
@@ -297,7 +357,7 @@ func (mb *Mailbox) h2nArrived(slot int) {
 			w.cond.Signal()
 			return
 		}
-		mb.env.Emit(sim.Event{Comp: "mbox", Kind: sim.KindMailbox, Aux: uint64(d.PID), Note: "orphan return descriptor"})
+		mb.env.Emit(sim.Event{Comp: mb.comp, Kind: sim.KindMailbox, Aux: uint64(d.PID), Note: "orphan return descriptor"})
 		return
 	}
 	// Calls go to the core that can execute the target: a blocked frame
@@ -305,7 +365,7 @@ func (mb *Mailbox) h2nArrived(slot int) {
 	// scheduler dispatches a fresh frame.
 	target, ok := mb.route(d.Target)
 	if !ok || target == isa.ISAHost {
-		mb.env.Emit(sim.Event{Comp: "mbox", Kind: sim.KindMailbox, Addr: d.Target, Aux: uint64(d.PID), Note: "unroutable call target"})
+		mb.env.Emit(sim.Event{Comp: mb.comp, Kind: sim.KindMailbox, Addr: d.Target, Aux: uint64(d.PID), Note: "unroutable call target"})
 		return
 	}
 	if w, ok := mb.waiters[waiterKey{pid: d.PID, is: target}]; ok {
@@ -340,7 +400,7 @@ func (mb *Mailbox) H2NRingLocal(slot int) uint64 {
 	if mb.pio {
 		return mb.hostStaging + uint64(slot)*DescSize
 	}
-	return platform.LocalBRAMBase + h2nRingOff + uint64(slot)*DescSize
+	return mb.bramLocal + h2nRingOff + uint64(slot)*DescSize
 }
 
 // h2nSlotHostPA is where a delivered H2N descriptor lives in the host view.
@@ -398,7 +458,8 @@ func (mb *Mailbox) StageN2HSlot() (localPA uint64, slot int, seq uint32) {
 	if mb.pio {
 		return mb.hostArrival + uint64(slot)*DescSize, slot, seq
 	}
-	return platform.LocalBRAMBase + n2hStagingOff + uint64(slot)*DescSize, slot, seq
+	mb.n2hBusy[slot] = true
+	return mb.bramLocal + n2hStagingOff + uint64(slot)*DescSize, slot, seq
 }
 
 // kickN2H DMAs a staged descriptor from BRAM into the host arrival buffer
@@ -426,7 +487,7 @@ func (mb *Mailbox) submitN2H(slot, attempt int) {
 				mb.n2hArrived(slot)
 				return
 			}
-			mb.retryDMA("n2h-desc", slot, attempt, src, mb.submitN2H)
+			mb.retryDMA("n2h", "n2h-desc", slot, attempt, src, mb.submitN2H)
 		},
 	})
 }
@@ -442,9 +503,10 @@ func (mb *Mailbox) n2hArrived(slot int) {
 	}
 	if d.Seq != 0 && d.Seq == mb.n2hSeq[slot] {
 		mb.mDupDrops.Inc()
-		mb.env.Emit(sim.Event{Comp: "mbox", Kind: sim.KindMailbox, Aux: uint64(slot), Note: "duplicate n2h delivery dropped"})
+		mb.env.Emit(sim.Event{Comp: mb.comp, Kind: sim.KindMailbox, Aux: uint64(slot), Note: "duplicate n2h delivery dropped"})
 		return
 	}
+	mb.n2hBusy[slot] = false
 	mb.n2hSeq[slot] = d.Seq
 	mb.n2hPending[d.PID] = slot
 	mb.wake(int(d.PID))
@@ -476,7 +538,43 @@ func (mb *Mailbox) PendingFor(pid uint32) bool {
 			}
 		}
 	}
+	if mb.scanInflight {
+		// Multi-board platforms also count descriptors that are mid-DMA
+		// (staged but not yet arrived, possibly sitting out a retry
+		// backoff): a timeout while one is still in flight could otherwise
+		// fail over the migration and double-dispatch the call when the
+		// late burst finally lands. The staging copies are intact (a
+		// failed burst writes nothing), so peeking them is safe; abandoned
+		// descriptors clear their busy flag and stop counting.
+		for slot := 0; slot < mailboxSlots; slot++ {
+			if mb.busyH2N[slot] {
+				var b [DescSize]byte
+				if err := mb.host.Read(mb.hostStaging+uint64(slot)*DescSize, b[:]); err == nil {
+					if d, err := DecodeDescriptor(b[:]); err == nil && d.PID == pid {
+						return true
+					}
+				}
+			}
+			if mb.n2hBusy[slot] {
+				var b [DescSize]byte
+				if err := mb.host.Read(mb.bramHostBase+n2hStagingOff+uint64(slot)*DescSize, b[:]); err == nil {
+					if d, err := DecodeDescriptor(b[:]); err == nil && d.PID == pid {
+						return true
+					}
+				}
+			}
+		}
+	}
 	return false
+}
+
+// HasWaiter reports whether pid has a blocked migration-handler frame on
+// this mailbox's board core of the given ISA. The board scheduler pins
+// follow-up calls for such a thread to this board: the blocked frame must
+// be the one that continues.
+func (mb *Mailbox) HasWaiter(pid uint32, is isa.ISA) bool {
+	_, ok := mb.waiters[waiterKey{pid: pid, is: is}]
+	return ok
 }
 
 // TakeN2H returns the host-DRAM physical address of the pending arrival

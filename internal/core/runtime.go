@@ -156,14 +156,18 @@ type Stats struct {
 	NXFaults int
 }
 
-// Runtime is the installed Flick machinery on one machine: mailbox,
-// handlers, scheduler, and hooks.
+// Runtime is the installed Flick machinery on one machine: mailboxes,
+// handlers, schedulers, and hooks.
 type Runtime struct {
 	M     *platform.Machine
 	K     *kernel.Kernel
 	Prog  *kernel.Program
-	Mbox  *Mailbox
+	Mbox  *Mailbox // board 0's mailbox
 	Costs Costs
+
+	// Mboxes holds one descriptor mailbox per board, in board order;
+	// Mboxes[0] == Mbox.
+	Mboxes []*Mailbox
 
 	// ExtraMigrationLatency is injected once per call migration, in each
 	// direction, to emulate slower prior-work mechanisms (Fig. 5's 500 µs
@@ -174,14 +178,21 @@ type Runtime struct {
 
 	// Per-board-core runtime state: the handler stub each core's faults
 	// redirect to, the pid currently executing there, and the last
-	// faulting address (consumed immediately by the handler stub).
-	board map[*cpu.Core]*boardState
+	// faulting address (consumed immediately by the handler stub). The
+	// map serves fault-handler lookup; states holds the same entries in
+	// deterministic build order (board 0's NxP, board 0's DSP, then the
+	// later boards' NxP cores) for probe scans and scheduler spawning.
+	board  map[*cpu.Core]*boardState
+	states []*boardState
 
 	stats Stats
 }
 
 // boardState is the runtime's per-board-core bookkeeping.
 type boardState struct {
+	idx       int       // board index the core lives on
+	core      *cpu.Core // the board core itself
+	mbox      *Mailbox  // the board's mailbox
 	handlerVA uint64
 	curPID    uint32
 	faultAddr uint64
@@ -206,7 +217,12 @@ func Activate(m *platform.Machine, prog *kernel.Program) (*Runtime, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: program not linked with the Flick runtime: %w", err)
 	}
-	rt.board[m.NxP] = &boardState{handlerVA: nxpVA}
+	addState := func(idx int, core *cpu.Core, handlerVA uint64) {
+		st := &boardState{idx: idx, core: core, handlerVA: handlerVA}
+		rt.board[core] = st
+		rt.states = append(rt.states, st)
+	}
+	addState(0, m.NxP, nxpVA)
 	if hasTextISA(prog, isa.ISADsp) {
 		if m.DSP == nil {
 			return nil, fmt.Errorf("core: image contains .text.dsp but the platform has no DSP core (set Params.EnableDSP)")
@@ -215,18 +231,12 @@ func Activate(m *platform.Machine, prog *kernel.Program) (*Runtime, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: program not linked with the DSP runtime: %w", err)
 		}
-		rt.board[m.DSP] = &boardState{handlerVA: dspVA}
+		addState(0, m.DSP, dspVA)
+	}
+	for _, b := range m.Boards[1:] {
+		addState(b.Index, b.NxP, nxpVA)
 	}
 
-	// Host-DRAM pages for descriptor staging and arrival.
-	staging, err := m.Alloc.Alloc()
-	if err != nil {
-		return nil, err
-	}
-	arrival, err := m.Alloc.Alloc()
-	if err != nil {
-		return nil, err
-	}
 	route := func(target uint64) (isa.ISA, bool) { return prog.Image.TextISA(target) }
 	// A descriptor abandoned by the DMA retry machinery fails its task and
 	// wakes it so the host handler surfaces the error instead of waiting
@@ -237,24 +247,50 @@ func Activate(m *platform.Machine, prog *kernel.Program) (*Runtime, error) {
 			t.Wake()
 		}
 	}
-	if rt.Mbox, err = newMailbox(m, staging, arrival, func(pid int) { m.Kernel.DeliverMSI(pid) }, route, fail); err != nil {
-		return nil, err
+	// One mailbox per board, each with its own host-DRAM staging and
+	// arrival pages and its own MSI site ("msi", "msi1", ...).
+	for _, b := range m.Boards {
+		staging, err := m.Alloc.Alloc()
+		if err != nil {
+			return nil, err
+		}
+		arrival, err := m.Alloc.Alloc()
+		if err != nil {
+			return nil, err
+		}
+		site := "msi"
+		if b.Index > 0 {
+			site = fmt.Sprintf("msi%d", b.Index)
+		}
+		mb, err := newMailbox(m, b, staging, arrival, func(pid int) { m.Kernel.DeliverMSIVia(site, pid) }, route, fail)
+		if err != nil {
+			return nil, err
+		}
+		rt.Mboxes = append(rt.Mboxes, mb)
+	}
+	rt.Mbox = rt.Mboxes[0]
+	for _, st := range rt.states {
+		st.mbox = rt.Mboxes[st.idx]
 	}
 	// The kernel validates migration wakes (and recovers lost MSIs) by
-	// probing the mailbox's pending-arrival table; the busy signals let it
-	// tell a long-running callee apart from a lost wake.
+	// probing the mailboxes' pending-arrival tables; the busy signals let
+	// it tell a long-running callee apart from a lost wake.
 	m.Kernel.SetMigrationProbe(func(pid int) kernel.ProbeState {
 		id := uint32(pid)
-		if rt.Mbox.HasN2H(id) {
-			return kernel.ProbeReady
+		for _, mb := range rt.Mboxes {
+			if mb.HasN2H(id) {
+				return kernel.ProbeReady
+			}
 		}
-		for _, st := range rt.board {
+		for _, st := range rt.states {
 			if st.busy && st.curPID == id {
 				return kernel.ProbeBusy
 			}
 		}
-		if rt.Mbox.PendingFor(id) {
-			return kernel.ProbeBusy
+		for _, mb := range rt.Mboxes {
+			if mb.PendingFor(id) {
+				return kernel.ProbeBusy
+			}
 		}
 		return kernel.ProbeIdle
 	})
@@ -268,8 +304,8 @@ func Activate(m *platform.Machine, prog *kernel.Program) (*Runtime, error) {
 	// Host side: NX instruction faults targeting any board ISA's text
 	// redirect into the host migration handler.
 	registered := make(map[isa.ISA]bool)
-	for bc := range rt.board {
-		registered[bc.ISA()] = true
+	for _, st := range rt.states {
+		registered[st.core.ISA()] = true
 	}
 	m.Kernel.SetMigrationRedirect(func(t *kernel.Task, f *cpu.Fault) (uint64, bool) {
 		if target, ok := prog.Image.TextISA(f.VA); ok && registered[target] {
@@ -280,11 +316,11 @@ func Activate(m *platform.Machine, prog *kernel.Program) (*Runtime, error) {
 	})
 	// Board side: wrong-ISA and misaligned fetch faults redirect into the
 	// faulting core's migration handler; each board core gets a scheduler.
-	for bc := range rt.board {
-		core := bc
-		core.SetFaultHandler(rt.boardFault)
-		m.Env.SpawnDaemon(core.Name()+"-scheduler", func(p *sim.Proc) {
-			rt.schedulerLoop(p, core)
+	for _, st := range rt.states {
+		st := st
+		st.core.SetFaultHandler(rt.boardFault)
+		m.Env.SpawnDaemon(st.core.Name()+"-scheduler", func(p *sim.Proc) {
+			rt.schedulerLoop(p, st)
 		})
 	}
 
@@ -346,13 +382,13 @@ func (rt *Runtime) boardFault(p *sim.Proc, c *cpu.Core, f *cpu.Fault) error {
 // schedulerLoop is a board core's scheduler (§IV-B1): it discovers
 // migrated-in threads via the DMA status register, context-switches them
 // in, runs the target function, and ships the return descriptor back.
-func (rt *Runtime) schedulerLoop(p *sim.Proc, core *cpu.Core) {
-	st := rt.board[core]
+func (rt *Runtime) schedulerLoop(p *sim.Proc, st *boardState) {
+	core := st.core
 	for {
-		slot := rt.Mbox.WaitH2NUnclaimed(p, core.ISA())
+		slot := st.mbox.WaitH2NUnclaimed(p, core.ISA())
 		p.Sleep(rt.Costs.NxPDispatch)
-		rt.readStatusReg(p)
-		d := rt.readDescNxP(p, rt.Mbox.H2NRingLocal(slot))
+		rt.readStatusReg(p, st.mbox)
+		d := rt.readDescNxP(p, st.mbox.H2NRingLocal(slot))
 		if d.Kind != DescCall {
 			rt.M.Env.Emit(sim.Event{Comp: core.Name(), Kind: sim.KindSched, Aux: uint64(d.PID), Note: "unexpected descriptor at top level"})
 			continue
@@ -370,7 +406,7 @@ func (rt *Runtime) schedulerLoop(p *sim.Proc, core *cpu.Core) {
 			rt.failTask(d.PID, err)
 			ret = 0
 		}
-		rt.sendReturnToHost(p, d.PID, ret)
+		rt.sendReturnToHost(p, st.mbox, d.PID, ret)
 		st.busy = false
 	}
 }
@@ -384,14 +420,15 @@ func (rt *Runtime) failTask(pid uint32, err error) {
 	rt.M.Env.Emit(sim.Event{Comp: "runtime", Kind: sim.KindSched, Aux: uint64(pid), Note: "task failed on board"})
 }
 
-// sendReturnToHost stages and ships an NxP→host return descriptor.
-func (rt *Runtime) sendReturnToHost(p *sim.Proc, pid uint32, ret uint64) {
+// sendReturnToHost stages and ships an NxP→host return descriptor via the
+// given board's mailbox.
+func (rt *Runtime) sendReturnToHost(p *sim.Proc, mb *Mailbox, pid uint32, ret uint64) {
 	p.Sleep(rt.Costs.NxPHandlerWork)
 	d := Descriptor{Kind: DescReturn, PID: pid, RetVal: ret}
-	local, slot, seq := rt.Mbox.StageN2HSlot()
+	local, slot, seq := mb.StageN2HSlot()
 	d.Seq = seq
 	rt.writeDescNxP(p, local, d)
-	rt.ringDoorbell(p, regN2HDoorbell, slot)
+	rt.ringDoorbell(p, mb, regN2HDoorbell, slot)
 }
 
 // --- timed descriptor and register accesses ------------------------------
@@ -456,19 +493,20 @@ func (rt *Runtime) readDescNxP(p *sim.Proc, localPA uint64) Descriptor {
 	return d
 }
 
-// ringDoorbell performs a timed register write from the NxP side.
-func (rt *Runtime) ringDoorbell(p *sim.Proc, reg uint64, slot int) {
+// ringDoorbell performs a timed register write to one board's mailbox
+// register file.
+func (rt *Runtime) ringDoorbell(p *sim.Proc, mb *Mailbox, reg uint64, slot int) {
 	p.Sleep(rt.M.Params.RegsAccess)
-	if err := rt.M.NxPView.WriteU64(platform.LocalRegsBase+reg, uint64(slot)); err != nil {
+	if err := rt.M.NxPView.WriteU64(mb.regsLocal+reg, uint64(slot)); err != nil {
 		panic(fmt.Sprintf("core: doorbell: %v", err))
 	}
 }
 
-// readStatusReg performs a timed read of the DMA status register, the
-// scheduler's poll.
-func (rt *Runtime) readStatusReg(p *sim.Proc) uint64 {
+// readStatusReg performs a timed read of one board's DMA status register,
+// the scheduler's poll.
+func (rt *Runtime) readStatusReg(p *sim.Proc, mb *Mailbox) uint64 {
 	p.Sleep(rt.M.Params.RegsAccess)
-	v, err := rt.M.NxPView.ReadU64(platform.LocalRegsBase + regH2NCount)
+	v, err := rt.M.NxPView.ReadU64(mb.regsLocal + regH2NCount)
 	if err != nil {
 		panic(fmt.Sprintf("core: status read: %v", err))
 	}

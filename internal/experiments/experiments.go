@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"flick/internal/baseline"
+	"flick/internal/kernel"
 	"flick/internal/platform"
 	"flick/internal/runner"
 	"flick/internal/sim"
@@ -59,6 +60,14 @@ type Options struct {
 	// own stream seed from it, independent of the workload Seed. Zero
 	// inherits Seed; use SeedZero to request a literal zero.
 	FaultSeed int64
+	// Boards sets the number of NxP boards every simulated machine is
+	// built with (0 or 1 = the single-board default, leaving machines
+	// byte-identical to a build that never heard of multiple boards). The
+	// scale-out experiment sweeps its own board counts and ignores this.
+	Boards int
+	// BoardPolicy selects the kernel's board-placement policy
+	// ("round-robin", "least-loaded", "affinity"; empty = round-robin).
+	BoardPolicy string
 
 	// Jobs is the scheduler's worker count: how many independent simulated
 	// machines run concurrently. 0 or 1 runs serially. Virtual-time
@@ -125,6 +134,12 @@ func (o Options) withDefaults() (Options, error) {
 	if o.Timeout < 0 {
 		return o, fmt.Errorf("experiments: negative Timeout %v", o.Timeout)
 	}
+	if o.Boards < 0 {
+		return o, fmt.Errorf("experiments: Boards = %d; must be >= 1 (or 0 for the single-board default)", o.Boards)
+	}
+	if _, err := kernel.ParseBoardPolicy(o.BoardPolicy); err != nil {
+		return o, fmt.Errorf("experiments: %w", err)
+	}
 	q := Quick()
 	if o.NullCallIters == 0 {
 		o.NullCallIters = q.NullCallIters
@@ -159,19 +174,25 @@ func (o Options) withDefaults() (Options, error) {
 	return o, nil
 }
 
-// faultParams builds the machine override for the job at the given graph
-// position. It returns nil when no fault spec is configured, so the
-// default path hands workloads the same nil Params it always has. Each
-// job's injection streams are seeded from (FaultSeed, position), assigned
-// at graph-construction time, so results are reproducible for any Jobs
-// value.
-func (o Options) faultParams(job uint64) *platform.Params {
-	if o.Faults == "" {
+// machineParams builds the machine override for the job at the given
+// graph position. It returns nil when no fault spec, board count, or
+// placement policy is configured, so the default path hands workloads the
+// same nil Params it always has. Each job's injection streams are seeded
+// from (FaultSeed, position), assigned at graph-construction time, so
+// results are reproducible for any Jobs value.
+func (o Options) machineParams(job uint64) *platform.Params {
+	if o.Faults == "" && o.Boards <= 1 && o.BoardPolicy == "" {
 		return nil
 	}
 	p := platform.DefaultParams()
-	p.Faults = o.Faults
-	p.FaultSeed = runner.DeriveSeed(o.FaultSeed, job)
+	if o.Faults != "" {
+		p.Faults = o.Faults
+		p.FaultSeed = runner.DeriveSeed(o.FaultSeed, job)
+	}
+	if o.Boards > 1 {
+		p.Boards = o.Boards
+	}
+	p.BoardPolicy = o.BoardPolicy
 	return &p
 }
 
@@ -193,9 +214,9 @@ func measureNullCall(o Options) (workloads.NullCallResult, error) {
 	cfg := workloads.NullCallConfig{Iterations: o.NullCallIters}
 	plain, nested := cfg, cfg
 	plain.Obs = o.observer("nullcall/host-nxp-host")
-	plain.Params = o.faultParams(0)
+	plain.Params = o.machineParams(0)
 	nested.Obs = o.observer("nullcall/nested-return-trip")
-	nested.Params = o.faultParams(1)
+	nested.Params = o.machineParams(1)
 	jobs := []runner.Job[sim.Duration]{
 		{ID: 0, Name: "nullcall/host-nxp-host", Run: func(context.Context) (sim.Duration, error) {
 			return workloads.NullCallPhase(plain, false)
@@ -286,7 +307,7 @@ func fig5(o Options, interval bool, tag, title string) (*stats.Chart, error) {
 			li, pi, n := li, pi, n
 			name := fmt.Sprintf("%s/%s/n=%d", tag, ln.name, n)
 			obs := o.observer(name)
-			params := o.faultParams(uint64(len(jobs)))
+			params := o.machineParams(uint64(len(jobs)))
 			jobs = append(jobs, runner.Job[struct{}]{
 				ID:   len(jobs),
 				Name: name,
@@ -354,7 +375,7 @@ func Table4(o Options) (*stats.Table, []workloads.Table4Row, error) {
 			}
 			name := fmt.Sprintf("table4/%s/%s", ds.Name, mode)
 			obs := o.observer(name)
-			params := o.faultParams(uint64(len(jobs)))
+			params := o.machineParams(uint64(len(jobs)))
 			jobs = append(jobs, runner.Job[sim.Duration]{
 				ID:   len(jobs),
 				Name: name,
@@ -413,12 +434,12 @@ func Latency(o Options) (*stats.Table, error) {
 	iters := o.NullCallIters
 	modeJob := func(id int, name string, mode workloads.LatencyMode) runner.Job[sim.Duration] {
 		obs := o.observer(name)
-		params := o.faultParams(uint64(id))
+		params := o.machineParams(uint64(id))
 		return runner.Job[sim.Duration]{ID: id, Name: name, Run: func(context.Context) (sim.Duration, error) {
 			return workloads.RunLatencyMode(mode, iters, params, obs)
 		}}
 	}
-	pfParams := o.faultParams(4)
+	pfParams := o.machineParams(4)
 	jobs := []runner.Job[sim.Duration]{
 		modeJob(0, "latency/host-loads", workloads.LatencyHostLoads),
 		modeJob(1, "latency/host-nop", workloads.LatencyHostNop),
@@ -518,7 +539,7 @@ func Tenants(o Options) (*stats.Table, error) {
 		tenants := tenants
 		name := fmt.Sprintf("tenants/%d", tenants)
 		obs := o.observer(name)
-		params := o.faultParams(uint64(i))
+		params := o.machineParams(uint64(i))
 		jobs[i] = runner.Job[contention]{
 			ID:   i,
 			Name: name,
@@ -568,7 +589,7 @@ func KVStore(o Options) (*stats.Table, error) {
 		seed := runner.DeriveSeed(o.Seed, uint64(i))
 		name := fmt.Sprintf("kv/batch=%d", b)
 		obs := o.observer(name)
-		params := o.faultParams(uint64(i))
+		params := o.machineParams(uint64(i))
 		jobs[i] = runner.Job[struct{}]{
 			ID:   i,
 			Name: name,

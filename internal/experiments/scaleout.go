@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"flick/internal/runner"
+	"flick/internal/sim"
+	"flick/internal/stats"
+	"flick/internal/workloads"
+)
+
+// scaleOutTasks and scaleOutCalls size the scale-out workload: enough
+// concurrent migrating threads to keep several boards busy, enough calls
+// per thread to reach a steady state.
+const (
+	scaleOutTasks = 8
+	scaleOutCalls = 12
+)
+
+// ScaleOutBoardCounts is the board-count sweep of the scale-out
+// experiment.
+var ScaleOutBoardCounts = []int{1, 2, 3, 4}
+
+// ScaleOut renders the board scale-out throughput extension (beyond the
+// paper): M concurrent host tasks migrate their calls across N NxP
+// boards under the configured placement policy, and virtual-time
+// throughput is reported against board count. One job per board count;
+// each verifies the workload's built-in functional oracle, so the table
+// doubles as a placement-correctness check.
+func ScaleOut(o Options) (*stats.Table, error) {
+	o, err := o.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	type throughput struct {
+		total sim.Duration
+		calls int
+	}
+	jobs := make([]runner.Job[throughput], len(ScaleOutBoardCounts))
+	for i, boards := range ScaleOutBoardCounts {
+		boards := boards
+		name := fmt.Sprintf("scaleout/boards=%d", boards)
+		obs := o.observer(name)
+		params := o.machineParams(uint64(i))
+		jobs[i] = runner.Job[throughput]{
+			ID:   i,
+			Name: name,
+			Run: func(context.Context) (throughput, error) {
+				total, calls, err := workloads.RunScaleOut(scaleOutTasks, scaleOutCalls, boards, o.BoardPolicy, params, obs)
+				if err != nil {
+					return throughput{}, err
+				}
+				return throughput{total, calls}, nil
+			},
+		}
+	}
+	rs, err := runner.Run(context.Background(), o.pool(), jobs)
+	if err != nil {
+		return nil, err
+	}
+	t := &stats.Table{
+		Title:   "Extension: board scale-out throughput",
+		Headers: []string{"Boards", "Total time", "Aggregate calls/s", "Speedup"},
+	}
+	base := rs[0].total.Seconds()
+	for i, boards := range ScaleOutBoardCounts {
+		perSec := float64(rs[i].calls) / rs[i].total.Seconds()
+		t.AddRow(boards,
+			fmt.Sprintf("%.0fµs", rs[i].total.Seconds()*1e6),
+			fmt.Sprintf("%.0f", perSec),
+			fmt.Sprintf("%.2fx", base/rs[i].total.Seconds()))
+	}
+	policy := o.BoardPolicy
+	if policy == "" {
+		policy = "round-robin"
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"%d host tasks × %d migrated ~2µs board jobs each, %s placement; every task's exit code is checked against the placement-independent oracle",
+		scaleOutTasks, scaleOutCalls, policy))
+	return t, nil
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// renderScaleOut runs the scale-out experiment and returns its rendered
+// table.
+func renderScaleOut(t *testing.T, o Options) string {
+	t.Helper()
+	tab, err := ScaleOut(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab.String()
+}
+
+// TestScaleOutDeterministicAcrossWorkerCounts extends the boards>1
+// determinism gate to the new experiment: the multi-board machines are
+// just as deterministic as the single-board ones, so the rendered table is
+// byte-identical whether its four jobs run serially or eight wide.
+func TestScaleOutDeterministicAcrossWorkerCounts(t *testing.T) {
+	render := func(jobs int) string {
+		o := tiny()
+		o.Jobs = jobs
+		return renderScaleOut(t, o)
+	}
+	serial, parallel := render(1), render(8)
+	if serial != parallel {
+		t.Fatalf("scaleout diverged:\n--- jobs=1 ---\n%s\n--- jobs=8 ---\n%s", serial, parallel)
+	}
+	if serial == "" {
+		t.Fatal("scaleout rendered nothing")
+	}
+}
+
+// TestScaleOutDeterministicPerPolicy re-renders each policy's table twice:
+// same options, same bytes — including for boards>1 machines.
+func TestScaleOutDeterministicPerPolicy(t *testing.T) {
+	for _, policy := range []string{"", "round-robin", "least-loaded", "affinity"} {
+		o := tiny()
+		o.Jobs = 4
+		o.BoardPolicy = policy
+		if first, second := renderScaleOut(t, o), renderScaleOut(t, o); first != second {
+			t.Errorf("policy %q rendered different tables across identical runs", policy)
+		}
+	}
+}
+
+// TestScaleOutThroughputColumnIncreases parses the experiment's own
+// artifact: the speedup column must be monotonically increasing in board
+// count — the tentpole claim of the scale-out extension.
+func TestScaleOutThroughputColumnIncreases(t *testing.T) {
+	o := tiny()
+	o.Jobs = 4
+	tab, err := ScaleOut(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(ScaleOutBoardCounts) {
+		t.Fatalf("%d rows, want %d", len(tab.Rows), len(ScaleOutBoardCounts))
+	}
+	prev := 0.0
+	for i, row := range tab.Rows {
+		speedup, err := strconv.ParseFloat(strings.TrimSuffix(row[3], "x"), 64)
+		if err != nil {
+			t.Fatalf("row %d speedup cell %q: %v", i, row[3], err)
+		}
+		if speedup <= prev {
+			t.Errorf("boards=%s speedup %.2f not above previous %.2f", row[0], speedup, prev)
+		}
+		prev = speedup
+	}
+}

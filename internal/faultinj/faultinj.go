@@ -18,6 +18,12 @@
 //	ipi.drop      TLB shootdown IPI lost (retried until acked)
 //	ipi.delay     TLB shootdown IPI delivered late
 //	cpu.spurious  core raises a ghost wrong-ISA fetch fault
+//
+// Multi-board platforms additionally answer instanced sites: board i's DMA
+// engine resolves "dma<i>" before falling back to the generic "dma" rule,
+// and its MSI path resolves "msi<i>" before "msi" (board 0 keeps the bare
+// names). "dma1.fail=1" therefore kills exactly one board's descriptor
+// transport — the failover scenarios of docs/SCALING.md.
 package faultinj
 
 import (
@@ -240,6 +246,38 @@ func (inj *Injector) Roll(site, kind string) bool {
 	}
 	inj.hit(s)
 	return true
+}
+
+// HasRule reports whether the spec carries a rule for (site, kind).
+// Instanced components (per-board DMA engines, per-board MSI paths) use it
+// to prefer their instance-specific site over the generic one without
+// consuming randomness from either stream.
+func (inj *Injector) HasRule(site, kind string) bool {
+	if inj == nil {
+		return false
+	}
+	_, ok := inj.streams[site+"."+kind]
+	return ok
+}
+
+// RollAt is Roll against an instance site with a generic fallback: the
+// instance-specific rule wins when the spec names it, otherwise the
+// fallback site's rule (if any) is drawn. With site == fallback this is
+// exactly Roll, stream draws included.
+func (inj *Injector) RollAt(site, fallback, kind string) bool {
+	if inj.HasRule(site, kind) {
+		return inj.Roll(site, kind)
+	}
+	return inj.Roll(fallback, kind)
+}
+
+// DelayAt is Delay with the same instance-then-generic site resolution as
+// RollAt.
+func (inj *Injector) DelayAt(site, fallback, kind string) (sim.Duration, bool) {
+	if inj.HasRule(site, kind) {
+		return inj.Delay(site, kind)
+	}
+	return inj.Delay(fallback, kind)
 }
 
 // Delay is Roll for delay-type kinds: when the rule fires it returns the

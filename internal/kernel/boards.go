@@ -1,0 +1,137 @@
+package kernel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BoardPolicy names a board-placement policy for wrong-ISA faults: which
+// NxP board a fresh migration is dispatched to. Policies only ever change
+// *where* a call runs (and therefore timing); the placement-equivalence
+// suite pins down that they can never change a workload's answers.
+type BoardPolicy string
+
+const (
+	// PolicyRoundRobin cycles dispatches across boards in index order.
+	PolicyRoundRobin BoardPolicy = "round-robin"
+	// PolicyLeastLoaded picks the board with the fewest in-flight
+	// migrations, lowest index on ties.
+	PolicyLeastLoaded BoardPolicy = "least-loaded"
+	// PolicyAffinity re-uses the board that last ran the task (keeping its
+	// board-DRAM state warm), falling back to round-robin for first
+	// placements and excluded boards.
+	PolicyAffinity BoardPolicy = "affinity"
+)
+
+// BoardPolicies lists the valid policies in display order.
+func BoardPolicies() []BoardPolicy {
+	return []BoardPolicy{PolicyRoundRobin, PolicyLeastLoaded, PolicyAffinity}
+}
+
+// ParseBoardPolicy validates a policy name from a flag or config. The
+// empty string selects the default (round-robin).
+func ParseBoardPolicy(s string) (BoardPolicy, error) {
+	switch BoardPolicy(s) {
+	case "":
+		return PolicyRoundRobin, nil
+	case PolicyRoundRobin, PolicyLeastLoaded, PolicyAffinity:
+		return BoardPolicy(s), nil
+	}
+	names := make([]string, 0, 3)
+	for _, p := range BoardPolicies() {
+		names = append(names, string(p))
+	}
+	return "", fmt.Errorf("kernel: unknown board policy %q (want %s)", s, strings.Join(names, ", "))
+}
+
+// BoardScheduler picks a target board for each fresh migration. It is
+// plain bookkeeping — no virtual-time side effects — so constructing one
+// on a single-board platform perturbs nothing.
+type BoardScheduler struct {
+	policy   BoardPolicy
+	boards   int
+	next     int         // round-robin cursor
+	inflight []int       // in-flight migrations per board
+	last     map[int]int // pid → board of its last placement
+}
+
+// NewBoardScheduler builds a scheduler over boards ≥ 1.
+func NewBoardScheduler(policy BoardPolicy, boards int) *BoardScheduler {
+	if boards < 1 {
+		panic(fmt.Sprintf("kernel: board scheduler over %d boards", boards))
+	}
+	if policy == "" {
+		policy = PolicyRoundRobin
+	}
+	return &BoardScheduler{
+		policy:   policy,
+		boards:   boards,
+		inflight: make([]int, boards),
+		last:     make(map[int]int),
+	}
+}
+
+// NumBoards returns the board count the scheduler places over.
+func (s *BoardScheduler) NumBoards() int { return s.boards }
+
+// Policy returns the active placement policy.
+func (s *BoardScheduler) Policy() BoardPolicy { return s.policy }
+
+// InFlight returns the in-flight migration count for one board.
+func (s *BoardScheduler) InFlight(board int) int { return s.inflight[board] }
+
+// Pick chooses the board for pid's next migration. exclude marks boards
+// the caller has given up on (failover); if every board is excluded the
+// exclusion set is ignored — a busted placement beats no placement, and
+// the caller's own retry budget bounds the damage.
+func (s *BoardScheduler) Pick(pid int, exclude map[int]bool) int {
+	allowed := func(b int) bool { return !exclude[b] }
+	n := 0
+	for b := 0; b < s.boards; b++ {
+		if allowed(b) {
+			n++
+		}
+	}
+	if n == 0 {
+		allowed = func(int) bool { return true }
+	}
+	if s.policy == PolicyAffinity {
+		if b, ok := s.last[pid]; ok && allowed(b) {
+			return b
+		}
+	}
+	if s.policy == PolicyLeastLoaded {
+		best, bestLoad := -1, 0
+		for b := 0; b < s.boards; b++ {
+			if !allowed(b) {
+				continue
+			}
+			if best < 0 || s.inflight[b] < bestLoad {
+				best, bestLoad = b, s.inflight[b]
+			}
+		}
+		return best
+	}
+	// Round-robin (and affinity's first placement): scan from the cursor.
+	for i := 0; i < s.boards; i++ {
+		b := (s.next + i) % s.boards
+		if allowed(b) {
+			s.next = (b + 1) % s.boards
+			return b
+		}
+	}
+	return 0 // unreachable: allowed admits at least one board
+}
+
+// Started records that pid's migration was dispatched to board.
+func (s *BoardScheduler) Started(pid, board int) {
+	s.inflight[board]++
+	s.last[pid] = board
+}
+
+// Finished records that a migration on board completed (or was abandoned).
+func (s *BoardScheduler) Finished(board int) {
+	if s.inflight[board] > 0 {
+		s.inflight[board]--
+	}
+}

@@ -1,0 +1,211 @@
+package kernel
+
+import (
+	"testing"
+)
+
+func TestParseBoardPolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want BoardPolicy
+		ok   bool
+	}{
+		{"", PolicyRoundRobin, true},
+		{"round-robin", PolicyRoundRobin, true},
+		{"least-loaded", PolicyLeastLoaded, true},
+		{"affinity", PolicyAffinity, true},
+		{"random", "", false},
+		{"Round-Robin", "", false},
+	} {
+		got, err := ParseBoardPolicy(tc.in)
+		if tc.ok && (err != nil || got != tc.want) {
+			t.Errorf("ParseBoardPolicy(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("ParseBoardPolicy(%q) accepted; want error", tc.in)
+		}
+	}
+}
+
+// schedOp is one step of a placement scenario: a pick (with optional
+// exclusions) asserting the chosen board, or a start/finish bookkeeping
+// event shaping the load the next pick sees.
+type schedOp struct {
+	pick    bool
+	pid     int
+	exclude map[int]bool
+	want    int // picked board (pick ops)
+
+	start  bool
+	finish bool
+	board  int
+}
+
+func pick(pid, want int) schedOp { return schedOp{pick: true, pid: pid, want: want} }
+func pickEx(pid, want int, ex ...int) schedOp {
+	m := map[int]bool{}
+	for _, b := range ex {
+		m[b] = true
+	}
+	return schedOp{pick: true, pid: pid, exclude: m, want: want}
+}
+func start(pid, board int) schedOp { return schedOp{start: true, pid: pid, board: board} }
+func finish(board int) schedOp     { return schedOp{finish: true, board: board} }
+
+func runOps(t *testing.T, s *BoardScheduler, ops []schedOp) {
+	t.Helper()
+	for i, op := range ops {
+		switch {
+		case op.pick:
+			if got := s.Pick(op.pid, op.exclude); got != op.want {
+				t.Fatalf("op %d: Pick(pid=%d, exclude=%v) = board %d, want %d", i, op.pid, op.exclude, got, op.want)
+			}
+		case op.start:
+			s.Started(op.pid, op.board)
+		case op.finish:
+			s.Finished(op.board)
+		}
+	}
+}
+
+func TestRoundRobinPlacementSequence(t *testing.T) {
+	s := NewBoardScheduler(PolicyRoundRobin, 3)
+	runOps(t, s, []schedOp{
+		pick(1, 0), pick(2, 1), pick(3, 2),
+		pick(1, 0), pick(1, 1), // cycles regardless of pid
+		// Exclusion skips a board without stalling the cursor's progress.
+		pickEx(4, 0, 2),
+		pick(4, 1), pick(4, 2), pick(4, 0),
+	})
+}
+
+func TestLeastLoadedPlacementUnderSkewedDurations(t *testing.T) {
+	s := NewBoardScheduler(PolicyLeastLoaded, 3)
+	runOps(t, s, []schedOp{
+		// All idle: ties break to the lowest index.
+		pick(1, 0), start(1, 0),
+		pick(2, 1), start(2, 1),
+		pick(3, 2), start(3, 2),
+		// Board 1's short job finishes while 0 and 2 keep grinding: the
+		// next placements pile onto 1 until it matches the others' load.
+		finish(1),
+		pick(4, 1), start(4, 1),
+		pick(5, 0), start(5, 0), // tied again at one in-flight each
+		// Boards fill back up one by one until all are level again.
+		pick(6, 1), start(6, 1),
+		pick(7, 2), start(7, 2),
+		pick(8, 0), // all tied at two in-flight: lowest index wins
+	})
+	if got := []int{s.InFlight(0), s.InFlight(1), s.InFlight(2)}; got[0] != 2 || got[1] != 2 || got[2] != 2 {
+		t.Fatalf("in-flight = %v, want [2 2 2]", got)
+	}
+}
+
+func TestLeastLoadedSkewed(t *testing.T) {
+	s := NewBoardScheduler(PolicyLeastLoaded, 2)
+	// Board 0 runs one long migration; every short job lands on board 1.
+	runOps(t, s, []schedOp{
+		pick(1, 0), start(1, 0),
+		pick(2, 1), start(2, 1), finish(1),
+		pick(3, 1), start(3, 1), finish(1),
+		pick(4, 1), start(4, 1), finish(1),
+		finish(0),
+		pick(5, 0), // the long job drained: board 0 is idle again
+	})
+}
+
+func TestAffinityReusesLastBoard(t *testing.T) {
+	s := NewBoardScheduler(PolicyAffinity, 3)
+	runOps(t, s, []schedOp{
+		// First placements fall back to round-robin.
+		pick(10, 0), start(10, 0), finish(0),
+		pick(20, 1), start(20, 1), finish(1),
+		// Repeat migrations stick to each task's last board, in any order.
+		pick(10, 0), start(10, 0), finish(0),
+		pick(20, 1), start(20, 1), finish(1),
+		pick(10, 0),
+		// A pinned board under exclusion (failover) falls through to
+		// round-robin; the replacement becomes the new affinity home.
+		pickEx(10, 2, 0), start(10, 2), finish(2),
+		pick(10, 2),
+	})
+}
+
+func TestFailoverPlacementSkipsDeadBoard(t *testing.T) {
+	// The failover path excludes the board whose MSIs faultinj killed; every
+	// policy must keep placing on the survivors and only fall back to the
+	// dead board when everything is excluded.
+	for _, policy := range BoardPolicies() {
+		s := NewBoardScheduler(policy, 2)
+		dead := map[int]bool{1: true}
+		for i := 0; i < 5; i++ {
+			if got := s.Pick(i, dead); got == 1 {
+				t.Fatalf("%s: pick %d placed on the excluded board", policy, i)
+			}
+		}
+		all := map[int]bool{0: true, 1: true}
+		if got := s.Pick(9, all); got < 0 || got > 1 {
+			t.Fatalf("%s: all-excluded pick returned board %d", policy, got)
+		}
+	}
+}
+
+func TestSchedulerBookkeeping(t *testing.T) {
+	s := NewBoardScheduler(PolicyRoundRobin, 2)
+	if s.NumBoards() != 2 || s.Policy() != PolicyRoundRobin {
+		t.Fatalf("NumBoards/Policy = %d/%q", s.NumBoards(), s.Policy())
+	}
+	s.Finished(0) // underflow clamps
+	if got := s.InFlight(0); got != 0 {
+		t.Fatalf("in-flight after clamped finish = %d", got)
+	}
+	s.Started(1, 0)
+	s.Started(2, 0)
+	if got := s.InFlight(0); got != 2 {
+		t.Fatalf("in-flight = %d, want 2", got)
+	}
+}
+
+// FuzzBoardScheduler drives random op sequences through every policy and
+// checks the invariants that keep placement safe: picks stay in range,
+// exclusions are honored whenever any board remains, and in-flight counts
+// never go negative.
+func FuzzBoardScheduler(f *testing.F) {
+	f.Add(3, 0, []byte{0, 1, 2, 3, 0x80, 0x41, 7, 7})
+	f.Add(1, 1, []byte{0xFF, 0, 0, 5})
+	f.Add(4, 2, []byte{9, 9, 9, 0x80, 0x80, 0x42, 1})
+	f.Fuzz(func(t *testing.T, boards, policyIdx int, ops []byte) {
+		boards = 1 + (boards&0x7FFFFFFF)%4
+		policies := BoardPolicies()
+		policy := policies[(policyIdx&0x7FFFFFFF)%len(policies)]
+		s := NewBoardScheduler(policy, boards)
+		for i, op := range ops {
+			pid := int(op) & 0x0F
+			switch {
+			case op&0x80 != 0: // finish on a derived board
+				s.Finished(int(op>>4) & 0x07 % boards)
+			case op&0x40 != 0: // pick with one board excluded
+				ex := map[int]bool{int(op>>4) & 0x03 % boards: true}
+				got := s.Pick(pid, ex)
+				if got < 0 || got >= boards {
+					t.Fatalf("op %d: pick out of range: %d", i, got)
+				}
+				if boards > 1 && ex[got] {
+					t.Fatalf("op %d: pick landed on excluded board %d", i, got)
+				}
+				s.Started(pid, got)
+			default:
+				got := s.Pick(pid, nil)
+				if got < 0 || got >= boards {
+					t.Fatalf("op %d: pick out of range: %d", i, got)
+				}
+				s.Started(pid, got)
+			}
+		}
+		for b := 0; b < boards; b++ {
+			if s.InFlight(b) < 0 {
+				t.Fatalf("negative in-flight on board %d", b)
+			}
+		}
+	})
+}

@@ -39,6 +39,11 @@ type Config struct {
 	// Recovery tunes the retry/timeout parameters; zero fields take
 	// DefaultRecovery values.
 	Recovery Recovery
+	// Boards is the NxP board count the board scheduler places over;
+	// values < 1 mean one board.
+	Boards int
+	// BoardPolicy selects the placement policy (zero value: round-robin).
+	BoardPolicy BoardPolicy
 }
 
 // Recovery parameterizes the migration protocol's failure handling.
@@ -157,6 +162,7 @@ type Kernel struct {
 	// by a late MSI from an earlier migration.
 	probe     func(pid int) ProbeState
 	shootdown []ShootdownTarget
+	boards    *BoardScheduler
 
 	// EagerDMATrigger reproduces the race of paper §IV-D when set: the
 	// migration trigger fires before the thread's suspended state is
@@ -178,6 +184,10 @@ type Kernel struct {
 	mSpuriousWakes *sim.Counter
 	mShootIPIs     *sim.Counter
 	mShootRetries  *sim.Counter
+
+	// mFailovers is registered only on multi-board platforms, so
+	// single-board metrics snapshots carry no new keys.
+	mFailovers *sim.Counter
 }
 
 // New creates a kernel and spawns the host core's scheduler loop process.
@@ -210,7 +220,25 @@ func New(cfg Config) *Kernel {
 		k.mShootIPIs = reg.Counter("shootdown.ipis")
 		k.mShootRetries = reg.Counter("shootdown.ipi_retries")
 	}
+	boards := cfg.Boards
+	if boards < 1 {
+		boards = 1
+	}
+	k.boards = NewBoardScheduler(cfg.BoardPolicy, boards)
+	if boards > 1 {
+		k.mFailovers = reg.Counter("kernel.failovers")
+	}
 	return k
+}
+
+// BoardSched returns the kernel's board scheduler (never nil).
+func (k *Kernel) BoardSched() *BoardScheduler { return k.boards }
+
+// RecordFailover counts one migration failed over to another board.
+func (k *Kernel) RecordFailover(pid, from, to int) {
+	k.mFailovers.Inc()
+	k.env.Emit(sim.Event{Comp: "kernel", Kind: sim.KindFault, Aux: uint64(pid),
+		Note: fmt.Sprintf("migration failover board %d → %d", from, to)})
 }
 
 // SetMigrationProbe installs the migration liveness check used to
@@ -555,20 +583,26 @@ func (k *Kernel) ShootdownPage(p *sim.Proc, va uint64) {
 // woken thread's timeline via a wake timestamp adjustment — the thread
 // sleeps WakeupSchedule after waking, and the IRQ costs are modeled as a
 // delayed wake.
-func (k *Kernel) DeliverMSI(pid int) {
+func (k *Kernel) DeliverMSI(pid int) { k.DeliverMSIVia("msi", pid) }
+
+// DeliverMSIVia is DeliverMSI for a named interrupt source: board i's
+// mailbox raises MSIs at site "msi<i>" (board 0 keeps the bare "msi"), so
+// fault specs can kill or delay exactly one board's completions. A site
+// without its own rule falls back to the generic "msi" rules.
+func (k *Kernel) DeliverMSIVia(site string, pid int) {
 	k.mIRQs.Inc()
 	t, ok := k.tasks[pid]
 	if !ok {
 		k.env.Emit(sim.Event{Comp: "kernel", Kind: sim.KindIRQ, Aux: uint64(pid), Note: "MSI for unknown pid"})
 		return
 	}
-	if k.inj.Roll("msi", "drop") {
+	if k.inj.RollAt(site, "msi", "drop") {
 		// The interrupt is lost; the migration-timeout probe recovers
 		// the already-delivered descriptor.
 		k.env.Emit(sim.Event{Comp: "kernel", Kind: sim.KindIRQ, Aux: uint64(pid), Note: "MSI dropped"})
 		return
 	}
-	extra, _ := k.inj.Delay("msi", "delay")
+	extra, _ := k.inj.DelayAt(site, "msi", "delay")
 	// Model interrupt-entry + handler latency by scheduling the wake
 	// after the IRQ path completes.
 	k.env.SpawnDaemon(fmt.Sprintf("irq-wake-%d", pid), func(p *sim.Proc) {

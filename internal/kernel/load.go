@@ -41,7 +41,16 @@ type Layout struct {
 	NxPStackPA     uint64 // BAR base in the host view
 	NxPStackRegion uint64
 	NxPStackSize   uint64 // per-thread
+
+	// BoardStackPAs lists the stack-region BAR bases of the extra boards
+	// (entry j belongs to board j+1; board 0 uses NxPStackPA). Each extra
+	// board gets its own NxPStackRegion-sized window at
+	// NxPStackVA + (j+1)*BoardStackStride.
+	BoardStackPAs []uint64
 }
+
+// BoardStackStride separates the per-board NxP stack windows in VA space.
+const BoardStackStride = 0x0100_0000
 
 func (l Layout) withDefaults() Layout {
 	def := func(v *uint64, d uint64) {
@@ -102,7 +111,9 @@ type Program struct {
 	k             *Kernel
 	hostStackNext uint64 // next stack top VA
 	hostStackPA   uint64
-	nxpStackNext  uint64 // next NxP stack VA (within the BRAM window)
+	// nxpStackNext[i] is board i's next NxP stack VA (within that board's
+	// BRAM window); entry 0 covers the single-board fast path.
+	nxpStackNext []uint64
 }
 
 // LoadProgram maps a linked image according to the paper's placement
@@ -189,13 +200,18 @@ func (k *Kernel) LoadProgram(im *multibin.Image) (*Program, error) {
 		prog.NxPHeap = NewBump("nxp-heap", lay.NxPDataVA+carve, lay.NxPDataSize-carve)
 	}
 
-	// NxP stack region (BRAM).
+	// NxP stack regions (board BRAM), one VA window per board.
 	if lay.NxPStackRegion != 0 {
-		if err := k.tables.MapRange(lay.NxPStackVA, lay.NxPStackPA, lay.NxPStackRegion,
-			paging.PageSize4K, paging.Flags{Writable: true, User: true, NX: true}); err != nil {
-			return nil, fmt.Errorf("kernel: mapping NxP stacks: %w", err)
+		pas := append([]uint64{lay.NxPStackPA}, lay.BoardStackPAs...)
+		prog.nxpStackNext = make([]uint64, len(pas))
+		for i, pa := range pas {
+			va := lay.NxPStackVA + uint64(i)*BoardStackStride
+			if err := k.tables.MapRange(va, pa, lay.NxPStackRegion,
+				paging.PageSize4K, paging.Flags{Writable: true, User: true, NX: true}); err != nil {
+				return nil, fmt.Errorf("kernel: mapping NxP stacks (board %d): %w", i, err)
+			}
+			prog.nxpStackNext[i] = va
 		}
-		prog.nxpStackNext = lay.NxPStackVA
 	}
 
 	k.program = prog
@@ -234,19 +250,24 @@ func (p *Program) allocHostStack() (uint64, error) {
 	return top, nil
 }
 
-// AllocNxPStack reserves an NxP-local stack for a thread and returns its
-// top VA. The Flick host migration handler calls this on a thread's first
-// migration (Listing 1, lines 3-4).
-func (p *Program) AllocNxPStack() (uint64, error) {
+// AllocNxPStack reserves an NxP-local stack for a thread on board 0 and
+// returns its top VA. The Flick host migration handler calls this on a
+// thread's first migration (Listing 1, lines 3-4).
+func (p *Program) AllocNxPStack() (uint64, error) { return p.AllocNxPStackOn(0) }
+
+// AllocNxPStackOn reserves an NxP-local stack within the given board's
+// BRAM window and returns its top VA.
+func (p *Program) AllocNxPStackOn(board int) (uint64, error) {
 	lay := p.k.layout
-	if p.nxpStackNext == 0 {
-		return 0, errors.New("kernel: platform has no NxP stack region")
+	if board < 0 || board >= len(p.nxpStackNext) {
+		return 0, fmt.Errorf("kernel: board %d has no NxP stack region", board)
 	}
-	base := p.nxpStackNext
-	if base+lay.NxPStackSize > lay.NxPStackVA+lay.NxPStackRegion {
+	windowVA := lay.NxPStackVA + uint64(board)*BoardStackStride
+	base := p.nxpStackNext[board]
+	if base+lay.NxPStackSize > windowVA+lay.NxPStackRegion {
 		return 0, errors.New("kernel: out of NxP stack space")
 	}
-	p.nxpStackNext += lay.NxPStackSize
+	p.nxpStackNext[board] += lay.NxPStackSize
 	return base + lay.NxPStackSize, nil
 }
 

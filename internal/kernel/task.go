@@ -38,6 +38,14 @@ func (s TaskState) String() string {
 	}
 }
 
+// BoardStackKey identifies one board-core stack allocation: stacks are
+// per board (each board has its own BRAM) and per ISA (a board may host
+// cores of more than one ISA, e.g. the DSP).
+type BoardStackKey struct {
+	Board int
+	ISA   isa.ISA
+}
+
 // Task is the simulated task_struct. The Flick-specific fields at the
 // bottom are the paper's additions: the saved faulting address, the NxP
 // stack pointer, and the migration flag checked by the scheduler.
@@ -57,9 +65,9 @@ type Task struct {
 	// fault handler — the address of the function to migrate to.
 	FaultAddr uint64
 	// BoardStacks holds the thread's stack top in board-local memory for
-	// each board core it has migrated to; entries are allocated on the
-	// first migration toward that core.
-	BoardStacks map[isa.ISA]uint64
+	// each (board, ISA) core it has migrated to; entries are allocated on
+	// the first migration toward that core.
+	BoardStacks map[BoardStackKey]uint64
 	// MigrationTrigger is the paper's "migration flag" in the task
 	// struct: a deferred action (the descriptor DMA kick) the scheduler
 	// fires only after the thread is suspended, closing the race in

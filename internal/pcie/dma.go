@@ -38,6 +38,7 @@ type Engine struct {
 	env   *sim.Env
 	link  LinkParams
 	extra sim.Duration // per-transfer engine overhead (setup, completion)
+	name  string       // instance name: metric/cond prefix and fault site
 
 	queue []Request
 	cap   int
@@ -60,17 +61,30 @@ type EngineStats struct {
 
 // NewEngine creates a DMA engine and spawns its service process in env.
 func NewEngine(env *sim.Env, link LinkParams, overhead sim.Duration) *Engine {
-	e := &Engine{env: env, link: link, extra: overhead, cap: DefaultQueueCap}
-	e.kick = env.NewCond("dma.kick")
-	e.space = env.NewCond("dma.space")
+	return NewEngineAt(env, link, overhead, "dma")
+}
+
+// NewEngineAt creates a named DMA engine instance: the name prefixes its
+// metrics ("<name>.transfers", ...), its conds, and its service daemon, and
+// doubles as its fault-injection site ("<name>.fail" is tried before the
+// generic "dma.fail" rule). Multi-board platforms give each board's engine
+// its own name ("dma", "dma1", "dma2", ...), keeping the first board's
+// names — and its fault-stream draws — identical to a one-engine build.
+func NewEngineAt(env *sim.Env, link LinkParams, overhead sim.Duration, name string) *Engine {
+	e := &Engine{env: env, link: link, extra: overhead, name: name, cap: DefaultQueueCap}
+	e.kick = env.NewCond(name + ".kick")
+	e.space = env.NewCond(name + ".space")
 	reg := env.Metrics()
-	reg.Gauge("dma.transfers", func() uint64 { return uint64(e.stats.Transfers) })
-	reg.Gauge("dma.bytes", func() uint64 { return uint64(e.stats.Bytes) })
-	reg.Gauge("dma.busy_ns", func() uint64 { return uint64(e.stats.Busy / sim.Nanosecond) })
-	e.mTransferNS = reg.Histogram("dma.transfer_ns")
-	env.SpawnDaemon("dma-engine", e.run)
+	reg.Gauge(name+".transfers", func() uint64 { return uint64(e.stats.Transfers) })
+	reg.Gauge(name+".bytes", func() uint64 { return uint64(e.stats.Bytes) })
+	reg.Gauge(name+".busy_ns", func() uint64 { return uint64(e.stats.Busy / sim.Nanosecond) })
+	e.mTransferNS = reg.Histogram(name + ".transfer_ns")
+	env.SpawnDaemon(name+"-engine", e.run)
 	return e
 }
+
+// Name returns the engine's instance name.
+func (e *Engine) Name() string { return e.name }
 
 // SetCapacity bounds the submission queue at n requests (panics if n < 1).
 func (e *Engine) SetCapacity(n int) {
@@ -94,8 +108,8 @@ func (e *Engine) SetInjector(inj *faultinj.Injector) {
 		return
 	}
 	reg := e.env.Metrics()
-	reg.Gauge("dma.queue.depth", func() uint64 { return uint64(len(e.queue)) })
-	reg.Gauge("dma.queue.peak", func() uint64 { return uint64(e.stats.PeakQueue) })
+	reg.Gauge(e.name+".queue.depth", func() uint64 { return uint64(len(e.queue)) })
+	reg.Gauge(e.name+".queue.peak", func() uint64 { return uint64(e.stats.PeakQueue) })
 }
 
 // Submit enqueues a transfer. It must be called from a running simulation
@@ -148,16 +162,16 @@ func (e *Engine) run(p *sim.Proc) {
 		e.queue = e.queue[1:]
 		e.space.Signal()
 		cost := e.TransferCost(req.Size)
-		if d, ok := e.inj.Delay("dma", "delay"); ok {
+		if d, ok := e.inj.DelayAt(e.name, "dma", "delay"); ok {
 			cost += d
 		}
 		p.Sleep(cost)
-		if e.inj.Roll("dma", "fail") {
+		if e.inj.RollAt(e.name, "dma", "fail") {
 			// The burst aborts mid-flight: nothing reaches the
 			// destination, and the submitter hears about it.
 			e.stats.Failed++
 			e.stats.Busy += cost
-			p.Env().Emit(sim.Event{Comp: "dma", Kind: sim.KindDMA, Addr: req.Src, Aux: req.Dst, Size: int64(req.Size), Note: req.Tag + "!fail"})
+			p.Env().Emit(sim.Event{Comp: e.name, Kind: sim.KindDMA, Addr: req.Src, Aux: req.Dst, Size: int64(req.Size), Note: req.Tag + "!fail"})
 			if req.OnDone != nil {
 				req.OnDone(p.Now(), false)
 			}
@@ -175,16 +189,16 @@ func (e *Engine) run(p *sim.Proc) {
 		e.stats.Bytes += int64(req.Size)
 		e.stats.Busy += cost
 		e.mTransferNS.Observe(uint64(cost / sim.Nanosecond))
-		p.Env().Emit(sim.Event{Comp: "dma", Kind: sim.KindDMA, Addr: req.Src, Aux: req.Dst, Size: int64(req.Size), Note: req.Tag})
+		p.Env().Emit(sim.Event{Comp: e.name, Kind: sim.KindDMA, Addr: req.Src, Aux: req.Dst, Size: int64(req.Size), Note: req.Tag})
 		if req.OnDone != nil {
 			req.OnDone(p.Now(), true)
 		}
-		if e.inj.Roll("dma", "dup") {
+		if e.inj.RollAt(e.name, "dma", "dup") {
 			// Replayed burst: the same bytes land again and the
 			// completion fires a second time. Receivers dedupe on
 			// descriptor sequence numbers, so this must be a no-op
 			// at the protocol layer.
-			p.Env().Emit(sim.Event{Comp: "dma", Kind: sim.KindDMA, Addr: req.Src, Aux: req.Dst, Size: int64(req.Size), Note: req.Tag + "!dup"})
+			p.Env().Emit(sim.Event{Comp: e.name, Kind: sim.KindDMA, Addr: req.Src, Aux: req.Dst, Size: int64(req.Size), Note: req.Tag + "!dup"})
 			if req.OnDone != nil {
 				req.OnDone(p.Now(), true)
 			}

@@ -25,12 +25,19 @@ import (
 	"flick/internal/tlb"
 )
 
-// Board-local physical addresses (the NxP's native view).
+// Board-local physical addresses (the NxP's native view). Board 0 sits
+// exactly at these bases; additional boards are strided above them (see
+// Board.LocalDDR and friends), so placement in the shared NxP view stays
+// global and every board core shares one TLB remap programming.
 const (
 	LocalBRAMBase = 0x6000_0000
 	LocalRegsBase = 0x7000_0000
 	LocalDDRBase  = 0x8000_0000
 )
+
+// BoardRegsStride spaces the boards' mailbox register files inside the
+// [LocalRegsBase, LocalDDRBase) window.
+const BoardRegsStride = 0x1_0000
 
 // Params sizes and calibrates the machine.
 type Params struct {
@@ -46,9 +53,20 @@ type Params struct {
 	HostCycle sim.Duration // 2.4 GHz
 	NxPCycle  sim.Duration // 200 MHz
 
+	// Boards is the number of PCIe-attached NxP boards (default 1). Each
+	// board carries its own NxP core, DDR/BRAM, BAR windows, TLB pair,
+	// mailbox, and DMA engine; the kernel's board scheduler places
+	// wrong-ISA calls across them (see docs/SCALING.md). Board 0 is
+	// bit-identical to the single-board machine.
+	Boards int
+	// BoardPolicy selects the kernel's board-placement policy:
+	// "round-robin" (default), "least-loaded", or "affinity".
+	BoardPolicy string
+
 	// EnableDSP adds a second board core with the third ISA (the paper's
 	// §IV-C3 "more than two ISAs" extension). All cores then run in
-	// PTE-tagged execution mode instead of NX polarity.
+	// PTE-tagged execution mode instead of NX polarity. The DSP lives on
+	// board 0.
 	EnableDSP bool
 	DSPCycle  sim.Duration // 400 MHz when enabled
 
@@ -119,6 +137,36 @@ func DefaultParams() Params {
 	}
 }
 
+// Board is one PCIe-attached NxP board: its core, memories, BAR windows,
+// and descriptor DMA engine. Board 0 aliases the Machine's single-board
+// fields (NxPDDR, DDRBar, DMA, NxP, ...), which keep their historical
+// names and behavior.
+type Board struct {
+	Index int
+
+	DDR  *mem.Region
+	BRAM *mem.Region
+
+	DDRBar  pcie.BAR
+	BRAMBar pcie.BAR
+	DMA     *pcie.Engine
+
+	NxP *cpu.Core
+
+	// Board-local physical bases in the shared NxP view. Board 0 sits at
+	// the Local*Base constants; later boards are strided above them.
+	LocalDDR  uint64
+	LocalBRAM uint64
+	LocalRegs uint64
+}
+
+// coreTLBSet records the TLBs belonging to one core, in build order — the
+// fan-out set a TLB shootdown IPI to that core must flush.
+type coreTLBSet struct {
+	name string
+	tlbs []*tlb.TLB
+}
+
 // Machine is the assembled platform.
 type Machine struct {
 	Params Params
@@ -127,13 +175,17 @@ type Machine struct {
 	HostView *mem.AddressSpace
 	NxPView  *mem.AddressSpace
 	HostDRAM *mem.Region
-	NxPDDR   *mem.Region
-	NxPBRAM  *mem.Region
+	NxPDDR   *mem.Region // board 0's DDR
+	NxPBRAM  *mem.Region // board 0's BRAM
 
 	Bridge  *pcie.Bridge
-	DDRBar  pcie.BAR
-	BRAMBar pcie.BAR
-	DMA     *pcie.Engine
+	DDRBar  pcie.BAR     // board 0's DDR BAR
+	BRAMBar pcie.BAR     // board 0's BRAM BAR
+	DMA     *pcie.Engine // board 0's DMA engine
+
+	// Boards lists every NxP board in index order (length Params.Boards,
+	// minimum 1). Boards[0] owns the aliased fields above.
+	Boards []*Board
 
 	Alloc  *paging.FrameAlloc
 	Tables *paging.Tables
@@ -141,8 +193,8 @@ type Machine struct {
 	Natives *cpu.NativeTable
 	Host    *cpu.Core // the first host core
 	Hosts   []*cpu.Core
-	NxP     *cpu.Core
-	// DSP is the second board core (nil unless Params.EnableDSP).
+	NxP     *cpu.Core // board 0's NxP core
+	// DSP is the second board-0 core (nil unless Params.EnableDSP).
 	DSP *cpu.Core
 
 	Kernel *kernel.Kernel
@@ -151,8 +203,27 @@ type Machine struct {
 	// Params.Faults is empty — every consumer is nil-safe).
 	Injector *faultinj.Injector
 
-	nxpTLBs  []*tlb.TLB
-	hostTLBs []*tlb.TLB
+	nxpTLBs     []*tlb.TLB // all board-side TLBs, build order
+	coreTLBSets []coreTLBSet
+}
+
+// boardSfx names board i's instanced components: board 0 keeps the bare
+// historical names, later boards append their index.
+func boardSfx(i int) string {
+	if i == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%d", i)
+}
+
+// boardStride spaces board-local windows: the next power of two holding
+// size, at least 1 MiB.
+func boardStride(size uint64) uint64 {
+	s := uint64(1) << 20
+	for s < size {
+		s <<= 1
+	}
+	return s
 }
 
 // New builds the machine: memories, bridge enumeration, TLB remap
@@ -160,6 +231,15 @@ type Machine struct {
 // tables, cores, and kernel.
 func New(params Params) (*Machine, error) {
 	m := &Machine{Params: params, Env: sim.NewEnv()}
+
+	boardPolicy, err := kernel.ParseBoardPolicy(params.BoardPolicy)
+	if err != nil {
+		return nil, err
+	}
+	nBoards := params.Boards
+	if nBoards <= 0 {
+		nBoards = 1
+	}
 
 	if params.Faults != "" {
 		spec, err := faultinj.Parse(params.Faults)
@@ -174,8 +254,24 @@ func New(params Params) (*Machine, error) {
 	m.HostView = mem.NewAddressSpace("host-view")
 	m.NxPView = mem.NewAddressSpace("nxp-view")
 	m.HostDRAM = mem.NewRAM("host-dram", params.HostDRAM)
-	m.NxPDDR = mem.NewRAM("nxp-ddr", params.NxPDDR)
-	m.NxPBRAM = mem.NewRAM("nxp-bram", params.NxPBRAM)
+	ddrStride := boardStride(params.NxPDDR)
+	bramStride := boardStride(params.NxPBRAM)
+	for i := 0; i < nBoards; i++ {
+		b := &Board{
+			Index:     i,
+			DDR:       mem.NewRAM("nxp-ddr"+boardSfx(i), params.NxPDDR),
+			BRAM:      mem.NewRAM("nxp-bram"+boardSfx(i), params.NxPBRAM),
+			LocalDDR:  LocalDDRBase + uint64(i)*ddrStride,
+			LocalBRAM: LocalBRAMBase + uint64(i)*bramStride,
+			LocalRegs: LocalRegsBase + uint64(i)*BoardRegsStride,
+		}
+		if b.LocalBRAM+params.NxPBRAM > LocalRegsBase {
+			return nil, fmt.Errorf("platform: %d boards of %d KiB BRAM overflow the board-local BRAM window", nBoards, params.NxPBRAM>>10)
+		}
+		m.Boards = append(m.Boards, b)
+	}
+	m.NxPDDR = m.Boards[0].DDR
+	m.NxPBRAM = m.Boards[0].BRAM
 
 	// Host DRAM is visible at 0 from both sides (the PCIe bridge maps
 	// host memory into the NxP address space, §III-A).
@@ -185,26 +281,37 @@ func New(params Params) (*Machine, error) {
 	if err := m.NxPView.Map(0, m.HostDRAM); err != nil {
 		return nil, err
 	}
-	// Board resources at their native local addresses.
-	if err := m.NxPView.Map(LocalDDRBase, m.NxPDDR); err != nil {
-		return nil, err
-	}
-	if err := m.NxPView.Map(LocalBRAMBase, m.NxPBRAM); err != nil {
-		return nil, err
+	// Board resources at their board-local addresses in the shared view.
+	for _, b := range m.Boards {
+		if err := m.NxPView.Map(b.LocalDDR, b.DDR); err != nil {
+			return nil, err
+		}
+		if err := m.NxPView.Map(b.LocalBRAM, b.BRAM); err != nil {
+			return nil, err
+		}
 	}
 
-	// PCIe enumeration: the host assigns BAR windows above its DRAM.
+	// PCIe enumeration: the host assigns BAR windows above its DRAM, in
+	// board order.
 	m.Bridge = pcie.NewBridge(params.Link, m.HostView, 0x1_0000_0000)
-	var err error
-	if m.DDRBar, err = m.Bridge.Expose(m.NxPDDR, LocalDDRBase); err != nil {
-		return nil, err
+	for _, b := range m.Boards {
+		if b.DDRBar, err = m.Bridge.Expose(b.DDR, b.LocalDDR); err != nil {
+			return nil, err
+		}
+		if b.BRAMBar, err = m.Bridge.Expose(b.BRAM, b.LocalBRAM); err != nil {
+			return nil, err
+		}
 	}
-	if m.BRAMBar, err = m.Bridge.Expose(m.NxPBRAM, LocalBRAMBase); err != nil {
-		return nil, err
-	}
+	m.DDRBar = m.Boards[0].DDRBar
+	m.BRAMBar = m.Boards[0].BRAMBar
 
-	m.DMA = pcie.NewEngine(m.Env, params.Link, params.DMAOverhead)
-	m.DMA.SetInjector(m.Injector)
+	// One descriptor DMA engine per board; board 0 keeps the bare "dma"
+	// instance name (and thus the historical metric/fault-site names).
+	for i, b := range m.Boards {
+		b.DMA = pcie.NewEngineAt(m.Env, params.Link, params.DMAOverhead, "dma"+boardSfx(i))
+		b.DMA.SetInjector(m.Injector)
+	}
+	m.DMA = m.Boards[0].DMA
 
 	// Kernel page tables in host DRAM.
 	if m.Alloc, err = paging.NewFrameAlloc(1<<20, 47<<20); err != nil {
@@ -227,12 +334,22 @@ func New(params Params) (*Machine, error) {
 	if m.DSP != nil {
 		cores = append(cores, m.DSP)
 	}
+	for _, b := range m.Boards[1:] {
+		cores = append(cores, b.NxP)
+	}
 	for _, c := range cores {
 		c.Register(reg)
 		for _, u := range []*mmu.MMU{c.IMMU(), c.DMMU()} {
 			u.Register(reg)
 			u.TLB.Register(reg)
 		}
+	}
+
+	// NxP stack windows for boards beyond the first (board 0 uses the
+	// NxPStack* fields).
+	var boardStackPAs []uint64
+	for _, b := range m.Boards[1:] {
+		boardStackPAs = append(boardStackPAs, b.BRAMBar.HostBase+BRAMMailboxCarve)
 	}
 
 	m.Kernel = kernel.New(kernel.Config{
@@ -250,7 +367,10 @@ func New(params Params) (*Machine, error) {
 			NxPStackPA:     m.BRAMBar.HostBase + BRAMMailboxCarve,
 			NxPStackRegion: params.NxPBRAM - BRAMMailboxCarve,
 			TaggedISAs:     params.EnableDSP,
+			BoardStackPAs:  boardStackPAs,
 		},
+		Boards:      nBoards,
+		BoardPolicy: boardPolicy,
 	})
 	for _, h := range m.Hosts {
 		h.SetSysHandler(m.Kernel.Syscall)
@@ -258,31 +378,27 @@ func New(params Params) (*Machine, error) {
 		m.Kernel.AttachHostCore(h)
 	}
 	if m.Injector != nil {
-		m.Kernel.SetShootdownTargets(m.shootdownTargets())
+		m.Kernel.SetShootdownTargets(m.ShootdownTargets())
 	}
 	return m, nil
 }
 
-// shootdownTargets lists every TLB set a shootdown IPI must reach, one
-// entry per core, in deterministic build order.
-func (m *Machine) shootdownTargets() []kernel.ShootdownTarget {
-	flushAll := func(ts []*tlb.TLB) func(va uint64) {
-		return func(va uint64) {
-			for _, t := range ts {
-				t.FlushPage(va)
-			}
-		}
-	}
-	var out []kernel.ShootdownTarget
-	for i, h := range m.Hosts {
+// ShootdownTargets lists every TLB set a shootdown IPI must reach, one
+// entry per core in deterministic build order (hosts, then board cores).
+// The fan-out is derived from the per-core TLB sets recorded while the
+// cores were built, so it cannot silently skip a board's TLBs.
+func (m *Machine) ShootdownTargets() []kernel.ShootdownTarget {
+	out := make([]kernel.ShootdownTarget, 0, len(m.coreTLBSets))
+	for _, set := range m.coreTLBSets {
+		ts := set.tlbs
 		out = append(out, kernel.ShootdownTarget{
-			Name:  h.Name(),
-			Flush: flushAll(m.hostTLBs[2*i : 2*i+2]),
+			Name: set.name,
+			Flush: func(va uint64) {
+				for _, t := range ts {
+					t.FlushPage(va)
+				}
+			},
 		})
-	}
-	out = append(out, kernel.ShootdownTarget{Name: m.NxP.Name(), Flush: flushAll(m.nxpTLBs[:2])})
-	if m.DSP != nil {
-		out = append(out, kernel.ShootdownTarget{Name: m.DSP.Name(), Flush: flushAll(m.nxpTLBs[2:4])})
 	}
 	return out
 }
@@ -326,7 +442,7 @@ func (m *Machine) buildCores() {
 		name := fmt.Sprintf("host%d", i)
 		hITLB := tlb.New(name+"-itlb", p.HostITLB)
 		hDTLB := tlb.New(name+"-dtlb", p.HostDTLB)
-		m.hostTLBs = append(m.hostTLBs, hITLB, hDTLB)
+		m.coreTLBSets = append(m.coreTLBSets, coreTLBSet{name: name, tlbs: []*tlb.TLB{hITLB, hDTLB}})
 		m.Hosts = append(m.Hosts, cpu.New(cpu.Config{
 			Name: name, ISA: isa.ISAHost,
 			IMMU:          mmu.New(name+"-immu", hITLB, m.Tables, hostWalk, 0),
@@ -349,11 +465,11 @@ func (m *Machine) buildCores() {
 	nxpWalk := func(pa uint64) sim.Duration {
 		return p.Link.ReadLatency(8) + p.HostDRAMDevice
 	}
+	b0 := m.Boards[0]
 	nITLB := tlb.New("nxp-itlb", p.NxPITLB)
 	nDTLB := tlb.New("nxp-dtlb", p.NxPDTLB)
 	for _, t := range []*tlb.TLB{nITLB, nDTLB} {
-		t.AddRemap(tlb.Remap{HostBase: m.DDRBar.HostBase, Size: m.NxPDDR.Size(), Delta: m.DDRBar.RemapDelta()})
-		t.AddRemap(tlb.Remap{HostBase: m.BRAMBar.HostBase, Size: m.NxPBRAM.Size(), Delta: m.BRAMBar.RemapDelta()})
+		m.addBoardRemaps(t)
 		m.nxpTLBs = append(m.nxpTLBs, t)
 	}
 	m.NxP = cpu.New(cpu.Config{
@@ -364,12 +480,14 @@ func (m *Machine) buildCores() {
 		CycleTime:     p.NxPCycle,
 		ExecNX:        true,
 		ISATag:        tagOf(isa.ISANxP),
-		AccessCost:    m.nxpAccessCost,
-		FetchCost:     m.nxpFetchCost,
+		AccessCost:    m.boardAccessCost(b0),
+		FetchCost:     m.boardFetchCost(b0),
 		ICacheLines:   p.NxPICacheLines,
 		Natives:       m.Natives,
 		SpuriousFault: spurious,
 	})
+	b0.NxP = m.NxP
+	m.coreTLBSets = append(m.coreTLBSets, coreTLBSet{name: "nxp0", tlbs: []*tlb.TLB{nITLB, nDTLB}})
 
 	if p.EnableDSP {
 		dspCycle := p.DSPCycle
@@ -379,8 +497,7 @@ func (m *Machine) buildCores() {
 		dITLB := tlb.New("dsp-itlb", p.NxPITLB)
 		dDTLB := tlb.New("dsp-dtlb", p.NxPDTLB)
 		for _, t := range []*tlb.TLB{dITLB, dDTLB} {
-			t.AddRemap(tlb.Remap{HostBase: m.DDRBar.HostBase, Size: m.NxPDDR.Size(), Delta: m.DDRBar.RemapDelta()})
-			t.AddRemap(tlb.Remap{HostBase: m.BRAMBar.HostBase, Size: m.NxPBRAM.Size(), Delta: m.BRAMBar.RemapDelta()})
+			m.addBoardRemaps(t)
 			m.nxpTLBs = append(m.nxpTLBs, t)
 		}
 		m.DSP = cpu.New(cpu.Config{
@@ -390,12 +507,50 @@ func (m *Machine) buildCores() {
 			Phys:          m.NxPView,
 			CycleTime:     dspCycle,
 			ISATag:        tagOf(isa.ISADsp),
-			AccessCost:    m.nxpAccessCost,
-			FetchCost:     m.nxpFetchCost,
+			AccessCost:    m.boardAccessCost(b0),
+			FetchCost:     m.boardFetchCost(b0),
 			ICacheLines:   p.NxPICacheLines,
 			Natives:       m.Natives,
 			SpuriousFault: spurious,
 		})
+		m.coreTLBSets = append(m.coreTLBSets, coreTLBSet{name: "dsp0", tlbs: []*tlb.TLB{dITLB, dDTLB}})
+	}
+
+	// NxP cores of the additional boards (board 0, built above, keeps the
+	// historical names).
+	for _, b := range m.Boards[1:] {
+		name := fmt.Sprintf("nxp%d", b.Index)
+		iT := tlb.New(name+"-itlb", p.NxPITLB)
+		dT := tlb.New(name+"-dtlb", p.NxPDTLB)
+		for _, t := range []*tlb.TLB{iT, dT} {
+			m.addBoardRemaps(t)
+			m.nxpTLBs = append(m.nxpTLBs, t)
+		}
+		b.NxP = cpu.New(cpu.Config{
+			Name: name, ISA: isa.ISANxP,
+			IMMU:          mmu.New(name+"-immu", iT, m.Tables, nxpWalk, p.NxPWalkPerReq),
+			DMMU:          mmu.New(name+"-dmmu", dT, m.Tables, nxpWalk, p.NxPWalkPerReq),
+			Phys:          m.NxPView,
+			CycleTime:     p.NxPCycle,
+			ExecNX:        true,
+			ISATag:        tagOf(isa.ISANxP),
+			AccessCost:    m.boardAccessCost(b),
+			FetchCost:     m.boardFetchCost(b),
+			ICacheLines:   p.NxPICacheLines,
+			Natives:       m.Natives,
+			SpuriousFault: spurious,
+		})
+		m.coreTLBSets = append(m.coreTLBSets, coreTLBSet{name: name, tlbs: []*tlb.TLB{iT, dT}})
+	}
+}
+
+// addBoardRemaps programs one board-side TLB with the BAR→local window of
+// every board, in board order. Resource placement in the shared NxP view
+// is global, so the remap programming is identical on every board core.
+func (m *Machine) addBoardRemaps(t *tlb.TLB) {
+	for _, b := range m.Boards {
+		t.AddRemap(tlb.Remap{HostBase: b.DDRBar.HostBase, Size: b.DDR.Size(), Delta: b.DDRBar.RemapDelta()})
+		t.AddRemap(tlb.Remap{HostBase: b.BRAMBar.HostBase, Size: b.BRAM.Size(), Delta: b.BRAMBar.RemapDelta()})
 	}
 }
 
@@ -434,62 +589,86 @@ func (m *Machine) hostAccessCost(pa uint64, size int, write bool) sim.Duration {
 	if err != nil {
 		return m.Params.HostDRAMAccess
 	}
-	switch r {
-	case m.HostDRAM:
+	if r == m.HostDRAM {
 		return m.Params.HostDRAMAccess
-	case m.NxPDDR:
-		if write {
-			return m.Params.Link.WriteLatency(size)
-		}
-		return m.Params.Link.ReadLatency(size) + m.Params.HostDRAMDevice
-	case m.NxPBRAM:
-		if write {
-			return m.Params.Link.WriteLatency(size)
-		}
-		return m.Params.Link.ReadLatency(size) + m.Params.NxPBRAMAccess
-	default: // device registers
-		if write {
-			return m.Params.Link.WriteLatency(size)
-		}
-		return m.Params.Link.ReadLatency(size) + m.Params.RegsAccess
 	}
+	if write {
+		return m.Params.Link.WriteLatency(size)
+	}
+	for _, b := range m.Boards {
+		switch r {
+		case b.DDR:
+			return m.Params.Link.ReadLatency(size) + m.Params.HostDRAMDevice
+		case b.BRAM:
+			return m.Params.Link.ReadLatency(size) + m.Params.NxPBRAMAccess
+		}
+	}
+	// Device registers.
+	return m.Params.Link.ReadLatency(size) + m.Params.RegsAccess
 }
 
-// nxpAccessCost prices an NxP-core data access. pa is post-remap: board
-// resources appear at their local addresses.
-func (m *Machine) nxpAccessCost(pa uint64, size int, write bool) sim.Duration {
-	r, _, err := m.NxPView.Lookup(pa)
-	if err != nil {
-		return m.Params.NxPDDRAccess
-	}
-	switch r {
-	case m.NxPDDR:
-		return m.Params.NxPDDRAccess
-	case m.NxPBRAM:
-		return m.Params.NxPBRAMAccess
-	case m.HostDRAM:
-		if write {
-			return m.Params.Link.WriteLatency(size)
+// boardAccessCost prices a data access from one board's core. pa is
+// post-remap: board resources appear at their board-local addresses. The
+// board's own DDR/BRAM are local; host DRAM and *peer boards'* memories
+// cross the link like a remote access.
+func (m *Machine) boardAccessCost(b *Board) func(pa uint64, size int, write bool) sim.Duration {
+	return func(pa uint64, size int, write bool) sim.Duration {
+		r, _, err := m.NxPView.Lookup(pa)
+		if err != nil {
+			return m.Params.NxPDDRAccess
 		}
-		return m.Params.Link.ReadLatency(size) + m.Params.HostDRAMDevice
-	default:
+		switch r {
+		case b.DDR:
+			return m.Params.NxPDDRAccess
+		case b.BRAM:
+			return m.Params.NxPBRAMAccess
+		case m.HostDRAM:
+			if write {
+				return m.Params.Link.WriteLatency(size)
+			}
+			return m.Params.Link.ReadLatency(size) + m.Params.HostDRAMDevice
+		}
+		for _, o := range m.Boards {
+			if o == b {
+				continue
+			}
+			switch r {
+			case o.DDR:
+				if write {
+					return m.Params.Link.WriteLatency(size)
+				}
+				return m.Params.Link.ReadLatency(size) + m.Params.HostDRAMDevice
+			case o.BRAM:
+				if write {
+					return m.Params.Link.WriteLatency(size)
+				}
+				return m.Params.Link.ReadLatency(size) + m.Params.NxPBRAMAccess
+			}
+		}
 		return m.Params.RegsAccess
 	}
 }
 
-// nxpFetchCost prices an NxP I-cache line fill: instructions live in host
-// DRAM (paper §III-D), so cold fills cross the link.
-func (m *Machine) nxpFetchCost(pa uint64) sim.Duration {
-	r, _, err := m.NxPView.Lookup(pa)
-	if err != nil {
-		return m.Params.NxPDDRAccess
-	}
-	switch r {
-	case m.HostDRAM:
-		return m.Params.Link.ReadLatency(64) + m.Params.HostDRAMDevice
-	case m.NxPDDR:
-		return m.Params.NxPDDRAccess + 8*m.Params.NxPCycle
-	default:
+// boardFetchCost prices one board core's I-cache line fill: instructions
+// live in host DRAM (paper §III-D), so cold fills cross the link; fills
+// from the board's own DDR are local, from a peer board's DDR remote.
+func (m *Machine) boardFetchCost(b *Board) func(pa uint64) sim.Duration {
+	return func(pa uint64) sim.Duration {
+		r, _, err := m.NxPView.Lookup(pa)
+		if err != nil {
+			return m.Params.NxPDDRAccess
+		}
+		switch r {
+		case m.HostDRAM:
+			return m.Params.Link.ReadLatency(64) + m.Params.HostDRAMDevice
+		case b.DDR:
+			return m.Params.NxPDDRAccess + 8*m.Params.NxPCycle
+		}
+		for _, o := range m.Boards {
+			if o != b && r == o.DDR {
+				return m.Params.Link.ReadLatency(64) + m.Params.HostDRAMDevice
+			}
+		}
 		return m.Params.NxPBRAMAccess
 	}
 }

@@ -63,16 +63,17 @@ func TestNxPAccessCostCalibration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	access := m.boardAccessCost(m.Boards[0])
 	// NxP → local DDR: the paper's 267 ns.
-	if got := m.nxpAccessCost(LocalDDRBase+0x100, 8, false); got != 267*sim.Nanosecond {
+	if got := access(LocalDDRBase+0x100, 8, false); got != 267*sim.Nanosecond {
 		t.Errorf("NxP local DDR = %v, want 267ns", got)
 	}
 	// NxP → BRAM: a couple of cycles.
-	if got := m.nxpAccessCost(LocalBRAMBase, 8, false); got != 10*sim.Nanosecond {
+	if got := access(LocalBRAMBase, 8, false); got != 10*sim.Nanosecond {
 		t.Errorf("NxP BRAM = %v", got)
 	}
 	// NxP → host DRAM: a PCIe round trip.
-	if got := m.nxpAccessCost(0x1000, 8, false); got < 700*sim.Nanosecond {
+	if got := access(0x1000, 8, false); got < 700*sim.Nanosecond {
 		t.Errorf("NxP→host read = %v, should cross the link", got)
 	}
 }
@@ -83,7 +84,7 @@ func TestNxPFetchCostFavorsICache(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Instruction lines live in host DRAM: fills cross the link.
-	if got := m.nxpFetchCost(0x2000); got < 700*sim.Nanosecond {
+	if got := m.boardFetchCost(m.Boards[0])(0x2000); got < 700*sim.Nanosecond {
 		t.Errorf("NxP I-fill from host DRAM = %v", got)
 	}
 }

@@ -1,0 +1,80 @@
+package platform
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestShootdownReachesEveryCoreTLB locks down the shootdown fan-out
+// derivation: one shootdown must flush the ITLB and DTLB of every core on
+// the machine — every host core, every board's NxP core, and the DSP when
+// present — exactly once each. The fan-out used to be hardcoded to the
+// first four board-side TLBs, which silently skipped boards beyond the
+// first (and double-counted nothing to show for it); deriving it from the
+// per-core TLB sets makes this count exact for any board count.
+func TestShootdownReachesEveryCoreTLB(t *testing.T) {
+	for _, boards := range []int{1, 2, 3} {
+		for _, dsp := range []bool{false, true} {
+			t.Run(fmt.Sprintf("boards=%d/dsp=%v", boards, dsp), func(t *testing.T) {
+				p := DefaultParams()
+				p.Boards = boards
+				p.EnableDSP = dsp
+				m, err := New(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				targets := m.ShootdownTargets()
+				wantTargets := len(m.Hosts) + boards
+				if dsp {
+					wantTargets++
+				}
+				if len(targets) != wantTargets {
+					t.Fatalf("%d shootdown targets, want %d (one per core)", len(targets), wantTargets)
+				}
+				// One shootdown: every target flushes its core's TLB pair.
+				const va = 0x4_0000_0000
+				for _, tgt := range targets {
+					tgt.Flush(va)
+				}
+				snap := m.Env.Metrics().Snapshot()
+				var flushed, tlbs int
+				for _, c := range snap.Counters {
+					if !strings.HasSuffix(c.Name, ".shootdowns") {
+						continue
+					}
+					tlbs++
+					flushed += int(c.Value)
+					if c.Value != 1 {
+						t.Errorf("%s = %d flushes per shootdown, want 1", c.Name, c.Value)
+					}
+				}
+				if want := 2 * wantTargets; tlbs != want || flushed != want {
+					t.Errorf("shootdown reached %d flushes across %d TLBs, want %d across %d (2 per core)",
+						flushed, tlbs, want, want)
+				}
+				// The per-core sets the fan-out is derived from must cover
+				// every board's TLB pair by name.
+				names := make(map[string]bool)
+				for _, set := range m.coreTLBSets {
+					for _, tl := range set.tlbs {
+						names[tl.Name] = true
+					}
+				}
+				wantNames := []string{"nxp-itlb", "nxp-dtlb"}
+				for _, b := range m.Boards[1:] {
+					wantNames = append(wantNames,
+						fmt.Sprintf("nxp%d-itlb", b.Index), fmt.Sprintf("nxp%d-dtlb", b.Index))
+				}
+				if dsp {
+					wantNames = append(wantNames, "dsp-itlb", "dsp-dtlb")
+				}
+				for _, n := range wantNames {
+					if !names[n] {
+						t.Errorf("shootdown fan-out is missing TLB %s", n)
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package workloads
+
+import (
+	"fmt"
+
+	"flick"
+	"flick/internal/kernel"
+	"flick/internal/platform"
+	"flick/internal/sim"
+)
+
+// scaleOutSource is the board scale-out workload: each host thread loops
+// calling an NxP function that burns ~2µs of board time and returns
+// taskid+iter, which the thread accumulates into its exit code. The exit
+// value is a pure function of (taskid, calls) — independent of which board
+// served each call — so it doubles as the placement-equivalence oracle.
+const scaleOutSource = `
+.func main isa=host
+    ; a0 = calls, a1 = task id
+    mov  t4, a0          ; remaining calls
+    mov  t3, a1          ; task id
+    movi t2, 0           ; iteration counter
+    movi t5, 0           ; accumulator
+l:
+    mov  a0, t3
+    mov  a1, t2
+    call nxp_work
+    add  t5, t5, a0
+    addi t2, t2, 1
+    addi t4, t4, -1
+    bne  t4, zr, l
+    mov  a0, t5
+    sys  1
+.endfunc
+
+.func nxp_work isa=nxp
+    ; ~2µs of board work, then return a0+a1
+    li   t0, 400
+w:
+    addi t0, t0, -1
+    bne  t0, zr, w
+    add  a0, a0, a1
+    ret
+.endfunc
+`
+
+// ScaleOutExit is the expected exit code of task id on a clean run:
+// sum over j in [0, calls) of (id + j).
+func ScaleOutExit(id, calls int) uint64 {
+	return uint64(calls*id) + uint64(calls*(calls-1)/2)
+}
+
+// RunScaleOut starts `tasks` migrating host threads on a machine with
+// `boards` NxP boards under the given placement policy, verifies every
+// task's exit code against the built-in oracle, and reports the completion
+// time and total migrated calls. p, when non-nil, is the base machine
+// configuration (HostCores is forced to tasks, Boards and BoardPolicy to
+// the arguments, either way); obs, when non-nil, receives the run's
+// observability report.
+func RunScaleOut(tasks, callsPerTask, boards int, policy string, p *platform.Params, obs *sim.Observer) (sim.Duration, int, error) {
+	params := platform.DefaultParams()
+	if p != nil {
+		params = *p
+	}
+	params.HostCores = tasks
+	params.Boards = boards
+	params.BoardPolicy = policy
+	sys, err := flick.Build(flick.Config{
+		Params:  &params,
+		Obs:     obs,
+		Sources: map[string]string{"scaleout.fasm": scaleOutSource},
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	var started []*kernel.Task
+	for i := 0; i < tasks; i++ {
+		task, err := sys.Start("main", uint64(callsPerTask), uint64(i))
+		if err != nil {
+			return 0, 0, err
+		}
+		started = append(started, task)
+	}
+	_, runErr := sys.Run()
+	obs.Collect(sys)
+	if runErr != nil {
+		return 0, 0, runErr
+	}
+	for i, task := range started {
+		if task.Err != nil {
+			return 0, 0, fmt.Errorf("workloads: scale-out task %d: %w", i, task.Err)
+		}
+		if want := ScaleOutExit(i, callsPerTask); task.ExitCode != want {
+			return 0, 0, fmt.Errorf("workloads: scale-out task %d exited %d, want %d", i, task.ExitCode, want)
+		}
+	}
+	return sys.Now().Duration(), sys.Runtime.Stats().H2NCalls, nil
+}
