@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench cover fuzz clean
+.PHONY: all build vet test race check bench bench-hotloop cover fuzz clean
 
 all: check
 
@@ -22,6 +22,14 @@ check: build vet race
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+	$(GO) test -run '^$$' -bench 'BenchmarkCoreStep|BenchmarkTranslateHit' -benchmem -json \
+		./internal/cpu ./internal/mmu > BENCH_hotloop.json
+
+# Hot-loop perf trajectory: re-run the steady-state Step/Translate
+# benchmarks and refresh the checked-in record (see docs/PERFORMANCE.md).
+bench-hotloop:
+	$(GO) test -run '^$$' -bench 'BenchmarkCoreStep|BenchmarkTranslateHit' -benchmem -json \
+		./internal/cpu ./internal/mmu > BENCH_hotloop.json
 
 # Per-package coverage floors for the instrumented layers (CI enforces
 # the same 70% threshold).

@@ -24,6 +24,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -60,6 +61,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	faultSeed := fs.Int64("fault-seed", 0, "base seed for the fault-injection streams (0 = inherit the workload seed)")
 	boards := fs.Int("boards", 1, "number of NxP boards per simulated machine (see docs/SCALING.md)")
 	boardPolicy := fs.String("board-policy", "", "board placement policy: round-robin, least-loaded, or affinity (default round-robin)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file (see docs/PERFORMANCE.md)")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: flicksim [flags] <experiment>...\n")
 		fmt.Fprintf(stderr, "experiments: %s all soak scaleout\n", strings.Join(experiments.IDs(), " "))
@@ -81,6 +84,40 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "flicksim: -board-policy: %v\n", err)
 		fs.Usage()
 		return 2
+	}
+
+	// Profiling hooks for perf work: -cpuprofile samples the whole run,
+	// -memprofile snapshots the heap after the final experiment. Both are
+	// inert when unset.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(stderr, "flicksim: -cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintf(stderr, "flicksim: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(stderr, "flicksim: -memprofile: %v\n", err)
+				return
+			}
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "flicksim: -memprofile: %v\n", err)
+			}
+			f.Close()
+		}()
 	}
 
 	o := experiments.Quick()

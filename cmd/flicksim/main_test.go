@@ -232,3 +232,37 @@ func TestJobsDeterminism(t *testing.T) {
 		t.Errorf("chrome trace differs between -jobs=1 and -jobs=8")
 	}
 }
+
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpuOut := filepath.Join(dir, "cpu.pprof")
+	memOut := filepath.Join(dir, "mem.pprof")
+	code, stdout, stderr := runCLI(t,
+		"-iters", "2", "-quiet", "-cpuprofile", cpuOut, "-memprofile", memOut, "table3")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "Table III") {
+		t.Errorf("stdout missing artifact:\n%s", stdout)
+	}
+	for _, path := range []string{cpuOut, memOut} {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s: empty profile", path)
+		}
+	}
+}
+
+func TestBadCPUProfilePathExit1(t *testing.T) {
+	code, _, stderr := runCLI(t,
+		"-iters", "2", "-quiet", "-cpuprofile", filepath.Join(t.TempDir(), "no", "such", "dir", "p"), "table3")
+	if code != 1 {
+		t.Errorf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "-cpuprofile") {
+		t.Errorf("stderr does not name the flag:\n%s", stderr)
+	}
+}

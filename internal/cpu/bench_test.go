@@ -1,0 +1,197 @@
+package cpu_test
+
+import (
+	"testing"
+
+	"flick/internal/asm"
+	"flick/internal/cpu"
+	"flick/internal/isa"
+	"flick/internal/mem"
+	"flick/internal/mmu"
+	"flick/internal/multibin"
+	"flick/internal/paging"
+	"flick/internal/sim"
+	"flick/internal/tlb"
+)
+
+// benchRig is the hot-loop measurement harness: one core of the chosen
+// ISA spinning a counted arithmetic loop over identity-mapped memory —
+// the steady state every workload's compute phase reduces to.
+type benchRig struct {
+	env  *sim.Env
+	core *cpu.Core
+	ctx  *cpu.Context
+}
+
+// benchSrc returns a never-terminating two-instruction loop for the ISA
+// (a0 counts up toward a1, which the harness sets to 2^64-1). The linker
+// requires a host-text main, so the loop lives in its own function and
+// the harness enters at "spin" directly.
+func benchSrc(is isa.ISA) string {
+	name := map[isa.ISA]string{isa.ISAHost: "host", isa.ISANxP: "nxp", isa.ISADsp: "dsp"}[is]
+	return `
+.func main isa=host
+    ret
+.endfunc
+.func spin isa=` + name + `
+loop:
+    addi a0, a0, 1
+    bne  a0, a1, loop
+    ret
+.endfunc
+`
+}
+
+// buildBenchRig assembles the loop and wires the minimal platform around
+// one core: identity-mapped pages, 64-entry TLBs, a 10 ns walk cost, an
+// I-cache with a fill cost, and tagged execution for the DSP (which has
+// no NX polarity of its own).
+func buildBenchRig(tb testing.TB, is isa.ISA) *benchRig {
+	tb.Helper()
+	obj, err := asm.Assemble("bench.fasm", benchSrc(is))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	im, err := multibin.Link(multibin.LinkConfig{}, obj)
+	if err != nil {
+		tb.Fatal(err)
+	}
+
+	env := sim.NewEnv()
+	phys := mem.NewAddressSpace("host")
+	ram := mem.NewRAM("dram", 64<<20)
+	if err := phys.Map(0, ram); err != nil {
+		tb.Fatal(err)
+	}
+	alloc, err := paging.NewFrameAlloc(1<<20, 16<<20)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tables, err := paging.New(phys, alloc)
+	if err != nil {
+		tb.Fatal(err)
+	}
+
+	tag := uint8(0)
+	if is == isa.ISADsp {
+		tag = uint8(is) + 1
+	}
+	for _, seg := range im.Segments {
+		ram.Store().WriteAt(seg.VA, seg.Bytes)
+		n := (uint64(len(seg.Bytes)) + paging.PageSize4K - 1) &^ (paging.PageSize4K - 1)
+		nx := !(seg.Kind == multibin.SecText && seg.ISA == isa.ISAHost)
+		flags := paging.Flags{Writable: seg.Kind == multibin.SecData, User: true, NX: nx}
+		if seg.Kind == multibin.SecText {
+			flags.ISATag = tag
+		}
+		if err := tables.MapRange(seg.VA, seg.VA, n, paging.PageSize4K, flags); err != nil {
+			tb.Fatal(err)
+		}
+	}
+
+	mkMMU := func(name string) *mmu.MMU {
+		return mmu.New(name, tlb.New(name, 64), tables,
+			func(uint64) sim.Duration { return 10 * sim.Nanosecond }, 0)
+	}
+	core := cpu.New(cpu.Config{
+		Name: "bench0", ISA: is,
+		IMMU: mkMMU("bench-itlb"), DMMU: mkMMU("bench-dtlb"),
+		Phys: phys, CycleTime: sim.Nanosecond,
+		ExecNX:      is == isa.ISANxP,
+		ISATag:      tag,
+		FetchCost:   func(uint64) sim.Duration { return 5 * sim.Nanosecond },
+		ICacheLines: 64,
+	})
+
+	ctx := &cpu.Context{PC: im.Symbols["spin"]}
+	ctx.SetReg(isa.A1, ^uint64(0))
+	core.SetContext(ctx)
+	return &benchRig{env: env, core: core, ctx: ctx}
+}
+
+// benchCoreStep measures steady-state Step wall-clock for one ISA.
+func benchCoreStep(b *testing.B, is isa.ISA) {
+	rig := buildBenchRig(b, is)
+	var stepErr error
+	rig.env.Spawn("bench", func(p *sim.Proc) {
+		// Warm the TLB, I-cache, and predecode cache out of the timed
+		// region, then measure the steady state.
+		for i := 0; i < 64 && stepErr == nil; i++ {
+			stepErr = rig.core.Step(p)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N && stepErr == nil; i++ {
+			stepErr = rig.core.Step(p)
+		}
+		b.StopTimer()
+	})
+	rig.env.Run()
+	if stepErr != nil {
+		b.Fatal(stepErr)
+	}
+}
+
+func BenchmarkCoreStep(b *testing.B) {
+	b.Run("host", func(b *testing.B) { benchCoreStep(b, isa.ISAHost) })
+	b.Run("nxp", func(b *testing.B) { benchCoreStep(b, isa.ISANxP) })
+	b.Run("dsp", func(b *testing.B) { benchCoreStep(b, isa.ISADsp) })
+}
+
+// TestStepZeroAllocs pins the tentpole's allocation contract: the
+// steady-state Step path — predecode hit, MRU translation, in-place
+// sleep — must not allocate at all.
+func TestStepZeroAllocs(t *testing.T) {
+	if sim.FastPathsDisabled() {
+		t.Skip("FLICKSIM_NOPREDECODE set: slow path makes no allocation promise")
+	}
+	for _, is := range []isa.ISA{isa.ISAHost, isa.ISANxP, isa.ISADsp} {
+		rig := buildBenchRig(t, is)
+		var stepErr error
+		avg := -1.0
+		rig.env.Spawn("alloc", func(p *sim.Proc) {
+			for i := 0; i < 64 && stepErr == nil; i++ {
+				stepErr = rig.core.Step(p)
+			}
+			if stepErr != nil {
+				return
+			}
+			avg = testing.AllocsPerRun(200, func() {
+				if err := rig.core.Step(p); err != nil {
+					stepErr = err
+				}
+			})
+		})
+		rig.env.Run()
+		if stepErr != nil {
+			t.Fatalf("%v: step: %v", is, stepErr)
+		}
+		if avg != 0 {
+			t.Errorf("%v: %v allocs per steady-state Step, want 0", is, avg)
+		}
+	}
+}
+
+// TestBenchRigUsesPredecode guards the benchmark's premise: the warmed
+// rig must actually be hitting the predecode cache, otherwise the
+// numbers in BENCH_hotloop.json measure the wrong path.
+func TestBenchRigUsesPredecode(t *testing.T) {
+	if sim.FastPathsDisabled() {
+		t.Skip("FLICKSIM_NOPREDECODE set")
+	}
+	rig := buildBenchRig(t, isa.ISAHost)
+	var stepErr error
+	rig.env.Spawn("probe", func(p *sim.Proc) {
+		for i := 0; i < 100 && stepErr == nil; i++ {
+			stepErr = rig.core.Step(p)
+		}
+	})
+	rig.env.Run()
+	if stepErr != nil {
+		t.Fatal(stepErr)
+	}
+	hits, fills, _ := rig.core.PredecodeStats()
+	if fills == 0 || hits < 90 {
+		t.Errorf("predecode hits=%d fills=%d; benchmark would not measure the fast path", hits, fills)
+	}
+}

@@ -79,6 +79,10 @@ type Config struct {
 	// set) at the current PC — the fault-injection hook for exercising
 	// stale-TLB recovery paths.
 	SpuriousFault func() bool
+	// NoPredecode disables the predecode cache for this core. The
+	// FLICKSIM_NOPREDECODE environment variable disables it process-wide
+	// (see docs/PERFORMANCE.md); results are byte-identical either way.
+	NoPredecode bool
 }
 
 // Core is one simulated processor. It executes whatever Context is
@@ -87,9 +91,14 @@ type Core struct {
 	cfg    Config
 	codec  isa.Codec
 	icache *icache
+	pd     *predecode // nil when disabled (Config.NoPredecode / escape hatch)
 
 	ctx    *Context
 	halted bool
+
+	// fetchBuf backs the residual slow fetch path so fetchBytes allocates
+	// nothing; 16 bytes covers every codec's MaxLen.
+	fetchBuf [16]byte
 
 	instret uint64
 	cycles  uint64
@@ -123,6 +132,9 @@ func New(cfg Config) *Core {
 	c := &Core{cfg: cfg, codec: isa.CodecFor(cfg.ISA)}
 	if cfg.ICacheLines > 0 {
 		c.icache = newICache(cfg.ICacheLines)
+	}
+	if !cfg.NoPredecode && !sim.FastPathsDisabled() {
+		c.pd = newPredecode(c.codec)
 	}
 	return c
 }
@@ -169,11 +181,33 @@ func (c *Core) SetFaultHandler(h FaultHandler) { c.cfg.Fault = h }
 func (c *Core) SetSysHandler(h SysHandler) { c.cfg.Sys = h }
 
 // InvalidateICache drops all cached instruction lines (used by the loader
-// after writing code pages).
+// after writing code pages) and, with them, the predecode cache.
 func (c *Core) InvalidateICache() {
 	if c.icache != nil {
 		c.icache.flush()
 	}
+	c.InvalidatePredecode()
+}
+
+// InvalidatePredecode drops every predecoded instruction. Content changes
+// are caught automatically by the code-generation watch; this explicit
+// hook exists for the events that deserve a conservative drop regardless
+// — I-cache invalidation and TLB shootdown fan-out.
+func (c *Core) InvalidatePredecode() {
+	if c.pd != nil {
+		c.pd.flush()
+	}
+}
+
+// PredecodeStats reports the predecode cache's lifetime hit/fill/flush
+// counts (zeros when disabled). Test-only visibility: deliberately not
+// registered as metrics so the metrics JSON stays identical with the
+// cache on or off.
+func (c *Core) PredecodeStats() (hits, fills, flushes uint64) {
+	if c.pd == nil {
+		return 0, 0, 0
+	}
+	return c.pd.hits, c.pd.fills, c.pd.flushes
 }
 
 // ErrHalted is returned by Run/Call when the thread executes `halt`.
@@ -229,28 +263,41 @@ func (c *Core) fetch(p *sim.Proc) (uint64, *Fault) {
 }
 
 // fetchBytes reads up to MaxLen instruction bytes at the PC, following the
-// translation across a page boundary if the encoding straddles one.
+// translation across a page boundary if the encoding straddles one. The
+// returned slice aliases either the backing store directly (contiguous
+// RAM/ROM, no copy) or the core's reusable fetch buffer; either way it is
+// only valid until the next fetch and allocates nothing.
 func (c *Core) fetchBytes(p *sim.Proc, phys uint64) ([]byte, *Fault) {
 	pc := c.ctx.PC
 	max := uint64(c.codec.MaxLen())
-	buf := make([]byte, 0, max)
 
 	pageRemain := paging.PageSize4K - (pc & (paging.PageSize4K - 1))
 	first := min(max, pageRemain)
-	b := make([]byte, first)
+	if first == max {
+		// Whole encoding on one page: serve it straight out of the backing
+		// store when the range is contiguous materialized RAM/ROM.
+		if v, _, ok := c.cfg.Phys.View(phys, max); ok {
+			return v, nil
+		}
+	}
+	// Reuse the core's fetch buffer, cleared first so short MMIO reads
+	// observe the zeros a fresh allocation would have provided.
+	b := c.fetchBuf[:first]
+	clear(b)
 	if err := c.cfg.Phys.Read(phys, b); err != nil {
 		return nil, &Fault{Kind: FaultMachineCheck, ISA: c.cfg.ISA, VA: pc, PC: pc, Err: err}
 	}
-	buf = append(buf, b...)
-	if uint64(len(buf)) < max {
+	buf := c.fetchBuf[:first]
+	if first < max {
 		// The encoding may continue on the next page; translate it
 		// separately (it can map anywhere). A failed translation here is
 		// only fatal if the decoder actually needs the extra bytes, so
 		// swallow errors and let Decode judge.
 		if r, err := c.cfg.IMMU.Translate(p, pc+first); err == nil && c.execOK(r.Flags) {
-			rest := make([]byte, max-first)
+			rest := c.fetchBuf[first:max]
+			clear(rest)
 			if err := c.cfg.Phys.Read(r.Phys, rest); err == nil {
-				buf = append(buf, rest...)
+				buf = c.fetchBuf[:max]
 			}
 		}
 	}
@@ -280,6 +327,14 @@ func (c *Core) Step(p *sim.Proc) error {
 	}
 	phys, f := c.fetch(p)
 	if f == nil {
+		// Predecode fast path: fetch above already charged translation and
+		// I-cache costs and re-checked permissions, so a hit skips only
+		// the (architecturally free) byte read and decode.
+		if c.pd != nil {
+			if ins, n, ok := c.pd.lookup(phys, c.ctx.PC); ok {
+				return c.execute(p, ins, n)
+			}
+		}
 		var bytes []byte
 		bytes, f = c.fetchBytes(p, phys)
 		if f == nil {
@@ -287,6 +342,9 @@ func (c *Core) Step(p *sim.Proc) error {
 			if err != nil {
 				f = &Fault{Kind: FaultIllegalInstr, ISA: c.cfg.ISA, VA: c.ctx.PC, PC: c.ctx.PC, Err: err}
 			} else {
+				if c.pd != nil {
+					c.pd.fill(c.cfg.Phys, phys, c.ctx.PC, ins, n)
+				}
 				return c.execute(p, ins, n)
 			}
 		}

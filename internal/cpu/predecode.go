@@ -1,0 +1,145 @@
+package cpu
+
+import (
+	"flick/internal/isa"
+	"flick/internal/mem"
+	"flick/internal/paging"
+)
+
+// pdEntries sizes the direct-mapped predecode cache. 4096 slots cover far
+// more code than any workload in the repo while keeping a full flush (a
+// rare, self-modifying-code event) a sub-microsecond clear.
+const pdEntries = 4096
+
+// pdEntry caches one decoded instruction, tagged by the physical address
+// of its first byte.
+type pdEntry struct {
+	pa    uint64
+	ins   isa.Instr
+	n     uint8
+	valid bool
+}
+
+// pdSrc snapshots the code generation of one backing store the cache
+// decoded from. Every write path into a Sparse store (bus, DMA, loader
+// backdoor) bumps its generation when it touches a watched code frame, so
+// comparing generations before each hit proves no cached byte changed.
+type pdSrc struct {
+	store *mem.Sparse
+	gen   uint64
+}
+
+// predecode is a per-core, physically-tagged cache from instruction
+// physical address to its decoded form, skipping fetchBytes+Decode on
+// repeat execution. Decode is architecturally free in this model (only
+// FetchCost/walks cost virtual time, and those are still charged by
+// fetch), so hits change wall-clock only — virtual time, metrics, and
+// traces stay byte-identical to the slow path. To guarantee that, an
+// instruction is cached only when the slow path for it is free of side
+// effects the hit would skip:
+//
+//   - it must not lie within MaxLen of its page end (fetchBytes would
+//     issue a second, metric-visible Translate for the straddle bytes);
+//   - its bytes must come from RAM/ROM, not MMIO (device reads have
+//     arbitrary side effects and unstable contents).
+//
+// Invalidation is content-based: fills watch the instruction's frames in
+// the backing store, and every lookup revalidates the stores' code
+// generations, flushing on any change. InvalidateICache, TLB shootdown
+// fan-out, and the FLICKSIM_NOPREDECODE escape hatch drop or disable the
+// cache on top of that.
+type predecode struct {
+	entries [pdEntries]pdEntry
+	shift   uint   // log2 of the codec's instruction alignment
+	maxLen  uint64 // codec MaxLen: both the index spread and the straddle bound
+	srcs    []pdSrc
+
+	hits, fills, flushes uint64
+}
+
+// log2 of a power-of-two alignment (1, 4, 8 in the shipped codecs).
+func alignShift(align int) uint {
+	s := uint(0)
+	for 1<<(s+1) <= align {
+		s++
+	}
+	return s
+}
+
+func newPredecode(codec isa.Codec) *predecode {
+	return &predecode{
+		shift:  alignShift(codec.Align()),
+		maxLen: uint64(codec.MaxLen()),
+	}
+}
+
+func (d *predecode) index(pa uint64) uint64 {
+	return (pa >> d.shift) & (pdEntries - 1)
+}
+
+// cacheable reports whether the slow path for pc performs only the
+// single-page read the hit path replaces: within MaxLen of the page end,
+// fetchBytes issues an extra Translate whose metrics a hit would skip.
+func (d *predecode) cacheable(pc uint64) bool {
+	return pc&(paging.PageSize4K-1)+d.maxLen <= paging.PageSize4K
+}
+
+// lookup returns the cached decode for the instruction at physical
+// address pa (virtual pc), after revalidating every backing store's code
+// generation. Any generation mismatch flushes the whole cache — stale
+// decode after a code write is the one failure mode this cache must
+// never exhibit, and code writes are rare enough that over-invalidation
+// is free.
+func (d *predecode) lookup(pa, pc uint64) (isa.Instr, int, bool) {
+	for i := range d.srcs {
+		if d.srcs[i].store.CodeGen() != d.srcs[i].gen {
+			d.flush()
+			return isa.Instr{}, 0, false
+		}
+	}
+	if !d.cacheable(pc) {
+		return isa.Instr{}, 0, false
+	}
+	e := &d.entries[d.index(pa)]
+	if !e.valid || e.pa != pa {
+		return isa.Instr{}, 0, false
+	}
+	d.hits++
+	return e.ins, int(e.n), true
+}
+
+// fill caches a freshly decoded instruction and arms write-watching on
+// the frames its bytes came from. MMIO-backed or page-straddling
+// instructions are never cached (see the type comment).
+func (d *predecode) fill(as *mem.AddressSpace, pa, pc uint64, ins isa.Instr, n int) {
+	if !d.cacheable(pc) {
+		return
+	}
+	st, ok := as.WatchCode(pa, uint64(n))
+	if !ok {
+		return
+	}
+	d.addSrc(st)
+	d.entries[d.index(pa)] = pdEntry{pa: pa, ins: ins, n: uint8(n), valid: true}
+	d.fills++
+}
+
+// addSrc registers a backing store, snapshotting its current generation.
+// The list stays tiny (one store backs all of a core's code in every
+// shipped platform), so a linear scan beats a map here.
+func (d *predecode) addSrc(st *mem.Sparse) {
+	for i := range d.srcs {
+		if d.srcs[i].store == st {
+			return
+		}
+	}
+	d.srcs = append(d.srcs, pdSrc{store: st, gen: st.CodeGen()})
+}
+
+// flush drops every entry and forgets the watched stores (fills re-add
+// them with fresh generation snapshots).
+func (d *predecode) flush() {
+	clear(d.entries[:])
+	d.srcs = d.srcs[:0]
+	d.flushes++
+}

@@ -1,0 +1,266 @@
+package cpu_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"flick/internal/asm"
+	"flick/internal/cpu"
+	"flick/internal/isa"
+	"flick/internal/mem"
+	"flick/internal/mmu"
+	"flick/internal/multibin"
+	"flick/internal/paging"
+	"flick/internal/pcie"
+	"flick/internal/sim"
+	"flick/internal/tlb"
+)
+
+// smcSrc pairs two same-shape host functions so self-modifying-code tests
+// can overwrite f with g's bytes and observe which version executes: a
+// stale predecode entry keeps returning 1 where fresh decode returns 2.
+const smcSrc = `
+.func main isa=host
+    halt
+.endfunc
+.func f isa=host
+    movi a0, 1
+    halt
+.endfunc
+.func g isa=host
+    movi a0, 2
+    halt
+.endfunc
+`
+
+// smcPatch returns f's VA and the bytes of g, sized by the symbol gap.
+func smcPatch(t *testing.T, m *machine) (fVA uint64, patch []byte) {
+	t.Helper()
+	fVA, gVA := m.image.Symbols["f"], m.image.Symbols["g"]
+	if gVA <= fVA {
+		t.Fatalf("expected g (%#x) after f (%#x) in text", gVA, fVA)
+	}
+	patch = make([]byte, gVA-fVA)
+	// Identity loading puts each segment's bytes at PA == VA.
+	if err := m.phys.Read(gVA, patch); err != nil {
+		t.Fatal(err)
+	}
+	return fVA, patch
+}
+
+// smcRun executes f on the host core from within p and returns a0.
+func smcRun(m *machine, p *sim.Proc, fVA uint64) (uint64, error) {
+	ctx := &cpu.Context{PC: fVA}
+	ctx.SetReg(isa.SP, stackTop)
+	m.host.SetContext(ctx)
+	if err := m.host.Run(p, 1000); !errors.Is(err, cpu.ErrHalted) {
+		return 0, fmt.Errorf("run: %v", err)
+	}
+	return ctx.Reg(isa.A0), nil
+}
+
+// TestPredecodeInvalidatedByLoaderWrite overwrites live code through the
+// physical address space — the kernel loader's path — and checks the next
+// execution decodes the new bytes. The predecode cache must notice via
+// the code-generation watch; no one calls InvalidateICache here.
+func TestPredecodeInvalidatedByLoaderWrite(t *testing.T) {
+	m := buildMachine(t, smcSrc)
+	fVA, patch := smcPatch(t, m)
+
+	var got [3]uint64
+	var runErr error
+	m.env.Spawn("smc", func(p *sim.Proc) {
+		for i := 0; i < 2; i++ { // second run executes from the warm cache
+			if got[i], runErr = smcRun(m, p, fVA); runErr != nil {
+				return
+			}
+		}
+		if runErr = m.phys.Write(fVA, patch); runErr != nil {
+			return
+		}
+		got[2], runErr = smcRun(m, p, fVA)
+	})
+	m.env.Run()
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if got[0] != 1 || got[1] != 1 {
+		t.Fatalf("f returned %d then %d before the write, want 1", got[0], got[1])
+	}
+	if got[2] != 2 {
+		t.Errorf("f returned %d after the loader write, want 2 (stale predecode)", got[2])
+	}
+	if !sim.FastPathsDisabled() {
+		hits, fills, flushes := m.host.PredecodeStats()
+		if fills == 0 || hits == 0 {
+			t.Errorf("predecode hits=%d fills=%d: the test never exercised the cache", hits, fills)
+		}
+		if flushes == 0 {
+			t.Error("code write did not flush the predecode cache")
+		}
+	}
+}
+
+// TestPredecodeInvalidatedByDMAWrite is the same self-modification driven
+// by a DMA engine instead of the loader: the burst lands through the
+// destination address space's write path, so the code watch must fire.
+func TestPredecodeInvalidatedByDMAWrite(t *testing.T) {
+	m := buildMachine(t, smcSrc)
+	fVA, patch := smcPatch(t, m)
+	gVA := m.image.Symbols["g"]
+	eng := pcie.NewEngine(m.env, pcie.LinkParams{
+		Propagation: 100 * sim.Nanosecond, PerByte: sim.Nanosecond,
+	}, 50*sim.Nanosecond)
+
+	var before, after uint64
+	var runErr error
+	m.env.Spawn("smc", func(p *sim.Proc) {
+		if before, runErr = smcRun(m, p, fVA); runErr != nil {
+			return
+		}
+		done := false
+		eng.Submit(pcie.Request{
+			SrcSpace: m.phys, Src: gVA,
+			DstSpace: m.phys, Dst: fVA,
+			Size: len(patch), Tag: "smc",
+			OnDone: func(at sim.Time, ok bool) { done = ok },
+		})
+		for i := 0; !done && i < 1000; i++ {
+			p.Sleep(sim.Microsecond)
+		}
+		if !done {
+			runErr = fmt.Errorf("dma transfer never completed")
+			return
+		}
+		after, runErr = smcRun(m, p, fVA)
+	})
+	m.env.Run()
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if before != 1 {
+		t.Fatalf("f returned %d before the DMA write, want 1", before)
+	}
+	if after != 2 {
+		t.Errorf("f returned %d after the DMA write, want 2 (stale predecode)", after)
+	}
+	if !sim.FastPathsDisabled() {
+		if _, _, flushes := m.host.PredecodeStats(); flushes == 0 {
+			t.Error("DMA code write did not flush the predecode cache")
+		}
+	}
+}
+
+// TestPredecodePhysicallyTaggedAcrossSetTables switches page tables so
+// the same virtual PC maps to a different physical page holding different
+// code. A virtually-tagged cache would need an explicit flush on context
+// switch; the physical tags must make the new bytes execute with no flush
+// at all.
+func TestPredecodePhysicallyTaggedAcrossSetTables(t *testing.T) {
+	obj, err := asm.Assemble("smc.fasm", smcSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := multibin.Link(multibin.LinkConfig{}, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	env := sim.NewEnv()
+	phys := mem.NewAddressSpace("host")
+	ram := mem.NewRAM("dram", 64<<20)
+	if err := phys.Map(0, ram); err != nil {
+		t.Fatal(err)
+	}
+	newTables := func(lo, hi uint64) *paging.Tables {
+		alloc, err := paging.NewFrameAlloc(lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb, err := paging.New(phys, alloc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tb
+	}
+	tables1 := newTables(1<<20, 8<<20)
+	for _, seg := range im.Segments {
+		ram.Store().WriteAt(seg.VA, seg.Bytes)
+		n := (uint64(len(seg.Bytes)) + paging.PageSize4K - 1) &^ (paging.PageSize4K - 1)
+		if err := tables1.MapRange(seg.VA, seg.VA, n, paging.PageSize4K, paging.Flags{User: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	fVA, gVA := im.Symbols["f"], im.Symbols["g"]
+	if gVA <= fVA {
+		t.Fatalf("expected g (%#x) after f (%#x) in text", gVA, fVA)
+	}
+	// Plant g's bytes in a distant physical page at f's page offset, and
+	// build a second table set mapping f's virtual page there.
+	const altPage = uint64(32 << 20)
+	patch := make([]byte, gVA-fVA)
+	if err := phys.Read(gVA, patch); err != nil {
+		t.Fatal(err)
+	}
+	if err := phys.Write(altPage+(fVA&(paging.PageSize4K-1)), patch); err != nil {
+		t.Fatal(err)
+	}
+	fPage := fVA &^ (paging.PageSize4K - 1)
+	tables2 := newTables(8<<20, 16<<20)
+	if err := tables2.MapRange(fPage, altPage, paging.PageSize4K, paging.PageSize4K, paging.Flags{User: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	mkMMU := func(name string) *mmu.MMU {
+		return mmu.New(name, tlb.New(name, 64), tables1,
+			func(uint64) sim.Duration { return 10 * sim.Nanosecond }, 0)
+	}
+	immu, dmmu := mkMMU("smc-itlb"), mkMMU("smc-dtlb")
+	core := cpu.New(cpu.Config{
+		Name: "smc0", ISA: isa.ISAHost,
+		IMMU: immu, DMMU: dmmu,
+		Phys: phys, CycleTime: sim.Nanosecond,
+	})
+
+	var got [3]uint64
+	var runErr error
+	run := func(p *sim.Proc, i int) bool {
+		ctx := &cpu.Context{PC: fVA}
+		core.SetContext(ctx)
+		if err := core.Run(p, 1000); !errors.Is(err, cpu.ErrHalted) {
+			runErr = fmt.Errorf("run %d: %v", i, err)
+			return false
+		}
+		got[i] = ctx.Reg(isa.A0)
+		return true
+	}
+	env.Spawn("smc", func(p *sim.Proc) {
+		if !run(p, 0) || !run(p, 1) { // warm the cache under tables1
+			return
+		}
+		immu.SetTables(tables2) // context switch; no explicit invalidation
+		dmmu.SetTables(tables2)
+		run(p, 2)
+	})
+	env.Run()
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if got[0] != 1 || got[1] != 1 {
+		t.Fatalf("f returned %d then %d under tables1, want 1", got[0], got[1])
+	}
+	if got[2] != 2 {
+		t.Errorf("f returned %d under tables2, want 2 (predecode served a stale virtual mapping)", got[2])
+	}
+	if !sim.FastPathsDisabled() {
+		hits, fills, flushes := core.PredecodeStats()
+		if fills == 0 || hits == 0 {
+			t.Errorf("predecode hits=%d fills=%d: the test never exercised the cache", hits, fills)
+		}
+		if flushes != 0 {
+			t.Errorf("%d predecode flushes across SetTables; physical tagging should need none", flushes)
+		}
+	}
+}

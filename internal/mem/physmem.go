@@ -204,6 +204,39 @@ func (as *AddressSpace) Write(addr uint64, buf []byte) error {
 	return nil
 }
 
+// View returns a slice aliasing [addr, addr+n) for RAM/ROM-backed
+// ranges that lie within one materialized allocation granule, avoiding a
+// copy. MMIO, unmaterialized (all-zero) ranges, region-crossing and
+// granule-straddling ranges return false, directing the caller to the
+// copying Read/Write path. Writes through the view bypass bus
+// accounting and ROM protection and must be followed by
+// Sparse.NoteCodeWrite; the store it aliases is returned so callers can
+// do that.
+func (as *AddressSpace) View(addr, n uint64) ([]byte, *Sparse, bool) {
+	r, off, err := as.Lookup(addr)
+	if err != nil || r.Kind == MMIO || off+n > r.size {
+		return nil, nil, false
+	}
+	b, ok := r.store.View(off, n)
+	if !ok {
+		return nil, nil, false
+	}
+	return b, r.store, true
+}
+
+// WatchCode marks [addr, addr+n) as holding decoded code in its backing
+// store (see Sparse.WatchCode) and returns that store, so the caller can
+// snapshot and revalidate its CodeGen. MMIO and unmapped ranges return
+// false: device-backed code cannot be watched and must not be cached.
+func (as *AddressSpace) WatchCode(addr, n uint64) (*Sparse, bool) {
+	r, off, err := as.Lookup(addr)
+	if err != nil || r.Kind == MMIO || off+n > r.size {
+		return nil, false
+	}
+	r.store.WatchCode(off, n)
+	return r.store, true
+}
+
 // ReadU64 reads a little-endian 64-bit word.
 func (as *AddressSpace) ReadU64(addr uint64) (uint64, error) {
 	var b [8]byte

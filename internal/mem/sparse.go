@@ -15,11 +15,24 @@ import "fmt"
 const chunkBits = 16
 const chunkSize = 1 << chunkBits
 
+// frameBits selects the code-watch granule (4 KiB, one page frame).
+const frameBits = 12
+
 // Sparse is a sparsely-allocated byte store of a fixed logical size.
 // The zero value is not usable; create one with NewSparse.
 type Sparse struct {
 	size   uint64
 	chunks map[uint64][]byte
+
+	// Code-watch support for the CPU predecode cache. WatchCode marks the
+	// 4 KiB frames an instruction was decoded from; any write landing on a
+	// watched frame bumps codeGen. Every write path — bus writes, DMA, and
+	// the Region.Store() loader backdoor — funnels through WriteAt, so a
+	// predecode cache that snapshots CodeGen at fill time and revalidates
+	// it before reuse can never serve stale bytes. The bitmap is lazily
+	// allocated: stores that never back code pay one nil check per write.
+	watchBits []uint64
+	codeGen   uint64
 }
 
 // NewSparse creates a sparse store holding size bytes, all initially zero.
@@ -74,6 +87,7 @@ func (s *Sparse) WriteAt(off uint64, buf []byte) {
 	if off+uint64(len(buf)) > s.size {
 		panic(fmt.Sprintf("mem: sparse write [%#x,+%d) beyond size %#x", off, len(buf), s.size))
 	}
+	s.NoteCodeWrite(off, uint64(len(buf)))
 	for len(buf) > 0 {
 		inChunk := off & (chunkSize - 1)
 		n := chunkSize - inChunk
@@ -85,4 +99,61 @@ func (s *Sparse) WriteAt(off uint64, buf []byte) {
 		buf = buf[n:]
 		off += n
 	}
+}
+
+// WatchCode marks the frames covering [off, off+n) as holding decoded
+// code, so future writes there bump the code generation.
+func (s *Sparse) WatchCode(off, n uint64) {
+	if n == 0 {
+		return
+	}
+	if s.watchBits == nil {
+		frames := (s.size + (1 << frameBits) - 1) >> frameBits
+		s.watchBits = make([]uint64, (frames+63)/64)
+	}
+	for f := off >> frameBits; f <= (off + n - 1) >> frameBits; f++ {
+		s.watchBits[f/64] |= 1 << (f % 64)
+	}
+}
+
+// CodeGen returns the store's code generation: it changes whenever a
+// write touches a frame previously marked by WatchCode.
+func (s *Sparse) CodeGen() uint64 { return s.codeGen }
+
+// NoteCodeWrite bumps the code generation if [off, off+n) touches a
+// watched frame. WriteAt calls it on every write; callers that mutate
+// the store through a View (the zero-copy DMA path) must call it
+// themselves. The nil check keeps unwatched stores at one branch per
+// write.
+func (s *Sparse) NoteCodeWrite(off, n uint64) {
+	if s.watchBits == nil || n == 0 {
+		return
+	}
+	for f := off >> frameBits; f <= (off + n - 1) >> frameBits; f++ {
+		if s.watchBits[f/64]&(1<<(f%64)) != 0 {
+			s.codeGen++
+			return
+		}
+	}
+}
+
+// View returns a writable slice aliasing [off, off+n) when the range
+// lies within one materialized allocation granule. Callers that hold a
+// view across writes to the same store observe those writes (it aliases
+// the backing array); the predecode cache therefore revalidates CodeGen
+// instead of holding views. A false return (range straddles granules or
+// is not yet materialized) means the caller must fall back to copying.
+func (s *Sparse) View(off, n uint64) ([]byte, bool) {
+	if off+n > s.size || off+n < off {
+		return nil, false
+	}
+	inChunk := off & (chunkSize - 1)
+	if inChunk+n > chunkSize {
+		return nil, false
+	}
+	c := s.chunkFor(off, false)
+	if c == nil {
+		return nil, false
+	}
+	return c[inChunk : inChunk+n : inChunk+n], true
 }

@@ -32,6 +32,20 @@ type MMU struct {
 	translates uint64
 	walks      uint64
 	walkTime   sim.Duration
+
+	// Last-translation fast path: while the TLB's generation is unchanged,
+	// a repeat translation on the same 4 KiB frame as the previous one is
+	// answered by offsetting the remembered result instead of re-running
+	// Lookup. An unchanged generation proves the real Lookup would be a
+	// statistics-only MRU hit (see tlb.TLB's gen field), so the counters
+	// are kept byte-identical via translates++ and TLB.CountHit. Only
+	// Linear results (uniform remap delta, no holes on the frame) are
+	// remembered. Disabled by FLICKSIM_NOPREDECODE.
+	lastVA  uint64
+	lastRes tlb.Result
+	lastGen uint64
+	lastOK  bool
+	noFast  bool
 }
 
 // Register publishes the MMU's counters into a metrics registry under
@@ -48,13 +62,15 @@ func (m *MMU) Register(reg *sim.Metrics) {
 // kernel switches address spaces by pointing the MMU at another hierarchy,
 // the simulated equivalent of loading CR3/PTBR).
 func New(name string, t *tlb.TLB, tables *paging.Tables, cost WalkReadCost, perMiss sim.Duration) *MMU {
-	return &MMU{Name: name, TLB: t, tables: tables, readCost: cost, perMiss: perMiss}
+	return &MMU{Name: name, TLB: t, tables: tables, readCost: cost, perMiss: perMiss,
+		noFast: sim.FastPathsDisabled()}
 }
 
 // SetTables switches the MMU to a different page-table hierarchy and
 // flushes the TLB, modeling a PTBR load during context switch.
 func (m *MMU) SetTables(t *paging.Tables) {
 	m.tables = t
+	m.lastOK = false
 	m.TLB.Flush()
 }
 
@@ -70,8 +86,22 @@ var ErrNoTables = errors.New("mmu: no page tables loaded")
 // untimed-walk-free; permission checks are the core's job since NX polarity
 // differs between host and NxP.
 func (m *MMU) Translate(p *sim.Proc, va uint64) (tlb.Result, error) {
+	if m.lastOK && va>>12 == m.lastVA>>12 && m.TLB.Gen() == m.lastGen {
+		// Same 4 KiB frame as the previous translation and the TLB hasn't
+		// mutated since: a real Lookup would be an MRU hit whose only
+		// state change is hits++. Replicate the counters and offset the
+		// remembered result (valid because only Linear results are
+		// remembered). Unsigned subtraction wraps correctly for va below
+		// lastVA within the frame.
+		m.translates++
+		m.TLB.CountHit()
+		r := m.lastRes
+		r.Phys += va - m.lastVA
+		return r, nil
+	}
 	m.translates++
 	if r, ok := m.TLB.Lookup(va); ok {
+		m.remember(va, r)
 		return r, nil
 	}
 	if m.tables == nil {
@@ -79,12 +109,13 @@ func (m *MMU) Translate(p *sim.Proc, va uint64) (tlb.Result, error) {
 	}
 	w, err := m.tables.Walk(va)
 	if err != nil {
-		// Even a failing walk costs the reads it performed before
-		// missing; charge the worst case of the miss level.
+		// Even a failing walk costs the reads it performed before missing;
+		// charge them at the addresses the walker actually touched (the
+		// partial trace in w.Reads, one entry per visited level).
 		if nm := (*paging.NotMappedError)(nil); errors.As(err, &nm) && p != nil {
 			p.Sleep(m.perMiss)
-			for i := 0; i <= nm.Level; i++ {
-				p.Sleep(m.readCost(0))
+			for _, pa := range w.Reads {
+				p.Sleep(m.readCost(pa))
 			}
 		}
 		return tlb.Result{}, err
@@ -102,7 +133,20 @@ func (m *MMU) Translate(p *sim.Proc, va uint64) (tlb.Result, error) {
 	}
 	m.walks++
 	m.walkTime += cost
-	return m.TLB.Insert(va, w), nil
+	r := m.TLB.Insert(va, w)
+	m.remember(va, r)
+	return r, nil
+}
+
+// remember arms the last-translation fast path with r, which translated
+// va. Only Linear results qualify; Hit is forced true because a repeat
+// translation of the same frame would hit in the TLB.
+func (m *MMU) remember(va uint64, r tlb.Result) {
+	if m.noFast || !r.Linear {
+		return
+	}
+	r.Hit = true
+	m.lastVA, m.lastRes, m.lastGen, m.lastOK = va, r, m.TLB.Gen(), true
 }
 
 // Probe translates va without charging time or touching statistics or

@@ -10,7 +10,7 @@ import (
 	"flick/internal/tlb"
 )
 
-func newTables(t *testing.T) *paging.Tables {
+func newTables(t testing.TB) *paging.Tables {
 	t.Helper()
 	phys := mem.NewAddressSpace("host")
 	if err := phys.Map(0, mem.NewRAM("dram", 64<<20)); err != nil {

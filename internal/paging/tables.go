@@ -232,8 +232,11 @@ type Walk struct {
 	Reads    []uint64 // physical addresses read during the walk, in order
 }
 
-// Walk translates va. A missing translation returns *NotMappedError (with
-// the partial read trace discarded); physical access errors pass through.
+// Walk translates va. A missing translation returns *NotMappedError
+// together with the partial Walk: Reads holds the entry addresses the
+// walker touched before missing (len(Reads) == Level+1), so callers can
+// charge the reads that actually happened at the addresses where they
+// happened. Physical access errors pass through with an empty Walk.
 func (t *Tables) Walk(va uint64) (Walk, error) {
 	if !Canonical(va) {
 		return Walk{}, fmt.Errorf("paging: non-canonical va %#x", va)
@@ -248,7 +251,7 @@ func (t *Tables) Walk(va uint64) (Walk, error) {
 			return Walk{}, err
 		}
 		if pte&BitPresent == 0 {
-			return Walk{}, &NotMappedError{VA: va, Level: level}
+			return w, &NotMappedError{VA: va, Level: level}
 		}
 		isLeaf := level == 3 || pte&BitPS != 0
 		if isLeaf {

@@ -46,6 +46,7 @@ type Engine struct {
 	space *sim.Cond
 	stats EngineStats
 	inj   *faultinj.Injector
+	buf   []byte // reusable bounce buffer for transfers that cannot be viewed
 
 	mTransferNS *sim.Histogram
 }
@@ -177,12 +178,29 @@ func (e *Engine) run(p *sim.Proc) {
 			}
 			continue
 		}
-		// Data becomes visible at completion time.
-		buf := make([]byte, req.Size)
-		if err := req.SrcSpace.Read(req.Src, buf); err != nil {
-			panic(fmt.Sprintf("pcie: dma read %s: %v", req.Tag, err))
+		// Data becomes visible at completion time. Serve the source
+		// directly out of its backing store when it is contiguous
+		// materialized RAM/ROM, avoiding the bounce-buffer copy; fall back
+		// to a reusable buffer otherwise (MMIO sources, straddling ranges,
+		// or a destination sharing the source's store, where the
+		// snapshot-then-write order matters).
+		src, srcStore, viewOK := req.SrcSpace.View(req.Src, uint64(req.Size))
+		if viewOK {
+			if dr, _, err := req.DstSpace.Lookup(req.Dst); err == nil && dr.Store() == srcStore {
+				viewOK = false
+			}
 		}
-		if err := req.DstSpace.Write(req.Dst, buf); err != nil {
+		if !viewOK {
+			if cap(e.buf) < req.Size {
+				e.buf = make([]byte, req.Size)
+			}
+			src = e.buf[:req.Size]
+			clear(src) // short MMIO reads must observe zeros, as with a fresh buffer
+			if err := req.SrcSpace.Read(req.Src, src); err != nil {
+				panic(fmt.Sprintf("pcie: dma read %s: %v", req.Tag, err))
+			}
+		}
+		if err := req.DstSpace.Write(req.Dst, src); err != nil {
 			panic(fmt.Sprintf("pcie: dma write %s: %v", req.Tag, err))
 		}
 		e.stats.Transfers++

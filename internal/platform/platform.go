@@ -161,9 +161,11 @@ type Board struct {
 }
 
 // coreTLBSet records the TLBs belonging to one core, in build order — the
-// fan-out set a TLB shootdown IPI to that core must flush.
+// fan-out set a TLB shootdown IPI to that core must flush. The core itself
+// rides along so the shootdown can also drop its predecode cache.
 type coreTLBSet struct {
 	name string
+	core *cpu.Core
 	tlbs []*tlb.TLB
 }
 
@@ -390,13 +392,19 @@ func New(params Params) (*Machine, error) {
 func (m *Machine) ShootdownTargets() []kernel.ShootdownTarget {
 	out := make([]kernel.ShootdownTarget, 0, len(m.coreTLBSets))
 	for _, set := range m.coreTLBSets {
-		ts := set.tlbs
+		ts, core := set.tlbs, set.core
 		out = append(out, kernel.ShootdownTarget{
 			Name: set.name,
 			Flush: func(va uint64) {
 				for _, t := range ts {
 					t.FlushPage(va)
 				}
+				// A shootdown means a mapping or its permissions changed;
+				// the predecode cache is physically tagged and re-checked
+				// through the MMU each step, but dropping it here keeps
+				// the invalidation contract conservative (hardware flushes
+				// its decode pipeline on TLB invalidation too).
+				core.InvalidatePredecode()
 			},
 		})
 	}
@@ -442,7 +450,6 @@ func (m *Machine) buildCores() {
 		name := fmt.Sprintf("host%d", i)
 		hITLB := tlb.New(name+"-itlb", p.HostITLB)
 		hDTLB := tlb.New(name+"-dtlb", p.HostDTLB)
-		m.coreTLBSets = append(m.coreTLBSets, coreTLBSet{name: name, tlbs: []*tlb.TLB{hITLB, hDTLB}})
 		m.Hosts = append(m.Hosts, cpu.New(cpu.Config{
 			Name: name, ISA: isa.ISAHost,
 			IMMU:          mmu.New(name+"-immu", hITLB, m.Tables, hostWalk, 0),
@@ -457,6 +464,8 @@ func (m *Machine) buildCores() {
 			Natives:       m.Natives,
 			SpuriousFault: spurious,
 		}))
+		m.coreTLBSets = append(m.coreTLBSets,
+			coreTLBSet{name: name, core: m.Hosts[i], tlbs: []*tlb.TLB{hITLB, hDTLB}})
 	}
 	m.Host = m.Hosts[0]
 
@@ -487,7 +496,8 @@ func (m *Machine) buildCores() {
 		SpuriousFault: spurious,
 	})
 	b0.NxP = m.NxP
-	m.coreTLBSets = append(m.coreTLBSets, coreTLBSet{name: "nxp0", tlbs: []*tlb.TLB{nITLB, nDTLB}})
+	m.coreTLBSets = append(m.coreTLBSets,
+		coreTLBSet{name: "nxp0", core: m.NxP, tlbs: []*tlb.TLB{nITLB, nDTLB}})
 
 	if p.EnableDSP {
 		dspCycle := p.DSPCycle
@@ -513,7 +523,8 @@ func (m *Machine) buildCores() {
 			Natives:       m.Natives,
 			SpuriousFault: spurious,
 		})
-		m.coreTLBSets = append(m.coreTLBSets, coreTLBSet{name: "dsp0", tlbs: []*tlb.TLB{dITLB, dDTLB}})
+		m.coreTLBSets = append(m.coreTLBSets,
+			coreTLBSet{name: "dsp0", core: m.DSP, tlbs: []*tlb.TLB{dITLB, dDTLB}})
 	}
 
 	// NxP cores of the additional boards (board 0, built above, keeps the
@@ -540,7 +551,8 @@ func (m *Machine) buildCores() {
 			Natives:       m.Natives,
 			SpuriousFault: spurious,
 		})
-		m.coreTLBSets = append(m.coreTLBSets, coreTLBSet{name: name, tlbs: []*tlb.TLB{iT, dT}})
+		m.coreTLBSets = append(m.coreTLBSets,
+			coreTLBSet{name: name, core: b.NxP, tlbs: []*tlb.TLB{iT, dT}})
 	}
 }
 

@@ -3,8 +3,19 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"math"
+	"os"
 	"sort"
 )
+
+// FastPathsDisabled reports whether the FLICKSIM_NOPREDECODE escape hatch
+// is set. It disables every wall-clock fast path in the simulator (the
+// in-place Sleep advance here, the predecode cache in internal/cpu, the
+// last-translation cache in internal/mmu) so CI can prove the optimized
+// and unoptimized paths produce byte-identical artifacts. Read at
+// construction time (NewEnv, cpu.New, mmu.New), never per step, so tests
+// can flip it with t.Setenv.
+func FastPathsDisabled() bool { return os.Getenv("FLICKSIM_NOPREDECODE") != "" }
 
 // Env is a discrete-event simulation environment. Processes are spawned
 // with Spawn and advance virtual time with Proc.Sleep, Proc.Wait, and
@@ -22,11 +33,21 @@ type Env struct {
 	procs   []*Proc
 	running int // processes spawned and not yet finished
 
+	// horizon bounds the in-place Sleep fast path: RunUntil sets it to its
+	// deadline so a fast-forwarding process cannot advance the clock past
+	// the point where the event loop must stop. Run resets it to maxTime.
+	horizon Time
+	noFast  bool // FLICKSIM_NOPREDECODE: force every Sleep through the queue
+
 	trace   *Trace
 	metrics *Metrics
 	panicV  any           // re-thrown panic from a process
 	yield   chan yieldMsg // handed a token each time the running process cedes control
 }
+
+// maxTime is the largest representable virtual time, used as the "no
+// deadline" horizon for the Sleep fast path.
+const maxTime = Time(math.MaxInt64)
 
 // EnvOption configures a new environment.
 type EnvOption func(*Env)
@@ -42,7 +63,13 @@ func WithTraceCapacity(capacity int) EnvOption {
 // options the trace has capacity zero (recording off); the metrics
 // registry always exists so components can register unconditionally.
 func NewEnv(opts ...EnvOption) *Env {
-	e := &Env{trace: NewTrace(0), metrics: NewMetrics(), yield: make(chan yieldMsg)}
+	e := &Env{
+		trace:   NewTrace(0),
+		metrics: NewMetrics(),
+		yield:   make(chan yieldMsg),
+		horizon: maxTime,
+		noFast:  FastPathsDisabled(),
+	}
 	for _, opt := range opts {
 		opt(e)
 	}
@@ -270,6 +297,7 @@ func (e *Env) dispatch(ev event) {
 // signal, Run returns anyway (the processes are abandoned); use Deadlocked
 // to inspect that state.
 func (e *Env) Run() Time {
+	e.horizon = maxTime
 	for len(e.queue) > 0 {
 		ev := heap.Pop(&e.queue).(event)
 		e.dispatch(ev)
@@ -280,6 +308,7 @@ func (e *Env) Run() Time {
 // RunUntil processes events with timestamps <= deadline and then stops,
 // setting the clock to the deadline if it ran dry earlier.
 func (e *Env) RunUntil(deadline Time) Time {
+	e.horizon = deadline
 	for len(e.queue) > 0 && e.queue[0].at <= deadline {
 		ev := heap.Pop(&e.queue).(event)
 		e.dispatch(ev)
@@ -341,9 +370,24 @@ func (p *Proc) Sleep(d Duration) {
 	if d < 0 {
 		d = 0
 	}
-	p.env.schedule(p, p.env.now.Add(d))
+	e := p.env
+	t := e.now.Add(d)
+	// Fast path: if no other event can possibly run before t (the queue is
+	// empty, or its earliest event is strictly later — a tie would win on
+	// seq), handing control to the scheduler would immediately hand it
+	// back to this process with the clock at t. Skip the two channel
+	// round-trips and advance the clock in place. Observable behavior —
+	// event order, virtual timestamps, metrics, traces — is identical; a
+	// running process is never in the queue, so nothing else can observe
+	// the intermediate state. The horizon check keeps RunUntil exact: a
+	// sleep crossing the deadline must park in the queue so the loop stops.
+	if !e.noFast && t <= e.horizon && (len(e.queue) == 0 || t < e.queue[0].at) {
+		e.now = t
+		return
+	}
+	e.schedule(p, t)
 	p.state = stateRunnable
-	p.env.yield <- yieldMsg{}
+	e.yield <- yieldMsg{}
 	<-p.resume
 }
 

@@ -71,6 +71,16 @@ type TLB struct {
 
 	hits, misses        uint64
 	flushes, shootdowns uint64
+
+	// gen counts every mutation of the translation function or the LRU
+	// order: Insert, Flush, FlushPage, remap/hole programming, and any
+	// Lookup hit that reorders entries. A Lookup hit on the entry that is
+	// already most-recently-used leaves gen unchanged — its only state
+	// change is hits++, which CountHit replicates. The MMU's
+	// last-translation fast path caches (va page, Result, gen) and is valid
+	// exactly while gen is unchanged, because an unchanged gen proves a
+	// real Lookup would be an MRU hit returning the same Result.
+	gen uint64
 }
 
 // Register publishes the TLB's counters into a metrics registry under
@@ -96,10 +106,10 @@ func New(name string, capacity int) *TLB {
 // SetRemap programs the BAR remap control register bank to a single
 // window. The host driver does this once it learns where the host mapped
 // the board's BARs.
-func (t *TLB) SetRemap(r Remap) { t.remaps = []Remap{r} }
+func (t *TLB) SetRemap(r Remap) { t.remaps = []Remap{r}; t.gen++ }
 
 // AddRemap appends a remap window; the board exposes one per BAR.
-func (t *TLB) AddRemap(r Remap) { t.remaps = append(t.remaps, r) }
+func (t *TLB) AddRemap(r Remap) { t.remaps = append(t.remaps, r); t.gen++ }
 
 // RemapReg returns the first remap register value (zero if none).
 func (t *TLB) RemapReg() Remap {
@@ -120,7 +130,16 @@ func (t *TLB) applyRemap(pa uint64) uint64 {
 }
 
 // AddHole programs a translation bypass window.
-func (t *TLB) AddHole(h Hole) { t.holes = append(t.holes, h) }
+func (t *TLB) AddHole(h Hole) { t.holes = append(t.holes, h); t.gen++ }
+
+// Gen returns the TLB's mutation generation (see the gen field).
+func (t *TLB) Gen() uint64 { return t.gen }
+
+// CountHit records a TLB hit that was satisfied without calling Lookup:
+// the MMU's last-translation fast path proves (via Gen) that a real
+// Lookup would be a statistics-only MRU hit, then calls CountHit so the
+// hit counter stays byte-identical to the slow path.
+func (t *TLB) CountHit() { t.hits++ }
 
 // Result is a successful translation.
 type Result struct {
@@ -128,6 +147,31 @@ type Result struct {
 	Flags    paging.Flags
 	PageSize uint64
 	Hit      bool // satisfied from the TLB (or a hole) without a walk
+
+	// Linear reports that the whole 4 KiB frame around the translated
+	// address maps with one uniform delta: no hole intersects the virtual
+	// frame and the BAR remaps shift both ends of the raw physical frame
+	// equally. Only such results may feed same-page fast paths that add an
+	// offset instead of re-translating. Set by Lookup entry hits and
+	// Insert; hole results and Peek/ResultFor leave it false.
+	Linear bool
+}
+
+// frameLinear reports whether the 4 KiB virtual frame at vaFrame, whose
+// raw (pre-remap) physical frame starts at rawFrame, translates with one
+// uniform offset. Both arguments are 4 KiB-aligned.
+func (t *TLB) frameLinear(vaFrame, rawFrame uint64) bool {
+	for _, h := range t.holes {
+		// Wrap-safe overlap test: any overlap puts one range's start
+		// inside the other.
+		if vaFrame-h.VABase < h.Size || h.VABase-vaFrame < paging.PageSize4K {
+			return false
+		}
+	}
+	if len(t.remaps) == 0 {
+		return true
+	}
+	return t.applyRemap(rawFrame+paging.PageSize4K-1)-t.applyRemap(rawFrame) == paging.PageSize4K-1
 }
 
 // Lookup translates va if a hole or cached entry covers it. The boolean
@@ -147,15 +191,21 @@ func (t *TLB) Lookup(va uint64) (Result, bool) {
 	for i := len(t.entries) - 1; i >= 0; i-- {
 		e := t.entries[i]
 		if e.covers(va) {
-			// Refresh LRU position.
-			copy(t.entries[i:], t.entries[i+1:])
-			t.entries[len(t.entries)-1] = e
+			if i != len(t.entries)-1 {
+				// Refresh LRU position. An MRU hit leaves the order (and
+				// gen) untouched so the fast path survives repeat hits.
+				copy(t.entries[i:], t.entries[i+1:])
+				t.entries[len(t.entries)-1] = e
+				t.gen++
+			}
 			t.hits++
+			raw := e.PhysBase + (va - e.VABase)
 			return Result{
-				Phys:     t.applyRemap(e.PhysBase + (va - e.VABase)),
+				Phys:     t.applyRemap(raw),
 				Flags:    e.Flags,
 				PageSize: e.PageSize,
 				Hit:      true,
+				Linear:   t.frameLinear(va&^(paging.PageSize4K-1), raw&^(paging.PageSize4K-1)),
 			}, true
 		}
 	}
@@ -217,11 +267,14 @@ func (t *TLB) Insert(va uint64, w paging.Walk) Result {
 		t.entries = t.entries[:len(t.entries)-1]
 	}
 	t.entries = append(t.entries, e)
+	t.gen++
+	raw := w.PageBase + (va - e.VABase)
 	return Result{
-		Phys:     t.applyRemap(w.PageBase + (va - e.VABase)),
+		Phys:     t.applyRemap(raw),
 		Flags:    w.Flags,
 		PageSize: w.PageSize,
 		Hit:      false,
+		Linear:   t.frameLinear(va&^(paging.PageSize4K-1), raw&^(paging.PageSize4K-1)),
 	}
 }
 
@@ -231,12 +284,14 @@ func (t *TLB) Insert(va uint64, w paging.Walk) Result {
 func (t *TLB) Flush() {
 	t.entries = t.entries[:0]
 	t.flushes++
+	t.gen++
 }
 
 // FlushPage drops any entry covering va (TLB shootdown after protection
 // changes, e.g. the loader flipping NX bits).
 func (t *TLB) FlushPage(va uint64) {
 	t.shootdowns++
+	t.gen++
 	out := t.entries[:0]
 	for _, e := range t.entries {
 		if !e.covers(va) {
