@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-hotloop cover fuzz clean
+.PHONY: all build vet test race check lint-isa bench bench-hotloop cover fuzz golden clean
 
 all: check
 
@@ -18,7 +18,36 @@ test:
 race:
 	$(GO) test -race ./...
 
-check: build vet race
+check: build vet lint-isa race
+
+# The ISA-registry contract: the execution and toolchain layers (cpu,
+# kernel, multibin, asm) dispatch through isa.Backend and its registry,
+# never on a concrete ISA's identity. Adding an ISA must not touch these
+# packages, so naming one here is a regression. Tests are exempt — they
+# pin concrete encodings on purpose.
+ISA_CONCRETE = isa\.(ISAHost|ISANxP|ISADsp|ISACmp|HostCodec|NxpCodec|DspCodec|CmpCodec|NxpInstrLen|DspInstrLen)
+lint-isa:
+	@bad=$$(grep -nE '$(ISA_CONCRETE)' $$(find internal/cpu internal/kernel internal/multibin internal/asm \
+		-name '*.go' ! -name '*_test.go') /dev/null); \
+	if [ -n "$$bad" ]; then \
+		echo "lint-isa: concrete ISA references in registry-dispatch packages:"; \
+		echo "$$bad"; exit 1; \
+	fi
+	@echo "lint-isa: clean"
+
+# Golden byte-identity gate: the three-ISA artifacts (plain, 3-board
+# scale-out, faulted) must match testdata/golden/ byte for byte.
+golden:
+	$(GO) build -o /tmp/flicksim-golden ./cmd/flicksim
+	@dir=$$(mktemp -d) && cd $$dir && \
+	/tmp/flicksim-golden -quiet -metrics-out fig5a.metrics.json fig5a > fig5a.txt && \
+	/tmp/flicksim-golden -quiet -boards 3 -metrics-out scaleout-b3.metrics.json scaleout > scaleout-b3.txt && \
+	/tmp/flicksim-golden -quiet -faults 'dma.fail=0.05,msi.drop=0.1,dma.dup=0.05' -fault-seed 7 \
+		-metrics-out fault.metrics.json fig5a table4 > fault.txt && \
+	cd - >/dev/null && \
+	for f in fig5a.txt fig5a.metrics.json scaleout-b3.txt scaleout-b3.metrics.json fault.txt fault.metrics.json; do \
+		diff -u testdata/golden/$$f $$dir/$$f || exit 1; \
+	done && rm -rf $$dir && echo "golden: all artifacts byte-identical"
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
@@ -40,6 +69,7 @@ cover:
 fuzz:
 	$(GO) test ./internal/isa -run '^$$' -fuzz FuzzDecode -fuzztime 10s
 	$(GO) test ./internal/isa -run '^$$' -fuzz FuzzEncodeDecodeRoundTrip -fuzztime 10s
+	$(GO) test ./internal/isa -run '^$$' -fuzz FuzzCmpCodec -fuzztime 10s
 	$(GO) test ./internal/asm -run '^$$' -fuzz FuzzAssemble -fuzztime 10s
 	$(GO) test ./internal/kernel -run '^$$' -fuzz FuzzBoardScheduler -fuzztime 10s
 	$(GO) test . -run '^$$' -fuzz FuzzPlacementRouting -fuzztime 10s

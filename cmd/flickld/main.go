@@ -88,11 +88,11 @@ func printImage(im *multibin.Image) {
 	fmt.Println("segments (loader NX marking in brackets):")
 	for _, seg := range im.Segments {
 		nx := "NX=1"
-		if seg.Kind == multibin.SecText && seg.ISA == isa.ISAHost {
+		if seg.Kind == multibin.SecText && isa.IsHost(seg.ISA) {
 			nx = "NX=0"
 		}
 		note := ""
-		if seg.Kind == multibin.SecText && seg.ISA == isa.ISANxP {
+		if seg.Kind == multibin.SecText && !isa.IsHost(seg.ISA) {
 			note = "  (host execution faults here → migration)"
 		}
 		fmt.Printf("  %-12s %v  [%#010x, %#010x)  %6d bytes  [%s]%s\n",

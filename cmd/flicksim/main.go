@@ -29,7 +29,9 @@ import (
 	"time"
 
 	"flick/internal/experiments"
+	"flick/internal/isa"
 	"flick/internal/kernel"
+	"flick/internal/platform"
 	"flick/internal/runner"
 	"flick/internal/stats"
 )
@@ -61,6 +63,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	faultSeed := fs.Int64("fault-seed", 0, "base seed for the fault-injection streams (0 = inherit the workload seed)")
 	boards := fs.Int("boards", 1, "number of NxP boards per simulated machine (see docs/SCALING.md)")
 	boardPolicy := fs.String("board-policy", "", "board placement policy: round-robin, least-loaded, or affinity (default round-robin)")
+	boardISA := fs.String("board-isa", "", "comma-separated board core families, entry i → board i (registered backends; empty entries default to nxp; see docs/ISAS.md)")
+	list := fs.Bool("list", false, "list registered experiments and ISA backends, then exit")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file (see docs/PERFORMANCE.md)")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	fs.Usage = func() {
@@ -70,6 +74,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *list {
+		printList(stdout)
+		return 0
 	}
 	if fs.NArg() == 0 {
 		fs.Usage()
@@ -82,6 +90,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if _, err := kernel.ParseBoardPolicy(*boardPolicy); err != nil {
 		fmt.Fprintf(stderr, "flicksim: -board-policy: %v\n", err)
+		fs.Usage()
+		return 2
+	}
+	boardISAs, err := platform.ParseBoardISAs(*boardISA, *boards)
+	if err != nil {
+		fmt.Fprintf(stderr, "flicksim: -board-isa: %v\n", err)
 		fs.Usage()
 		return 2
 	}
@@ -137,6 +151,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	o.FaultSeed = *faultSeed
 	o.Boards = *boards
 	o.BoardPolicy = *boardPolicy
+	o.BoardISAs = boardISAs
 	if !*quiet {
 		o.Progress = func(e runner.Event) { progress(stderr, e) }
 	}
@@ -209,6 +224,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return 0
+}
+
+// printList reports what this build can simulate: every registry
+// experiment plus the extension runs, and every ISA backend the binary
+// registered (the -board-isa vocabulary).
+func printList(w io.Writer) {
+	fmt.Fprintln(w, "experiments:")
+	for _, id := range experiments.IDs() {
+		fmt.Fprintf(w, "  %s\n", id)
+	}
+	fmt.Fprintln(w, "  scaleout  (multi-board extension; not part of 'all')")
+	fmt.Fprintln(w, "  soak      (robustness gate; not part of 'all')")
+	fmt.Fprintln(w, "isas:")
+	for _, be := range isa.All() {
+		role := "board"
+		if be.Host() {
+			role = "host"
+		}
+		fmt.Fprintf(w, "  %-5s id=%d  %-5s  func-align=%d\n", be.Name(), be.ISA(), role, be.FuncAlign())
+	}
 }
 
 // writeFile creates path and streams one serializer into it.

@@ -266,3 +266,77 @@ func TestBadCPUProfilePathExit1(t *testing.T) {
 		t.Errorf("stderr does not name the flag:\n%s", stderr)
 	}
 }
+
+func TestListPrintsExperimentsAndISAs(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+	}
+	for _, want := range []string{"experiments:", "fig5a", "table4", "scaleout", "soak",
+		"isas:", "host", "nxp", "dsp", "cmp"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("-list output missing %q:\n%s", want, stdout)
+		}
+	}
+	if stderr != "" {
+		t.Errorf("-list wrote to stderr:\n%s", stderr)
+	}
+}
+
+func TestBadBoardISAExit2(t *testing.T) {
+	code, stdout, stderr := runCLI(t, "-quiet", "-board-isa", "riscv", "table3")
+	if code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+	if stdout != "" {
+		t.Errorf("error output leaked to stdout:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, `"riscv"`) || !strings.Contains(stderr, "usage: flicksim") {
+		t.Errorf("stderr missing bad value or usage:\n%s", stderr)
+	}
+	// The valid vocabulary is part of the diagnostic.
+	if !strings.Contains(stderr, "cmp") || !strings.Contains(stderr, "nxp") {
+		t.Errorf("stderr does not list the registered board ISAs:\n%s", stderr)
+	}
+}
+
+func TestTooManyBoardISAsExit2(t *testing.T) {
+	code, _, stderr := runCLI(t, "-quiet", "-boards", "2", "-board-isa", "nxp,nxp,cmp", "table3")
+	if code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "-board-isa") || !strings.Contains(stderr, "usage: flicksim") {
+		t.Errorf("stderr missing flag name or usage:\n%s", stderr)
+	}
+}
+
+// TestHostRejectedAsBoardISA: the host family is not a board family; the
+// flag must reject it rather than build a machine with two hosts.
+func TestHostRejectedAsBoardISA(t *testing.T) {
+	code, _, stderr := runCLI(t, "-quiet", "-board-isa", "host", "table3")
+	if code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, `"host"`) {
+		t.Errorf("stderr = %q", stderr)
+	}
+}
+
+// TestBoardISANxpIsNoOp extends the seed-compatibility gate: spelling out
+// the default board family must not change a single artifact byte.
+func TestBoardISANxpIsNoOp(t *testing.T) {
+	render := func(extra ...string) string {
+		args := append([]string{"-iters", "2", "-quiet"}, extra...)
+		args = append(args, "table3")
+		code, stdout, stderr := runCLI(t, args...)
+		if code != 0 {
+			t.Fatalf("exit = %d, stderr:\n%s", code, stderr)
+		}
+		return stdout
+	}
+	plain := render()
+	spelled := render("-board-isa", "nxp")
+	if plain != spelled {
+		t.Errorf("-board-isa nxp changed the artifact:\n--- plain ---\n%s\n--- spelled ---\n%s", plain, spelled)
+	}
+}

@@ -48,6 +48,10 @@ type Config struct {
 	// BoardPolicy overrides Params.BoardPolicy when non-empty: the kernel's
 	// board-placement policy ("round-robin", "least-loaded", "affinity").
 	BoardPolicy string
+	// BoardISAs overrides Params.BoardISAs when non-nil: each board's core
+	// family by registered backend name (entry i → board i; empty entries
+	// default to "nxp").
+	BoardISAs []string
 	// TraceCapacity enables event tracing when > 0.
 	TraceCapacity int
 	// Obs, when non-nil, configures observability for the run: the trace
@@ -78,6 +82,9 @@ func Build(cfg Config) (*System, error) {
 	}
 	if cfg.BoardPolicy != "" {
 		params.BoardPolicy = cfg.BoardPolicy
+	}
+	if cfg.BoardISAs != nil {
+		params.BoardISAs = cfg.BoardISAs
 	}
 	m, err := platform.New(params)
 	if err != nil {
@@ -111,9 +118,27 @@ func Build(cfg Config) (*System, error) {
 		{"flick_runtime.fasm", core.RuntimeSource},
 		{"flick_stdlib.fasm", core.StdlibSource},
 	}
+	// Extra per-ISA runtime libraries: the DSP's when that core is enabled,
+	// and one for each non-default board family the machine carries.
+	extra := map[string]bool{}
 	if params.EnableDSP {
+		extra["dsp"] = true
+	}
+	for _, name := range params.BoardISAs {
+		if name != "" && name != "nxp" {
+			extra[name] = true
+		}
+	}
+	for _, name := range []string{"dsp", "cmp"} { // deterministic order
+		if !extra[name] {
+			continue
+		}
+		src, ok := core.RuntimeSourceFor(name)
+		if !ok {
+			return nil, fmt.Errorf("flick: no runtime library for board isa %q", name)
+		}
 		runtimeSources = append(runtimeSources,
-			struct{ name, source string }{"flick_runtime_dsp.fasm", core.RuntimeDspSource})
+			struct{ name, source string }{"flick_runtime_" + name + ".fasm", src})
 	}
 	for _, rs := range runtimeSources {
 		obj, err := asm.Assemble(rs.name, rs.source)
@@ -169,7 +194,7 @@ func (s *System) Start(fn string, args ...uint64) (*kernel.Task, error) {
 	if err != nil {
 		return nil, err
 	}
-	if target, ok := s.Image.TextISA(va); !ok || target != isa.ISAHost {
+	if target, ok := s.Image.TextISA(va); !ok || !isa.IsHost(target) {
 		return nil, fmt.Errorf("flick: thread entry %q must be host text", fn)
 	}
 	return s.Kernel.StartThread(fn, va, args...)

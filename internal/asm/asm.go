@@ -68,7 +68,7 @@ type assembler struct {
 	inFunc  bool
 	inData  bool
 	curISA  isa.ISA
-	codec   isa.Codec
+	codec   isa.Backend
 	sec     *multibin.Section
 	symName string
 	symOff  uint64 // offset of the current symbol within sec
@@ -179,16 +179,13 @@ func parseAttrs(line string) (name string, attrs map[string]string, err error) {
 }
 
 func isaFromAttr(v string) (isa.ISA, error) {
-	switch v {
-	case "host", "":
-		return isa.ISAHost, nil
-	case "nxp":
-		return isa.ISANxP, nil
-	case "dsp":
-		return isa.ISADsp, nil
-	default:
-		return 0, fmt.Errorf("unknown isa %q (want host, nxp, or dsp)", v)
+	if v == "" {
+		return isa.HostISA(), nil
 	}
+	if b, ok := isa.ByName(v); ok {
+		return b.ISA(), nil
+	}
+	return 0, fmt.Errorf("unknown isa %q (want %s)", v, strings.Join(isa.Names(), ", "))
 }
 
 func (a *assembler) beginFunc(line string) error {
@@ -205,13 +202,10 @@ func (a *assembler) beginFunc(line string) error {
 	}
 	a.inFunc = true
 	a.curISA = target
-	a.codec = isa.CodecFor(target)
+	a.codec = isa.MustLookup(target)
 	a.sec = a.obj.Section(multibin.SecText, target)
-	// Align the function start to the ISA's instruction alignment.
-	align := uint64(a.codec.Align())
-	if target == isa.ISAHost {
-		align = 16 // conventional host function alignment
-	}
+	// Align the function start to the backend's function alignment.
+	align := uint64(a.codec.FuncAlign())
 	pad := alignUp(uint64(len(a.sec.Bytes)), align) - uint64(len(a.sec.Bytes))
 	a.sec.Bytes = append(a.sec.Bytes, make([]byte, pad)...)
 	a.symName = name
@@ -292,7 +286,7 @@ func (a *assembler) emitSymbolic(ins isa.Instr, symbol string) error {
 // emitLoadAddress expands `la rd, symbol` using the ISA's absolute
 // relocation method.
 func (a *assembler) emitLoadAddress(rd isa.Reg, symbol string) error {
-	if a.curISA == isa.ISAHost {
+	if a.codec.WideImm() {
 		ins := isa.Instr{Op: isa.OpMovi, Rd: rd, Imm: isa.PlaceholderAbs64}
 		instrOff := uint64(len(a.sec.Bytes))
 		immOff, immWidth, err := a.codec.ImmOffset(ins)
@@ -308,7 +302,8 @@ func (a *assembler) emitLoadAddress(rd isa.Reg, symbol string) error {
 		})
 		return nil
 	}
-	// NxP: movi (low 32, sign-extended) then orhi (high 32).
+	// Narrow-immediate ISAs: movi (low 32, sign-extended) then orhi
+	// (high 32).
 	for i, kind := range []multibin.RelocKind{multibin.RelocAbsLo32, multibin.RelocAbsHi32} {
 		op := isa.OpMovi
 		if i == 1 {
@@ -336,7 +331,7 @@ func (a *assembler) emitLoadImm(rd isa.Reg, imm int64) error {
 	if imm >= math.MinInt32 && imm <= math.MaxInt32 {
 		return a.emit(isa.Instr{Op: isa.OpMovi, Rd: rd, Imm: imm})
 	}
-	if a.curISA == isa.ISAHost {
+	if a.codec.WideImm() {
 		return a.emit(isa.Instr{Op: isa.OpMovi, Rd: rd, Imm: imm})
 	}
 	if err := a.emit(isa.Instr{Op: isa.OpMovi, Rd: rd, Imm: int64(int32(uint32(uint64(imm))))}); err != nil {

@@ -29,7 +29,7 @@ func (rt *Runtime) hostHandler(p *sim.Proc, c *cpu.Core) error {
 // (board, ISA) pair a thread touches gets its own.
 func (rt *Runtime) boardStackFor(p *sim.Proc, t *kernel.Task, board int, target uint64) (uint64, error) {
 	is, ok := rt.Prog.Image.TextISA(target)
-	if !ok || is == isa.ISAHost {
+	if !ok || isa.IsHost(is) {
 		return 0, fmt.Errorf("core: migration target %#x is not board text", target)
 	}
 	if t.BoardStacks == nil {
@@ -66,10 +66,12 @@ func (rt *Runtime) pickBoard(t *kernel.Task, target uint64) (board int, pinned b
 			return st.idx, true
 		}
 	}
-	if is == isa.ISADsp {
-		return 0, true // the DSP lives on board 0
+	// An ISA carried by exactly one board (the DSP's fixed home on board 0,
+	// or any -board-isa family present once) dispatches straight there.
+	if home, ok := rt.K.BoardSched().Home(is); ok {
+		return home, true
 	}
-	return rt.K.BoardSched().Pick(t.PID, nil), false
+	return rt.K.BoardSched().Pick(t.PID, is, nil), false
 }
 
 // canFailOver reports whether a failed dispatch may be retried on another
@@ -95,6 +97,7 @@ func canFailOver(err error) bool {
 // transport loss), the call fails over to another board until every board
 // has been tried.
 func (rt *Runtime) executeOnBoard(p *sim.Proc, c *cpu.Core, t *kernel.Task, target uint64) error {
+	is, _ := rt.Prog.Image.TextISA(target)
 	board, pinned := rt.pickBoard(t, target)
 	var exclude map[int]bool
 	for {
@@ -109,10 +112,10 @@ func (rt *Runtime) executeOnBoard(p *sim.Proc, c *cpu.Core, t *kernel.Task, targ
 			exclude = make(map[int]bool)
 		}
 		exclude[board] = true
-		if len(exclude) >= rt.K.BoardSched().NumBoards() {
+		if len(exclude) >= rt.K.BoardSched().CapableBoards(is) {
 			return err
 		}
-		next := rt.K.BoardSched().Pick(t.PID, exclude)
+		next := rt.K.BoardSched().Pick(t.PID, is, exclude)
 		rt.K.RecordFailover(t.PID, board, next)
 		t.Err = nil
 		board = next

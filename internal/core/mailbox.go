@@ -182,8 +182,11 @@ func newMailbox(m *platform.Machine, b *platform.Board, hostStaging, hostArrival
 		mb.mDMARetries = reg.Counter("migration.dma_retries")
 		mb.mDupDrops = reg.Counter("migration.dup_drops")
 	}
-	for _, is := range []isa.ISA{isa.ISANxP, isa.ISADsp} {
-		mb.schedC[is] = m.Env.NewCond("mailbox" + sfx + ".sched." + is.String())
+	for _, be := range isa.All() {
+		if be.Host() {
+			continue
+		}
+		mb.schedC[be.ISA()] = m.Env.NewCond("mailbox" + sfx + ".sched." + be.Name())
 	}
 	mb.regs = mem.NewMMIO("flick-regs"+sfx, 4096, (*mailboxRegs)(nil).bind(mb))
 	if _, err := m.ExposeNxPDevice(mb.regs, b.LocalRegs); err != nil {

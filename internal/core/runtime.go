@@ -109,6 +109,78 @@ ldone:
 .endfunc
 `
 
+// RuntimeCmpSource is the runtime library for the compressed board ISA:
+// its migration handler stub and the cmp variants of the per-ISA routed
+// symbols. Linked whenever a board carries the cmp core family. The
+// handler stub shares the generic board-handler native with the other
+// board ISAs — the runtime keys its state on the faulting core, not the
+// encoding.
+const RuntimeCmpSource = `
+; Flick runtime, compressed-ISA additions.
+.func __flick_cmp_handler isa=cmp
+    native 2
+.endfunc
+
+.func malloc.cmp isa=cmp
+    native 4
+.endfunc
+
+.func memcpy.cmp isa=cmp
+    mov  t5, a0
+mloop:
+    beq  a2, zr, mdone
+    ld1  t0, [a1+0]
+    st1  t0, [a0+0]
+    addi a0, a0, 1
+    addi a1, a1, 1
+    addi a2, a2, -1
+    jmp  mloop
+mdone:
+    mov  a0, t5
+    ret
+.endfunc
+
+.func memset.cmp isa=cmp
+    mov  t5, a0
+sloop:
+    beq  a2, zr, sdone
+    st1  a1, [a0+0]
+    addi a0, a0, 1
+    addi a2, a2, -1
+    jmp  sloop
+sdone:
+    mov  a0, t5
+    ret
+.endfunc
+
+.func strlen.cmp isa=cmp
+    movi t0, 0
+lloop:
+    ld1  t1, [a0+0]
+    beq  t1, zr, ldone
+    addi t0, t0, 1
+    addi a0, a0, 1
+    jmp  lloop
+ldone:
+    mov  a0, t0
+    ret
+.endfunc
+`
+
+// RuntimeSourceFor returns the extra runtime library for a non-default
+// board ISA (by backend name), if one ships. The base RuntimeSource covers
+// host and nxp; builders link the returned source when a board carries the
+// named family.
+func RuntimeSourceFor(name string) (string, bool) {
+	switch name {
+	case "dsp":
+		return RuntimeDspSource, true
+	case "cmp":
+		return RuntimeCmpSource, true
+	}
+	return "", false
+}
+
 // PerISASymbols lists the symbols the linker resolves per referring ISA
 // when building Flick programs: the allocator (§III-D) and the stdlib
 // memory utilities.
@@ -213,28 +285,63 @@ func Activate(m *platform.Machine, prog *kernel.Program) (*Runtime, error) {
 		return nil, fmt.Errorf("core: program not linked with the Flick runtime: %w", err)
 	}
 	rt.board = make(map[*cpu.Core]*boardState)
-	nxpVA, err := prog.SymbolVA("__flick_nxp_handler")
-	if err != nil {
-		return nil, fmt.Errorf("core: program not linked with the Flick runtime: %w", err)
+	// Each board ISA's migration handler stub is the registered-name
+	// convention "__flick_<isa>_handler", linked from that ISA's runtime
+	// library.
+	handlerVAs := make(map[isa.ISA]uint64)
+	handlerVA := func(is isa.ISA) (uint64, error) {
+		if va, ok := handlerVAs[is]; ok {
+			return va, nil
+		}
+		va, err := prog.SymbolVA("__flick_" + is.String() + "_handler")
+		if err != nil {
+			return 0, fmt.Errorf("core: program not linked with the %s runtime: %w", is, err)
+		}
+		handlerVAs[is] = va
+		return va, nil
 	}
-	addState := func(idx int, core *cpu.Core, handlerVA uint64) {
-		st := &boardState{idx: idx, core: core, handlerVA: handlerVA}
+	addState := func(idx int, core *cpu.Core) error {
+		va, err := handlerVA(core.ISA())
+		if err != nil {
+			return err
+		}
+		st := &boardState{idx: idx, core: core, handlerVA: va}
 		rt.board[core] = st
 		rt.states = append(rt.states, st)
+		return nil
 	}
-	addState(0, m.NxP, nxpVA)
-	if hasTextISA(prog, isa.ISADsp) {
-		if m.DSP == nil {
-			return nil, fmt.Errorf("core: image contains .text.dsp but the platform has no DSP core (set Params.EnableDSP)")
+	if err := addState(0, m.NxP); err != nil {
+		return nil, err
+	}
+	if m.DSP != nil && hasTextISA(prog, isa.ISADsp) {
+		if err := addState(0, m.DSP); err != nil {
+			return nil, err
 		}
-		dspVA, err := prog.SymbolVA("__flick_dsp_handler")
-		if err != nil {
-			return nil, fmt.Errorf("core: program not linked with the DSP runtime: %w", err)
-		}
-		addState(0, m.DSP, dspVA)
 	}
 	for _, b := range m.Boards[1:] {
-		addState(b.Index, b.NxP, nxpVA)
+		if err := addState(b.Index, b.NxP); err != nil {
+			return nil, err
+		}
+	}
+	// Every board ISA the image carries text for needs a core of that
+	// family somewhere, or its calls could never execute.
+	for _, be := range isa.All() {
+		if be.Host() || !hasTextISA(prog, be.ISA()) {
+			continue
+		}
+		found := false
+		for _, st := range rt.states {
+			if st.core.ISA() == be.ISA() {
+				found = true
+				break
+			}
+		}
+		if !found {
+			if be.ISA() == isa.ISADsp {
+				return nil, fmt.Errorf("core: image contains .text.dsp but the platform has no DSP core (set Params.EnableDSP)")
+			}
+			return nil, fmt.Errorf("core: image contains .text.%s but no board carries a %s core (set Params.BoardISAs)", be.Name(), be.Name())
+		}
 	}
 
 	route := func(target uint64) (isa.ISA, bool) { return prog.Image.TextISA(target) }
@@ -372,7 +479,7 @@ func (rt *Runtime) boardFault(p *sim.Proc, c *cpu.Core, f *cpu.Fault) error {
 			p.Sleep(rt.Costs.NxPFaultEntry)
 			st.faultAddr = f.VA
 			c.Context().PC = st.handlerVA
-			rt.M.Env.Emit(sim.Event{Comp: c.Name(), Kind: sim.KindFault, Addr: f.VA, Aux: st.handlerVA, Note: "wrong-ISA fetch → board handler"})
+			rt.M.Env.Emit(sim.Event{Comp: c.Name(), Kind: sim.KindFault, Addr: f.VA, Aux: st.handlerVA, Note: f.Kind.String() + " → board handler"})
 			return nil
 		}
 	}

@@ -28,7 +28,7 @@ type benchRig struct {
 // requires a host-text main, so the loop lives in its own function and
 // the harness enters at "spin" directly.
 func benchSrc(is isa.ISA) string {
-	name := map[isa.ISA]string{isa.ISAHost: "host", isa.ISANxP: "nxp", isa.ISADsp: "dsp"}[is]
+	name := is.String()
 	return `
 .func main isa=host
     ret
@@ -72,8 +72,10 @@ func buildBenchRig(tb testing.TB, is isa.ISA) *benchRig {
 		tb.Fatal(err)
 	}
 
+	// NX polarity covers the host and the default board family; any other
+	// backend runs tagged, as it would on a three-plus-ISA platform.
 	tag := uint8(0)
-	if is == isa.ISADsp {
+	if is != isa.ISAHost && is != isa.ISANxP {
 		tag = uint8(is) + 1
 	}
 	for _, seg := range im.Segments {
@@ -133,9 +135,10 @@ func benchCoreStep(b *testing.B, is isa.ISA) {
 }
 
 func BenchmarkCoreStep(b *testing.B) {
-	b.Run("host", func(b *testing.B) { benchCoreStep(b, isa.ISAHost) })
-	b.Run("nxp", func(b *testing.B) { benchCoreStep(b, isa.ISANxP) })
-	b.Run("dsp", func(b *testing.B) { benchCoreStep(b, isa.ISADsp) })
+	for _, be := range isa.All() {
+		be := be
+		b.Run(be.Name(), func(b *testing.B) { benchCoreStep(b, be.ISA()) })
+	}
 }
 
 // TestStepZeroAllocs pins the tentpole's allocation contract: the
@@ -145,7 +148,8 @@ func TestStepZeroAllocs(t *testing.T) {
 	if sim.FastPathsDisabled() {
 		t.Skip("FLICKSIM_NOPREDECODE set: slow path makes no allocation promise")
 	}
-	for _, is := range []isa.ISA{isa.ISAHost, isa.ISANxP, isa.ISADsp} {
+	for _, be := range isa.All() {
+		is := be.ISA()
 		rig := buildBenchRig(t, is)
 		var stepErr error
 		avg := -1.0

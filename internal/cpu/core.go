@@ -89,7 +89,7 @@ type Config struct {
 // installed; the kernel swaps contexts to multiplex threads.
 type Core struct {
 	cfg    Config
-	codec  isa.Codec
+	codec  isa.Backend
 	icache *icache
 	pd     *predecode // nil when disabled (Config.NoPredecode / escape hatch)
 
@@ -129,7 +129,7 @@ func (c *Core) Register(m *sim.Metrics) {
 
 // New builds a core from cfg.
 func New(cfg Config) *Core {
-	c := &Core{cfg: cfg, codec: isa.CodecFor(cfg.ISA)}
+	c := &Core{cfg: cfg, codec: isa.MustLookup(cfg.ISA)}
 	if cfg.ICacheLines > 0 {
 		c.icache = newICache(cfg.ICacheLines)
 	}

@@ -9,23 +9,13 @@ import (
 	"flick/internal/sim"
 )
 
-// opCycles gives per-operation base cycle counts; anything absent costs 1.
-var opCycles = map[isa.Op]int{
-	isa.OpMul:  3,
-	isa.OpMuli: 3,
-	isa.OpUdiv: 16,
-	isa.OpUrem: 16,
-}
-
-// execute runs one decoded instruction. n is its encoded length.
+// execute runs one decoded instruction. n is its encoded length. Cycle
+// pricing is the backend's: isa.BaseStepCycles plus any per-form penalty
+// the encoding charges (e.g. decode expansion of wide compressed forms).
 func (c *Core) execute(p *sim.Proc, ins isa.Instr, n int) error {
 	ctx := c.ctx
 	next := ctx.PC + uint64(n)
-	cyc := opCycles[ins.Op]
-	if cyc == 0 {
-		cyc = 1
-	}
-	c.charge(p, cyc)
+	c.charge(p, c.codec.StepCycles(ins, n))
 	c.instret++
 
 	switch ins.Op {

@@ -12,6 +12,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"strings"
 	"time"
 
 	"flick/internal/baseline"
@@ -68,6 +69,11 @@ type Options struct {
 	// BoardPolicy selects the kernel's board-placement policy
 	// ("round-robin", "least-loaded", "affinity"; empty = round-robin).
 	BoardPolicy string
+	// BoardISAs sets each board's core family by registered backend name
+	// (entry i → board i; empty entries and missing tails default to
+	// "nxp"). Nil leaves machines byte-identical to a build that never
+	// heard of board ISA selection.
+	BoardISAs []string
 
 	// Jobs is the scheduler's worker count: how many independent simulated
 	// machines run concurrently. 0 or 1 runs serially. Virtual-time
@@ -140,6 +146,15 @@ func (o Options) withDefaults() (Options, error) {
 	if _, err := kernel.ParseBoardPolicy(o.BoardPolicy); err != nil {
 		return o, fmt.Errorf("experiments: %w", err)
 	}
+	if o.BoardISAs != nil {
+		boards := o.Boards
+		if boards < 1 {
+			boards = 1
+		}
+		if _, err := platform.ParseBoardISAs(strings.Join(o.BoardISAs, ","), boards); err != nil {
+			return o, fmt.Errorf("experiments: %w", err)
+		}
+	}
 	q := Quick()
 	if o.NullCallIters == 0 {
 		o.NullCallIters = q.NullCallIters
@@ -181,7 +196,7 @@ func (o Options) withDefaults() (Options, error) {
 // from (FaultSeed, position), assigned at graph-construction time, so
 // results are reproducible for any Jobs value.
 func (o Options) machineParams(job uint64) *platform.Params {
-	if o.Faults == "" && o.Boards <= 1 && o.BoardPolicy == "" {
+	if o.Faults == "" && o.Boards <= 1 && o.BoardPolicy == "" && o.BoardISAs == nil {
 		return nil
 	}
 	p := platform.DefaultParams()
@@ -193,6 +208,7 @@ func (o Options) machineParams(job uint64) *platform.Params {
 		p.Boards = o.Boards
 	}
 	p.BoardPolicy = o.BoardPolicy
+	p.BoardISAs = o.BoardISAs
 	return &p
 }
 

@@ -1,0 +1,169 @@
+package isa
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Backend is the full per-ISA contract: the codec (decode/encode/length
+// sniffing, alignment) plus everything the toolchain, loader, and cores
+// need to know about an ISA — its name, section tagging, assembler
+// conventions, and step-cost hook. A new ISA is one file in this package:
+// implement Backend, call Register from init, and every other layer
+// (assembler, linker, loader, cores, runtime, CLI) picks it up through the
+// registry without modification.
+type Backend interface {
+	Codec
+
+	// Name is the ISA's token: the assembler's isa= attribute value, the
+	// CLI's -board-isa name, and the display name in diagnostics.
+	Name() string
+
+	// Host reports whether this is the host family. Exactly one registered
+	// backend is the host; threads always start there.
+	Host() bool
+
+	// SectionSuffix is appended to ".text"/".data" for this ISA's sections
+	// (empty for the host, ".nxp" style otherwise).
+	SectionSuffix() string
+
+	// SectionAlign is the in-object alignment of this ISA's sections.
+	SectionAlign() uint64
+
+	// FuncAlign is the alignment the assembler forces at function entry
+	// (the host uses the conventional 16; fixed-width ISAs their
+	// instruction alignment).
+	FuncAlign() int
+
+	// WideImm reports whether the encoding carries full 64-bit immediates.
+	// It drives the assembler's la/li expansion: wide-immediate ISAs take
+	// one movi with an ABS64 relocation, the rest a movi/orhi pair with
+	// LO32/HI32 relocations.
+	WideImm() bool
+
+	// StepCycles prices one executed instruction in core cycles. encLen is
+	// the instruction's encoded length, so compressed encodings can charge
+	// decode-expansion penalties per form. Most backends return
+	// BaseStepCycles(ins.Op) unchanged.
+	StepCycles(ins Instr, encLen int) int
+}
+
+// BaseStepCycles is the shared per-operation cycle table every shipped
+// backend starts from; anything not listed costs one cycle.
+func BaseStepCycles(op Op) int {
+	switch op {
+	case OpMul, OpMuli:
+		return 3
+	case OpUdiv, OpUrem:
+		return 16
+	}
+	return 1
+}
+
+// backends is the registry, indexed by ISA id. Registration happens in
+// init functions, so the slice is immutable after package initialization.
+var backends []Backend
+
+// Register adds a backend to the registry under its ISA id. It panics on a
+// duplicate id or name — backend identity is load-bearing for section
+// tags, PTE ISA tags, and descriptor routing.
+func Register(b Backend) {
+	id := int(b.ISA())
+	if id < 0 {
+		panic(fmt.Sprintf("isa: register backend with negative id %d", id))
+	}
+	for id >= len(backends) {
+		backends = append(backends, nil)
+	}
+	if backends[id] != nil {
+		panic(fmt.Sprintf("isa: duplicate backend id %d (%s vs %s)", id, backends[id].Name(), b.Name()))
+	}
+	for _, o := range backends {
+		if o != nil && o.Name() == b.Name() {
+			panic(fmt.Sprintf("isa: duplicate backend name %q", b.Name()))
+		}
+	}
+	backends[id] = b
+}
+
+// Lookup returns the backend registered for an ISA id.
+func Lookup(i ISA) (Backend, bool) {
+	if int(i) < 0 || int(i) >= len(backends) || backends[i] == nil {
+		return nil, false
+	}
+	return backends[i], true
+}
+
+// MustLookup is Lookup for ids that must be registered (core construction,
+// loader dispatch); it panics on an unknown ISA.
+func MustLookup(i ISA) Backend {
+	b, ok := Lookup(i)
+	if !ok {
+		panic(fmt.Sprintf("isa: no backend registered for isa(%d)", int(i)))
+	}
+	return b
+}
+
+// ByName resolves a backend by its Name token ("host", "nxp", ...).
+func ByName(name string) (Backend, bool) {
+	for _, b := range backends {
+		if b != nil && b.Name() == name {
+			return b, true
+		}
+	}
+	return nil, false
+}
+
+// All returns every registered backend in ISA-id order.
+func All() []Backend {
+	out := make([]Backend, 0, len(backends))
+	for _, b := range backends {
+		if b != nil {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Names returns the registered backend names in ISA-id order.
+func Names() []string {
+	var out []string
+	for _, b := range All() {
+		out = append(out, b.Name())
+	}
+	return out
+}
+
+// BoardNames returns the non-host backend names in ISA-id order — the
+// valid values of a board's ISA (CLI -board-isa, platform BoardISAs).
+func BoardNames() []string {
+	var out []string
+	for _, b := range All() {
+		if !b.Host() {
+			out = append(out, b.Name())
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HostISA returns the id of the registered host backend.
+func HostISA() ISA {
+	for _, b := range All() {
+		if b.Host() {
+			return b.ISA()
+		}
+	}
+	panic("isa: no host backend registered")
+}
+
+// IsHost reports whether i is the host family — the predicate core
+// packages use instead of naming concrete ISA constants.
+func IsHost(i ISA) bool {
+	b, ok := Lookup(i)
+	return ok && b.Host()
+}
+
+// CodecFor returns the codec for an ISA (registry dispatch; kept as the
+// historical name for the codec half of the backend).
+func CodecFor(i ISA) Codec { return MustLookup(i) }

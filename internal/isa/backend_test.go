@@ -1,0 +1,152 @@
+package isa
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestRegistryShape pins the load-bearing identities: ids order section
+// ranks, feed PTE ISA tags (id+1), and select descriptor reply routing,
+// so the shipped backends must keep their slots.
+func TestRegistryShape(t *testing.T) {
+	want := []struct {
+		id   ISA
+		name string
+		host bool
+	}{
+		{ISAHost, "host", true},
+		{ISANxP, "nxp", false},
+		{ISADsp, "dsp", false},
+		{ISACmp, "cmp", false},
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("All() has %d backends, want %d", len(all), len(want))
+	}
+	for i, w := range want {
+		b := all[i]
+		if b.ISA() != w.id || b.Name() != w.name || b.Host() != w.host {
+			t.Errorf("backend %d = (%d, %q, host=%v), want (%d, %q, host=%v)",
+				i, b.ISA(), b.Name(), b.Host(), w.id, w.name, w.host)
+		}
+		got, ok := Lookup(w.id)
+		if !ok || got != b {
+			t.Errorf("Lookup(%d) = %v, %v", w.id, got, ok)
+		}
+		byName, ok := ByName(w.name)
+		if !ok || byName != b {
+			t.Errorf("ByName(%q) = %v, %v", w.name, byName, ok)
+		}
+		if w.id.String() != w.name {
+			t.Errorf("ISA(%d).String() = %q, want %q", w.id, w.id.String(), w.name)
+		}
+	}
+	if got := Names(); !reflect.DeepEqual(got, []string{"host", "nxp", "dsp", "cmp"}) {
+		t.Errorf("Names() = %v", got)
+	}
+	if got := BoardNames(); !reflect.DeepEqual(got, []string{"cmp", "dsp", "nxp"}) {
+		t.Errorf("BoardNames() = %v (want sorted non-host names)", got)
+	}
+	if HostISA() != ISAHost {
+		t.Errorf("HostISA() = %d", HostISA())
+	}
+	if !IsHost(ISAHost) || IsHost(ISANxP) || IsHost(ISA(99)) {
+		t.Error("IsHost misclassifies")
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, ok := Lookup(ISA(99)); ok {
+		t.Error("Lookup(99) succeeded")
+	}
+	if _, ok := ByName("z80"); ok {
+		t.Error(`ByName("z80") succeeded`)
+	}
+	if got := ISA(99).String(); got != "isa(99)" {
+		t.Errorf("ISA(99).String() = %q", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustLookup(99) did not panic")
+		}
+	}()
+	MustLookup(ISA(99))
+}
+
+// TestRegisterRejectsDuplicates checks both uniqueness axes; Register
+// panics before mutating the registry, so the recovered state is intact.
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	mustPanic := func(name string, b Backend) {
+		t.Helper()
+		defer func() {
+			if r := recover(); r == nil || !strings.Contains(r.(string), "duplicate") {
+				t.Errorf("%s: panic = %v, want duplicate", name, r)
+			}
+		}()
+		Register(b)
+	}
+	mustPanic("same id", CmpCodec{})
+	mustPanic("same name", renamedCmp{})
+	if len(All()) != 4 {
+		t.Fatalf("registry mutated by rejected registration: %v", Names())
+	}
+}
+
+// renamedCmp collides with nxp by name but not by id.
+type renamedCmp struct{ CmpCodec }
+
+func (renamedCmp) ISA() ISA     { return ISA(7) }
+func (renamedCmp) Name() string { return "nxp" }
+
+// TestSectionContract pins the per-backend section and assembler
+// conventions the linker layout depends on.
+func TestSectionContract(t *testing.T) {
+	for _, tc := range []struct {
+		id        ISA
+		suffix    string
+		secAlign  uint64
+		funcAlign int
+		wideImm   bool
+	}{
+		{ISAHost, "", 16, 16, true},
+		{ISANxP, ".nxp", NxpInstrLen, NxpInstrLen, false},
+		{ISADsp, ".dsp", 16, 4, false},
+		{ISACmp, ".cmp", 16, 2, false},
+	} {
+		b := MustLookup(tc.id)
+		if b.SectionSuffix() != tc.suffix || b.SectionAlign() != tc.secAlign ||
+			b.FuncAlign() != tc.funcAlign || b.WideImm() != tc.wideImm {
+			t.Errorf("%s: (%q, %d, %d, %v), want (%q, %d, %d, %v)", b.Name(),
+				b.SectionSuffix(), b.SectionAlign(), b.FuncAlign(), b.WideImm(),
+				tc.suffix, tc.secAlign, tc.funcAlign, tc.wideImm)
+		}
+	}
+}
+
+// TestStepCycles checks the shared cost table and the cmp wide-form
+// decode-expansion penalty.
+func TestStepCycles(t *testing.T) {
+	for _, b := range All() {
+		n := b.MaxLen()
+		if got := b.StepCycles(Instr{Op: OpAdd}, n); b.ISA() != ISACmp && got != 1 {
+			t.Errorf("%s: add costs %d cycles, want 1", b.Name(), got)
+		}
+		if got := b.StepCycles(Instr{Op: OpMul}, n); b.ISA() != ISACmp && got != 3 {
+			t.Errorf("%s: mul costs %d cycles, want 3", b.Name(), got)
+		}
+		if got := b.StepCycles(Instr{Op: OpUdiv}, n); b.ISA() != ISACmp && got != 16 {
+			t.Errorf("%s: udiv costs %d cycles, want 16", b.Name(), got)
+		}
+	}
+	c := CmpCodec{}
+	if got := c.StepCycles(Instr{Op: OpAdd}, 4); got != 1 {
+		t.Errorf("cmp 4-byte add costs %d, want 1", got)
+	}
+	if got := c.StepCycles(Instr{Op: OpAddi}, 8); got != 2 {
+		t.Errorf("cmp 8-byte addi costs %d, want 1+1 expansion", got)
+	}
+	if got := c.StepCycles(Instr{Op: OpMuli}, 8); got != 4 {
+		t.Errorf("cmp 8-byte muli costs %d, want 3+1 expansion", got)
+	}
+}

@@ -1,0 +1,182 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// The cmp backend is the registry's proof of contract: a fourth encoding
+// added as one file in this package, with no changes to the assembler,
+// linker, loader, cores, or kernel. It is RVC-flavored — compressed
+// variable-width instructions with 2-byte alignment — which produces
+// misalignment-fault scenarios at migration boundaries that none of the
+// fixed-width board ISAs can: an odd number of compressed instructions
+// leaves the next function entry at address ≡ 2 (mod 8), so an NxP core
+// chasing a cross-ISA call faults on alignment before it ever reaches the
+// NX check.
+
+// ISACmp is the compressed board-core family (variable 2/4/8-byte
+// encoding, 2-byte alignment).
+const ISACmp ISA = 3
+
+// cmpMarker occupies byte 3 of the wide cmp forms; distinct from the NxP
+// (0x96) and DSP (0x3C) markers so the board encodings reject each other.
+const cmpMarker = 0x5A
+
+// cmp length tags, in the low two bits of the first byte. Tag 0 is
+// reserved-invalid so the all-zero byte never decodes.
+const (
+	cmpTag2 = 1 // 2-byte compressed form: op + registers only
+	cmpTag4 = 2 // 4-byte form: three-register ALU
+	cmpTag8 = 3 // 8-byte wide form: 32-bit immediate
+)
+
+// CmpCodec is the compressed encoding. The first byte packs the opcode in
+// the high six bits and a length tag in the low two; register-only
+// instructions take 2 bytes, three-register ALU instructions 4, and
+// immediate forms 8 (with a 32-bit immediate, like the NxP the assembler
+// synthesizes 64-bit constants with a movi/orhi pair).
+type CmpCodec struct{}
+
+// ISA returns ISACmp.
+func (CmpCodec) ISA() ISA { return ISACmp }
+
+// Align returns the 2-byte compressed alignment.
+func (CmpCodec) Align() int { return 2 }
+
+// MaxLen returns the widest form (8 bytes).
+func (CmpCodec) MaxLen() int { return 8 }
+
+// cmpLen returns the encoded length the operand class selects.
+func cmpLen(c Class) int {
+	switch c {
+	case ClassNone, ClassRR, ClassR:
+		return 2
+	case ClassRRR:
+		return 4
+	default: // immediate classes
+		return 8
+	}
+}
+
+// Encode implements Codec.
+func (CmpCodec) Encode(ins Instr) ([]byte, error) {
+	if !ins.Op.Valid() {
+		return nil, &DecodeError{ISA: ISACmp, Reason: fmt.Sprintf("encode invalid op %d", ins.Op)}
+	}
+	if ins.Op >= 1<<6 {
+		return nil, &DecodeError{ISA: ISACmp, Reason: fmt.Sprintf("op %d exceeds the 6-bit opcode field", ins.Op)}
+	}
+	if ins.Rd >= NumRegs || ins.Rs >= NumRegs || ins.Rt >= NumRegs {
+		return nil, &DecodeError{ISA: ISACmp, Reason: "encode register out of range"}
+	}
+	cls := ClassOf(ins.Op)
+	switch cmpLen(cls) {
+	case 2:
+		b1 := byte(ins.Rd) | byte(ins.Rs)<<4
+		if cls == ClassNone && b1 != 0 {
+			return nil, &DecodeError{ISA: ISACmp, Reason: "register fields set on register-free op"}
+		}
+		return []byte{byte(ins.Op)<<2 | cmpTag2, b1}, nil
+	case 4:
+		return []byte{byte(ins.Op)<<2 | cmpTag4, byte(ins.Rd) | byte(ins.Rs)<<4, byte(ins.Rt), cmpMarker}, nil
+	default:
+		if ins.Imm < math.MinInt32 || ins.Imm > math.MaxInt32 {
+			return nil, &DecodeError{ISA: ISACmp, Reason: fmt.Sprintf("immediate %d exceeds 32 bits", ins.Imm)}
+		}
+		buf := make([]byte, 8)
+		buf[0] = byte(ins.Op)<<2 | cmpTag8
+		buf[1] = byte(ins.Rd) | byte(ins.Rs)<<4
+		buf[2] = byte(ins.Rt)
+		buf[3] = cmpMarker
+		binary.LittleEndian.PutUint32(buf[4:], uint32(int32(ins.Imm)))
+		return buf, nil
+	}
+}
+
+// Decode implements Codec.
+func (CmpCodec) Decode(b []byte) (Instr, int, error) {
+	if len(b) < 2 {
+		return Instr{}, 0, &DecodeError{ISA: ISACmp, Reason: "truncated instruction"}
+	}
+	tag := b[0] & 0x3
+	if tag == 0 {
+		return Instr{}, 0, &DecodeError{ISA: ISACmp, Reason: "reserved length tag 0"}
+	}
+	op := Op(b[0] >> 2)
+	if !op.Valid() {
+		return Instr{}, 0, &DecodeError{ISA: ISACmp, Reason: fmt.Sprintf("invalid opcode %#x", b[0]>>2)}
+	}
+	cls := ClassOf(op)
+	want := cmpLen(cls)
+	got := 2 << (tag - 1) // tag 1→2, 2→4, 3→8
+	if got != want {
+		return Instr{}, 0, &DecodeError{ISA: ISACmp, Reason: fmt.Sprintf("%s: length tag %d mismatches operand class", op, tag)}
+	}
+	if len(b) < want {
+		return Instr{}, 0, &DecodeError{ISA: ISACmp, Reason: "truncated instruction"}
+	}
+	ins := Instr{Op: op, Rd: Reg(b[1] & 0x0F), Rs: Reg(b[1] >> 4)}
+	switch want {
+	case 2:
+		if cls == ClassNone && b[1] != 0 {
+			return Instr{}, 0, &DecodeError{ISA: ISACmp, Reason: "register fields set on register-free op"}
+		}
+	case 4, 8:
+		if b[3] != cmpMarker {
+			return Instr{}, 0, &DecodeError{ISA: ISACmp, Reason: fmt.Sprintf("marker byte %#x invalid", b[3])}
+		}
+		if b[2]&0xF0 != 0 {
+			return Instr{}, 0, &DecodeError{ISA: ISACmp, Reason: "reserved bits set"}
+		}
+		ins.Rt = Reg(b[2] & 0x0F)
+		if want == 8 {
+			ins.Imm = int64(int32(binary.LittleEndian.Uint32(b[4:])))
+		}
+	}
+	return ins, want, nil
+}
+
+// ImmOffset implements Codec: the wide form's 32-bit immediate occupies
+// bytes 4-7.
+func (CmpCodec) ImmOffset(ins Instr) (int, int, error) {
+	if !hasImm(ClassOf(ins.Op)) {
+		return 0, 0, fmt.Errorf("isa: %s has no immediate field", ins.Op)
+	}
+	return 4, 4, nil
+}
+
+// Backend methods.
+
+// Name returns the cmp backend token.
+func (CmpCodec) Name() string { return "cmp" }
+
+// Host returns false.
+func (CmpCodec) Host() bool { return false }
+
+// SectionSuffix returns ".cmp".
+func (CmpCodec) SectionSuffix() string { return ".cmp" }
+
+// SectionAlign returns 16 (packing alignment; fetch alignment is 2).
+func (CmpCodec) SectionAlign() uint64 { return 16 }
+
+// FuncAlign returns the 2-byte compressed alignment — deliberately loose,
+// so odd-length predecessors land function entries at addresses no other
+// ISA's fetch alignment accepts.
+func (CmpCodec) FuncAlign() int { return 2 }
+
+// WideImm returns false.
+func (CmpCodec) WideImm() bool { return false }
+
+// StepCycles charges the shared cost table plus one cycle of decode
+// expansion for the 8-byte wide form.
+func (CmpCodec) StepCycles(ins Instr, encLen int) int {
+	c := BaseStepCycles(ins.Op)
+	if encLen == 8 {
+		c++
+	}
+	return c
+}
+
+func init() { Register(CmpCodec{}) }

@@ -1,0 +1,187 @@
+package isa
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestCmpCodecSpecifics pins the compressed encoding: per-class lengths,
+// the 2-byte alignment, the marker byte, and the reserved-form rejections
+// the fuzzers later rely on.
+func TestCmpCodecSpecifics(t *testing.T) {
+	c := CmpCodec{}
+	if c.ISA() != ISACmp || c.Align() != 2 || c.MaxLen() != 8 {
+		t.Fatalf("identity = (%d, %d, %d)", c.ISA(), c.Align(), c.MaxLen())
+	}
+
+	for _, tc := range []struct {
+		ins  Instr
+		want int
+	}{
+		{Instr{Op: OpNop}, 2},
+		{Instr{Op: OpRet}, 2},
+		{Instr{Op: OpMov, Rd: A0, Rs: A1}, 2},
+		{Instr{Op: OpPush, Rs: T0}, 2},
+		{Instr{Op: OpAdd, Rd: A0, Rs: A1, Rt: A2}, 4},
+		{Instr{Op: OpUdiv, Rd: T0, Rs: T1, Rt: T2}, 4},
+		{Instr{Op: OpAddi, Rd: A0, Rs: A0, Imm: -1}, 8},
+		{Instr{Op: OpMovi, Rd: A0, Imm: 1 << 30}, 8},
+		{Instr{Op: OpLd8, Rd: A3, Rs: A0, Imm: 64}, 8},
+		{Instr{Op: OpBne, Rs: T5, Rt: ZR, Imm: -16}, 8},
+		{Instr{Op: OpCall, Imm: 4096}, 8},
+	} {
+		enc, err := c.Encode(tc.ins)
+		if err != nil {
+			t.Errorf("encode %v: %v", tc.ins, err)
+			continue
+		}
+		if len(enc) != tc.want {
+			t.Errorf("encode %v: %d bytes, want %d", tc.ins, len(enc), tc.want)
+		}
+		dec, n, err := c.Decode(enc)
+		if err != nil || n != tc.want || dec != tc.ins {
+			t.Errorf("decode(% x) = %v, %d, %v; want %v, %d", enc, dec, n, err, tc.ins, tc.want)
+		}
+	}
+
+	// The wide forms carry the marker in byte 3, like the other board
+	// encodings carry theirs, so the families reject each other's text.
+	enc, _ := c.Encode(Instr{Op: OpAdd, Rd: A0, Rs: A1, Rt: A2})
+	if enc[3] != cmpMarker {
+		t.Errorf("4-byte form marker = %#x", enc[3])
+	}
+
+	// A 32-bit immediate is the ceiling: the assembler synthesizes wider
+	// constants with movi/orhi (WideImm() == false).
+	if _, err := c.Encode(Instr{Op: OpMovi, Rd: A0, Imm: 1 << 32}); err == nil {
+		t.Error("encode accepted a 33-bit immediate")
+	}
+	if _, err := c.Encode(Instr{Op: OpAddi, Rd: A0, Rs: A0, Imm: -(1 << 40)}); err == nil {
+		t.Error("encode accepted a negative 41-bit immediate")
+	}
+
+	// Patchability: the wide form's immediate is a contiguous 4-byte field.
+	ins := Instr{Op: OpMovi, Rd: A0, Imm: 7}
+	off, width, err := c.ImmOffset(ins)
+	if err != nil || off != 4 || width != 4 {
+		t.Fatalf("ImmOffset = (%d, %d, %v)", off, width, err)
+	}
+	if _, _, err := c.ImmOffset(Instr{Op: OpNop}); err == nil {
+		t.Error("ImmOffset accepted an immediate-free op")
+	}
+}
+
+// TestCmpDecodeRejections drives every reserved-form branch of the
+// decoder.
+func TestCmpDecodeRejections(t *testing.T) {
+	c := CmpCodec{}
+	nop, _ := c.Encode(Instr{Op: OpNop})
+	add, _ := c.Encode(Instr{Op: OpAdd, Rd: A0, Rs: A1, Rt: A2})
+	movi, _ := c.Encode(Instr{Op: OpMovi, Rd: A0, Imm: 1})
+	for name, b := range map[string][]byte{
+		"empty":              nil,
+		"one byte":           {nop[0]},
+		"tag 0":              {0x00, 0x00},
+		"tag/class mismatch": {nop[0]&^0x3 | cmpTag4, 0, 0, cmpMarker},
+		"truncated wide":     movi[:6],
+		"bad marker":         {add[0], add[1], add[2], 0x96},
+		"reserved rt bits":   {add[0], add[1], add[2] | 0xF0, add[3]},
+		"regs on nop":        {nop[0], 0x21},
+		"invalid opcode":     {0xFD, 0x00},
+	} {
+		if ins, n, err := c.Decode(b); err == nil {
+			t.Errorf("%s: decode(% x) accepted as %v (len %d)", name, b, ins, n)
+		}
+	}
+}
+
+// TestCmpCrossISARejection: no cmp encoding may decode on the other board
+// families, and their fixed-width words must not decode as cmp — the
+// property that makes an ISA-crossing fetch fault rather than
+// misinterpret.
+func TestCmpCrossISARejection(t *testing.T) {
+	instrs := []Instr{
+		{Op: OpNop},
+		{Op: OpAdd, Rd: A0, Rs: A1, Rt: A2},
+		{Op: OpMovi, Rd: A0, Imm: 123456},
+		{Op: OpRet},
+	}
+	c := CmpCodec{}
+	for _, ins := range instrs {
+		enc, err := c.Encode(ins)
+		if err != nil {
+			t.Fatalf("encode %v: %v", ins, err)
+		}
+		for _, other := range []Codec{NxpCodec{}, DspCodec{}} {
+			// Pad with zero bytes so fixed-width decoders see a full word.
+			padded := append(bytes.Clone(enc), make([]byte, 16-len(enc))...)
+			if dec, _, err := other.Decode(padded); err == nil {
+				t.Errorf("%v decoded cmp % x as %v", other.ISA(), enc, dec)
+			}
+		}
+	}
+	for _, other := range []Codec{NxpCodec{}, DspCodec{}} {
+		for _, ins := range instrs {
+			enc, err := other.Encode(ins)
+			if err != nil {
+				continue
+			}
+			if dec, _, err := c.Decode(enc); err == nil {
+				t.Errorf("cmp decoded %v bytes % x as %v", other.ISA(), enc, dec)
+			}
+		}
+	}
+}
+
+// FuzzCmpCodec is the dedicated compressed-encoding fuzzer: arbitrary
+// bytes must decode to a consistent (tag, class, length) triple or be
+// rejected, and anything accepted must round-trip canonically. It also
+// walks the buffer the way a core's fetch loop does, checking that
+// consumed lengths keep the 2-byte alignment invariant.
+func FuzzCmpCodec(f *testing.F) {
+	c := CmpCodec{}
+	for _, ins := range []Instr{
+		{Op: OpNop},
+		{Op: OpRet},
+		{Op: OpMov, Rd: A0, Rs: A1},
+		{Op: OpAdd, Rd: A0, Rs: A1, Rt: A2},
+		{Op: OpAddi, Rd: T0, Rs: T0, Imm: -1},
+		{Op: OpMovi, Rd: A0, Imm: 1 << 30},
+		{Op: OpLd8, Rd: A3, Rs: A0, Imm: 8},
+		{Op: OpBeq, Rs: T0, Rt: ZR, Imm: -32},
+		{Op: OpCall, Imm: 1 << 20},
+	} {
+		if b, err := c.Encode(ins); err == nil {
+			f.Add(b)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x00})
+	f.Add(bytes.Repeat([]byte{cmpMarker}, 8))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		for off := 0; off < len(b); {
+			ins, n, err := c.Decode(b[off:])
+			if err != nil {
+				break
+			}
+			if n != 2 && n != 4 && n != 8 {
+				t.Fatalf("decode length %d not a cmp form", n)
+			}
+			if want := cmpLen(ClassOf(ins.Op)); n != want {
+				t.Fatalf("%v: consumed %d bytes, class wants %d", ins, n, want)
+			}
+			if n%c.Align() != 0 {
+				t.Fatalf("length %d breaks the %d-byte alignment", n, c.Align())
+			}
+			enc, err := c.Encode(ins)
+			if err != nil {
+				t.Fatalf("decoded %v but cannot re-encode: %v", ins, err)
+			}
+			if !bytes.Equal(enc, b[off:off+n]) {
+				t.Fatalf("non-canonical decode: % x -> %v -> % x", b[off:off+n], ins, enc)
+			}
+			off += n
+		}
+	})
+}

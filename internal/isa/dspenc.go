@@ -90,3 +90,29 @@ func (DspCodec) ImmOffset(ins Instr) (int, int, error) {
 	}
 	return 4, 4, nil
 }
+
+// Backend methods.
+
+// Name returns the DSP backend token.
+func (DspCodec) Name() string { return "dsp" }
+
+// Host returns false.
+func (DspCodec) Host() bool { return false }
+
+// SectionSuffix returns ".dsp".
+func (DspCodec) SectionSuffix() string { return ".dsp" }
+
+// SectionAlign returns 16 (bundles pack against the generic data
+// alignment; only fetch alignment is 4).
+func (DspCodec) SectionAlign() uint64 { return 16 }
+
+// FuncAlign returns the 4-byte bundle alignment.
+func (DspCodec) FuncAlign() int { return 4 }
+
+// WideImm returns false.
+func (DspCodec) WideImm() bool { return false }
+
+// StepCycles implements Backend with the shared cost table.
+func (DspCodec) StepCycles(ins Instr, encLen int) int { return BaseStepCycles(ins.Op) }
+
+func init() { Register(DspCodec{}) }

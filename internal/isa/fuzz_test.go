@@ -5,7 +5,7 @@ import (
 	"testing"
 )
 
-var fuzzCodecs = []Codec{HostCodec{}, NxpCodec{}, DspCodec{}}
+var fuzzCodecs = []Codec{HostCodec{}, NxpCodec{}, DspCodec{}, CmpCodec{}}
 
 // FuzzDecode throws arbitrary bytes at every decoder. Whatever comes
 // back, the decoder must not panic, must report a sane length, and any

@@ -143,6 +143,33 @@ func (HostCodec) ImmOffset(ins Instr) (int, int, error) {
 	return 3, immSizeBytes(pickImmSize(ins.Imm)), nil
 }
 
+// Backend methods.
+
+// Name returns the host backend token.
+func (HostCodec) Name() string { return "host" }
+
+// Host returns true: threads start here and host text is mapped executable.
+func (HostCodec) Host() bool { return true }
+
+// SectionSuffix returns "": host sections keep the plain ".text"/".data"
+// names.
+func (HostCodec) SectionSuffix() string { return "" }
+
+// SectionAlign returns the conventional 16.
+func (HostCodec) SectionAlign() uint64 { return 16 }
+
+// FuncAlign returns the conventional 16-byte function alignment.
+func (HostCodec) FuncAlign() int { return 16 }
+
+// WideImm returns true: the host encoding carries 64-bit immediates, so la
+// is one movi with an ABS64 relocation.
+func (HostCodec) WideImm() bool { return true }
+
+// StepCycles implements Backend with the shared cost table.
+func (HostCodec) StepCycles(ins Instr, encLen int) int { return BaseStepCycles(ins.Op) }
+
+func init() { Register(HostCodec{}) }
+
 // PlaceholderPCRel32 is the immediate the assembler emits at sites awaiting
 // a 32-bit PC-relative relocation; its magnitude forces a 4-byte field in
 // the variable-length host encoding.

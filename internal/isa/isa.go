@@ -279,18 +279,13 @@ const (
 	ISADsp
 )
 
-// String names the ISA as used in section suffixes and diagnostics.
+// String names the ISA as used in section suffixes and diagnostics; the
+// name comes from the registered backend.
 func (i ISA) String() string {
-	switch i {
-	case ISAHost:
-		return "host"
-	case ISANxP:
-		return "nxp"
-	case ISADsp:
-		return "dsp"
-	default:
-		return fmt.Sprintf("isa(%d)", int(i))
+	if b, ok := Lookup(i); ok {
+		return b.Name()
 	}
+	return fmt.Sprintf("isa(%d)", int(i))
 }
 
 // Codec encodes and decodes instructions for one ISA.

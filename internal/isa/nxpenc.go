@@ -83,16 +83,27 @@ func (NxpCodec) ImmOffset(ins Instr) (int, int, error) {
 	return 4, 4, nil
 }
 
-// CodecFor returns the codec for an ISA.
-func CodecFor(i ISA) Codec {
-	switch i {
-	case ISAHost:
-		return HostCodec{}
-	case ISANxP:
-		return NxpCodec{}
-	case ISADsp:
-		return DspCodec{}
-	default:
-		panic(fmt.Sprintf("isa: no codec for %v", i))
-	}
-}
+// Backend methods.
+
+// Name returns the NxP backend token.
+func (NxpCodec) Name() string { return "nxp" }
+
+// Host returns false.
+func (NxpCodec) Host() bool { return false }
+
+// SectionSuffix returns ".nxp".
+func (NxpCodec) SectionSuffix() string { return ".nxp" }
+
+// SectionAlign returns the instruction width.
+func (NxpCodec) SectionAlign() uint64 { return NxpInstrLen }
+
+// FuncAlign returns the instruction alignment.
+func (NxpCodec) FuncAlign() int { return NxpInstrLen }
+
+// WideImm returns false: 64-bit constants take a movi/orhi pair.
+func (NxpCodec) WideImm() bool { return false }
+
+// StepCycles implements Backend with the shared cost table.
+func (NxpCodec) StepCycles(ins Instr, encLen int) int { return BaseStepCycles(ins.Op) }
+
+func init() { Register(NxpCodec{}) }

@@ -3,6 +3,8 @@ package kernel
 import (
 	"fmt"
 	"strings"
+
+	"flick/internal/isa"
 )
 
 // BoardPolicy names a board-placement policy for wrong-ISA faults: which
@@ -46,10 +48,13 @@ func ParseBoardPolicy(s string) (BoardPolicy, error) {
 
 // BoardScheduler picks a target board for each fresh migration. It is
 // plain bookkeeping — no virtual-time side effects — so constructing one
-// on a single-board platform perturbs nothing.
+// on a single-board platform perturbs nothing. With heterogeneous boards
+// (per-board ISAs) it is capability-aware: a migration is only ever placed
+// on a board whose core family can execute the faulting text.
 type BoardScheduler struct {
 	policy   BoardPolicy
 	boards   int
+	caps     [][]isa.ISA // per-board core families; nil = homogeneous (all capable)
 	next     int         // round-robin cursor
 	inflight []int       // in-flight migrations per board
 	last     map[int]int // pid → board of its last placement
@@ -71,6 +76,62 @@ func NewBoardScheduler(policy BoardPolicy, boards int) *BoardScheduler {
 	}
 }
 
+// SetBoardISAs declares the core families present on each board (index
+// i → board i; a board may carry several families, like the default
+// platform's board 0 with both its primary core and the DSP), making
+// placement capability-aware. Nil (the default) keeps the homogeneous
+// behavior: every board accepts every migration.
+func (s *BoardScheduler) SetBoardISAs(caps [][]isa.ISA) {
+	if caps != nil && len(caps) != s.boards {
+		panic(fmt.Sprintf("kernel: board ISAs for %d boards, scheduler has %d", len(caps), s.boards))
+	}
+	s.caps = caps
+}
+
+// Capable reports whether board b carries a core family that executes is.
+func (s *BoardScheduler) Capable(b int, is isa.ISA) bool {
+	if s.caps == nil {
+		return true
+	}
+	for _, x := range s.caps[b] {
+		if x == is {
+			return true
+		}
+	}
+	return false
+}
+
+// CapableBoards counts the boards capable of is.
+func (s *BoardScheduler) CapableBoards(is isa.ISA) int {
+	if s.caps == nil {
+		return s.boards
+	}
+	n := 0
+	for b := 0; b < s.boards; b++ {
+		if s.Capable(b, is) {
+			n++
+		}
+	}
+	return n
+}
+
+// Home returns the only board capable of is, if exactly one exists. Such
+// an ISA is pinned: placement policy and failover have no choices to make,
+// so callers dispatch straight to the home board without touching the
+// policy cursor (the board-0 DSP pinning, generalized).
+func (s *BoardScheduler) Home(is isa.ISA) (int, bool) {
+	if s.caps == nil {
+		return 0, false
+	}
+	home, n := 0, 0
+	for b := 0; b < s.boards; b++ {
+		if s.Capable(b, is) {
+			home, n = b, n+1
+		}
+	}
+	return home, n == 1
+}
+
 // NumBoards returns the board count the scheduler places over.
 func (s *BoardScheduler) NumBoards() int { return s.boards }
 
@@ -80,12 +141,17 @@ func (s *BoardScheduler) Policy() BoardPolicy { return s.policy }
 // InFlight returns the in-flight migration count for one board.
 func (s *BoardScheduler) InFlight(board int) int { return s.inflight[board] }
 
-// Pick chooses the board for pid's next migration. exclude marks boards
-// the caller has given up on (failover); if every board is excluded the
-// exclusion set is ignored — a busted placement beats no placement, and
-// the caller's own retry budget bounds the damage.
-func (s *BoardScheduler) Pick(pid int, exclude map[int]bool) int {
-	allowed := func(b int) bool { return !exclude[b] }
+// Pick chooses the board for pid's next migration toward is. Only boards
+// capable of is are candidates. exclude marks boards the caller has given
+// up on (failover); if every capable board is excluded the exclusion set
+// is ignored — a busted placement beats no placement, and the caller's own
+// retry budget bounds the damage. Capability is never ignored: a board
+// without the target's core family can never serve the call.
+func (s *BoardScheduler) Pick(pid int, is isa.ISA, exclude map[int]bool) int {
+	if s.CapableBoards(is) == 0 {
+		panic(fmt.Sprintf("kernel: no board capable of ISA %v", is))
+	}
+	allowed := func(b int) bool { return s.Capable(b, is) && !exclude[b] }
 	n := 0
 	for b := 0; b < s.boards; b++ {
 		if allowed(b) {
@@ -93,7 +159,7 @@ func (s *BoardScheduler) Pick(pid int, exclude map[int]bool) int {
 		}
 	}
 	if n == 0 {
-		allowed = func(int) bool { return true }
+		allowed = func(b int) bool { return s.Capable(b, is) }
 	}
 	if s.policy == PolicyAffinity {
 		if b, ok := s.last[pid]; ok && allowed(b) {

@@ -2,6 +2,8 @@ package kernel
 
 import (
 	"testing"
+
+	"flick/internal/isa"
 )
 
 func TestParseBoardPolicy(t *testing.T) {
@@ -57,7 +59,7 @@ func runOps(t *testing.T, s *BoardScheduler, ops []schedOp) {
 	for i, op := range ops {
 		switch {
 		case op.pick:
-			if got := s.Pick(op.pid, op.exclude); got != op.want {
+			if got := s.Pick(op.pid, 0, op.exclude); got != op.want {
 				t.Fatalf("op %d: Pick(pid=%d, exclude=%v) = board %d, want %d", i, op.pid, op.exclude, got, op.want)
 			}
 		case op.start:
@@ -139,12 +141,12 @@ func TestFailoverPlacementSkipsDeadBoard(t *testing.T) {
 		s := NewBoardScheduler(policy, 2)
 		dead := map[int]bool{1: true}
 		for i := 0; i < 5; i++ {
-			if got := s.Pick(i, dead); got == 1 {
+			if got := s.Pick(i, 0, dead); got == 1 {
 				t.Fatalf("%s: pick %d placed on the excluded board", policy, i)
 			}
 		}
 		all := map[int]bool{0: true, 1: true}
-		if got := s.Pick(9, all); got < 0 || got > 1 {
+		if got := s.Pick(9, 0, all); got < 0 || got > 1 {
 			t.Fatalf("%s: all-excluded pick returned board %d", policy, got)
 		}
 	}
@@ -186,7 +188,7 @@ func FuzzBoardScheduler(f *testing.F) {
 				s.Finished(int(op>>4) & 0x07 % boards)
 			case op&0x40 != 0: // pick with one board excluded
 				ex := map[int]bool{int(op>>4) & 0x03 % boards: true}
-				got := s.Pick(pid, ex)
+				got := s.Pick(pid, 0, ex)
 				if got < 0 || got >= boards {
 					t.Fatalf("op %d: pick out of range: %d", i, got)
 				}
@@ -195,7 +197,7 @@ func FuzzBoardScheduler(f *testing.F) {
 				}
 				s.Started(pid, got)
 			default:
-				got := s.Pick(pid, nil)
+				got := s.Pick(pid, 0, nil)
 				if got < 0 || got >= boards {
 					t.Fatalf("op %d: pick out of range: %d", i, got)
 				}
@@ -208,4 +210,84 @@ func FuzzBoardScheduler(f *testing.F) {
 			}
 		}
 	})
+}
+
+// Capability-aware placement: with per-board core families declared,
+// migrations only ever land on boards that can execute the target ISA.
+func TestCapabilityAwarePick(t *testing.T) {
+	const (
+		isaA = 1 // nxp-style primary
+		isaB = 3 // second family on boards 1 and 2
+	)
+	for _, policy := range BoardPolicies() {
+		s := NewBoardScheduler(policy, 3)
+		s.SetBoardISAs([][]isa.ISA{{isaA}, {isaA, isaB}, {isaB}})
+		for pid := 0; pid < 6; pid++ {
+			if got := s.Pick(pid, isaA, nil); got == 2 {
+				t.Errorf("%s: ISA-%d pick landed on incapable board 2", policy, isaA)
+			}
+			if got := s.Pick(pid, isaB, nil); got == 0 {
+				t.Errorf("%s: ISA-%d pick landed on incapable board 0", policy, isaB)
+			}
+		}
+		// Exclusion of every capable board falls back within capability,
+		// never onto an incapable board.
+		if got := s.Pick(9, isaB, map[int]bool{1: true, 2: true}); got == 0 {
+			t.Errorf("%s: all-excluded fallback left the capability set", policy)
+		}
+	}
+}
+
+func TestCapabilityBookkeeping(t *testing.T) {
+	s := NewBoardScheduler(PolicyRoundRobin, 3)
+	if s.CapableBoards(5) != 3 {
+		t.Error("nil caps: every board should be capable")
+	}
+	if _, ok := s.Home(5); ok {
+		t.Error("nil caps: no ISA is pinned")
+	}
+	s.SetBoardISAs([][]isa.ISA{{1}, {1, 2}, {1}})
+	if !s.Capable(1, 2) || s.Capable(0, 2) {
+		t.Error("Capable misreads the per-board families")
+	}
+	if got := s.CapableBoards(1); got != 3 {
+		t.Errorf("CapableBoards(1) = %d, want 3", got)
+	}
+	if got := s.CapableBoards(2); got != 1 {
+		t.Errorf("CapableBoards(2) = %d, want 1", got)
+	}
+	if got := s.CapableBoards(9); got != 0 {
+		t.Errorf("CapableBoards(9) = %d, want 0", got)
+	}
+	// ISA 2 lives on exactly one board: pinned to its home.
+	if home, ok := s.Home(2); !ok || home != 1 {
+		t.Errorf("Home(2) = %d, %v; want 1, true", home, ok)
+	}
+	if _, ok := s.Home(1); ok {
+		t.Error("Home(1) pinned a three-board ISA")
+	}
+	if _, ok := s.Home(9); ok {
+		t.Error("Home(9) pinned an absent ISA")
+	}
+}
+
+func TestPickPanicsWithoutCapableBoard(t *testing.T) {
+	s := NewBoardScheduler(PolicyRoundRobin, 2)
+	s.SetBoardISAs([][]isa.ISA{{1}, {1}})
+	defer func() {
+		if recover() == nil {
+			t.Error("Pick for an ISA no board carries did not panic")
+		}
+	}()
+	s.Pick(1, 9, nil)
+}
+
+func TestSetBoardISAsLengthMismatchPanics(t *testing.T) {
+	s := NewBoardScheduler(PolicyRoundRobin, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("SetBoardISAs with the wrong board count did not panic")
+		}
+	}()
+	s.SetBoardISAs([][]isa.ISA{{1}})
 }

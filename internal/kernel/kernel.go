@@ -44,6 +44,10 @@ type Config struct {
 	Boards int
 	// BoardPolicy selects the placement policy (zero value: round-robin).
 	BoardPolicy BoardPolicy
+	// BoardISAs lists the core families present on each board (index i →
+	// board i), making the board scheduler capability-aware. Nil keeps
+	// every board eligible for every migration.
+	BoardISAs [][]isa.ISA
 }
 
 // Recovery parameterizes the migration protocol's failure handling.
@@ -225,6 +229,9 @@ func New(cfg Config) *Kernel {
 		boards = 1
 	}
 	k.boards = NewBoardScheduler(cfg.BoardPolicy, boards)
+	if cfg.BoardISAs != nil {
+		k.boards.SetBoardISAs(cfg.BoardISAs)
+	}
 	if boards > 1 {
 		k.mFailovers = reg.Counter("kernel.failovers")
 	}

@@ -135,7 +135,7 @@ func (k *Kernel) LoadProgram(im *multibin.Image) (*Program, error) {
 		nPages := (uint64(len(seg.Bytes)) + paging.PageSize4K - 1) / paging.PageSize4K
 		flags := paging.Flags{User: true}
 		switch {
-		case seg.Kind == multibin.SecText && seg.ISA == isa.ISAHost:
+		case seg.Kind == multibin.SecText && isa.IsHost(seg.ISA):
 			// Executable on the host: NX clear.
 		case seg.Kind == multibin.SecText:
 			// Board-ISA text: lives in host memory (the board I-caches
@@ -149,7 +149,7 @@ func (k *Kernel) LoadProgram(im *multibin.Image) (*Program, error) {
 			flags.ISATag = uint8(seg.ISA) + 1
 		}
 
-		useNxPDDR := seg.Kind == multibin.SecData && seg.ISA != isa.ISAHost && lay.NxPDataSize != 0
+		useNxPDDR := seg.Kind == multibin.SecData && !isa.IsHost(seg.ISA) && lay.NxPDataSize != 0
 		for i := uint64(0); i < nPages; i++ {
 			var pa uint64
 			if useNxPDDR {

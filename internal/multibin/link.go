@@ -204,7 +204,7 @@ func Link(cfg LinkConfig, objects ...*Object) (*Image, error) {
 	if !ok {
 		return nil, &LinkError{Symbol: cfg.Entry, Reason: "entry symbol undefined"}
 	}
-	if eisa, ok := im.TextISA(entry); !ok || eisa != isa.ISAHost {
+	if eisa, ok := im.TextISA(entry); !ok || !isa.IsHost(eisa) {
 		return nil, &LinkError{Symbol: cfg.Entry, Reason: "entry symbol must be host text: Flick threads start on the host"}
 	}
 	im.Entry = entry

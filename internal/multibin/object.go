@@ -35,21 +35,14 @@ func (k SectionKind) String() string {
 }
 
 // SectionName returns the conventional section name for a kind and ISA:
-// host sections keep the plain name, NxP sections get the ".nxp" suffix
-// (the paper's toolchain renames RISC-V output to ".text.riscv").
+// host sections keep the plain name, board sections get the backend's
+// suffix (the paper's toolchain renames RISC-V output to ".text.riscv").
 func SectionName(kind SectionKind, is isa.ISA) string {
 	base := ".text"
 	if kind == SecData {
 		base = ".data"
 	}
-	switch is {
-	case isa.ISANxP:
-		return base + ".nxp"
-	case isa.ISADsp:
-		return base + ".dsp"
-	default:
-		return base
-	}
+	return base + isa.MustLookup(is).SectionSuffix()
 }
 
 // Symbol is a named location within a section.
@@ -126,11 +119,7 @@ func (o *Object) Section(kind SectionKind, is isa.ISA) *Section {
 			return s
 		}
 	}
-	align := uint64(16)
-	if is == isa.ISANxP {
-		align = uint64(isa.NxpInstrLen)
-	}
-	s := &Section{Name: name, ISA: is, Kind: kind, Align: align}
+	s := &Section{Name: name, ISA: is, Kind: kind, Align: isa.MustLookup(is).SectionAlign()}
 	o.Sections = append(o.Sections, s)
 	return s
 }

@@ -12,6 +12,7 @@ package platform
 
 import (
 	"fmt"
+	"strings"
 
 	"flick/internal/cpu"
 	"flick/internal/faultinj"
@@ -62,6 +63,12 @@ type Params struct {
 	// BoardPolicy selects the kernel's board-placement policy:
 	// "round-robin" (default), "least-loaded", or "affinity".
 	BoardPolicy string
+	// BoardISAs names each board's core family by registered backend name
+	// (entry i → board i; missing entries and empty strings default to
+	// "nxp"). Heterogeneous boards make the kernel's board scheduler
+	// capability-aware, and three or more distinct core ISAs switch every
+	// core into PTE-tagged execution mode (see docs/ISAS.md).
+	BoardISAs []string
 
 	// EnableDSP adds a second board core with the third ISA (the paper's
 	// §IV-C3 "more than two ISAs" extension). All cores then run in
@@ -207,7 +214,18 @@ type Machine struct {
 
 	nxpTLBs     []*tlb.TLB // all board-side TLBs, build order
 	coreTLBSets []coreTLBSet
+
+	boardISAs []isa.ISA // each board's primary core family
+	tagged    bool      // PTE-tagged execution (3+ distinct core ISAs)
 }
+
+// BoardISA returns the primary core family of one board.
+func (m *Machine) BoardISA(board int) isa.ISA { return m.boardISAs[board] }
+
+// TaggedISAs reports whether the machine runs in PTE-tagged execution mode
+// (more than two distinct core ISAs, paper §IV-C3) rather than NX
+// polarity.
+func (m *Machine) TaggedISAs() bool { return m.tagged }
 
 // boardSfx names board i's instanced components: board 0 keeps the bare
 // historical names, later boards append their index.
@@ -216,6 +234,48 @@ func boardSfx(i int) string {
 		return ""
 	}
 	return fmt.Sprintf("%d", i)
+}
+
+// ParseBoardISAs validates a comma-separated per-board ISA list from a
+// flag ("nxp,cmp,nxp"; empty entries default per board). Entry i names
+// board i's core family; listing more entries than boards is an error.
+func ParseBoardISAs(s string, boards int) ([]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) > boards {
+		return nil, fmt.Errorf("platform: %d board ISAs for %d boards", len(parts), boards)
+	}
+	for _, p := range parts {
+		if p == "" {
+			continue
+		}
+		if b, ok := isa.ByName(p); !ok || b.Host() {
+			return nil, fmt.Errorf("platform: unknown board isa %q (want %s)", p, strings.Join(isa.BoardNames(), ", "))
+		}
+	}
+	return parts, nil
+}
+
+// resolveBoardISAs expands the per-board name list to one backend per
+// board, defaulting to NxP.
+func resolveBoardISAs(names []string, boards int) ([]isa.ISA, error) {
+	if len(names) > boards {
+		return nil, fmt.Errorf("platform: %d board ISAs for %d boards", len(names), boards)
+	}
+	out := make([]isa.ISA, boards)
+	for i := range out {
+		out[i] = isa.ISANxP
+		if i < len(names) && names[i] != "" {
+			b, ok := isa.ByName(names[i])
+			if !ok || b.Host() {
+				return nil, fmt.Errorf("platform: unknown board isa %q (want %s)", names[i], strings.Join(isa.BoardNames(), ", "))
+			}
+			out[i] = b.ISA()
+		}
+	}
+	return out, nil
 }
 
 // boardStride spaces board-local windows: the next power of two holding
@@ -242,6 +302,19 @@ func New(params Params) (*Machine, error) {
 	if nBoards <= 0 {
 		nBoards = 1
 	}
+	if m.boardISAs, err = resolveBoardISAs(params.BoardISAs, nBoards); err != nil {
+		return nil, err
+	}
+	// Three or more distinct core ISAs need PTE ISA tags (§IV-C3); two get
+	// by on NX polarity.
+	distinct := map[isa.ISA]bool{isa.ISAHost: true}
+	for _, is := range m.boardISAs {
+		distinct[is] = true
+	}
+	if params.EnableDSP {
+		distinct[isa.ISADsp] = true
+	}
+	m.tagged = len(distinct) > 2
 
 	if params.Faults != "" {
 		spec, err := faultinj.Parse(params.Faults)
@@ -354,6 +427,16 @@ func New(params Params) (*Machine, error) {
 		boardStackPAs = append(boardStackPAs, b.BRAMBar.HostBase+BRAMMailboxCarve)
 	}
 
+	// Each board's core families, for capability-aware placement: the
+	// board's primary core, plus the DSP riding on board 0 when enabled.
+	boardCaps := make([][]isa.ISA, nBoards)
+	for i, is := range m.boardISAs {
+		boardCaps[i] = []isa.ISA{is}
+	}
+	if params.EnableDSP {
+		boardCaps[0] = append(boardCaps[0], isa.ISADsp)
+	}
+
 	m.Kernel = kernel.New(kernel.Config{
 		Env:      m.Env,
 		Phys:     m.HostView,
@@ -368,11 +451,12 @@ func New(params Params) (*Machine, error) {
 			NxPHugePage:    params.NxPWindowPage,
 			NxPStackPA:     m.BRAMBar.HostBase + BRAMMailboxCarve,
 			NxPStackRegion: params.NxPBRAM - BRAMMailboxCarve,
-			TaggedISAs:     params.EnableDSP,
+			TaggedISAs:     m.tagged,
 			BoardStackPAs:  boardStackPAs,
 		},
 		Boards:      nBoards,
 		BoardPolicy: boardPolicy,
+		BoardISAs:   boardCaps,
 	})
 	for _, h := range m.Hosts {
 		h.SetSysHandler(m.Kernel.Syscall)
@@ -427,10 +511,10 @@ func MustNew() *Machine {
 
 func (m *Machine) buildCores() {
 	p := m.Params
-	// In DSP (3-ISA) configurations every core uses PTE-tagged execution;
+	// In 3+-ISA configurations every core uses PTE-tagged execution;
 	// tag = ISA id + 1.
 	tagOf := func(is isa.ISA) uint8 {
-		if !p.EnableDSP {
+		if !m.tagged {
 			return 0
 		}
 		return uint8(is) + 1
@@ -475,20 +559,25 @@ func (m *Machine) buildCores() {
 		return p.Link.ReadLatency(8) + p.HostDRAMDevice
 	}
 	b0 := m.Boards[0]
-	nITLB := tlb.New("nxp-itlb", p.NxPITLB)
-	nDTLB := tlb.New("nxp-dtlb", p.NxPDTLB)
+	b0ISA := m.boardISAs[0]
+	// Board 0's component names keep the bare ISA prefix ("nxp-itlb") the
+	// single-board machine always had; its core is "<isa>0".
+	b0Pfx := b0ISA.String()
+	b0Name := b0Pfx + "0"
+	nITLB := tlb.New(b0Pfx+"-itlb", p.NxPITLB)
+	nDTLB := tlb.New(b0Pfx+"-dtlb", p.NxPDTLB)
 	for _, t := range []*tlb.TLB{nITLB, nDTLB} {
 		m.addBoardRemaps(t)
 		m.nxpTLBs = append(m.nxpTLBs, t)
 	}
 	m.NxP = cpu.New(cpu.Config{
-		Name: "nxp0", ISA: isa.ISANxP,
-		IMMU:          mmu.New("nxp-immu", nITLB, m.Tables, nxpWalk, p.NxPWalkPerReq),
-		DMMU:          mmu.New("nxp-dmmu", nDTLB, m.Tables, nxpWalk, p.NxPWalkPerReq),
+		Name: b0Name, ISA: b0ISA,
+		IMMU:          mmu.New(b0Pfx+"-immu", nITLB, m.Tables, nxpWalk, p.NxPWalkPerReq),
+		DMMU:          mmu.New(b0Pfx+"-dmmu", nDTLB, m.Tables, nxpWalk, p.NxPWalkPerReq),
 		Phys:          m.NxPView,
 		CycleTime:     p.NxPCycle,
 		ExecNX:        true,
-		ISATag:        tagOf(isa.ISANxP),
+		ISATag:        tagOf(b0ISA),
 		AccessCost:    m.boardAccessCost(b0),
 		FetchCost:     m.boardFetchCost(b0),
 		ICacheLines:   p.NxPICacheLines,
@@ -497,7 +586,7 @@ func (m *Machine) buildCores() {
 	})
 	b0.NxP = m.NxP
 	m.coreTLBSets = append(m.coreTLBSets,
-		coreTLBSet{name: "nxp0", core: m.NxP, tlbs: []*tlb.TLB{nITLB, nDTLB}})
+		coreTLBSet{name: b0Name, core: m.NxP, tlbs: []*tlb.TLB{nITLB, nDTLB}})
 
 	if p.EnableDSP {
 		dspCycle := p.DSPCycle
@@ -527,10 +616,11 @@ func (m *Machine) buildCores() {
 			coreTLBSet{name: "dsp0", core: m.DSP, tlbs: []*tlb.TLB{dITLB, dDTLB}})
 	}
 
-	// NxP cores of the additional boards (board 0, built above, keeps the
-	// historical names).
+	// Primary cores of the additional boards (board 0, built above, keeps
+	// the historical names).
 	for _, b := range m.Boards[1:] {
-		name := fmt.Sprintf("nxp%d", b.Index)
+		bISA := m.boardISAs[b.Index]
+		name := fmt.Sprintf("%s%d", bISA, b.Index)
 		iT := tlb.New(name+"-itlb", p.NxPITLB)
 		dT := tlb.New(name+"-dtlb", p.NxPDTLB)
 		for _, t := range []*tlb.TLB{iT, dT} {
@@ -538,13 +628,13 @@ func (m *Machine) buildCores() {
 			m.nxpTLBs = append(m.nxpTLBs, t)
 		}
 		b.NxP = cpu.New(cpu.Config{
-			Name: name, ISA: isa.ISANxP,
+			Name: name, ISA: bISA,
 			IMMU:          mmu.New(name+"-immu", iT, m.Tables, nxpWalk, p.NxPWalkPerReq),
 			DMMU:          mmu.New(name+"-dmmu", dT, m.Tables, nxpWalk, p.NxPWalkPerReq),
 			Phys:          m.NxPView,
 			CycleTime:     p.NxPCycle,
 			ExecNX:        true,
-			ISATag:        tagOf(isa.ISANxP),
+			ISATag:        tagOf(bISA),
 			AccessCost:    m.boardAccessCost(b),
 			FetchCost:     m.boardFetchCost(b),
 			ICacheLines:   p.NxPICacheLines,

@@ -1,8 +1,10 @@
 package platform
 
 import (
+	"reflect"
 	"testing"
 
+	"flick/internal/isa"
 	"flick/internal/mem"
 	"flick/internal/sim"
 )
@@ -180,5 +182,88 @@ func TestScratchpadHoleBypassesWalk(t *testing.T) {
 	walksAfter, _ := m.NxP.DMMU().Stats()
 	if walksAfter != walksBefore {
 		t.Error("hole access performed a page walk")
+	}
+}
+
+func TestParseBoardISAs(t *testing.T) {
+	for _, tc := range []struct {
+		in     string
+		boards int
+		want   []string
+		ok     bool
+	}{
+		{"", 1, nil, true},
+		{"nxp", 1, []string{"nxp"}, true},
+		{"cmp", 1, []string{"cmp"}, true},
+		{"nxp,cmp,dsp", 3, []string{"nxp", "cmp", "dsp"}, true},
+		{",cmp", 2, []string{"", "cmp"}, true}, // empty entry = default
+		{"nxp,nxp", 1, nil, false},             // more entries than boards
+		{"host", 1, nil, false},                // host is not a board family
+		{"riscv", 1, nil, false},
+	} {
+		got, err := ParseBoardISAs(tc.in, tc.boards)
+		if tc.ok != (err == nil) {
+			t.Errorf("ParseBoardISAs(%q, %d) err = %v, want ok=%v", tc.in, tc.boards, err, tc.ok)
+			continue
+		}
+		if err == nil && !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("ParseBoardISAs(%q, %d) = %v, want %v", tc.in, tc.boards, got, tc.want)
+		}
+	}
+}
+
+// TestTaggedExecutionRule pins the generalized tagged-mode rule: NX
+// polarity suffices for exactly two core families; a third (the DSP, or
+// any extra board family) switches the machine to PTE ISA tags. The
+// original EnableDSP behavior falls out as a special case.
+func TestTaggedExecutionRule(t *testing.T) {
+	build := func(mut func(*Params)) *Machine {
+		p := DefaultParams()
+		mut(&p)
+		m, err := New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	if m := build(func(p *Params) {}); m.TaggedISAs() {
+		t.Error("host+nxp machine should use NX polarity, not tags")
+	}
+	if m := build(func(p *Params) { p.EnableDSP = true }); !m.TaggedISAs() {
+		t.Error("EnableDSP machine should be tagged")
+	}
+	// Swapping the single board's family keeps two ISAs total: still NX.
+	if m := build(func(p *Params) { p.BoardISAs = []string{"cmp"} }); m.TaggedISAs() {
+		t.Error("host+cmp machine should use NX polarity, not tags")
+	}
+	// A second board family is a third ISA: tags required.
+	m := build(func(p *Params) {
+		p.Boards = 2
+		p.BoardISAs = []string{"nxp", "cmp"}
+	})
+	if !m.TaggedISAs() {
+		t.Error("host+nxp+cmp machine should be tagged")
+	}
+	if m.BoardISA(0) != isa.ISANxP || m.BoardISA(1) != isa.ISACmp {
+		t.Errorf("board ISAs = %v, %v", m.BoardISA(0), m.BoardISA(1))
+	}
+	// Duplicate families across boards do not count twice.
+	if m := build(func(p *Params) {
+		p.Boards = 3
+		p.BoardISAs = []string{"cmp", "cmp", "cmp"}
+	}); m.TaggedISAs() {
+		t.Error("host+cmp×3 machine should use NX polarity, not tags")
+	}
+}
+
+func TestBadBoardISAsRejected(t *testing.T) {
+	p := DefaultParams()
+	p.BoardISAs = []string{"riscv"}
+	if _, err := New(p); err == nil {
+		t.Error("unknown board family accepted")
+	}
+	p.BoardISAs = []string{"nxp", "nxp"}
+	if _, err := New(p); err == nil {
+		t.Error("more board families than boards accepted")
 	}
 }
