@@ -7,7 +7,9 @@
 //	flicksim all
 //
 // Experiments: table2, table3, breakdown, latency, fig5a, fig5b, table4,
-// stubs, tenants, kv.
+// stubs, tenants, kv. Extension modes outside 'all': scaleout, soak, and
+// traffic (the open-loop SLO mode: -arrival/-rate/-duration/-slo, see
+// docs/TRAFFIC.md).
 //
 // Each experiment expands into a graph of independent simulation jobs
 // (one private machine per job) executed by -jobs parallel workers.
@@ -33,6 +35,7 @@ import (
 	"flick/internal/kernel"
 	"flick/internal/platform"
 	"flick/internal/runner"
+	"flick/internal/sim"
 	"flick/internal/stats"
 )
 
@@ -64,12 +67,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	boards := fs.Int("boards", 1, "number of NxP boards per simulated machine (see docs/SCALING.md)")
 	boardPolicy := fs.String("board-policy", "", "board placement policy: round-robin, least-loaded, or affinity (default round-robin)")
 	boardISA := fs.String("board-isa", "", "comma-separated board core families, entry i → board i (registered backends; empty entries default to nxp; see docs/ISAS.md)")
+	arrival := fs.String("arrival", "", "traffic arrival shape: poisson or burst (default poisson; see docs/TRAFFIC.md)")
+	rate := fs.Float64("rate", 0, "traffic offered load in tasks/s (0 = sweep a grid around the calibrated capacity)")
+	duration := fs.Duration("duration", 8*time.Millisecond, "traffic admission window in virtual time")
+	slo := fs.Duration("slo", 0, "traffic p99 sojourn SLO target; each run is judged PASS/FAIL (0 = no SLO)")
 	list := fs.Bool("list", false, "list registered experiments and ISA backends, then exit")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file (see docs/PERFORMANCE.md)")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: flicksim [flags] <experiment>...\n")
-		fmt.Fprintf(stderr, "experiments: %s all soak scaleout\n", strings.Join(experiments.IDs(), " "))
+		fmt.Fprintf(stderr, "experiments: %s all soak scaleout traffic\n", strings.Join(experiments.IDs(), " "))
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -183,6 +190,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 				time.Since(start).Seconds(), o.Jobs)
 			continue
 		}
+		// traffic is not a registry experiment (it is the open-loop SLO
+		// mode, not a paper artifact, so "all" does not include it).
+		if id == "traffic" {
+			start := time.Now()
+			topt := experiments.TrafficOptions{
+				Arrival: *arrival,
+				Rate:    *rate,
+				Window:  sim.FromStd(*duration),
+				SLO:     sim.FromStd(*slo),
+			}
+			if err := experiments.Traffic(o, topt, stdout); err != nil {
+				fmt.Fprintf(stderr, "flicksim: traffic: %v\n", err)
+				return 1
+			}
+			fmt.Fprintln(stdout)
+			fmt.Fprintf(stderr, "  [traffic regenerated in %.1fs wall time, %d jobs wide]\n",
+				time.Since(start).Seconds(), o.Jobs)
+			continue
+		}
 		// soak is not a registry experiment (it is a robustness gate, not a
 		// paper artifact, so "all" does not include it).
 		if id == "soak" {
@@ -236,6 +262,7 @@ func printList(w io.Writer) {
 	}
 	fmt.Fprintln(w, "  scaleout  (multi-board extension; not part of 'all')")
 	fmt.Fprintln(w, "  soak      (robustness gate; not part of 'all')")
+	fmt.Fprintln(w, "  traffic   (open-loop SLO mode; not part of 'all')")
 	fmt.Fprintln(w, "isas:")
 	for _, be := range isa.All() {
 		role := "board"

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestSoakSweepIncludesTrafficPhase runs the full default soak matrix —
+// nested-migration fib plus one open-loop traffic scenario per fault kind
+// — and asserts zero lost calls and worker-count-independent bytes.
+func TestSoakSweepIncludesTrafficPhase(t *testing.T) {
+	render := func(jobs int) string {
+		o := tiny()
+		o.Jobs = jobs
+		var buf bytes.Buffer
+		if err := Soak(o, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	serial, parallel := render(1), render(8)
+	if serial != parallel {
+		t.Fatalf("soak diverged:\n--- jobs=1 ---\n%s\n--- jobs=8 ---\n%s", serial, parallel)
+	}
+	if !strings.Contains(serial, "open-loop traffic") {
+		t.Fatalf("soak output has no traffic phase:\n%s", serial)
+	}
+	for _, spec := range DefaultSoakSpecs() {
+		if !strings.Contains(serial, spec.Name) {
+			t.Errorf("soak output missing spec %q", spec.Name)
+		}
+	}
+	if strings.Contains(serial, "FAIL") || strings.Contains(serial, "lost") && !strings.Contains(serial, "never lost") {
+		t.Errorf("soak reported failures:\n%s", serial)
+	}
+}

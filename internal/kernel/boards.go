@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"flick/internal/isa"
+	"flick/internal/sim"
 )
 
 // BoardPolicy names a board-placement policy for wrong-ISA faults: which
@@ -58,6 +59,15 @@ type BoardScheduler struct {
 	next     int         // round-robin cursor
 	inflight []int       // in-flight migrations per board
 	last     map[int]int // pid → board of its last placement
+
+	// Load accounting for capacity runs: pure bookkeeping over the same
+	// Started/Finished edges the policies already observe, so tracking it
+	// perturbs no virtual time and no placement decision.
+	clock      func() sim.Time // nil = busy-time tracking off
+	dispatches []uint64        // total dispatches per board
+	peak       []int           // peak in-flight depth per board
+	busy       []sim.Duration  // accumulated busy (inflight > 0) time
+	busySince  []sim.Time      // start of the current busy interval
 }
 
 // NewBoardScheduler builds a scheduler over boards ≥ 1.
@@ -69,12 +79,21 @@ func NewBoardScheduler(policy BoardPolicy, boards int) *BoardScheduler {
 		policy = PolicyRoundRobin
 	}
 	return &BoardScheduler{
-		policy:   policy,
-		boards:   boards,
-		inflight: make([]int, boards),
-		last:     make(map[int]int),
+		policy:     policy,
+		boards:     boards,
+		inflight:   make([]int, boards),
+		last:       make(map[int]int),
+		dispatches: make([]uint64, boards),
+		peak:       make([]int, boards),
+		busy:       make([]sim.Duration, boards),
+		busySince:  make([]sim.Time, boards),
 	}
 }
+
+// setClock installs the virtual-time source for per-board busy-time
+// accounting. Without one, Dispatches and PeakInFlight still work and
+// BusyTime reads zero.
+func (s *BoardScheduler) setClock(now func() sim.Time) { s.clock = now }
 
 // SetBoardISAs declares the core families present on each board (index
 // i → board i; a board may carry several families, like the default
@@ -193,11 +212,39 @@ func (s *BoardScheduler) Pick(pid int, is isa.ISA, exclude map[int]bool) int {
 func (s *BoardScheduler) Started(pid, board int) {
 	s.inflight[board]++
 	s.last[pid] = board
+	s.dispatches[board]++
+	if s.inflight[board] > s.peak[board] {
+		s.peak[board] = s.inflight[board]
+	}
+	if s.clock != nil && s.inflight[board] == 1 {
+		s.busySince[board] = s.clock()
+	}
 }
 
 // Finished records that a migration on board completed (or was abandoned).
 func (s *BoardScheduler) Finished(board int) {
 	if s.inflight[board] > 0 {
 		s.inflight[board]--
+		if s.clock != nil && s.inflight[board] == 0 {
+			s.busy[board] += s.clock().Sub(s.busySince[board])
+		}
 	}
+}
+
+// Dispatches returns the total migrations ever dispatched to board.
+func (s *BoardScheduler) Dispatches(board int) uint64 { return s.dispatches[board] }
+
+// PeakInFlight returns the deepest in-flight migration queue board has
+// ever carried — how hard the board was hit at the worst instant.
+func (s *BoardScheduler) PeakInFlight(board int) int { return s.peak[board] }
+
+// BusyTime returns the total virtual time board has had at least one
+// migration in flight, including the currently open interval. Utilization
+// over a run is BusyTime / makespan.
+func (s *BoardScheduler) BusyTime(board int) sim.Duration {
+	d := s.busy[board]
+	if s.clock != nil && s.inflight[board] > 0 {
+		d += s.clock().Sub(s.busySince[board])
+	}
+	return d
 }

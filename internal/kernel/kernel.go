@@ -48,6 +48,11 @@ type Config struct {
 	// board i), making the board scheduler capability-aware. Nil keeps
 	// every board eligible for every migration.
 	BoardISAs [][]isa.ISA
+	// TrafficMetrics registers the traffic plane's instruments: the
+	// migration-latency histogram, the run-queue depth gauges, and the
+	// per-board dispatch/queue/busy gauges (see docs/TRAFFIC.md). Off by
+	// default so baseline metrics snapshots carry no new keys.
+	TrafficMetrics bool
 }
 
 // Recovery parameterizes the migration protocol's failure handling.
@@ -192,21 +197,27 @@ type Kernel struct {
 	// mFailovers is registered only on multi-board platforms, so
 	// single-board metrics snapshots carry no new keys.
 	mFailovers *sim.Counter
+
+	// Traffic-plane instruments, registered only under Config.
+	// TrafficMetrics (nil/untracked otherwise — sim instruments are
+	// nil-safe), so baseline metrics snapshots carry no new keys.
+	mMigLatency *sim.Histogram // per-suspend migration latency, ns
+	runqPeak    int            // deepest run queue ever observed
 }
 
 // New creates a kernel and spawns the host core's scheduler loop process.
 // The host core must be attached with AttachHostCore before tasks start.
 func New(cfg Config) *Kernel {
 	k := &Kernel{
-		env:     cfg.Env,
-		phys:    cfg.Phys,
-		alloc:   cfg.Alloc,
-		tables:  cfg.Tables,
-		costs:   cfg.Costs,
-		layout:  cfg.Layout.withDefaults(),
-		nextPID: 1,
-		tasks:   make(map[int]*Task),
-		inj:     cfg.Faults,
+		env:      cfg.Env,
+		phys:     cfg.Phys,
+		alloc:    cfg.Alloc,
+		tables:   cfg.Tables,
+		costs:    cfg.Costs,
+		layout:   cfg.Layout.withDefaults(),
+		nextPID:  1,
+		tasks:    make(map[int]*Task),
+		inj:      cfg.Faults,
 		recovery: cfg.Recovery.withDefaults(),
 	}
 	k.runqC = cfg.Env.NewCond("kernel.runq")
@@ -229,14 +240,30 @@ func New(cfg Config) *Kernel {
 		boards = 1
 	}
 	k.boards = NewBoardScheduler(cfg.BoardPolicy, boards)
+	k.boards.setClock(cfg.Env.Now)
 	if cfg.BoardISAs != nil {
 		k.boards.SetBoardISAs(cfg.BoardISAs)
 	}
 	if boards > 1 {
 		k.mFailovers = reg.Counter("kernel.failovers")
 	}
+	if cfg.TrafficMetrics {
+		k.mMigLatency = reg.Histogram("migration.latency_ns")
+		reg.Gauge("kernel.runq_peak", func() uint64 { return uint64(k.runqPeak) })
+		reg.Gauge("kernel.runq_depth", func() uint64 { return uint64(len(k.runq)) })
+		for b := 0; b < boards; b++ {
+			b := b
+			reg.Gauge(fmt.Sprintf("kernel.board%d.dispatches", b), func() uint64 { return k.boards.Dispatches(b) })
+			reg.Gauge(fmt.Sprintf("kernel.board%d.peak_inflight", b), func() uint64 { return uint64(k.boards.PeakInFlight(b)) })
+			reg.Gauge(fmt.Sprintf("kernel.board%d.busy_ns", b), func() uint64 { return uint64(k.boards.BusyTime(b) / sim.Nanosecond) })
+		}
+	}
 	return k
 }
+
+// RunqPeak returns the deepest run queue the kernel has ever carried —
+// the backlog high-water mark of an open-loop overload.
+func (k *Kernel) RunqPeak() int { return k.runqPeak }
 
 // BoardSched returns the kernel's board scheduler (never nil).
 func (k *Kernel) BoardSched() *BoardScheduler { return k.boards }
@@ -312,7 +339,10 @@ func (k *Kernel) Faults() int { return k.faults }
 
 // StartThread creates a task that begins executing at entry with the given
 // arguments and queues it for the host core. Flick threads always start on
-// the host (paper §IV-B1).
+// the host (paper §IV-B1). The host stack is allocated lazily on first
+// dispatch, not here: an open-loop arrival burst may queue tens of
+// thousands of tasks, and only the handful actually holding a host core
+// need stack memory at any instant (exited tasks recycle theirs).
 func (k *Kernel) StartThread(name string, entry uint64, args ...uint64) (*Task, error) {
 	if k.program == nil {
 		return nil, errors.New("kernel: no program loaded")
@@ -320,12 +350,7 @@ func (k *Kernel) StartThread(name string, entry uint64, args ...uint64) (*Task, 
 	if len(args) > 6 {
 		return nil, fmt.Errorf("kernel: %d args exceed the 6-register convention", len(args))
 	}
-	stack, err := k.program.allocHostStack()
-	if err != nil {
-		return nil, err
-	}
 	ctx := &cpu.Context{PC: entry}
-	ctx.SetReg(isa.SP, stack)
 	for i, a := range args {
 		ctx.SetReg(isa.Reg(i), a)
 	}
@@ -339,6 +364,9 @@ func (k *Kernel) StartThread(name string, entry uint64, args ...uint64) (*Task, 
 	k.nextPID++
 	k.tasks[t.PID] = t
 	k.runq = append(k.runq, t)
+	if len(k.runq) > k.runqPeak {
+		k.runqPeak = len(k.runq)
+	}
 	k.runqC.Signal()
 	return t, nil
 }
@@ -359,6 +387,20 @@ func (k *Kernel) hostCoreLoop(p *sim.Proc, core *cpu.Core) {
 		p.WaitFor(k.runqC, func() bool { return len(k.runq) > 0 })
 		t := k.runq[0]
 		k.runq = k.runq[1:]
+		if t.stackTop == 0 && t.State == TaskRunnable {
+			// First dispatch: give the task a host stack now (lazily, so a
+			// queued backlog holds no stack memory). Recycled stacks keep
+			// their existing VA→PA mappings, so reuse maps nothing.
+			stack, err := k.program.allocHostStack()
+			if err != nil {
+				t.Err = err
+				t.State = TaskDone
+				t.DoneAt = k.env.Now()
+				continue
+			}
+			t.stackTop = stack
+			t.Ctx.SetReg(isa.SP, stack)
+		}
 		k.current[core] = t
 		t.State = TaskRunning
 		k.mCtxSwitches.Inc()
@@ -378,6 +420,8 @@ func (k *Kernel) hostCoreLoop(p *sim.Proc, core *cpu.Core) {
 			t.Err = err
 		}
 		t.State = TaskDone
+		t.DoneAt = k.env.Now()
+		k.program.releaseTaskStacks(t)
 		delete(k.current, core)
 	}
 }
@@ -464,6 +508,7 @@ func (k *Kernel) HostFault(p *sim.Proc, c *cpu.Core, f *cpu.Fault) error {
 // hook guarantees, and blocks until the DMA interrupt handler wakes the
 // task. The returned time is the wake time.
 func (k *Kernel) MigrateAndSuspend(p *sim.Proc, t *Task, trigger func()) {
+	start := p.Now()
 	p.Sleep(k.costs.SyscallEntry)
 	if k.EagerDMATrigger {
 		// Ablation: fire the DMA before the thread is suspended. If the
@@ -489,6 +534,9 @@ func (k *Kernel) MigrateAndSuspend(p *sim.Proc, t *Task, trigger func()) {
 	// and the syscall return.
 	p.Sleep(k.costs.WakeupSchedule)
 	p.Sleep(k.costs.SyscallExit)
+	// One suspend leg of the migration, entry to return — what the caller
+	// experiences as the ISA-crossing call's kernel-side latency.
+	k.mMigLatency.Observe(uint64(p.Now().Sub(start) / sim.Nanosecond))
 }
 
 // waitMigration blocks until the migration's return descriptor wakes the

@@ -172,7 +172,42 @@ func TestSequentialTasksShareTheCore(t *testing.T) {
 	}
 }
 
-func TestThreadStacksAreDistinct(t *testing.T) {
+func TestConcurrentThreadStacksAreDistinct(t *testing.T) {
+	params := platform.DefaultParams()
+	params.HostCores = 2
+	m, err := platform.New(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := asm.Assemble("test.fasm", `
+.func main isa=host
+    mov a0, sp
+    sys 1
+.endfunc
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := multibin.Link(multibin.LinkConfig{}, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := m.Kernel.LoadProgram(im)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, _ := m.Kernel.StartThread("a", prog.Image.Entry)
+	t2, _ := m.Kernel.StartThread("b", prog.Image.Entry)
+	m.Env.Run()
+	if t1.ExitCode == t2.ExitCode {
+		t.Errorf("concurrent threads shared a stack top: %#x", t1.ExitCode)
+	}
+}
+
+func TestSequentialTasksRecycleStacks(t *testing.T) {
+	// Stacks are allocated at first dispatch and freed at exit, so on one
+	// core a later task reuses an earlier task's stack — the property that
+	// bounds stack memory under open-loop traffic.
 	m, prog := newMachine(t, `
 .func main isa=host
     mov a0, sp
@@ -182,8 +217,45 @@ func TestThreadStacksAreDistinct(t *testing.T) {
 	t1, _ := m.Kernel.StartThread("a", prog.Image.Entry)
 	t2, _ := m.Kernel.StartThread("b", prog.Image.Entry)
 	m.Env.Run()
-	if t1.ExitCode == t2.ExitCode {
-		t.Errorf("threads shared a stack top: %#x", t1.ExitCode)
+	if t1.ExitCode == 0 || t2.ExitCode == 0 {
+		t.Fatalf("tasks ran without stacks: %#x, %#x", t1.ExitCode, t2.ExitCode)
+	}
+	if t1.ExitCode != t2.ExitCode {
+		t.Errorf("sequential tasks did not recycle the stack: %#x vs %#x", t1.ExitCode, t2.ExitCode)
+	}
+}
+
+func TestStackRecyclingOutlivesTheRegion(t *testing.T) {
+	// 300 sequential 1 MiB-stack tasks far exceed the ~128-stack host
+	// region; only recycling lets them all run.
+	m, prog := newMachine(t, `
+.func main isa=host
+    movi a0, 0
+    sys  1
+.endfunc
+`)
+	tasks := make([]*kernel.Task, 0, 300)
+	for i := 0; i < 300; i++ {
+		task, err := m.Kernel.StartThread("t", prog.Image.Entry)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tasks = append(tasks, task)
+	}
+	m.Env.Run()
+	for i, task := range tasks {
+		if task.Err != nil {
+			t.Fatalf("task %d failed: %v", i, task.Err)
+		}
+		if task.State != kernel.TaskDone {
+			t.Fatalf("task %d state = %v", i, task.State)
+		}
+		if task.DoneAt == 0 {
+			t.Fatalf("task %d has no DoneAt stamp", i)
+		}
+	}
+	if peak := m.Kernel.RunqPeak(); peak != 300 {
+		t.Errorf("RunqPeak = %d, want 300 (all tasks queued before the core drained any)", peak)
 	}
 }
 

@@ -3,6 +3,7 @@ package kernel
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"flick/internal/isa"
 	"flick/internal/multibin"
@@ -111,9 +112,18 @@ type Program struct {
 	k             *Kernel
 	hostStackNext uint64 // next stack top VA
 	hostStackPA   uint64
+	// hostStackFree holds the stack tops of exited tasks (LIFO). Reusing a
+	// freed stack reuses its existing VA→PA mapping wholesale, so the host
+	// stack region supports an unbounded stream of tasks as long as the
+	// number of *live* dispatched tasks stays within the region.
+	hostStackFree []uint64
 	// nxpStackNext[i] is board i's next NxP stack VA (within that board's
 	// BRAM window); entry 0 covers the single-board fast path.
 	nxpStackNext []uint64
+	// nxpStackFree[i] holds board i's recycled BRAM stack tops (LIFO) —
+	// board stacks are permanent per live task, so exited tasks must give
+	// theirs back or a small BRAM serves only a handful of tasks ever.
+	nxpStackFree [][]uint64
 }
 
 // LoadProgram maps a linked image according to the paper's placement
@@ -204,6 +214,7 @@ func (k *Kernel) LoadProgram(im *multibin.Image) (*Program, error) {
 	if lay.NxPStackRegion != 0 {
 		pas := append([]uint64{lay.NxPStackPA}, lay.BoardStackPAs...)
 		prog.nxpStackNext = make([]uint64, len(pas))
+		prog.nxpStackFree = make([][]uint64, len(pas))
 		for i, pa := range pas {
 			va := lay.NxPStackVA + uint64(i)*BoardStackStride
 			if err := k.tables.MapRange(va, pa, lay.NxPStackRegion,
@@ -236,8 +247,14 @@ func windowPageSize(preferred, va, pa, length uint64) uint64 {
 // Program returns the loaded program.
 func (k *Kernel) Program() *Program { return k.program }
 
-// allocHostStack maps a fresh thread stack and returns its top VA.
+// allocHostStack returns a thread stack top VA, reusing a recycled stack
+// (mapping and all) when one is free and mapping a fresh one otherwise.
 func (p *Program) allocHostStack() (uint64, error) {
+	if n := len(p.hostStackFree); n > 0 {
+		top := p.hostStackFree[n-1]
+		p.hostStackFree = p.hostStackFree[:n-1]
+		return top, nil
+	}
 	lay := p.k.layout
 	top := p.hostStackNext
 	base := top - lay.HostStackSize
@@ -250,17 +267,66 @@ func (p *Program) allocHostStack() (uint64, error) {
 	return top, nil
 }
 
+// releaseHostStack returns an exited task's stack to the free list. The
+// VA→PA mapping stays live, so the next task reusing it pays no map cost
+// and inherits warm TLB entries — exactly what reusing a kernel stack
+// slab does on real hardware.
+func (p *Program) releaseHostStack(top uint64) {
+	if top != 0 {
+		p.hostStackFree = append(p.hostStackFree, top)
+	}
+}
+
+// releaseNxPStackOn returns a board BRAM stack to its board's free list.
+func (p *Program) releaseNxPStackOn(board int, top uint64) {
+	if board >= 0 && board < len(p.nxpStackFree) && top != 0 {
+		p.nxpStackFree[board] = append(p.nxpStackFree[board], top)
+	}
+}
+
+// releaseTaskStacks recycles every stack an exited task held: its host
+// stack and each board BRAM stack it migrated onto. Board stacks are
+// released in sorted key order so the free lists — and therefore future
+// allocations — never depend on Go map iteration order.
+func (p *Program) releaseTaskStacks(t *Task) {
+	p.releaseHostStack(t.stackTop)
+	t.stackTop = 0
+	if len(t.BoardStacks) == 0 {
+		return
+	}
+	keys := make([]BoardStackKey, 0, len(t.BoardStacks))
+	for k := range t.BoardStacks {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Board != keys[j].Board {
+			return keys[i].Board < keys[j].Board
+		}
+		return keys[i].ISA < keys[j].ISA
+	})
+	for _, k := range keys {
+		p.releaseNxPStackOn(k.Board, t.BoardStacks[k])
+	}
+	t.BoardStacks = nil
+}
+
 // AllocNxPStack reserves an NxP-local stack for a thread on board 0 and
 // returns its top VA. The Flick host migration handler calls this on a
 // thread's first migration (Listing 1, lines 3-4).
 func (p *Program) AllocNxPStack() (uint64, error) { return p.AllocNxPStackOn(0) }
 
 // AllocNxPStackOn reserves an NxP-local stack within the given board's
-// BRAM window and returns its top VA.
+// BRAM window and returns its top VA, preferring a recycled stack from an
+// exited task.
 func (p *Program) AllocNxPStackOn(board int) (uint64, error) {
 	lay := p.k.layout
 	if board < 0 || board >= len(p.nxpStackNext) {
 		return 0, fmt.Errorf("kernel: board %d has no NxP stack region", board)
+	}
+	if free := p.nxpStackFree[board]; len(free) > 0 {
+		top := free[len(free)-1]
+		p.nxpStackFree[board] = free[:len(free)-1]
+		return top, nil
 	}
 	windowVA := lay.NxPStackVA + uint64(board)*BoardStackStride
 	base := p.nxpStackNext[board]

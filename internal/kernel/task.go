@@ -57,9 +57,19 @@ type Task struct {
 
 	ExitCode uint64
 	Err      error // fatal fault or runtime error, if any
+	// DoneAt is the virtual time the task reached TaskDone — with the
+	// caller's record of when the task was started, the task's sojourn
+	// time under load (see internal/traffic).
+	DoneAt sim.Time
 
 	wake        *sim.Cond
 	wakePending bool
+	// stackTop is the task's host stack (0 until first dispatch: stacks
+	// are allocated lazily so a deep run-queue backlog of not-yet-started
+	// tasks costs no stack memory, and recycled on exit so open-loop
+	// workloads can push tens of thousands of tasks through a bounded
+	// stack region).
+	stackTop uint64
 
 	// FaultAddr is the NX-faulting instruction address saved by the page
 	// fault handler — the address of the function to migrate to.

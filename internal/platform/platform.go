@@ -115,6 +115,11 @@ type Params struct {
 	// Recovery overrides the kernel's retry/timeout parameters; zero
 	// fields take kernel.DefaultRecovery values.
 	Recovery kernel.Recovery
+	// TrafficMetrics registers the kernel's traffic-plane instruments
+	// (migration-latency histogram, run-queue and per-board gauges; see
+	// docs/TRAFFIC.md). Off by default so baseline metrics snapshots
+	// carry no new keys.
+	TrafficMetrics bool
 }
 
 // DefaultParams returns the calibrated Table I machine.
@@ -454,9 +459,10 @@ func New(params Params) (*Machine, error) {
 			TaggedISAs:     m.tagged,
 			BoardStackPAs:  boardStackPAs,
 		},
-		Boards:      nBoards,
-		BoardPolicy: boardPolicy,
-		BoardISAs:   boardCaps,
+		Boards:         nBoards,
+		BoardPolicy:    boardPolicy,
+		BoardISAs:      boardCaps,
+		TrafficMetrics: params.TrafficMetrics,
 	})
 	for _, h := range m.Hosts {
 		h.SetSysHandler(m.Kernel.Syscall)

@@ -84,6 +84,54 @@ func BucketLe(i int) uint64 {
 	return 1<<uint(i) - 1
 }
 
+// Quantile returns an upper bound on the q-quantile of the observed
+// distribution: the inclusive upper bound of the power-of-two bucket
+// holding the ceil(q·count)-th smallest observation. q is clamped to
+// [0, 1]; q=0 bounds the minimum, q=1 the maximum. A histogram with no
+// observations reports 0.
+//
+// Error bound: an observation v lands in the bucket with upper bound
+// Le = 2^bits.Len64(v) - 1, so the true quantile t and the reported
+// bound r satisfy t <= r <= max(2t-1, t) — the report is never below
+// the true quantile and overshoots by strictly less than one power of
+// two. Observations of 0 and 1 occupy their own single-value buckets
+// and are reported exactly, so an idle-heavy latency distribution's
+// p50 reads exactly 0 rather than being dragged up a bucket.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.count {
+		rank = h.count
+	}
+	var cum uint64
+	for i, n := range h.buckets {
+		cum += n
+		if cum >= rank {
+			return BucketLe(i)
+		}
+	}
+	return math.MaxUint64 // unreachable: buckets sum to count
+}
+
+// Mean returns the arithmetic mean of the observations (exact — computed
+// from the running sum, not the buckets). Empty and nil histograms read 0.
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
 // Metrics is a registry of named counters, gauges, and histograms owned by
 // one simulation environment. Components register their instruments at
 // construction time; Snapshot assembles a stable, name-sorted view.

@@ -148,3 +148,154 @@ func TestBucketLe(t *testing.T) {
 		t.Error("BucketLe wrong for top bucket")
 	}
 }
+
+// quantileRef is the exact empirical quantile the histogram approximates:
+// the ceil(q*n)-th smallest sample (rank clamped to [1, n]).
+func quantileRef(sorted []uint64, q float64) uint64 {
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+func TestQuantileSingleBucketExact(t *testing.T) {
+	// 0 and 1 occupy single-value buckets, so every quantile is exact.
+	for _, v := range []uint64{0, 1} {
+		h := &Histogram{}
+		for i := 0; i < 10; i++ {
+			h.Observe(v)
+		}
+		for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+			if got := h.Quantile(q); got != v {
+				t.Errorf("all-%d histogram: Quantile(%g) = %d, want %d", v, q, got, v)
+			}
+		}
+	}
+	// A wider single bucket reports its upper bound for every quantile.
+	h := &Histogram{}
+	for i := 0; i < 10; i++ {
+		h.Observe(5) // bucket [4, 7]
+	}
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); got != 7 {
+			t.Errorf("all-5 histogram: Quantile(%g) = %d, want 7", q, got)
+		}
+	}
+}
+
+func TestQuantileZeroBucketNotMergedWithOne(t *testing.T) {
+	// Regression: zero must keep its own bucket. An idle-heavy latency
+	// distribution (60% zeros) must report p50 exactly 0 — if zeros shared
+	// the le=1 bucket, the median would read 1.
+	h := &Histogram{}
+	for i := 0; i < 6; i++ {
+		h.Observe(0)
+	}
+	for i := 0; i < 4; i++ {
+		h.Observe(1000)
+	}
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("p50 of 60%%-idle distribution = %d, want exactly 0", got)
+	}
+	if got := h.Quantile(0.9); got == 0 {
+		t.Error("p90 collapsed to 0; the non-zero tail vanished")
+	}
+	// The snapshot must show the zeros in their own le=0 bucket.
+	m := NewMetrics()
+	*m.Histogram("h") = *h
+	s := m.Snapshot()
+	if b := s.Histograms[0].Buckets[0]; b.Le != 0 || b.Count != 6 {
+		t.Errorf("zero bucket = %+v, want {Le:0 Count:6}", b)
+	}
+}
+
+func TestQuantileMonotonicInQ(t *testing.T) {
+	h := &Histogram{}
+	x := uint64(12345)
+	for i := 0; i < 500; i++ {
+		// splitmix64 step: deterministic pseudo-random samples.
+		x += 0x9E3779B97F4A7C15
+		z := x
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		h.Observe((z ^ (z >> 31)) % 100000)
+	}
+	prev := uint64(0)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		got := h.Quantile(q)
+		if got < prev {
+			t.Fatalf("Quantile not monotonic: q=%.2f gave %d after %d", q, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestQuantileUpperBoundVsSortedReference(t *testing.T) {
+	// Against a sorted reference on random samples, the histogram quantile
+	// is never below the true quantile and overshoots by less than one
+	// power of two: ref <= got <= max(2*ref-1, ref).
+	for seed := uint64(1); seed <= 5; seed++ {
+		h := &Histogram{}
+		var samples []uint64
+		x := seed
+		for i := 0; i < 1000; i++ {
+			x += 0x9E3779B97F4A7C15
+			z := x
+			z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+			z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+			v := (z ^ (z >> 31)) % 1_000_000
+			samples = append(samples, v)
+			h.Observe(v)
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		for _, q := range []float64{0, 0.01, 0.1, 0.5, 0.9, 0.99, 0.999, 1} {
+			ref := quantileRef(samples, q)
+			got := h.Quantile(q)
+			if got < ref {
+				t.Errorf("seed %d q=%g: Quantile = %d below true quantile %d", seed, q, got, ref)
+			}
+			bound := ref
+			if ref > 0 {
+				bound = 2*ref - 1
+			}
+			if got > bound {
+				t.Errorf("seed %d q=%g: Quantile = %d exceeds error bound %d (true %d)", seed, q, got, bound, ref)
+			}
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var nilH *Histogram
+	if nilH.Quantile(0.5) != 0 || nilH.Mean() != 0 {
+		t.Error("nil histogram quantile/mean not 0")
+	}
+	empty := &Histogram{}
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if empty.Quantile(q) != 0 {
+			t.Errorf("empty histogram Quantile(%g) != 0", q)
+		}
+	}
+	h := &Histogram{}
+	for _, v := range []uint64{0, 3, 900} {
+		h.Observe(v)
+	}
+	// q=0 bounds the minimum (exactly 0 here), q=1 the maximum.
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("Quantile(0) = %d, want 0", got)
+	}
+	if got, want := h.Quantile(1), BucketLe(10); got != want {
+		t.Errorf("Quantile(1) = %d, want %d", got, want)
+	}
+	// Out-of-range q clamps to the edges.
+	if h.Quantile(-3) != h.Quantile(0) || h.Quantile(7) != h.Quantile(1) {
+		t.Error("out-of-range q does not clamp")
+	}
+	if got, want := h.Mean(), float64(903)/3; got != want {
+		t.Errorf("Mean = %g, want %g", got, want)
+	}
+}

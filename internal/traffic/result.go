@@ -1,0 +1,140 @@
+package traffic
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"flick/internal/sim"
+)
+
+// BoardLoad is one board's load accounting over a traffic run, read off
+// the kernel board scheduler's dispatch/peak/busy bookkeeping.
+type BoardLoad struct {
+	// Dispatches is the total migrations the board served.
+	Dispatches uint64
+	// PeakInFlight is the deepest migration queue the board ever carried.
+	PeakInFlight int
+	// Busy is the virtual time the board had at least one migration in
+	// flight.
+	Busy sim.Duration
+	// Util is Busy divided by the run's makespan, in [0, 1].
+	Util float64
+}
+
+// Result is everything one open-loop traffic run reports. Migration
+// quantiles come from the kernel's power-of-two latency histogram, so they
+// are upper bounds (within one power of two of the true value — see
+// sim.Histogram.Quantile); sojourn quantiles are exact, computed from the
+// per-task admission and completion stamps.
+type Result struct {
+	// Spec is the arrival process that generated the run.
+	Spec Spec
+	// Window is the admission window the schedule covered.
+	Window sim.Duration
+	// Tasks is the number of tasks admitted.
+	Tasks int
+	// Completed counts tasks that exited cleanly with the oracle's value.
+	Completed int
+	// Failed counts tasks that errored or exited with a wrong value —
+	// lost calls. Zero on every healthy run, including overloads: open
+	// loop means late, not lost.
+	Failed int
+	// Makespan is the virtual time from zero to the last completion.
+	Makespan sim.Duration
+	// Achieved is Completed divided by Makespan, in tasks per second.
+	Achieved float64
+
+	// MigCount is the number of migration suspend legs observed.
+	MigCount uint64
+	// MigMeanNS is the exact mean migration latency in nanoseconds.
+	MigMeanNS float64
+	// MigP50NS, MigP99NS, MigP999NS are bucket-upper-bound quantiles of
+	// the migration latency histogram, in nanoseconds.
+	MigP50NS, MigP99NS, MigP999NS uint64
+
+	// Sojourn quantiles (admission → exit, queueing included), exact.
+	SojMean sim.Duration
+	SojP50  sim.Duration
+	SojP99  sim.Duration
+	SojP999 sim.Duration
+
+	// RunqPeak is the deepest host run-queue backlog of the run.
+	RunqPeak int
+	// Boards is per-board load, index = board number.
+	Boards []BoardLoad
+}
+
+// ExactQuantile returns the nearest-rank q-quantile of a sorted sample:
+// the ceil(q·n)-th smallest value. q is clamped to [0, 1]; an empty sample
+// reports 0.
+func ExactQuantile(sorted []sim.Duration, q float64) sim.Duration {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := int(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}
+
+// SojournStats fills the sojourn fields of a Result from the raw per-task
+// sojourn times (it sorts the slice in place).
+func (r *Result) SojournStats(sojourns []sim.Duration) {
+	if len(sojourns) == 0 {
+		return
+	}
+	sort.Slice(sojourns, func(i, j int) bool { return sojourns[i] < sojourns[j] })
+	var sum sim.Duration
+	for _, s := range sojourns {
+		sum += s
+	}
+	r.SojMean = sum / sim.Duration(len(sojourns))
+	r.SojP50 = ExactQuantile(sojourns, 0.50)
+	r.SojP99 = ExactQuantile(sojourns, 0.99)
+	r.SojP999 = ExactQuantile(sojourns, 0.999)
+}
+
+// us renders a duration as microseconds with one decimal.
+func us(d sim.Duration) string { return fmt.Sprintf("%.1fµs", d.Microseconds()) }
+
+// usNS renders a nanosecond count as microseconds with one decimal.
+func usNS(ns uint64) string { return us(sim.Duration(ns) * sim.Nanosecond) }
+
+// WriteReport renders the run as the flicksim traffic artifact. slo, when
+// positive, adds a PASS/FAIL verdict comparing the exact p99 sojourn
+// against it. The output is a pure function of the Result, so it is
+// byte-identical for any worker count.
+func (r Result) WriteReport(w io.Writer, slo sim.Duration) {
+	fmt.Fprintf(w, "Open-loop traffic: %s arrivals, %.0f tasks/s offered over %s\n",
+		r.Spec.WithDefaults().Shape, r.Spec.Rate, us(r.Window))
+	fmt.Fprintf(w, "  tasks      : %d admitted, %d completed, %d failed\n", r.Tasks, r.Completed, r.Failed)
+	fmt.Fprintf(w, "  makespan   : %s  (achieved %.0f tasks/s)\n", us(r.Makespan), r.Achieved)
+	fmt.Fprintf(w, "  migrations : %d  mean %.1fµs  p50 ≤ %s  p99 ≤ %s  p999 ≤ %s\n",
+		r.MigCount, r.MigMeanNS/1e3, usNS(r.MigP50NS), usNS(r.MigP99NS), usNS(r.MigP999NS))
+	fmt.Fprintf(w, "  sojourn    : mean %s  p50 %s  p99 %s  p999 %s\n",
+		us(r.SojMean), us(r.SojP50), us(r.SojP99), us(r.SojP999))
+	fmt.Fprintf(w, "  run queue  : peak %d\n", r.RunqPeak)
+	for b, bl := range r.Boards {
+		fmt.Fprintf(w, "  board %-4d : %d dispatches, peak %d in flight, %.1f%% busy\n",
+			b, bl.Dispatches, bl.PeakInFlight, bl.Util*100)
+	}
+	if slo > 0 {
+		verdict := "PASS"
+		if r.SojP99 > slo {
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(w, "  SLO        : p99 sojourn ≤ %s : %s (measured %s)\n", us(slo), verdict, us(r.SojP99))
+	}
+}

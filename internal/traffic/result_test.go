@@ -1,0 +1,78 @@
+package traffic
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+
+	"flick/internal/sim"
+)
+
+func TestExactQuantile(t *testing.T) {
+	if got := ExactQuantile(nil, 0.5); got != 0 {
+		t.Errorf("empty sample quantile = %v", got)
+	}
+	s := []sim.Duration{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	cases := []struct {
+		q    float64
+		want sim.Duration
+	}{
+		{0, 10}, {0.1, 10}, {0.5, 50}, {0.9, 90}, {0.99, 100}, {1, 100},
+		{-1, 10}, {2, 100}, // clamped
+	}
+	for _, c := range cases {
+		if got := ExactQuantile(s, c.q); got != c.want {
+			t.Errorf("q=%v → %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestSojournStats(t *testing.T) {
+	var r Result
+	raw := []sim.Duration{50, 10, 30, 40, 20} // unsorted on purpose
+	r.SojournStats(raw)
+	if !sort.SliceIsSorted(raw, func(i, j int) bool { return raw[i] < raw[j] }) {
+		t.Error("SojournStats must sort its input")
+	}
+	if r.SojMean != 30 || r.SojP50 != 30 || r.SojP99 != 50 || r.SojP999 != 50 {
+		t.Errorf("stats = mean %v p50 %v p99 %v p999 %v", r.SojMean, r.SojP50, r.SojP99, r.SojP999)
+	}
+}
+
+// TestWriteReportDeterministic pins the report rendering: same Result,
+// same bytes — the property the golden artifact and the CI determinism
+// gates check end to end.
+func TestWriteReportDeterministic(t *testing.T) {
+	r := Result{
+		Spec:   Spec{Shape: ShapePoisson, Rate: 30000},
+		Window: 2 * sim.Millisecond,
+		Tasks:  62, Completed: 62,
+		Makespan: 2590 * sim.Microsecond, Achieved: 23938.2,
+		MigCount: 248, MigMeanNS: 80500, MigP50NS: 131071, MigP99NS: 131071, MigP999NS: 131071,
+		SojMean: 364 * sim.Microsecond, SojP50: 307 * sim.Microsecond,
+		SojP99: 654 * sim.Microsecond, SojP999: 654 * sim.Microsecond,
+		RunqPeak: 9,
+		Boards:   []BoardLoad{{Dispatches: 248, PeakInFlight: 12, Busy: 2569 * sim.Microsecond, Util: 0.9918}},
+	}
+	var a, b bytes.Buffer
+	r.WriteReport(&a, 200*sim.Microsecond)
+	r.WriteReport(&b, 200*sim.Microsecond)
+	if a.String() != b.String() {
+		t.Error("report rendering is not deterministic")
+	}
+	for _, want := range []string{
+		"poisson arrivals", "62 admitted, 62 completed, 0 failed",
+		"p50 ≤ 131.1µs", "p99 654.0µs", "peak 9", "99.2% busy",
+		"SLO        : p99 sojourn ≤ 200.0µs : FAIL",
+	} {
+		if !bytes.Contains(a.Bytes(), []byte(want)) {
+			t.Errorf("report missing %q:\n%s", want, a.String())
+		}
+	}
+	var c bytes.Buffer
+	r.SojP99 = 150 * sim.Microsecond
+	r.WriteReport(&c, 200*sim.Microsecond)
+	if !bytes.Contains(c.Bytes(), []byte("PASS")) {
+		t.Error("SLO met but verdict not PASS")
+	}
+}
