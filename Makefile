@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check lint-isa bench bench-hotloop cover fuzz golden clean
+.PHONY: all build vet test race check lint-isa bench bench-hotloop bench-check cover fuzz golden clean
 
 all: check
 
@@ -61,6 +61,17 @@ bench:
 bench-hotloop:
 	$(GO) test -run '^$$' -bench 'BenchmarkCoreStep|BenchmarkTranslateHit' -benchmem -json \
 		./internal/cpu ./internal/mmu > BENCH_hotloop.json
+
+# Bench regression gate: re-run the hot-loop benchmarks into a scratch
+# capture and fail if any benchmark present in the checked-in record
+# regressed more than 15% (see cmd/benchcheck). Refresh the record with
+# `make bench-hotloop` after a deliberate perf change.
+bench-check:
+	@tmp=$$(mktemp) && \
+	$(GO) test -run '^$$' -bench 'BenchmarkCoreStep|BenchmarkTranslateHit' -benchmem -json \
+		./internal/cpu ./internal/mmu > $$tmp && \
+	$(GO) run ./cmd/benchcheck BENCH_hotloop.json $$tmp; \
+	st=$$?; rm -f $$tmp; exit $$st
 
 # Per-package coverage floors for the instrumented layers (CI enforces
 # 70% on these plus 80% on internal/traffic).

@@ -1,0 +1,152 @@
+// Command benchcheck compares two `go test -json` benchmark captures and
+// fails when any benchmark present in both regressed beyond a threshold.
+//
+// Usage:
+//
+//	benchcheck [-threshold 0.15] baseline.json current.json
+//
+// The baseline is the checked-in hot-loop record (BENCH_hotloop.json); the
+// current file is a fresh capture of the same benchmarks. Benchmarks only
+// present on one side are reported but never fail the gate, so adding a
+// backend (a new BenchmarkCoreStep sub-benchmark) does not break CI until
+// the baseline is refreshed with `make bench-hotloop`. Exit codes: 0 all
+// matched benchmarks within threshold, 1 regression, 2 usage/parse error.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// resultRE pulls one benchmark result out of the concatenated test2json
+// output stream. The name keeps its sub-benchmark path but drops the
+// trailing -procs suffix so captures from different GOMAXPROCS compare.
+var resultRE = regexp.MustCompile(`(Benchmark[^\s-]\S*?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("benchcheck", flag.ContinueOnError)
+	threshold := fs.Float64("threshold", 0.15, "maximum allowed fractional ns/op regression")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: benchcheck [-threshold 0.15] baseline.json current.json")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	base, err := readBench(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		return 2
+	}
+	cur, err := readBench(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		return 2
+	}
+
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	for _, name := range names {
+		was := base[name]
+		now, ok := cur[name]
+		if !ok {
+			fmt.Printf("MISSING  %-40s baseline %8.2f ns/op, absent from current run\n", name, was)
+			continue
+		}
+		delta := (now - was) / was
+		verdict := "ok      "
+		if delta > *threshold {
+			verdict = "REGRESSED"
+			failed = true
+		}
+		fmt.Printf("%s %-40s %8.2f -> %8.2f ns/op  (%+.1f%%, limit +%.0f%%)\n",
+			verdict, name, was, now, delta*100, *threshold*100)
+	}
+	for name, now := range cur {
+		if _, ok := base[name]; !ok {
+			fmt.Printf("NEW      %-40s %8.2f ns/op (not in baseline; refresh with `make bench-hotloop`)\n", name, now)
+		}
+	}
+	if failed {
+		fmt.Printf("benchcheck: regression beyond %.0f%%\n", *threshold*100)
+		return 1
+	}
+	return 0
+}
+
+// readBench parses a `go test -json` stream and returns ns/op keyed by
+// benchmark name. test2json splits a single result line across several
+// Output records, so the records are concatenated per package before the
+// result regexp runs.
+func readBench(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	text := make(map[string]*strings.Builder)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var rec struct {
+			Action  string `json:"Action"`
+			Package string `json:"Package"`
+			Output  string `json:"Output"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			return nil, fmt.Errorf("%s: not a go test -json stream: %v", path, err)
+		}
+		if rec.Action != "output" {
+			continue
+		}
+		b := text[rec.Package]
+		if b == nil {
+			b = &strings.Builder{}
+			text[rec.Package] = b
+		}
+		b.WriteString(rec.Output)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+
+	out := make(map[string]float64)
+	for _, b := range text {
+		for _, m := range resultRE.FindAllStringSubmatch(b.String(), -1) {
+			ns, err := strconv.ParseFloat(m[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s: bad ns/op %q for %s", path, m[2], m[1])
+			}
+			out[m[1]] = ns
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results found", path)
+	}
+	return out, nil
+}

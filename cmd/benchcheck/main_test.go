@@ -1,0 +1,106 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// capture renders a minimal `go test -json` stream with one benchmark
+// result per (name, ns/op) pair, split across Output records the way
+// test2json splits real streams (name in one record, numbers in the next).
+func capture(t *testing.T, path string, results map[string]float64) string {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for name, ns := range results {
+		fmt.Fprintf(f, `{"Action":"output","Package":"p","Output":"%s         \t"}`+"\n", name)
+		fmt.Fprintf(f, `{"Action":"output","Package":"p","Output":"1000\t        %.2f ns/op\t       0 B/op\t       0 allocs/op\n"}`+"\n", ns)
+	}
+	return path
+}
+
+func TestWithinThresholdPasses(t *testing.T) {
+	dir := t.TempDir()
+	base := capture(t, filepath.Join(dir, "base.json"), map[string]float64{
+		"BenchmarkCoreStep/host": 70.0,
+		"BenchmarkCoreStep/nxp":  70.0,
+	})
+	cur := capture(t, filepath.Join(dir, "cur.json"), map[string]float64{
+		"BenchmarkCoreStep/host": 80.0, // +14.3%, inside the 15% limit
+		"BenchmarkCoreStep/nxp":  50.0, // improvement
+	})
+	if code := run([]string{base, cur}); code != 0 {
+		t.Errorf("exit = %d, want 0", code)
+	}
+}
+
+func TestRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	base := capture(t, filepath.Join(dir, "base.json"), map[string]float64{
+		"BenchmarkCoreStep/host": 70.0,
+	})
+	cur := capture(t, filepath.Join(dir, "cur.json"), map[string]float64{
+		"BenchmarkCoreStep/host": 85.0, // +21.4%
+	})
+	if code := run([]string{base, cur}); code != 1 {
+		t.Errorf("exit = %d, want 1", code)
+	}
+}
+
+// A benchmark only present on one side must not fail the gate: a freshly
+// added backend appears in the current capture before the checked-in
+// baseline is refreshed, and the baseline may name benchmarks a filtered
+// current run skipped.
+func TestOneSidedBenchmarksAreReportedNotFatal(t *testing.T) {
+	dir := t.TempDir()
+	base := capture(t, filepath.Join(dir, "base.json"), map[string]float64{
+		"BenchmarkCoreStep/host": 70.0,
+		"BenchmarkCoreStep/dsp":  70.0,
+	})
+	cur := capture(t, filepath.Join(dir, "cur.json"), map[string]float64{
+		"BenchmarkCoreStep/host": 70.0,
+		"BenchmarkCoreStep/cmp":  70.0, // new backend, absent from baseline
+	})
+	if code := run([]string{base, cur}); code != 0 {
+		t.Errorf("exit = %d, want 0", code)
+	}
+}
+
+// The -procs suffix varies with the runner's GOMAXPROCS and must not
+// break name matching between captures from different machines.
+func TestProcsSuffixStripped(t *testing.T) {
+	dir := t.TempDir()
+	base := capture(t, filepath.Join(dir, "base.json"), map[string]float64{
+		"BenchmarkCoreStep/host-8": 70.0,
+	})
+	cur := capture(t, filepath.Join(dir, "cur.json"), map[string]float64{
+		"BenchmarkCoreStep/host-16": 90.0,
+	})
+	if code := run([]string{base, cur}); code != 1 {
+		t.Errorf("exit = %d, want 1 (suffix-stripped names should match and regress)", code)
+	}
+}
+
+func TestBadInputsExit2(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	good := capture(t, filepath.Join(dir, "good.json"), map[string]float64{"BenchmarkX": 1})
+	for _, args := range [][]string{
+		{},     // no files
+		{good}, // one file
+		{good, filepath.Join(dir, "missing.json")},
+		{empty, good}, // no benchmark results
+	} {
+		if code := run(args); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+	}
+}

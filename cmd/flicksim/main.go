@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"flick/internal/experiments"
+	"flick/internal/faultinj"
 	"flick/internal/isa"
 	"flick/internal/kernel"
 	"flick/internal/platform"
@@ -103,6 +104,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	boardISAs, err := platform.ParseBoardISAs(*boardISA, *boards)
 	if err != nil {
 		fmt.Fprintf(stderr, "flicksim: -board-isa: %v\n", err)
+		fs.Usage()
+		return 2
+	}
+	if _, err := faultinj.Parse(*faults); err != nil {
+		fmt.Fprintf(stderr, "flicksim: -faults: %v\n", err)
 		fs.Usage()
 		return 2
 	}

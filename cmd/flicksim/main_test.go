@@ -310,6 +310,29 @@ func TestTooManyBoardISAsExit2(t *testing.T) {
 	}
 }
 
+// TestBadFaultSpecExit2: a malformed -faults spec must be refused before
+// any experiment runs — in particular the degenerate "delay by zero"
+// clauses that used to parse silently to a no-op duration.
+func TestBadFaultSpecExit2(t *testing.T) {
+	for _, bad := range []string{
+		"msi.delay=0.5:0us",  // zero duration
+		"msi.delay=0.5:-5us", // negative duration
+		"msi.delay=0.5",      // delay kind with no duration at all
+		"dma.fail",           // grammar error
+	} {
+		code, stdout, stderr := runCLI(t, "-quiet", "-faults", bad, "table3")
+		if code != 2 {
+			t.Errorf("-faults %q: exit = %d, want 2", bad, code)
+		}
+		if stdout != "" {
+			t.Errorf("-faults %q: error output leaked to stdout:\n%s", bad, stdout)
+		}
+		if !strings.Contains(stderr, "-faults") || !strings.Contains(stderr, "usage: flicksim") {
+			t.Errorf("-faults %q: stderr missing flag name or usage:\n%s", bad, stderr)
+		}
+	}
+}
+
 // TestHostRejectedAsBoardISA: the host family is not a board family; the
 // flag must reject it rather than build a machine with two hosts.
 func TestHostRejectedAsBoardISA(t *testing.T) {

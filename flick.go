@@ -114,9 +114,26 @@ func Build(cfg Config) (*System, error) {
 		}
 		objects = append(objects, obj)
 	}
+	// A machine whose boards all carry a non-default family must not link
+	// the nxp runtime stubs: the image would carry .text.nxp no core can
+	// execute, and activation rejects that. Machines with an nxp board
+	// link the historical combined sources byte for byte.
+	hasNxpBoard := false
+	for _, b := range m.Boards {
+		if m.BoardISA(b.Index) == isa.ISANxP {
+			hasNxpBoard = true
+			break
+		}
+	}
 	runtimeSources := []struct{ name, source string }{
 		{"flick_runtime.fasm", core.RuntimeSource},
 		{"flick_stdlib.fasm", core.StdlibSource},
+	}
+	if !hasNxpBoard {
+		runtimeSources = []struct{ name, source string }{
+			{"flick_runtime.fasm", core.RuntimeHostOnlySource},
+			{"flick_stdlib.fasm", core.StdlibHostOnlySource},
+		}
 	}
 	// Extra per-ISA runtime libraries: the DSP's when that core is enabled,
 	// and one for each non-default board family the machine carries.

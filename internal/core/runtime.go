@@ -53,6 +53,28 @@ const RuntimeSource = `
 .endfunc
 `
 
+// RuntimeHostOnlySource is RuntimeSource without the nxp-family stubs,
+// for machines where no board carries an nxp core (e.g. every board is
+// cmp): the base runtime must not drag .text.nxp into an image no core
+// could ever execute. Machines with at least one nxp board keep linking
+// RuntimeSource unchanged, byte for byte.
+const RuntimeHostOnlySource = `
+; Flick runtime library (host side only).
+.func __flick_host_handler isa=host
+    native 1
+.endfunc
+
+.func malloc.host isa=host
+    native 3
+.endfunc
+
+; Annotated allocation: lets host code place data in the NxP region
+; explicitly (the paper's near-storage initialization case).
+.func nxp_malloc isa=host
+    native 5
+.endfunc
+`
+
 // RuntimeDspSource is the extra runtime library for three-ISA
 // configurations (§IV-C3): the DSP-side migration handler stub and the
 // DSP variants of the per-ISA routed symbols. Linked only when the

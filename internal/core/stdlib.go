@@ -115,3 +115,70 @@ pdone:
     ret
 .endfunc
 `
+
+// StdlibHostOnlySource is StdlibSource without the nxp-family variants,
+// linked (with a board family's own runtime library supplying that
+// family's variants) when no board carries an nxp core. Machines with an
+// nxp board keep linking StdlibSource unchanged.
+const StdlibHostOnlySource = `
+; Flick standard library (host side only).
+
+.func memcpy.host isa=host
+    ; a0 = dst, a1 = src, a2 = n; returns dst
+    mov  t5, a0
+mloop:
+    beq  a2, zr, mdone
+    ld1  t0, [a1+0]
+    st1  t0, [a0+0]
+    addi a0, a0, 1
+    addi a1, a1, 1
+    addi a2, a2, -1
+    jmp  mloop
+mdone:
+    mov  a0, t5
+    ret
+.endfunc
+
+.func memset.host isa=host
+    ; a0 = dst, a1 = fill byte, a2 = n; returns dst
+    mov  t5, a0
+sloop:
+    beq  a2, zr, sdone
+    st1  a1, [a0+0]
+    addi a0, a0, 1
+    addi a2, a2, -1
+    jmp  sloop
+sdone:
+    mov  a0, t5
+    ret
+.endfunc
+
+.func strlen.host isa=host
+    ; a0 = ptr; returns length
+    movi t0, 0
+lloop:
+    ld1  t1, [a0+0]
+    beq  t1, zr, ldone
+    addi t0, t0, 1
+    addi a0, a0, 1
+    jmp  lloop
+ldone:
+    mov  a0, t0
+    ret
+.endfunc
+
+; print_str is host-only: the console is a host kernel service.
+.func print_str isa=host
+ploop:
+    ld1  t0, [a0+0]
+    beq  t0, zr, pdone
+    push a0
+    mov  a0, t0
+    sys  2
+    pop  a0
+    addi a0, a0, 1
+    jmp  ploop
+pdone:
+    ret
+.endfunc
+`

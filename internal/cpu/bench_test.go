@@ -111,19 +111,28 @@ func buildBenchRig(tb testing.TB, is isa.ISA) *benchRig {
 	return &benchRig{env: env, core: core, ctx: ctx}
 }
 
-// benchCoreStep measures steady-state Step wall-clock for one ISA.
+// benchCoreStep measures steady-state per-instruction wall-clock for one
+// ISA. One Step may retire a whole chained superblock run, so the loop
+// counts retired instructions rather than Step calls: ns/op stays
+// per-simulated-instruction and comparable across the interpreter's
+// generations (with FLICKSIM_NOPREDECODE=1 each Step retires exactly one
+// instruction and this reduces to the old Step-counting loop).
 func benchCoreStep(b *testing.B, is isa.ISA) {
 	rig := buildBenchRig(b, is)
 	var stepErr error
 	rig.env.Spawn("bench", func(p *sim.Proc) {
-		// Warm the TLB, I-cache, and predecode cache out of the timed
+		// Warm the TLB, I-cache, and superblock cache out of the timed
 		// region, then measure the steady state.
 		for i := 0; i < 64 && stepErr == nil; i++ {
 			stepErr = rig.core.Step(p)
 		}
+		start, _ := rig.core.Stats()
 		b.ReportAllocs()
 		b.ResetTimer()
-		for i := 0; i < b.N && stepErr == nil; i++ {
+		for stepErr == nil {
+			if in, _ := rig.core.Stats(); in-start >= uint64(b.N) {
+				break
+			}
 			stepErr = rig.core.Step(p)
 		}
 		b.StopTimer()

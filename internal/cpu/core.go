@@ -79,7 +79,8 @@ type Config struct {
 	// set) at the current PC — the fault-injection hook for exercising
 	// stale-TLB recovery paths.
 	SpuriousFault func() bool
-	// NoPredecode disables the predecode cache for this core. The
+	// NoPredecode disables the superblock cache for this core (the name
+	// survives from the predecode cache it replaced). The
 	// FLICKSIM_NOPREDECODE environment variable disables it process-wide
 	// (see docs/PERFORMANCE.md); results are byte-identical either way.
 	NoPredecode bool
@@ -91,7 +92,7 @@ type Core struct {
 	cfg    Config
 	codec  isa.Backend
 	icache *icache
-	pd     *predecode // nil when disabled (Config.NoPredecode / escape hatch)
+	pd     *sbCache // nil when disabled (Config.NoPredecode / escape hatch)
 
 	ctx    *Context
 	halted bool
@@ -134,7 +135,7 @@ func New(cfg Config) *Core {
 		c.icache = newICache(cfg.ICacheLines)
 	}
 	if !cfg.NoPredecode && !sim.FastPathsDisabled() {
-		c.pd = newPredecode(c.codec)
+		c.pd = newSBCache(c.codec)
 	}
 	return c
 }
@@ -189,7 +190,7 @@ func (c *Core) InvalidateICache() {
 	c.InvalidatePredecode()
 }
 
-// InvalidatePredecode drops every predecoded instruction. Content changes
+// InvalidatePredecode drops every cached superblock. Content changes
 // are caught automatically by the code-generation watch; this explicit
 // hook exists for the events that deserve a conservative drop regardless
 // — I-cache invalidation and TLB shootdown fan-out.
@@ -199,10 +200,11 @@ func (c *Core) InvalidatePredecode() {
 	}
 }
 
-// PredecodeStats reports the predecode cache's lifetime hit/fill/flush
-// counts (zeros when disabled). Test-only visibility: deliberately not
-// registered as metrics so the metrics JSON stays identical with the
-// cache on or off.
+// PredecodeStats reports the superblock cache's lifetime hit/fill/flush
+// counts (zeros when disabled; the name survives from the PR 5
+// per-instruction predecode cache this grew out of). Test-only
+// visibility: deliberately not registered as metrics so the metrics JSON
+// stays identical with the cache on or off.
 func (c *Core) PredecodeStats() (hits, fills, flushes uint64) {
 	if c.pd == nil {
 		return 0, 0, 0
@@ -327,12 +329,13 @@ func (c *Core) Step(p *sim.Proc) error {
 	}
 	phys, f := c.fetch(p)
 	if f == nil {
-		// Predecode fast path: fetch above already charged translation and
-		// I-cache costs and re-checked permissions, so a hit skips only
-		// the (architecturally free) byte read and decode.
+		// Superblock fast path: fetch above already charged translation and
+		// I-cache costs and re-checked permissions for the block head, so a
+		// hit executes the whole cached block (and chains onward) with the
+		// per-member fetch work replicated or batched inside blockStep.
 		if c.pd != nil {
-			if ins, n, ok := c.pd.lookup(phys, c.ctx.PC); ok {
-				return c.execute(p, ins, n)
+			if b := c.pd.lookup(phys); b != nil {
+				return c.blockStep(p, b)
 			}
 		}
 		var bytes []byte
@@ -343,7 +346,13 @@ func (c *Core) Step(p *sim.Proc) error {
 				f = &Fault{Kind: FaultIllegalInstr, ISA: c.cfg.ISA, VA: c.ctx.PC, PC: c.ctx.PC, Err: err}
 			} else {
 				if c.pd != nil {
-					c.pd.fill(c.cfg.Phys, phys, c.ctx.PC, ins, n)
+					// Cold path: decode the whole straight-line run headed
+					// here and cache it. Ineligible heads (barrier ops,
+					// page-straddling windows, MMIO) fall through to the
+					// plain interpreter, exactly as before.
+					if b := c.buildBlock(phys); b != nil && c.pd.fill(c.cfg.Phys, b) {
+						return c.blockStep(p, b)
+					}
 				}
 				return c.execute(p, ins, n)
 			}
@@ -360,9 +369,13 @@ func (c *Core) Step(p *sim.Proc) error {
 }
 
 // Run executes instructions until the context halts, faults fatally, or
-// maxInstr instructions retire (0 = unbounded).
+// at least maxInstr instructions retire (0 = unbounded). One Step may
+// retire a whole chained superblock run, so the bound can overshoot by up
+// to the per-Step chain budget; callers use it as a runaway guard, not an
+// exact count.
 func (c *Core) Run(p *sim.Proc, maxInstr uint64) error {
-	for i := uint64(0); maxInstr == 0 || i < maxInstr; i++ {
+	start := c.instret
+	for maxInstr == 0 || c.instret-start < maxInstr {
 		if err := c.Step(p); err != nil {
 			return err
 		}

@@ -9,181 +9,406 @@ import (
 	"flick/internal/sim"
 )
 
+// opFn executes one decoded instruction whose following instruction
+// starts at next. Each handler owns the PC update: straight-line ops set
+// ctx.PC = next, control transfers set their target, halt leaves PC
+// untouched, and handled faults return through deliver/dataFault without
+// moving PC so the faulting instruction re-executes after the handler.
+// Handlers take ins by value — passing a pointer through the indirect
+// call would escape it to the heap and break the 0 allocs/step invariant.
+//
+// Both the per-instruction slow path (execute) and the superblock
+// executor dispatch through opTable, so their architectural semantics are
+// identical by construction.
+type opFn func(c *Core, p *sim.Proc, ins isa.Instr, next uint64) error
+
+var opTable = [isa.NumOps]opFn{
+	isa.OpNop:  execNop,
+	isa.OpHalt: execHalt,
+
+	isa.OpMov:  execMov,
+	isa.OpMovi: execMovi,
+	isa.OpOrhi: execOrhi,
+
+	isa.OpAdd:  execAdd,
+	isa.OpSub:  execSub,
+	isa.OpMul:  execMul,
+	isa.OpUdiv: execDivRem,
+	isa.OpUrem: execDivRem,
+	isa.OpAnd:  execAnd,
+	isa.OpOr:   execOr,
+	isa.OpXor:  execXor,
+	isa.OpShl:  execShl,
+	isa.OpShr:  execShr,
+	isa.OpSar:  execSar,
+	isa.OpSlt:  execSlt,
+	isa.OpSltu: execSltu,
+
+	isa.OpAddi:  execAddi,
+	isa.OpMuli:  execMuli,
+	isa.OpAndi:  execAndi,
+	isa.OpOri:   execOri,
+	isa.OpXori:  execXori,
+	isa.OpShli:  execShli,
+	isa.OpShri:  execShri,
+	isa.OpSlti:  execSlti,
+	isa.OpSltui: execSltui,
+
+	isa.OpLd1: execLoad,
+	isa.OpLd2: execLoad,
+	isa.OpLd4: execLoad,
+	isa.OpLd8: execLoad,
+	isa.OpSt1: execStore,
+	isa.OpSt2: execStore,
+	isa.OpSt4: execStore,
+	isa.OpSt8: execStore,
+
+	isa.OpPush: execPush,
+	isa.OpPop:  execPop,
+
+	isa.OpJmp:  execJmp,
+	isa.OpJmpr: execJmpr,
+	isa.OpBeq:  execBranch,
+	isa.OpBne:  execBranch,
+	isa.OpBlt:  execBranch,
+	isa.OpBge:  execBranch,
+	isa.OpBltu: execBranch,
+	isa.OpBgeu: execBranch,
+
+	isa.OpCall:  execCall,
+	isa.OpCallr: execCallr,
+	isa.OpRet:   execRet,
+
+	isa.OpNative: execNative,
+	isa.OpSys:    execSys,
+}
+
 // execute runs one decoded instruction. n is its encoded length. Cycle
 // pricing is the backend's: isa.BaseStepCycles plus any per-form penalty
 // the encoding charges (e.g. decode expansion of wide compressed forms).
 func (c *Core) execute(p *sim.Proc, ins isa.Instr, n int) error {
-	ctx := c.ctx
-	next := ctx.PC + uint64(n)
 	c.charge(p, c.codec.StepCycles(ins, n))
 	c.instret++
-
-	switch ins.Op {
-	case isa.OpNop:
-	case isa.OpHalt:
-		c.halted = true
-		return nil
-
-	case isa.OpMov:
-		ctx.SetReg(ins.Rd, ctx.Reg(ins.Rs))
-	case isa.OpMovi:
-		ctx.SetReg(ins.Rd, uint64(ins.Imm))
-	case isa.OpOrhi:
-		ctx.SetReg(ins.Rd, uint64(ins.Imm)<<32|ctx.Reg(ins.Rd)&0xFFFFFFFF)
-
-	case isa.OpAdd:
-		ctx.SetReg(ins.Rd, ctx.Reg(ins.Rs)+ctx.Reg(ins.Rt))
-	case isa.OpSub:
-		ctx.SetReg(ins.Rd, ctx.Reg(ins.Rs)-ctx.Reg(ins.Rt))
-	case isa.OpMul:
-		ctx.SetReg(ins.Rd, ctx.Reg(ins.Rs)*ctx.Reg(ins.Rt))
-	case isa.OpUdiv, isa.OpUrem:
-		d := ctx.Reg(ins.Rt)
-		if d == 0 {
-			return c.deliver(p, &Fault{Kind: FaultArith, ISA: c.cfg.ISA, VA: ctx.PC, PC: ctx.PC})
-		}
-		if ins.Op == isa.OpUdiv {
-			ctx.SetReg(ins.Rd, ctx.Reg(ins.Rs)/d)
-		} else {
-			ctx.SetReg(ins.Rd, ctx.Reg(ins.Rs)%d)
-		}
-	case isa.OpAnd:
-		ctx.SetReg(ins.Rd, ctx.Reg(ins.Rs)&ctx.Reg(ins.Rt))
-	case isa.OpOr:
-		ctx.SetReg(ins.Rd, ctx.Reg(ins.Rs)|ctx.Reg(ins.Rt))
-	case isa.OpXor:
-		ctx.SetReg(ins.Rd, ctx.Reg(ins.Rs)^ctx.Reg(ins.Rt))
-	case isa.OpShl:
-		ctx.SetReg(ins.Rd, ctx.Reg(ins.Rs)<<(ctx.Reg(ins.Rt)&63))
-	case isa.OpShr:
-		ctx.SetReg(ins.Rd, ctx.Reg(ins.Rs)>>(ctx.Reg(ins.Rt)&63))
-	case isa.OpSar:
-		ctx.SetReg(ins.Rd, uint64(int64(ctx.Reg(ins.Rs))>>(ctx.Reg(ins.Rt)&63)))
-	case isa.OpSlt:
-		ctx.SetReg(ins.Rd, b2u(int64(ctx.Reg(ins.Rs)) < int64(ctx.Reg(ins.Rt))))
-	case isa.OpSltu:
-		ctx.SetReg(ins.Rd, b2u(ctx.Reg(ins.Rs) < ctx.Reg(ins.Rt)))
-
-	case isa.OpAddi:
-		ctx.SetReg(ins.Rd, ctx.Reg(ins.Rs)+uint64(ins.Imm))
-	case isa.OpMuli:
-		ctx.SetReg(ins.Rd, ctx.Reg(ins.Rs)*uint64(ins.Imm))
-	case isa.OpAndi:
-		ctx.SetReg(ins.Rd, ctx.Reg(ins.Rs)&uint64(ins.Imm))
-	case isa.OpOri:
-		ctx.SetReg(ins.Rd, ctx.Reg(ins.Rs)|uint64(ins.Imm))
-	case isa.OpXori:
-		ctx.SetReg(ins.Rd, ctx.Reg(ins.Rs)^uint64(ins.Imm))
-	case isa.OpShli:
-		ctx.SetReg(ins.Rd, ctx.Reg(ins.Rs)<<(uint64(ins.Imm)&63))
-	case isa.OpShri:
-		ctx.SetReg(ins.Rd, ctx.Reg(ins.Rs)>>(uint64(ins.Imm)&63))
-	case isa.OpSlti:
-		ctx.SetReg(ins.Rd, b2u(int64(ctx.Reg(ins.Rs)) < ins.Imm))
-	case isa.OpSltui:
-		ctx.SetReg(ins.Rd, b2u(ctx.Reg(ins.Rs) < uint64(ins.Imm)))
-
-	case isa.OpLd1, isa.OpLd2, isa.OpLd4, isa.OpLd8:
-		size := 1 << (ins.Op - isa.OpLd1)
-		va := ctx.Reg(ins.Rs) + uint64(ins.Imm)
-		var buf [8]byte
-		if err := c.readVirt(p, va, buf[:size]); err != nil {
-			return c.dataFault(p, err, va)
-		}
-		var v uint64
-		for i := 0; i < size; i++ {
-			v |= uint64(buf[i]) << (8 * i)
-		}
-		ctx.SetReg(ins.Rd, v)
-
-	case isa.OpSt1, isa.OpSt2, isa.OpSt4, isa.OpSt8:
-		size := 1 << (ins.Op - isa.OpSt1)
-		va := ctx.Reg(ins.Rd) + uint64(ins.Imm)
-		v := ctx.Reg(ins.Rs)
-		var buf [8]byte
-		for i := 0; i < size; i++ {
-			buf[i] = byte(v >> (8 * i))
-		}
-		if err := c.writeVirt(p, va, buf[:size]); err != nil {
-			return c.dataFault(p, err, va)
-		}
-
-	case isa.OpPush:
-		sp := ctx.Reg(isa.SP) - 8
-		var buf [8]byte
-		v := ctx.Reg(ins.Rs)
-		for i := range buf {
-			buf[i] = byte(v >> (8 * i))
-		}
-		if err := c.writeVirt(p, sp, buf[:]); err != nil {
-			return c.dataFault(p, err, sp)
-		}
-		ctx.SetReg(isa.SP, sp)
-	case isa.OpPop:
-		sp := ctx.Reg(isa.SP)
-		var buf [8]byte
-		if err := c.readVirt(p, sp, buf[:]); err != nil {
-			return c.dataFault(p, err, sp)
-		}
-		var v uint64
-		for i := range buf {
-			v |= uint64(buf[i]) << (8 * i)
-		}
-		ctx.SetReg(ins.Rd, v)
-		ctx.SetReg(isa.SP, sp+8)
-
-	case isa.OpJmp:
-		ctx.PC += uint64(ins.Imm)
-		return nil
-	case isa.OpJmpr:
-		ctx.PC = ctx.Reg(ins.Rs)
-		return nil
-	case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge, isa.OpBltu, isa.OpBgeu:
-		if branchTaken(ins.Op, ctx.Reg(ins.Rs), ctx.Reg(ins.Rt)) {
-			ctx.PC += uint64(ins.Imm)
-			return nil
-		}
-
-	case isa.OpCall:
-		ctx.SetReg(isa.RA, next)
-		ctx.PC += uint64(ins.Imm)
-		return nil
-	case isa.OpCallr:
-		ctx.SetReg(isa.RA, next)
-		ctx.PC = ctx.Reg(ins.Rs)
-		return nil
-	case isa.OpRet:
-		ctx.PC = ctx.Reg(isa.RA)
-		return nil
-
-	case isa.OpNative:
-		fn, ok := c.cfg.Natives.lookup(ins.Imm)
-		if !ok {
-			return fmt.Errorf("cpu: %s: native #%d not registered (pc=%#x)", c, ins.Imm, ctx.PC)
-		}
-		// A native stub behaves as the whole function body: run it, then
-		// return to the caller.
-		if err := fn(p, c); err != nil {
-			return err
-		}
-		if c.halted {
-			return nil
-		}
-		ctx.PC = ctx.Reg(isa.RA)
-		return nil
-
-	case isa.OpSys:
-		if c.cfg.Sys == nil {
-			return fmt.Errorf("cpu: %s: sys %d with no handler", c, ins.Imm)
-		}
-		ctx.PC = next // syscalls resume after the instruction by default
-		return c.cfg.Sys(p, c, ins.Imm)
-
-	default:
+	if int(ins.Op) >= isa.NumOps || opTable[ins.Op] == nil {
 		return fmt.Errorf("cpu: %s: unimplemented op %v", c, ins.Op)
+	}
+	return opTable[ins.Op](c, p, ins, c.ctx.PC+uint64(n))
+}
+
+func execNop(c *Core, p *sim.Proc, ins isa.Instr, next uint64) error {
+	c.ctx.PC = next
+	return nil
+}
+
+func execHalt(c *Core, p *sim.Proc, ins isa.Instr, next uint64) error {
+	c.halted = true
+	return nil
+}
+
+func execMov(c *Core, p *sim.Proc, ins isa.Instr, next uint64) error {
+	ctx := c.ctx
+	ctx.SetReg(ins.Rd, ctx.Reg(ins.Rs))
+	ctx.PC = next
+	return nil
+}
+
+func execMovi(c *Core, p *sim.Proc, ins isa.Instr, next uint64) error {
+	c.ctx.SetReg(ins.Rd, uint64(ins.Imm))
+	c.ctx.PC = next
+	return nil
+}
+
+func execOrhi(c *Core, p *sim.Proc, ins isa.Instr, next uint64) error {
+	ctx := c.ctx
+	ctx.SetReg(ins.Rd, uint64(ins.Imm)<<32|ctx.Reg(ins.Rd)&0xFFFFFFFF)
+	ctx.PC = next
+	return nil
+}
+
+func execAdd(c *Core, p *sim.Proc, ins isa.Instr, next uint64) error {
+	ctx := c.ctx
+	ctx.SetReg(ins.Rd, ctx.Reg(ins.Rs)+ctx.Reg(ins.Rt))
+	ctx.PC = next
+	return nil
+}
+
+func execSub(c *Core, p *sim.Proc, ins isa.Instr, next uint64) error {
+	ctx := c.ctx
+	ctx.SetReg(ins.Rd, ctx.Reg(ins.Rs)-ctx.Reg(ins.Rt))
+	ctx.PC = next
+	return nil
+}
+
+func execMul(c *Core, p *sim.Proc, ins isa.Instr, next uint64) error {
+	ctx := c.ctx
+	ctx.SetReg(ins.Rd, ctx.Reg(ins.Rs)*ctx.Reg(ins.Rt))
+	ctx.PC = next
+	return nil
+}
+
+func execDivRem(c *Core, p *sim.Proc, ins isa.Instr, next uint64) error {
+	ctx := c.ctx
+	d := ctx.Reg(ins.Rt)
+	if d == 0 {
+		return c.deliver(p, &Fault{Kind: FaultArith, ISA: c.cfg.ISA, VA: ctx.PC, PC: ctx.PC})
+	}
+	if ins.Op == isa.OpUdiv {
+		ctx.SetReg(ins.Rd, ctx.Reg(ins.Rs)/d)
+	} else {
+		ctx.SetReg(ins.Rd, ctx.Reg(ins.Rs)%d)
 	}
 	ctx.PC = next
 	return nil
+}
+
+func execAnd(c *Core, p *sim.Proc, ins isa.Instr, next uint64) error {
+	ctx := c.ctx
+	ctx.SetReg(ins.Rd, ctx.Reg(ins.Rs)&ctx.Reg(ins.Rt))
+	ctx.PC = next
+	return nil
+}
+
+func execOr(c *Core, p *sim.Proc, ins isa.Instr, next uint64) error {
+	ctx := c.ctx
+	ctx.SetReg(ins.Rd, ctx.Reg(ins.Rs)|ctx.Reg(ins.Rt))
+	ctx.PC = next
+	return nil
+}
+
+func execXor(c *Core, p *sim.Proc, ins isa.Instr, next uint64) error {
+	ctx := c.ctx
+	ctx.SetReg(ins.Rd, ctx.Reg(ins.Rs)^ctx.Reg(ins.Rt))
+	ctx.PC = next
+	return nil
+}
+
+func execShl(c *Core, p *sim.Proc, ins isa.Instr, next uint64) error {
+	ctx := c.ctx
+	ctx.SetReg(ins.Rd, ctx.Reg(ins.Rs)<<(ctx.Reg(ins.Rt)&63))
+	ctx.PC = next
+	return nil
+}
+
+func execShr(c *Core, p *sim.Proc, ins isa.Instr, next uint64) error {
+	ctx := c.ctx
+	ctx.SetReg(ins.Rd, ctx.Reg(ins.Rs)>>(ctx.Reg(ins.Rt)&63))
+	ctx.PC = next
+	return nil
+}
+
+func execSar(c *Core, p *sim.Proc, ins isa.Instr, next uint64) error {
+	ctx := c.ctx
+	ctx.SetReg(ins.Rd, uint64(int64(ctx.Reg(ins.Rs))>>(ctx.Reg(ins.Rt)&63)))
+	ctx.PC = next
+	return nil
+}
+
+func execSlt(c *Core, p *sim.Proc, ins isa.Instr, next uint64) error {
+	ctx := c.ctx
+	ctx.SetReg(ins.Rd, b2u(int64(ctx.Reg(ins.Rs)) < int64(ctx.Reg(ins.Rt))))
+	ctx.PC = next
+	return nil
+}
+
+func execSltu(c *Core, p *sim.Proc, ins isa.Instr, next uint64) error {
+	ctx := c.ctx
+	ctx.SetReg(ins.Rd, b2u(ctx.Reg(ins.Rs) < ctx.Reg(ins.Rt)))
+	ctx.PC = next
+	return nil
+}
+
+func execAddi(c *Core, p *sim.Proc, ins isa.Instr, next uint64) error {
+	ctx := c.ctx
+	ctx.SetReg(ins.Rd, ctx.Reg(ins.Rs)+uint64(ins.Imm))
+	ctx.PC = next
+	return nil
+}
+
+func execMuli(c *Core, p *sim.Proc, ins isa.Instr, next uint64) error {
+	ctx := c.ctx
+	ctx.SetReg(ins.Rd, ctx.Reg(ins.Rs)*uint64(ins.Imm))
+	ctx.PC = next
+	return nil
+}
+
+func execAndi(c *Core, p *sim.Proc, ins isa.Instr, next uint64) error {
+	ctx := c.ctx
+	ctx.SetReg(ins.Rd, ctx.Reg(ins.Rs)&uint64(ins.Imm))
+	ctx.PC = next
+	return nil
+}
+
+func execOri(c *Core, p *sim.Proc, ins isa.Instr, next uint64) error {
+	ctx := c.ctx
+	ctx.SetReg(ins.Rd, ctx.Reg(ins.Rs)|uint64(ins.Imm))
+	ctx.PC = next
+	return nil
+}
+
+func execXori(c *Core, p *sim.Proc, ins isa.Instr, next uint64) error {
+	ctx := c.ctx
+	ctx.SetReg(ins.Rd, ctx.Reg(ins.Rs)^uint64(ins.Imm))
+	ctx.PC = next
+	return nil
+}
+
+func execShli(c *Core, p *sim.Proc, ins isa.Instr, next uint64) error {
+	ctx := c.ctx
+	ctx.SetReg(ins.Rd, ctx.Reg(ins.Rs)<<(uint64(ins.Imm)&63))
+	ctx.PC = next
+	return nil
+}
+
+func execShri(c *Core, p *sim.Proc, ins isa.Instr, next uint64) error {
+	ctx := c.ctx
+	ctx.SetReg(ins.Rd, ctx.Reg(ins.Rs)>>(uint64(ins.Imm)&63))
+	ctx.PC = next
+	return nil
+}
+
+func execSlti(c *Core, p *sim.Proc, ins isa.Instr, next uint64) error {
+	ctx := c.ctx
+	ctx.SetReg(ins.Rd, b2u(int64(ctx.Reg(ins.Rs)) < ins.Imm))
+	ctx.PC = next
+	return nil
+}
+
+func execSltui(c *Core, p *sim.Proc, ins isa.Instr, next uint64) error {
+	ctx := c.ctx
+	ctx.SetReg(ins.Rd, b2u(ctx.Reg(ins.Rs) < uint64(ins.Imm)))
+	ctx.PC = next
+	return nil
+}
+
+func execLoad(c *Core, p *sim.Proc, ins isa.Instr, next uint64) error {
+	ctx := c.ctx
+	size := 1 << (ins.Op - isa.OpLd1)
+	va := ctx.Reg(ins.Rs) + uint64(ins.Imm)
+	var buf [8]byte
+	if err := c.readVirt(p, va, buf[:size]); err != nil {
+		return c.dataFault(p, err, va)
+	}
+	var v uint64
+	for i := 0; i < size; i++ {
+		v |= uint64(buf[i]) << (8 * i)
+	}
+	ctx.SetReg(ins.Rd, v)
+	ctx.PC = next
+	return nil
+}
+
+func execStore(c *Core, p *sim.Proc, ins isa.Instr, next uint64) error {
+	ctx := c.ctx
+	size := 1 << (ins.Op - isa.OpSt1)
+	va := ctx.Reg(ins.Rd) + uint64(ins.Imm)
+	v := ctx.Reg(ins.Rs)
+	var buf [8]byte
+	for i := 0; i < size; i++ {
+		buf[i] = byte(v >> (8 * i))
+	}
+	if err := c.writeVirt(p, va, buf[:size]); err != nil {
+		return c.dataFault(p, err, va)
+	}
+	ctx.PC = next
+	return nil
+}
+
+func execPush(c *Core, p *sim.Proc, ins isa.Instr, next uint64) error {
+	ctx := c.ctx
+	sp := ctx.Reg(isa.SP) - 8
+	var buf [8]byte
+	v := ctx.Reg(ins.Rs)
+	for i := range buf {
+		buf[i] = byte(v >> (8 * i))
+	}
+	if err := c.writeVirt(p, sp, buf[:]); err != nil {
+		return c.dataFault(p, err, sp)
+	}
+	ctx.SetReg(isa.SP, sp)
+	ctx.PC = next
+	return nil
+}
+
+func execPop(c *Core, p *sim.Proc, ins isa.Instr, next uint64) error {
+	ctx := c.ctx
+	sp := ctx.Reg(isa.SP)
+	var buf [8]byte
+	if err := c.readVirt(p, sp, buf[:]); err != nil {
+		return c.dataFault(p, err, sp)
+	}
+	var v uint64
+	for i := range buf {
+		v |= uint64(buf[i]) << (8 * i)
+	}
+	ctx.SetReg(ins.Rd, v)
+	ctx.SetReg(isa.SP, sp+8)
+	ctx.PC = next
+	return nil
+}
+
+func execJmp(c *Core, p *sim.Proc, ins isa.Instr, next uint64) error {
+	c.ctx.PC += uint64(ins.Imm)
+	return nil
+}
+
+func execJmpr(c *Core, p *sim.Proc, ins isa.Instr, next uint64) error {
+	c.ctx.PC = c.ctx.Reg(ins.Rs)
+	return nil
+}
+
+func execBranch(c *Core, p *sim.Proc, ins isa.Instr, next uint64) error {
+	ctx := c.ctx
+	if branchTaken(ins.Op, ctx.Reg(ins.Rs), ctx.Reg(ins.Rt)) {
+		ctx.PC += uint64(ins.Imm)
+		return nil
+	}
+	ctx.PC = next
+	return nil
+}
+
+func execCall(c *Core, p *sim.Proc, ins isa.Instr, next uint64) error {
+	ctx := c.ctx
+	ctx.SetReg(isa.RA, next)
+	ctx.PC += uint64(ins.Imm)
+	return nil
+}
+
+func execCallr(c *Core, p *sim.Proc, ins isa.Instr, next uint64) error {
+	ctx := c.ctx
+	ctx.SetReg(isa.RA, next)
+	ctx.PC = ctx.Reg(ins.Rs)
+	return nil
+}
+
+func execRet(c *Core, p *sim.Proc, ins isa.Instr, next uint64) error {
+	c.ctx.PC = c.ctx.Reg(isa.RA)
+	return nil
+}
+
+func execNative(c *Core, p *sim.Proc, ins isa.Instr, next uint64) error {
+	ctx := c.ctx
+	fn, ok := c.cfg.Natives.lookup(ins.Imm)
+	if !ok {
+		return fmt.Errorf("cpu: %s: native #%d not registered (pc=%#x)", c, ins.Imm, ctx.PC)
+	}
+	// A native stub behaves as the whole function body: run it, then
+	// return to the caller.
+	if err := fn(p, c); err != nil {
+		return err
+	}
+	if c.halted {
+		return nil
+	}
+	ctx.PC = ctx.Reg(isa.RA)
+	return nil
+}
+
+func execSys(c *Core, p *sim.Proc, ins isa.Instr, next uint64) error {
+	if c.cfg.Sys == nil {
+		return fmt.Errorf("cpu: %s: sys %d with no handler", c, ins.Imm)
+	}
+	c.ctx.PC = next // syscalls resume after the instruction by default
+	return c.cfg.Sys(p, c, ins.Imm)
 }
 
 func branchTaken(op isa.Op, a, b uint64) bool {

@@ -15,6 +15,12 @@ type icache struct {
 	next     int
 	hits     uint64
 	fills    uint64
+
+	// gen counts content mutations (fills and flushes). A superblock that
+	// validated all its lines resident at generation g can skip the
+	// per-line residency probes while gen == g: no fill has evicted
+	// anything and no flush has emptied the cache since.
+	gen uint64
 }
 
 func newICache(lines int) *icache {
@@ -45,9 +51,22 @@ func (ic *icache) fill(line uint64) {
 	ic.order[ic.next%ic.capacity] = line
 	ic.next++
 	ic.fills++
+	ic.gen++
 }
 
 func (ic *icache) flush() {
 	clear(ic.lines)
 	ic.next = 0
+	ic.gen++
 }
+
+// resident reports whether a line is cached without touching the hit
+// counter — a pure residency probe for block validation.
+func (ic *icache) resident(line uint64) bool {
+	_, ok := ic.lines[line]
+	return ok
+}
+
+// countHits settles the hit counter for n lookups a batch executor proved
+// (via resident/gen) would each have hit.
+func (ic *icache) countHits(n uint64) { ic.hits += n }

@@ -152,6 +152,259 @@ func TestPredecodeInvalidatedByDMAWrite(t *testing.T) {
 	}
 }
 
+// midSrc pairs two functions identical except for the amount the loop's
+// MIDDLE instruction adds to a2, so mid-block invalidation tests can
+// patch one instruction inside an already-chained hot block and observe
+// from a2 whether the next execution decoded the new bytes (a stale block
+// keeps adding 1 where fresh decode adds 2).
+const midSrc = `
+.func main isa=host
+    halt
+.endfunc
+.func f isa=host
+    movi a1, 4
+loop:
+    addi a0, a0, 1
+    addi a2, a2, 1
+    bne  a0, a1, loop
+    halt
+.endfunc
+.func g isa=host
+    movi a1, 4
+loop:
+    addi a0, a0, 1
+    addi a2, a2, 2
+    bne  a0, a1, loop
+    halt
+.endfunc
+`
+
+// midPatch locates the single instruction where f and g differ (the
+// middle addi of the loop body) by decoding both in lockstep, returning
+// its VA in f and g's bytes for it. Patching exactly that instruction —
+// never the block head — is what makes these tests mid-block.
+func midPatch(t *testing.T, m *machine) (patchVA uint64, patch []byte) {
+	t.Helper()
+	codec := isa.CodecFor(isa.ISAHost)
+	fVA, gVA := m.image.Symbols["f"], m.image.Symbols["g"]
+	fb, gb := make([]byte, 64), make([]byte, 64)
+	if err := m.phys.Read(fVA, fb); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.phys.Read(gVA, gb); err != nil {
+		t.Fatal(err)
+	}
+	for off := 0; off < 64; {
+		fi, fn, err := codec.Decode(fb[off:])
+		if err != nil {
+			break
+		}
+		gi, gn, err := codec.Decode(gb[off:])
+		if err != nil {
+			break
+		}
+		if fi != gi {
+			if fn != gn {
+				t.Fatalf("differing instruction re-encodes at different length (%d vs %d); pick closer immediates", fn, gn)
+			}
+			if off == 0 {
+				t.Fatal("f and g differ at their first instruction; patch would hit the block head")
+			}
+			return fVA + uint64(off), gb[off : off+gn]
+		}
+		off += fn
+	}
+	t.Fatal("f and g decode identically; nothing to patch")
+	return 0, nil
+}
+
+// midRun executes f and returns (a0, a2).
+func midRun(m *machine, p *sim.Proc, fVA uint64) (uint64, uint64, error) {
+	ctx := &cpu.Context{PC: fVA}
+	ctx.SetReg(isa.SP, stackTop)
+	m.host.SetContext(ctx)
+	if err := m.host.Run(p, 1000); !errors.Is(err, cpu.ErrHalted) {
+		return 0, 0, fmt.Errorf("run: %v", err)
+	}
+	return ctx.Reg(isa.A0), ctx.Reg(isa.A2), nil
+}
+
+// TestMidBlockInvalidationLoaderWrite drives the loop hot — the whole
+// body is one cached superblock whose back edge chains straight into the
+// next iteration — then overwrites the block's MIDDLE instruction through
+// the loader's physical write path. The next execution must drop the
+// block and decode fresh bytes: a2 doubles its step. This is the
+// block-granularity sharpening of TestPredecodeInvalidatedByLoaderWrite,
+// which patches whole functions and so also covers block heads.
+func TestMidBlockInvalidationLoaderWrite(t *testing.T) {
+	m := buildMachine(t, midSrc)
+	fVA := m.image.Symbols["f"]
+	patchVA, patch := midPatch(t, m)
+
+	var a2 [3]uint64
+	var runErr error
+	m.env.Spawn("mid", func(p *sim.Proc) {
+		for i := 0; i < 2; i++ { // second run executes the chained hot block
+			if _, a2[i], runErr = midRun(m, p, fVA); runErr != nil {
+				return
+			}
+		}
+		if runErr = m.phys.Write(patchVA, patch); runErr != nil {
+			return
+		}
+		_, a2[2], runErr = midRun(m, p, fVA)
+	})
+	m.env.Run()
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if a2[0] != 4 || a2[1] != 4 {
+		t.Fatalf("loop added %d then %d to a2 before the write, want 4", a2[0], a2[1])
+	}
+	if a2[2] != 8 {
+		t.Errorf("loop added %d to a2 after the mid-block write, want 8 (stale superblock)", a2[2])
+	}
+	if !sim.FastPathsDisabled() {
+		hits, fills, flushes := m.host.PredecodeStats()
+		if fills == 0 || hits == 0 {
+			t.Errorf("superblock hits=%d fills=%d: the loop never executed from the cache", hits, fills)
+		}
+		if flushes == 0 {
+			t.Error("mid-block code write did not flush the superblock cache")
+		}
+	}
+}
+
+// TestMidBlockInvalidationDMAWrite is the same mid-block patch landed by
+// a DMA engine: the burst writes through the destination address space,
+// so the code watch must drop the chained block before its next run.
+func TestMidBlockInvalidationDMAWrite(t *testing.T) {
+	m := buildMachine(t, midSrc)
+	fVA, gVA := m.image.Symbols["f"], m.image.Symbols["g"]
+	patchVA, patch := midPatch(t, m)
+	eng := pcie.NewEngine(m.env, pcie.LinkParams{
+		Propagation: 100 * sim.Nanosecond, PerByte: sim.Nanosecond,
+	}, 50*sim.Nanosecond)
+
+	var before, after uint64
+	var runErr error
+	m.env.Spawn("mid", func(p *sim.Proc) {
+		for i := 0; i < 2; i++ {
+			if _, before, runErr = midRun(m, p, fVA); runErr != nil {
+				return
+			}
+		}
+		done := false
+		eng.Submit(pcie.Request{
+			SrcSpace: m.phys, Src: gVA + (patchVA - fVA),
+			DstSpace: m.phys, Dst: patchVA,
+			Size: len(patch), Tag: "mid",
+			OnDone: func(at sim.Time, ok bool) { done = ok },
+		})
+		for i := 0; !done && i < 1000; i++ {
+			p.Sleep(sim.Microsecond)
+		}
+		if !done {
+			runErr = fmt.Errorf("dma transfer never completed")
+			return
+		}
+		_, after, runErr = midRun(m, p, fVA)
+	})
+	m.env.Run()
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if before != 4 {
+		t.Fatalf("loop added %d to a2 before the DMA write, want 4", before)
+	}
+	if after != 8 {
+		t.Errorf("loop added %d to a2 after the mid-block DMA write, want 8 (stale superblock)", after)
+	}
+	if !sim.FastPathsDisabled() {
+		if _, _, flushes := m.host.PredecodeStats(); flushes == 0 {
+			t.Error("mid-block DMA write did not flush the superblock cache")
+		}
+	}
+}
+
+// TestShootdownDropsChainedBlock pins the explicit-drop path at block
+// granularity: InvalidatePredecode — what the TLB shootdown fan-out and
+// InvalidateICache call on every core (reach across boards 1..3 is
+// covered by the platform suite) — must drop an already-chained hot
+// block, forcing a rebuild on the next execution.
+func TestShootdownDropsChainedBlock(t *testing.T) {
+	if sim.FastPathsDisabled() {
+		t.Skip("FLICKSIM_NOPREDECODE set")
+	}
+	m := buildMachine(t, midSrc)
+	fVA := m.image.Symbols["f"]
+
+	var runErr error
+	m.env.Spawn("drop", func(p *sim.Proc) {
+		for i := 0; i < 2; i++ { // chain the loop block hot
+			if _, _, runErr = midRun(m, p, fVA); runErr != nil {
+				return
+			}
+		}
+		_, fillsBefore, flushesBefore := m.host.PredecodeStats()
+		m.host.InvalidatePredecode()
+		if _, _, flushes := m.host.PredecodeStats(); flushes != flushesBefore+1 {
+			t.Errorf("flushes %d -> %d after InvalidatePredecode, want +1", flushesBefore, flushes)
+		}
+		var a2 uint64
+		if _, a2, runErr = midRun(m, p, fVA); runErr != nil {
+			return
+		}
+		if a2 != 4 {
+			t.Errorf("loop added %d to a2 after the drop, want 4", a2)
+		}
+		if _, fills, _ := m.host.PredecodeStats(); fills <= fillsBefore {
+			t.Errorf("fills %d -> %d after the drop; the chained block was not rebuilt", fillsBefore, fills)
+		}
+	})
+	m.env.Run()
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+}
+
+// TestCmpDenseLoopHitRate pins the index spread for the 2-byte-aligned
+// compressed codec: a dense cmp loop must run almost entirely out of the
+// superblock cache — neighboring compressed instructions must not alias
+// or thrash each other's slots (the index divides out the alignment so
+// 2-byte-aligned heads spread over all slots; the pa tag catches the
+// rest) — and content watching must see no writes.
+func TestCmpDenseLoopHitRate(t *testing.T) {
+	if sim.FastPathsDisabled() {
+		t.Skip("FLICKSIM_NOPREDECODE set")
+	}
+	rig := buildBenchRig(t, isa.ISACmp)
+	var stepErr error
+	rig.env.Spawn("dense", func(p *sim.Proc) {
+		start, _ := rig.core.Stats()
+		for stepErr == nil {
+			if in, _ := rig.core.Stats(); in-start >= 4096 {
+				return
+			}
+			stepErr = rig.core.Step(p)
+		}
+	})
+	rig.env.Run()
+	if stepErr != nil {
+		t.Fatal(stepErr)
+	}
+	hits, fills, flushes := rig.core.PredecodeStats()
+	if fills == 0 {
+		t.Fatal("dense cmp loop never filled the superblock cache")
+	}
+	if rate := float64(hits) / float64(hits+fills); rate < 0.9 {
+		t.Errorf("dense cmp loop hit rate %.3f (hits=%d fills=%d), want >= 0.9", rate, hits, fills)
+	}
+	if flushes != 0 {
+		t.Errorf("%d flushes on a read-only dense loop, want 0", flushes)
+	}
+}
+
 // TestPredecodePhysicallyTaggedAcrossSetTables switches page tables so
 // the same virtual PC maps to a different physical page holding different
 // code. A virtually-tagged cache would need an explicit flush on context

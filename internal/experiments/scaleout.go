@@ -43,6 +43,17 @@ func ScaleOut(o Options) (*stats.Table, error) {
 		name := fmt.Sprintf("scaleout/boards=%d", boards)
 		obs := o.observer(name)
 		params := o.machineParams(uint64(i))
+		if params != nil && len(params.BoardISAs) == 1 {
+			// A fixed board-ISA list cannot fit a board-count sweep; a
+			// single entry means "every board in every sweep step carries
+			// this family". (Replicating "nxp" matches the default-padded
+			// machine exactly, so artifacts are unchanged for it.)
+			isas := make([]string, boards)
+			for j := range isas {
+				isas[j] = params.BoardISAs[0]
+			}
+			params.BoardISAs = isas
+		}
 		jobs[i] = runner.Job[throughput]{
 			ID:   i,
 			Name: name,

@@ -123,6 +123,9 @@ func Parse(s string) (Spec, error) {
 				return Spec{}, fmt.Errorf("faultinj: clause %q: %v", clause, err)
 			}
 		}
+		if strings.HasSuffix(kind, "delay") && dur <= 0 {
+			return Spec{}, fmt.Errorf("faultinj: clause %q: %s needs a positive duration (site.kind=prob:dur)", clause, kind)
+		}
 		spec.Rules = append(spec.Rules, Rule{Site: site, Kind: kind, Prob: prob, Dur: dur})
 	}
 	return spec, nil
@@ -137,7 +140,10 @@ func parseDur(s string) (sim.Duration, error) {
 		if n, ok := strings.CutSuffix(s, u.suffix); ok {
 			v, err := strconv.ParseUint(n, 10, 32)
 			if err != nil {
-				return 0, fmt.Errorf("bad duration %q", s)
+				return 0, fmt.Errorf("bad duration %q (want a positive integer count of ns|us|ms)", s)
+			}
+			if v == 0 {
+				return 0, fmt.Errorf("duration %q must be positive", s)
 			}
 			return sim.Duration(v) * u.unit, nil
 		}

@@ -33,19 +33,68 @@ func TestParseEmpty(t *testing.T) {
 
 func TestParseErrors(t *testing.T) {
 	for _, bad := range []string{
-		"dma.fail",          // no probability
-		"dmafail=0.5",       // no site.kind dot
-		".fail=0.5",         // empty site
-		"dma.=0.5",          // empty kind
-		"dma.fail=2",        // prob out of range
-		"dma.fail=-0.1",     // negative prob
-		"dma.fail=x",        // non-numeric prob
-		"msi.delay=0.5:10s", // unsupported unit
-		"msi.delay=0.5:zus", // non-numeric duration
+		"dma.fail",                  // no probability
+		"dmafail=0.5",               // no site.kind dot
+		".fail=0.5",                 // empty site
+		"dma.=0.5",                  // empty kind
+		"dma.fail=2",                // prob out of range
+		"dma.fail=-0.1",             // negative prob
+		"dma.fail=x",                // non-numeric prob
+		"msi.delay=0.5:10s",         // unsupported unit
+		"msi.delay=0.5:zus",         // non-numeric duration
 		"dma.fail=0.1,dma.fail=0.2", // duplicate clause
 	} {
 		if _, err := Parse(bad); err == nil {
 			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+// TestParseRejectsDegenerateDurations pins the duration validation at the
+// parse layer: a zero or negative duration describes an injection that can
+// never mean anything ("delay by nothing" silently degenerates to a pure
+// wake reorder), so the spec must be refused up front — with the clause
+// named — instead of simulating with Dur 0. Delay-type kinds additionally
+// require the duration to be present at all.
+func TestParseRejectsDegenerateDurations(t *testing.T) {
+	tests := []struct {
+		spec    string
+		wantErr string // substring of the error; "" = must parse
+	}{
+		// Zero durations in every unit: previously parsed silently to Dur 0.
+		{"msi.delay=0.5:0ns", "must be positive"},
+		{"msi.delay=0.5:0us", "must be positive"},
+		{"msi.delay=0.5:0ms", "must be positive"},
+		{"dma.delay=1:0us", "must be positive"},
+		// Unit-less and negative forms fail the grammar before the sign check.
+		{"msi.delay=0.5:0", "bad duration"},
+		{"msi.delay=0.5:-5", "bad duration"},
+		{"msi.delay=0.5:-5us", "positive integer"},
+		{"ipi.delay=1:-1ms", "positive integer"},
+		// Delay-type kinds with the duration missing entirely.
+		{"msi.delay=0.5", "needs a positive duration"},
+		{"dma.delay=1", "needs a positive duration"},
+		{"ipi.delay=0.2", "needs a positive duration"},
+		// A zero duration is degenerate even on non-delay kinds.
+		{"dma.fail=0.5:0ns", "must be positive"},
+		// Positive controls: well-formed clauses still parse.
+		{"msi.delay=0.5:1ns", ""},
+		{"dma.delay=1:25us", ""},
+		{"dma.fail=0.5", ""},
+		{"cpu.spurious=0.001", ""},
+	}
+	for _, tt := range tests {
+		_, err := Parse(tt.spec)
+		if tt.wantErr == "" {
+			if err != nil {
+				t.Errorf("Parse(%q) = %v, want success", tt.spec, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error containing %q", tt.spec, tt.wantErr)
+		} else if !strings.Contains(err.Error(), tt.wantErr) {
+			t.Errorf("Parse(%q) = %v, want error containing %q", tt.spec, err, tt.wantErr)
 		}
 	}
 }

@@ -46,6 +46,57 @@ type Backend interface {
 	// decode-expansion penalties per form. Most backends return
 	// BaseStepCycles(ins.Op) unchanged.
 	StepCycles(ins Instr, encLen int) int
+
+	// StepClass classifies one instruction for the superblock builder:
+	// whether it ends a straight-line block, may fault, touches data
+	// memory, or must never execute from a cached block at all. encLen
+	// lets variable-width encodings classify per form (a backend whose
+	// wide forms had extra fault modes would return a stricter class for
+	// them). Most backends return BaseStepClass(ins.Op) unchanged.
+	StepClass(ins Instr, encLen int) StepClass
+}
+
+// StepClass partitions operations by the side effects their execution can
+// have, which is exactly what the superblock builder in internal/cpu needs
+// to know: blocks end at control transfers, may only be executed with
+// batched cost accounting when every member is plain, and never contain
+// instructions that leave the interpreter.
+type StepClass uint8
+
+const (
+	// StepPlain is register-only work: cannot fault, cannot consume
+	// data-dependent virtual time, cannot transfer control.
+	StepPlain StepClass = iota
+	// StepFaulty may raise a synchronous fault (divide by zero) but
+	// performs no memory access and no control transfer.
+	StepFaulty
+	// StepMemory accesses data memory: may fault and consumes
+	// data-dependent virtual time (translation walks, access costs).
+	StepMemory
+	// StepBoundary transfers control (branch, jump, call, return) or
+	// halts: it ends a superblock and is included as its terminal
+	// instruction.
+	StepBoundary
+	// StepBarrier leaves the interpreter entirely (native functions,
+	// kernel service calls): it never enters a superblock.
+	StepBarrier
+)
+
+// BaseStepClass is the shared per-operation classification every shipped
+// backend starts from.
+func BaseStepClass(op Op) StepClass {
+	switch op {
+	case OpUdiv, OpUrem:
+		return StepFaulty
+	case OpLd1, OpLd2, OpLd4, OpLd8, OpSt1, OpSt2, OpSt4, OpSt8, OpPush, OpPop:
+		return StepMemory
+	case OpJmp, OpJmpr, OpBeq, OpBne, OpBlt, OpBge, OpBltu, OpBgeu,
+		OpCall, OpCallr, OpRet, OpHalt:
+		return StepBoundary
+	case OpNative, OpSys, OpInvalid:
+		return StepBarrier
+	}
+	return StepPlain
 }
 
 // BaseStepCycles is the shared per-operation cycle table every shipped

@@ -179,4 +179,10 @@ func (CmpCodec) StepCycles(ins Instr, encLen int) int {
 	return c
 }
 
+// StepClass implements Backend with the shared classification: the
+// compressed forms change cost (see StepCycles), not side-effect class —
+// the 2-byte alignment hazards live in the fetch path, which the
+// superblock builder checks per member, not per backend.
+func (CmpCodec) StepClass(ins Instr, encLen int) StepClass { return BaseStepClass(ins.Op) }
+
 func init() { Register(CmpCodec{}) }

@@ -115,4 +115,7 @@ func (DspCodec) WideImm() bool { return false }
 // StepCycles implements Backend with the shared cost table.
 func (DspCodec) StepCycles(ins Instr, encLen int) int { return BaseStepCycles(ins.Op) }
 
+// StepClass implements Backend with the shared classification.
+func (DspCodec) StepClass(ins Instr, encLen int) StepClass { return BaseStepClass(ins.Op) }
+
 func init() { Register(DspCodec{}) }

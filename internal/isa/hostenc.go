@@ -168,6 +168,9 @@ func (HostCodec) WideImm() bool { return true }
 // StepCycles implements Backend with the shared cost table.
 func (HostCodec) StepCycles(ins Instr, encLen int) int { return BaseStepCycles(ins.Op) }
 
+// StepClass implements Backend with the shared classification.
+func (HostCodec) StepClass(ins Instr, encLen int) StepClass { return BaseStepClass(ins.Op) }
+
 func init() { Register(HostCodec{}) }
 
 // PlaceholderPCRel32 is the immediate the assembler emits at sites awaiting

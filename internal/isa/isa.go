@@ -144,6 +144,10 @@ const (
 	opCount
 )
 
+// NumOps bounds dense per-operation tables (e.g. the core's handler
+// dispatch table): every defined Op, including OpInvalid, is < NumOps.
+const NumOps = int(opCount)
+
 var opNames = map[Op]string{
 	OpNop: "nop", OpHalt: "halt",
 	OpMov: "mov", OpMovi: "movi", OpOrhi: "orhi",

@@ -106,4 +106,7 @@ func (NxpCodec) WideImm() bool { return false }
 // StepCycles implements Backend with the shared cost table.
 func (NxpCodec) StepCycles(ins Instr, encLen int) int { return BaseStepCycles(ins.Op) }
 
+// StepClass implements Backend with the shared classification.
+func (NxpCodec) StepClass(ins Instr, encLen int) StepClass { return BaseStepClass(ins.Op) }
+
 func init() { Register(NxpCodec{}) }

@@ -454,6 +454,24 @@ func (k *Kernel) Syscall(p *sim.Proc, c *cpu.Core, num int64) error {
 	}
 }
 
+// AuditStacks verifies stack free-list integrity against the live task
+// set: no slot on a free list twice, none both free and held by a live
+// task, and no two live tasks sharing a slot. Tests call it after
+// failover storms to prove re-dispatch never double-releases a board
+// stack (a double release would eventually hand one slot to two tasks).
+func (k *Kernel) AuditStacks() error {
+	if k.program == nil {
+		return nil
+	}
+	live := make([]*Task, 0, len(k.tasks))
+	for _, t := range k.tasks {
+		if t.State != TaskDone {
+			live = append(live, t)
+		}
+	}
+	return k.program.auditStacks(live)
+}
+
 // StuckTasks describes every task that has started but not finished, for
 // deadlock diagnostics — "name[pid N] suspended" style, PID-ordered.
 func (k *Kernel) StuckTasks() []string {

@@ -310,6 +310,70 @@ func (p *Program) releaseTaskStacks(t *Task) {
 	t.BoardStacks = nil
 }
 
+// auditStacks cross-checks the stack free lists against the live task
+// set: every slot is either on exactly one free list or held by exactly
+// one live task, never both, never twice. A double release — the classic
+// failover hazard, where a task re-dispatched to another board gives its
+// first board's slot back twice — would hand the same stack to two live
+// tasks; this audit is how the regression suite proves that cannot
+// happen. Allocation paths are LIFO pops and monotonic bumps, so any
+// violation originates at a release site.
+func (p *Program) auditStacks(live []*Task) error {
+	seen := make(map[uint64]string)
+	note := func(top uint64, what string) error {
+		if top == 0 {
+			return nil
+		}
+		if prev, dup := seen[top]; dup {
+			return fmt.Errorf("kernel: stack audit: %#x held by %s and %s", top, prev, what)
+		}
+		seen[top] = what
+		return nil
+	}
+	for i, top := range p.hostStackFree {
+		if err := note(top, fmt.Sprintf("host free list [%d]", i)); err != nil {
+			return err
+		}
+	}
+	for _, t := range live {
+		if err := note(t.stackTop, fmt.Sprintf("live task %d (host)", t.PID)); err != nil {
+			return err
+		}
+	}
+	// Board windows are disjoint VA ranges, so one map per board audits
+	// free-vs-free, free-vs-live, and live-vs-live at once.
+	for board, free := range p.nxpStackFree {
+		boardSeen := make(map[uint64]string)
+		bnote := func(top uint64, what string) error {
+			if top == 0 {
+				return nil
+			}
+			if prev, dup := boardSeen[top]; dup {
+				return fmt.Errorf("kernel: stack audit: board %d stack %#x held by %s and %s",
+					board, top, prev, what)
+			}
+			boardSeen[top] = what
+			return nil
+		}
+		for i, top := range free {
+			if err := bnote(top, fmt.Sprintf("free list [%d]", i)); err != nil {
+				return err
+			}
+		}
+		for _, t := range live {
+			for k, top := range t.BoardStacks {
+				if k.Board != board {
+					continue
+				}
+				if err := bnote(top, fmt.Sprintf("live task %d (%v)", t.PID, k.ISA)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
 // AllocNxPStack reserves an NxP-local stack for a thread on board 0 and
 // returns its top VA. The Flick host migration handler calls this on a
 // thread's first migration (Listing 1, lines 3-4).

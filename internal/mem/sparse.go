@@ -111,7 +111,7 @@ func (s *Sparse) WatchCode(off, n uint64) {
 		frames := (s.size + (1 << frameBits) - 1) >> frameBits
 		s.watchBits = make([]uint64, (frames+63)/64)
 	}
-	for f := off >> frameBits; f <= (off + n - 1) >> frameBits; f++ {
+	for f := off >> frameBits; f <= (off+n-1)>>frameBits; f++ {
 		s.watchBits[f/64] |= 1 << (f % 64)
 	}
 }
@@ -129,7 +129,7 @@ func (s *Sparse) NoteCodeWrite(off, n uint64) {
 	if s.watchBits == nil || n == 0 {
 		return
 	}
-	for f := off >> frameBits; f <= (off + n - 1) >> frameBits; f++ {
+	for f := off >> frameBits; f <= (off+n-1)>>frameBits; f++ {
 		if s.watchBits[f/64]&(1<<(f%64)) != 0 {
 			s.codeGen++
 			return

@@ -149,6 +149,37 @@ func (m *MMU) remember(va uint64, r tlb.Result) {
 	m.lastVA, m.lastRes, m.lastGen, m.lastOK = va, r, m.TLB.Gen(), true
 }
 
+// RepeatPeek answers va from the last-translation window without any
+// metric or state change, reporting whether the window covers it. A true
+// result means a real Translate(va) would take the fast path above — same
+// 4 KiB frame, TLB generation unchanged — so a caller batching several
+// same-page translations may use the returned result for each and settle
+// the counters once via CountRepeatHit/CountRepeatHits. The superblock
+// executor is that caller; it must account one repeat hit per fetch it
+// actually performs, or metrics diverge from the per-instruction path.
+func (m *MMU) RepeatPeek(va uint64) (tlb.Result, bool) {
+	if m.lastOK && va>>12 == m.lastVA>>12 && m.TLB.Gen() == m.lastGen {
+		r := m.lastRes
+		r.Phys += va - m.lastVA
+		return r, true
+	}
+	return tlb.Result{}, false
+}
+
+// CountRepeatHit settles the counters for one translation answered via
+// RepeatPeek, exactly as the Translate fast path would have.
+func (m *MMU) CountRepeatHit() {
+	m.translates++
+	m.TLB.CountHit()
+}
+
+// CountRepeatHits settles the counters for n translations answered via
+// RepeatPeek in one batch update.
+func (m *MMU) CountRepeatHits(n int) {
+	m.translates += uint64(n)
+	m.TLB.CountHits(n)
+}
+
 // Probe translates va without charging time or touching statistics or
 // cached state, for debugger-style inspection. Unlike Translate it leaves
 // the TLB's LRU order, hit/miss counters, and contents untouched, so

@@ -395,6 +395,34 @@ func (p *Proc) Sleep(d Duration) {
 // time can run before this one continues.
 func (p *Proc) Yield() { p.Sleep(0) }
 
+// SchedSeq returns the scheduler's event sequence counter. It increments
+// every time anything is enqueued — another process scheduled, a timer
+// armed, or this process itself parking in the queue — so an unchanged
+// value across a stretch of work proves nothing else ran and the clock
+// only advanced via in-place sleeps. The superblock executor uses this to
+// detect (and bail out of) block execution when a fetch stall yields.
+func (e *Env) SchedSeq() uint64 { return e.seq }
+
+// TrySleepInPlace advances the clock by d if and only if the Sleep fast
+// path would apply — no queued event could run before the target time and
+// the RunUntil horizon is not crossed. It reports whether the advance
+// happened; on false the clock is untouched and the caller must fall back
+// to per-step Sleep calls. This lets a batch executor charge one merged
+// duration exactly when each constituent Sleep would also have taken the
+// in-place path, i.e. when merging is observationally invisible.
+func (p *Proc) TrySleepInPlace(d Duration) bool {
+	if d < 0 {
+		d = 0
+	}
+	e := p.env
+	t := e.now.Add(d)
+	if !e.noFast && t <= e.horizon && (len(e.queue) == 0 || t < e.queue[0].at) {
+		e.now = t
+		return true
+	}
+	return false
+}
+
 // Cond is a waitable condition. Processes block on it with Proc.Wait and
 // are released in FIFO order by Signal or Broadcast. Unlike sync.Cond there
 // is no associated lock: the simulation's single-runner guarantee makes

@@ -141,6 +141,11 @@ func (t *TLB) Gen() uint64 { return t.gen }
 // hit counter stays byte-identical to the slow path.
 func (t *TLB) CountHit() { t.hits++ }
 
+// CountHits is CountHit for a batch of n replicated hits — the superblock
+// executor's one-update-per-block accounting for a run of fetches it has
+// proven (same page, unchanged Gen) would each be MRU hits.
+func (t *TLB) CountHits(n int) { t.hits += uint64(n) }
+
 // Result is a successful translation.
 type Result struct {
 	Phys     uint64 // final physical address (post-remap, requester view)

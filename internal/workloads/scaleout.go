@@ -10,10 +10,14 @@ import (
 )
 
 // scaleOutSource is the board scale-out workload: each host thread loops
-// calling an NxP function that burns ~2µs of board time and returns
+// calling a board function that burns ~2µs of board time and returns
 // taskid+iter, which the thread accumulates into its exit code. The exit
 // value is a pure function of (taskid, calls) — independent of which board
 // served each call — so it doubles as the placement-equivalence oracle.
+// The work function's ISA family is substituted in (%s) so the workload
+// runs unchanged on machines whose boards carry a non-default family
+// (-board-isa cmp); with the default boards it assembles to exactly the
+// historical isa=nxp source.
 const scaleOutSource = `
 .func main isa=host
     ; a0 = calls, a1 = task id
@@ -24,7 +28,7 @@ const scaleOutSource = `
 l:
     mov  a0, t3
     mov  a1, t2
-    call nxp_work
+    call board_work
     add  t5, t5, a0
     addi t2, t2, 1
     addi t4, t4, -1
@@ -33,7 +37,7 @@ l:
     sys  1
 .endfunc
 
-.func nxp_work isa=nxp
+.func board_work isa=%s
     ; ~2µs of board work, then return a0+a1
     li   t0, 400
 w:
@@ -43,6 +47,16 @@ w:
     ret
 .endfunc
 `
+
+// scaleOutWorkFamily picks the family the work function assembles for:
+// the first board's family, i.e. the first BoardISAs entry, with the
+// empty entry (and an absent list) meaning the default board family.
+func scaleOutWorkFamily(p *platform.Params) string {
+	if len(p.BoardISAs) > 0 && p.BoardISAs[0] != "" {
+		return p.BoardISAs[0]
+	}
+	return "nxp"
+}
 
 // ScaleOutExit is the expected exit code of task id on a clean run:
 // sum over j in [0, calls) of (id + j).
@@ -68,7 +82,7 @@ func RunScaleOut(tasks, callsPerTask, boards int, policy string, p *platform.Par
 	sys, err := flick.Build(flick.Config{
 		Params:  &params,
 		Obs:     obs,
-		Sources: map[string]string{"scaleout.fasm": scaleOutSource},
+		Sources: map[string]string{"scaleout.fasm": fmt.Sprintf(scaleOutSource, scaleOutWorkFamily(&params))},
 	})
 	if err != nil {
 		return 0, 0, err
