@@ -53,14 +53,14 @@ golden:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
-	$(GO) test -run '^$$' -bench 'BenchmarkCoreStep|BenchmarkTranslateHit' -benchmem -json \
-		./internal/cpu ./internal/mmu > BENCH_hotloop.json
+	$(GO) test -run '^$$' -bench 'BenchmarkSimParScaleOut$$|BenchmarkCoreStep|BenchmarkTranslateHit' -benchmem -json \
+		./internal/cpu ./internal/mmu . > BENCH_hotloop.json
 
 # Hot-loop perf trajectory: re-run the steady-state Step/Translate
 # benchmarks and refresh the checked-in record (see docs/PERFORMANCE.md).
 bench-hotloop:
-	$(GO) test -run '^$$' -bench 'BenchmarkCoreStep|BenchmarkTranslateHit' -benchmem -json \
-		./internal/cpu ./internal/mmu > BENCH_hotloop.json
+	$(GO) test -run '^$$' -bench 'BenchmarkSimParScaleOut$$|BenchmarkCoreStep|BenchmarkTranslateHit' -benchmem -json \
+		./internal/cpu ./internal/mmu . > BENCH_hotloop.json
 
 # Bench regression gate: re-run the hot-loop benchmarks into a scratch
 # capture and fail if any benchmark present in the checked-in record
@@ -68,8 +68,8 @@ bench-hotloop:
 # `make bench-hotloop` after a deliberate perf change.
 bench-check:
 	@tmp=$$(mktemp) && \
-	$(GO) test -run '^$$' -bench 'BenchmarkCoreStep|BenchmarkTranslateHit' -benchmem -json \
-		./internal/cpu ./internal/mmu > $$tmp && \
+	$(GO) test -run '^$$' -bench 'BenchmarkSimParScaleOut$$|BenchmarkCoreStep|BenchmarkTranslateHit' -benchmem -json \
+		./internal/cpu ./internal/mmu . > $$tmp && \
 	$(GO) run ./cmd/benchcheck BENCH_hotloop.json $$tmp; \
 	st=$$?; rm -f $$tmp; exit $$st
 
@@ -85,6 +85,7 @@ fuzz:
 	$(GO) test ./internal/isa -run '^$$' -fuzz FuzzCmpCodec -fuzztime 10s
 	$(GO) test ./internal/asm -run '^$$' -fuzz FuzzAssemble -fuzztime 10s
 	$(GO) test ./internal/kernel -run '^$$' -fuzz FuzzBoardScheduler -fuzztime 10s
+	$(GO) test ./internal/sim -run '^$$' -fuzz FuzzCrossDomainOrdering -fuzztime 10s
 	$(GO) test . -run '^$$' -fuzz FuzzPlacementRouting -fuzztime 10s
 
 clean:

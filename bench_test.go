@@ -398,3 +398,35 @@ func BenchmarkSchedulerSpeedup(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkSimParScaleOut measures the conservative parallel engine's
+// scale-out throughput in simulated instructions per wall second: the same
+// multi-board scale-out workload, built with Params.SimPar, at growing
+// board counts. Virtual-time results are byte-identical to the sequential
+// engine (TestSimParDifferentialScaleOut); what should grow with boards —
+// on a multi-core host — is how fast the simulator chews through board
+// instructions, because each board's compute windows run as concurrent
+// phase members. On a single-core host the numbers degenerate to the
+// sequential engine's throughput plus a small phase-bookkeeping tax.
+func BenchmarkSimParScaleOut(b *testing.B) {
+	for _, boards := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("boards=%d", boards), func(b *testing.B) {
+			var instr uint64
+			for i := 0; i < b.N; i++ {
+				p := platform.DefaultParams()
+				p.SimPar = true
+				var snap sim.Snapshot
+				obs := &sim.Observer{OnReport: func(r sim.Report) { snap = r.Metrics }}
+				if _, _, err := workloads.RunScaleOut(8, 12, boards, "", &p, obs); err != nil {
+					b.Fatal(err)
+				}
+				for _, c := range snap.Counters {
+					if strings.HasSuffix(c.Name, ".instret") {
+						instr += c.Value
+					}
+				}
+			}
+			b.ReportMetric(float64(instr)/b.Elapsed().Seconds(), "sim-instr/s")
+		})
+	}
+}

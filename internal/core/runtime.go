@@ -279,7 +279,14 @@ type Runtime struct {
 	board  map[*cpu.Core]*boardState
 	states []*boardState
 
-	stats Stats
+	// hostStats holds the host-side migration counters (n2h calls, NX
+	// faults); each board's h2n counter lives in its boardState shard.
+	// Sharding keeps every counter single-writer — host-side paths run on
+	// host processes, each board's scheduler loop on that board's process
+	// — so the counters stay race-free under conservative parallel
+	// execution without any hot-path synchronization. Stats() merges the
+	// shards in deterministic build order.
+	hostStats Stats
 }
 
 // boardState is the runtime's per-board-core bookkeeping.
@@ -294,6 +301,9 @@ type boardState struct {
 	// call (including everything nested under it) — the signal that tells
 	// the kernel's migration probe the callee is alive, not lost.
 	busy bool
+	// stats is this board's shard of the runtime counters (only H2NCalls
+	// is board-side today); see Runtime.hostStats.
+	stats Stats
 }
 
 // Activate installs the Flick runtime onto a machine with a loaded
@@ -438,7 +448,7 @@ func Activate(m *platform.Machine, prog *kernel.Program) (*Runtime, error) {
 	}
 	m.Kernel.SetMigrationRedirect(func(t *kernel.Task, f *cpu.Fault) (uint64, bool) {
 		if target, ok := prog.Image.TextISA(f.VA); ok && registered[target] {
-			rt.stats.NXFaults++
+			rt.hostStats.NXFaults++
 			return rt.hostHandlerVA, true
 		}
 		return 0, false
@@ -454,11 +464,12 @@ func Activate(m *platform.Machine, prog *kernel.Program) (*Runtime, error) {
 	}
 
 	// Publish the runtime's migration counters. Gauge-based over the stats
-	// the runtime already maintains, so the call paths stay untouched.
+	// the runtime already maintains, so the call paths stay untouched;
+	// the gauges merge the per-board shards only at snapshot time.
 	reg := m.Env.Metrics()
-	reg.Gauge("flick.h2n_calls", func() uint64 { return uint64(rt.stats.H2NCalls) })
-	reg.Gauge("flick.n2h_calls", func() uint64 { return uint64(rt.stats.N2HCalls) })
-	reg.Gauge("flick.nx_faults", func() uint64 { return uint64(rt.stats.NXFaults) })
+	reg.Gauge("flick.h2n_calls", func() uint64 { return uint64(rt.Stats().H2NCalls) })
+	reg.Gauge("flick.n2h_calls", func() uint64 { return uint64(rt.Stats().N2HCalls) })
+	reg.Gauge("flick.nx_faults", func() uint64 { return uint64(rt.Stats().NXFaults) })
 	return rt, nil
 }
 
@@ -472,8 +483,19 @@ func hasTextISA(prog *kernel.Program, is isa.ISA) bool {
 	return false
 }
 
-// Stats returns migration counters.
-func (rt *Runtime) Stats() Stats { return rt.stats }
+// Stats returns the migration counters, merged from the host-side shard
+// and the per-board shards in build order. The merge is pure addition of
+// integers, so any shard ordering yields the same totals; build order is
+// fixed anyway to keep the rule simple.
+func (rt *Runtime) Stats() Stats {
+	s := rt.hostStats
+	for _, st := range rt.states {
+		s.H2NCalls += st.stats.H2NCalls
+		s.N2HCalls += st.stats.N2HCalls
+		s.NXFaults += st.stats.NXFaults
+	}
+	return s
+}
 
 // SetPIODescriptors switches descriptor transport from the single-burst
 // DMA to programmed I/O, the ablation of §IV-B1's design choice.
@@ -522,7 +544,7 @@ func (rt *Runtime) schedulerLoop(p *sim.Proc, st *boardState) {
 			rt.M.Env.Emit(sim.Event{Comp: core.Name(), Kind: sim.KindSched, Aux: uint64(d.PID), Note: "unexpected descriptor at top level"})
 			continue
 		}
-		rt.stats.H2NCalls++
+		st.stats.H2NCalls++
 		rt.M.Env.Emit(sim.Event{Comp: core.Name(), Kind: sim.KindMigrate, Addr: d.Target, Aux: uint64(d.PID), Note: "h2n"})
 		p.Sleep(rt.Costs.NxPContextSwitch)
 		ctx := &cpu.Context{}

@@ -1,0 +1,486 @@
+package sim
+
+import (
+	"container/heap"
+	"os"
+)
+
+// Conservative parallel execution ("sim-par").
+//
+// The sequential engine runs exactly one process goroutine at a time. That
+// is the source of the simulator's byte-for-byte determinism, but it also
+// means one big machine — four boards, each executing its own superblock
+// interpreter — simulates on a single core no matter how many the host has.
+//
+// Sim-par recovers intra-simulation parallelism without giving up the
+// determinism contract, using the classic conservative (Chandy-Misra style)
+// argument specialized to this machine's topology: every cross-board
+// interaction is carried by the PCIe link, whose minimum crossing latency L
+// is known up front. A core computing on board i at virtual time t cannot be
+// influenced by anything board j does after virtual time t-L, so boards may
+// run concurrently as long as no board gets more than L ahead of a pending
+// cross-domain event.
+//
+// The engine realizes this as fork-join "phases" instead of free-running
+// per-domain queues:
+//
+//   - A process is *tagged* while it executes a compute window
+//     (Proc.BeginCompute / Proc.EndCompute — the cpu package brackets
+//     native calls with these). A tagged process belongs to a domain
+//     (1+board index); everything else — host cores, DMA engines, timers,
+//     the kernel — is untagged and always runs sequentially.
+//   - When the event loop finds tagged processes of distinct domains at the
+//     head of the queue within the lookahead window L, it forks them all at
+//     once: each member gets a private clock (pNow) and a precomputed
+//     horizon, and all member goroutines run truly concurrently.
+//   - A member advances its private clock through Sleep without ever
+//     touching the shared queue. The moment it would cross its horizon, or
+//     would interact with anything outside its domain (syscall, fault
+//     delivery, native helper, remote memory, a page-table walk), it parks:
+//     it reports back to the scheduler and waits to be re-queued.
+//   - While it runs in-phase, every private-clock sleep target is recorded
+//     in the member's trajectory. When every member has parked, the
+//     scheduler joins the phase by re-enqueueing each member's ORIGINAL
+//     queue entry — original time, original sequence number — marked as a
+//     phantom replay cursor. Dispatching a phantom replays the member's
+//     trajectory through the real queue: each recorded sleep either takes
+//     the in-place fast path (when it would have sequentially) or is
+//     scheduled with a freshly drawn sequence number (ditto), and only when
+//     the trajectory is exhausted does the goroutine actually resume at its
+//     park point. The replay therefore reproduces, event for event and
+//     sequence number for sequence number, exactly the queue interaction
+//     the sequential engine would have performed — including the order in
+//     which same-instant ties resolve. Externally visible artifacts — trace
+//     entries, metrics — are only produced from sequential execution:
+//     Proc.Emit parks first, and runtime statistics are sharded per
+//     single-writer domain and merged at read time, so nothing ever depends
+//     on how the member goroutines interleaved.
+//
+// Each member's horizon is the conservative bound
+//
+//	min( pending untagged event time,
+//	     pending same-domain event time,
+//	     pending other-domain tagged event time + L,
+//	     other members' start time + L ) - 1
+//
+// minus one because the sequential Sleep fast path is strict: a sleep that
+// ties an already-queued event must park through the queue so the queued
+// event's sequence number wins, exactly as it does sequentially. Untagged
+// events get no slack — a DMA burst completion or an MSI timer may touch any
+// domain's memory the instant it fires — while tagged compute of another
+// domain gets +L because its effects must cross the link first.
+//
+// Each member additionally carries a *strict* bound with no slack at all
+// (min over every pending event and co-member start, minus one). In-phase
+// TrySleepInPlace may only merge below it: below the strict bound nothing
+// can possibly enter the queue before the target, so the sequential engine
+// is guaranteed to have merged too, and the merged-versus-per-step decision
+// — which controls sequence-number consumption and the superblock
+// executor's bail paths — stays identical in both engines.
+//
+// During a phase the shared scheduler state (now, seq, queue, trace,
+// metrics) is frozen: members mutate only their own Proc fields, their own
+// core/MMU model state, and memory their PhaseLocal predicate vouches for.
+// SchedSeq therefore stays readable (and constant) mid-phase, which keeps
+// the superblock executor's staleness sentinel working unchanged.
+//
+// A phase with a single member is still useful: the member free-runs to its
+// horizon with zero queue interaction, which is exactly the Sleep fast path
+// the sequential engine loses the moment a multi-board machine keeps more
+// than one event in flight.
+
+// SimParDisabled reports whether the FLICKSIM_NOSIMPAR escape hatch is set.
+// It forces the engine back to fully sequential dispatch even when a
+// machine was built with Params.SimPar, mirroring FLICKSIM_NOPREDECODE for
+// the predecode fast paths. Read at machine-construction time, never per
+// event, so tests can flip it with t.Setenv.
+func SimParDisabled() bool { return os.Getenv("FLICKSIM_NOSIMPAR") != "" }
+
+// SimParStats reports the parallel engine's bookkeeping. These are plain
+// fields, deliberately NOT registry metrics: the metrics snapshot is part of
+// the byte-identical artifact contract, and registering sim-par counters
+// (even zero-valued ones — the registry prints every registered name) would
+// make a parallel run's metrics differ from a sequential run's. Consumers
+// that want them (benchmarks, tests, docs examples) read them through
+// Env.SimParStats instead.
+type SimParStats struct {
+	Enabled      bool     // the engine may form phases
+	Domains      int      // number of compute domains (boards) configured
+	Lookahead    Duration // conservative lookahead window L
+	Phases       uint64   // phases formed
+	Members      uint64   // total members across all phases
+	HorizonWaits uint64   // members parked by the horizon alone (not by a sync point)
+}
+
+// SimParStats returns the current parallel-engine statistics. All zero when
+// sim-par was never enabled.
+func (e *Env) SimParStats() SimParStats {
+	return SimParStats{
+		Enabled:      e.simPar,
+		Domains:      e.domains,
+		Lookahead:    e.lookahead,
+		Phases:       e.statPhases,
+		Members:      e.statMembers,
+		HorizonWaits: e.statHorizonWaits,
+	}
+}
+
+// EnableSimPar arms the conservative parallel engine with the given number
+// of compute domains and lookahead window. It refuses (silently staying
+// sequential) when the lookahead or domain count is non-positive or when
+// FLICKSIM_NOPREDECODE is set: the escape hatch that disables every fast
+// path must also disable this one, so the two escape hatches compose.
+func (e *Env) EnableSimPar(domains int, lookahead Duration) {
+	if domains <= 0 || lookahead <= 0 || e.noFast {
+		return
+	}
+	e.simPar = true
+	e.domains = domains
+	e.lookahead = lookahead
+	e.parkCh = make(chan parkMsg)
+}
+
+// parkKind says why a phase member stopped running.
+type parkKind int
+
+const (
+	parkSleep parkKind = iota // a Sleep crossed the member's horizon
+	parkOp                    // a synchronization point (PhaseSync, Wait, EndCompute)
+	parkDone                  // the member's body returned (or panicked)
+)
+
+// parkMsg is a member's report back to the scheduler. Everything the join
+// needs beyond the reason for stopping lives in the member's recorded
+// trajectory.
+type parkMsg struct {
+	idx    int // member index within the phase
+	kind   parkKind
+	panicV any // parkDone only: recovered panic, if any
+}
+
+// BeginCompute marks the start of a compute window on the process: while
+// the depth is nonzero the process is tagged with the given domain and is
+// eligible for phase membership. Windows nest; only the outermost call sets
+// the domain. Cheap enough to call unconditionally — when sim-par is off
+// the tag is simply never consulted.
+func (p *Proc) BeginCompute(domain int) {
+	p.computeDepth++
+	if p.computeDepth == 1 {
+		p.domain = domain
+		// A fresh outermost window starts at a clean boundary, so a
+		// sync-point bar from the previous window lifts here.
+		p.phaseBarred = false
+	}
+}
+
+// EndCompute closes a compute window. Closing the outermost window while
+// the process is running inside a phase parks it: whatever follows the
+// window (scheduler glue, MMIO, kernel calls) must run sequentially.
+func (p *Proc) EndCompute() {
+	p.computeDepth--
+	if p.computeDepth == 0 {
+		p.domain = 0
+		if p.inPhase {
+			p.phasePark(parkOp)
+		}
+	}
+}
+
+// InPhase reports whether the process is currently running as a phase
+// member on its private clock.
+func (p *Proc) InPhase() bool { return p.inPhase }
+
+// PhaseSync parks the process out of its phase, if it is in one, and
+// returns with the process running sequentially at its private-clock time.
+// Components call it before any interaction that could observe or mutate
+// state outside the process's domain.
+//
+// Outside a phase it still bars a tagged process from membership until its
+// next outermost BeginCompute. The call marks the start of a shared-state
+// region of unknown extent (a page walk, a fault delivery, a syscall), and
+// that region may contain ordinary sequential Sleeps — the walk-cost charge
+// between a PhaseSync and the page-table Accessed-bit update, say. Without
+// the bar, such a sleep's continuation is a perfectly eligible queue entry,
+// and the scheduler would fork it into a phase and resume it concurrently
+// in the middle of the shared region. Untagged processes are unaffected,
+// so call sites still need no sim-par awareness of their own.
+func (p *Proc) PhaseSync() {
+	if p.inPhase {
+		p.phasePark(parkOp)
+		return
+	}
+	if p.computeDepth > 0 {
+		p.phaseBarred = true
+	}
+}
+
+// Emit records ev in the environment's trace. A trace entry is an
+// externally visible artifact, so inside a phase it is a synchronization
+// point: the member parks, resumes sequentially at its private-clock time,
+// and emits with the shared clock — which reproduces the sequential trace
+// order exactly. (Buffering in-phase events in per-member shards and
+// merging at the join was tried and rejected: a parked co-member can resume
+// and emit at an earlier timestamp after the join, and sequential tie order
+// at equal timestamps cannot be reconstructed post-hoc.) When tracing is
+// disabled — every golden and benchmark configuration — the in-phase call
+// is a single branch and the member keeps running. Components that can emit
+// from compute windows must use this instead of Env.Emit.
+func (p *Proc) Emit(ev Event) {
+	if p.inPhase {
+		if !p.env.trace.Enabled() {
+			return
+		}
+		p.phasePark(parkOp)
+	}
+	p.env.Emit(ev)
+}
+
+// phasePark transitions the member back under scheduler control. It must
+// only be called by the member's own goroutine while inPhase. The member
+// blocks until its trajectory has replayed through the queue and the
+// resulting phantom cursor resumes it; on return the process is running
+// sequentially with the shared clock at its park point (the last recorded
+// trajectory entry, or its original dispatch time if it never slept).
+//
+// A parkOp bars the process from further phase membership until its next
+// outermost BeginCompute: the park site is a shared-state boundary of
+// unknown extent (a page walk, a fault delivery, a syscall), so the
+// continuation — and every later resumption inside the same compute
+// window — must run sequentially. Re-forking it into a phase would resume
+// it concurrently in the middle of that shared region. A parkSleep carries
+// no bar: the member stopped at an ordinary sleep boundary purely because
+// the horizon cut it, and resuming that in a later phase is safe.
+func (p *Proc) phasePark(kind parkKind) {
+	p.inPhase = false
+	if kind == parkOp {
+		p.phaseBarred = true
+	}
+	p.env.parkCh <- parkMsg{idx: p.phaseIdx, kind: kind}
+	<-p.resume
+}
+
+// phaseEligible reports whether a queue entry can seed or join a phase: a
+// runnable process inside a compute window of a real domain, not barred by
+// a sync-point park. Timers and untagged processes always dispatch
+// sequentially, as do phantom replay cursors — the goroutine behind a
+// phantom is parked somewhere past the cursor's position, so forking it
+// would hand the phase a process whose clock and code location disagree.
+func phaseEligible(ev event) bool {
+	return ev.timer == nil && !ev.phantom &&
+		ev.proc.state == stateRunnable &&
+		ev.proc.computeDepth > 0 &&
+		ev.proc.domain > 0 &&
+		!ev.proc.phaseBarred
+}
+
+// tryPhase attempts to form and run one phase from the head of the event
+// queue. It returns false — popping nothing — when the head event must
+// dispatch sequentially.
+func (e *Env) tryPhase() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	top := e.queue[0]
+	if top.at > e.horizon || !phaseEligible(top) {
+		return false
+	}
+	// Pop the maximal contiguous prefix of eligible events with pairwise
+	// distinct domains inside the lookahead window. Two same-domain
+	// processes share memory with zero latency and must interleave exactly
+	// as the sequential engine would, so the second one ends the prefix
+	// (and typically seeds the next phase).
+	limit := top.at.Add(e.lookahead)
+	var members []event
+	for len(e.queue) > 0 {
+		ev := e.queue[0]
+		if ev.at > limit || ev.at > e.horizon || !phaseEligible(ev) {
+			break
+		}
+		dup := false
+		for _, m := range members {
+			if m.proc.domain == ev.proc.domain {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			break
+		}
+		heap.Pop(&e.queue)
+		members = append(members, ev)
+	}
+	e.runPhase(members)
+	return true
+}
+
+// memberHorizon computes the conservative horizon for member i: the largest
+// private-clock value it may reach without risking an interaction the
+// sequential engine would have ordered differently. See the package comment
+// at the top of this file for the derivation.
+func (e *Env) memberHorizon(members []event, i int) Time {
+	d := members[i].proc.domain
+	bound := maxTime
+	for _, q := range e.queue {
+		b := q.at
+		if q.timer == nil && q.proc.computeDepth > 0 && q.proc.domain > 0 &&
+			q.proc.domain != d && !q.proc.phaseBarred {
+			// Tagged compute of another domain: its effects must cross
+			// the link before they can touch this member's domain. A
+			// barred process gets no slack — it resumes mid-glue and may
+			// touch shared state the instant it wakes.
+			b = q.at.Add(e.lookahead)
+		}
+		if b < bound {
+			bound = b
+		}
+	}
+	for j, o := range members {
+		if j == i {
+			continue
+		}
+		if b := o.at.Add(e.lookahead); b < bound {
+			bound = b
+		}
+	}
+	// Strictly below the bound: a sleep that ties a queued event parks, so
+	// the queued event's earlier sequence number wins, exactly as in the
+	// sequential Sleep fast path.
+	h := bound - 1
+	if e.horizon < h {
+		h = e.horizon
+	}
+	return h
+}
+
+// memberStrict computes the no-slack bound for member i: strictly below
+// the earliest pending event or co-member start, nothing can possibly be
+// queued ahead of the member, so the sequential engine is guaranteed to
+// take the in-place Sleep fast path there. In-phase TrySleepInPlace merges
+// only below this bound, which keeps merged-versus-per-step decisions —
+// and hence sequence-number consumption — identical to sequential.
+func (e *Env) memberStrict(members []event, i int) Time {
+	bound := maxTime
+	for _, q := range e.queue {
+		if q.at < bound {
+			bound = q.at
+		}
+	}
+	for j, o := range members {
+		if j == i {
+			continue
+		}
+		if o.at < bound {
+			bound = o.at
+		}
+	}
+	s := bound - 1
+	if e.horizon < s {
+		s = e.horizon
+	}
+	return s
+}
+
+// runPhase forks the members, waits for all of them to park, then joins by
+// restoring every member's original queue entry as a phantom replay cursor.
+// The join itself decides nothing about ordering: the queue replays each
+// trajectory in exactly the interleaving the sequential engine would have
+// produced, independent of how the member goroutines raced in wall time.
+func (e *Env) runPhase(members []event) {
+	k := len(members)
+	e.statPhases++
+	e.statMembers += uint64(k)
+	e.now = members[0].at
+
+	// Horizons are computed against the post-pop queue, before any member
+	// runs; from here to the last parkCh receive the scheduler touches no
+	// shared state.
+	horizons := make([]Time, k)
+	stricts := make([]Time, k)
+	for i := range members {
+		horizons[i] = e.memberHorizon(members, i)
+		stricts[i] = e.memberStrict(members, i)
+	}
+	for i, ev := range members {
+		p := ev.proc
+		p.inPhase = true
+		p.phaseIdx = i
+		p.pNow = ev.at
+		p.pHorizon = horizons[i]
+		p.pStrict = stricts[i]
+		p.traj = p.traj[:0]
+		p.cursor = 0
+		p.state = stateRunning
+	}
+	for _, ev := range members {
+		ev.proc.resume <- struct{}{}
+	}
+	msgs := make([]parkMsg, k)
+	for n := 0; n < k; n++ {
+		m := <-e.parkCh
+		msgs[m.idx] = m
+	}
+
+	// Join. Each member's original entry goes back on the queue — original
+	// time, original sequence number — marked phantom; a member that never
+	// slept replays an empty trajectory and resumes at exactly the slot the
+	// sequential engine would have dispatched it. A panic aborts the
+	// simulation immediately (lowest member index wins, deterministically);
+	// a clean in-phase body return retires through the replay so its final
+	// sleeps still consume the sequence numbers they would have
+	// sequentially.
+	var panicV any
+	for i := range msgs {
+		p := members[i].proc
+		if msgs[i].kind == parkDone {
+			if msgs[i].panicV != nil {
+				if panicV == nil {
+					panicV = msgs[i].panicV
+				}
+				p.state = stateDone
+				e.running--
+				continue
+			}
+			p.phaseDone = true
+		}
+		if msgs[i].kind == parkSleep {
+			e.statHorizonWaits++
+		}
+		ev := members[i]
+		ev.phantom = true
+		heap.Push(&e.queue, ev)
+		p.state = stateRunnable
+	}
+	if panicV != nil {
+		panic(panicV)
+	}
+}
+
+// replayStep advances a parked member's deferred trajectory replay by one
+// dispatch. Recorded sleep targets take the in-place fast path or are
+// re-scheduled as the next phantom cursor under exactly the rules the
+// sequential Sleep would have applied at this point in the queue's
+// evolution. When the trajectory is exhausted the goroutine resumes at its
+// park point — or, for a body that returned in-phase, the process retires —
+// with the shared clock where the sequential engine would have put it.
+func (e *Env) replayStep(ev event) {
+	p := ev.proc
+	e.now = ev.at
+	for p.cursor < len(p.traj) {
+		t := p.traj[p.cursor]
+		p.cursor++
+		if !e.noFast && t <= e.horizon && (len(e.queue) == 0 || t < e.queue[0].at) {
+			e.now = t
+			continue
+		}
+		e.seq++
+		heap.Push(&e.queue, event{at: t, seq: e.seq, proc: p, phantom: true})
+		return
+	}
+	if p.phaseDone {
+		p.phaseDone = false
+		p.state = stateDone
+		e.running--
+		return
+	}
+	e.step(event{at: e.now, proc: p})
+}

@@ -43,6 +43,17 @@ type Env struct {
 	metrics *Metrics
 	panicV  any           // re-thrown panic from a process
 	yield   chan yieldMsg // handed a token each time the running process cedes control
+
+	// Conservative parallel engine (see domain.go). All zero/nil until
+	// EnableSimPar arms it; the sequential engine never consults them
+	// beyond the single e.simPar branch in the event loops.
+	simPar           bool
+	domains          int
+	lookahead        Duration
+	parkCh           chan parkMsg
+	statPhases       uint64
+	statMembers      uint64
+	statHorizonWaits uint64
 }
 
 // maxTime is the largest representable virtual time, used as the "no
@@ -121,12 +132,15 @@ func (e *Env) Report() Report {
 }
 
 // event is a scheduled resumption of a process, or a timer expiry when
-// timer is non-nil.
+// timer is non-nil. A phantom event is the replay cursor of a parked phase
+// member (see domain.go): dispatching it replays the member's recorded
+// sleep trajectory through the queue instead of resuming the goroutine.
 type event struct {
-	at    Time
-	seq   uint64
-	proc  *Proc
-	timer *Timer
+	at      Time
+	seq     uint64
+	proc    *Proc
+	timer   *Timer
+	phantom bool
 }
 
 type eventQueue []event
@@ -172,6 +186,21 @@ type Proc struct {
 
 	// waitOn is the condition this process is blocked on, if any.
 	waitOn *Cond
+
+	// Conservative parallel engine state (see domain.go). domain and
+	// computeDepth are maintained by BeginCompute/EndCompute whether or
+	// not sim-par is armed; the rest is live only while inPhase.
+	domain       int
+	computeDepth int
+	inPhase      bool
+	phaseBarred  bool   // parked at a sync point; sequential until the next compute window
+	phaseDone    bool   // body returned in-phase; retire after the trajectory replays
+	pNow         Time   // private clock while running as a phase member
+	pHorizon     Time   // conservative bound on pNow for this phase
+	pStrict      Time   // no-slack bound: in-phase TrySleepInPlace may not cross it
+	phaseIdx     int    // member index within the current phase
+	traj         []Time // private-clock sleep targets recorded this phase, for deferred replay
+	cursor       int    // replay position within traj
 }
 
 // Name returns the process name given at Spawn time.
@@ -187,8 +216,14 @@ func (p *Proc) SetDaemon(v bool) { p.daemon = v }
 // Env returns the environment the process belongs to.
 func (p *Proc) Env() *Env { return p.env }
 
-// Now returns the current virtual time.
-func (p *Proc) Now() Time { return p.env.now }
+// Now returns the current virtual time: the process's private clock while
+// it runs as a phase member, the shared clock otherwise.
+func (p *Proc) Now() Time {
+	if p.inPhase {
+		return p.pNow
+	}
+	return p.env.now
+}
 
 // Spawn registers a new process that starts at the current virtual time.
 // The body runs on its own goroutine but only while the scheduler has
@@ -254,7 +289,17 @@ func (e *Env) step(ev event) {
 		p.body = nil
 		go func() {
 			defer func() {
-				if r := recover(); r != nil {
+				r := recover()
+				if p.inPhase {
+					// The body finished while running as a phase member;
+					// nobody is listening on e.yield until the phase joins.
+					// Report through the park channel instead and let the
+					// join do the state/running bookkeeping.
+					p.inPhase = false
+					e.parkCh <- parkMsg{idx: p.phaseIdx, kind: parkDone, panicV: r}
+					return
+				}
+				if r != nil {
 					e.panicV = r
 				}
 				p.state = stateDone
@@ -289,6 +334,10 @@ func (e *Env) dispatch(ev event) {
 		t.fn()
 		return
 	}
+	if ev.phantom {
+		e.replayStep(ev)
+		return
+	}
 	e.step(ev)
 }
 
@@ -299,6 +348,9 @@ func (e *Env) dispatch(ev event) {
 func (e *Env) Run() Time {
 	e.horizon = maxTime
 	for len(e.queue) > 0 {
+		if e.simPar && e.tryPhase() {
+			continue
+		}
 		ev := heap.Pop(&e.queue).(event)
 		e.dispatch(ev)
 	}
@@ -310,6 +362,9 @@ func (e *Env) Run() Time {
 func (e *Env) RunUntil(deadline Time) Time {
 	e.horizon = deadline
 	for len(e.queue) > 0 && e.queue[0].at <= deadline {
+		if e.simPar && e.tryPhase() {
+			continue
+		}
 		ev := heap.Pop(&e.queue).(event)
 		e.dispatch(ev)
 	}
@@ -370,6 +425,22 @@ func (p *Proc) Sleep(d Duration) {
 	if d < 0 {
 		d = 0
 	}
+	if p.inPhase {
+		// Phase member: advance the private clock without touching the
+		// shared queue, recording the target so the join can replay this
+		// trajectory through the real queue with the exact sequence numbers
+		// the sequential engine would have assigned (see domain.go).
+		// Crossing the horizon parks the member; it resumes sequentially
+		// with the shared clock at the sleep target.
+		t := p.pNow.Add(d)
+		p.traj = append(p.traj, t)
+		if t <= p.pHorizon {
+			p.pNow = t
+			return
+		}
+		p.phasePark(parkSleep)
+		return
+	}
 	e := p.env
 	t := e.now.Add(d)
 	// Fast path: if no other event can possibly run before t (the queue is
@@ -414,6 +485,21 @@ func (p *Proc) TrySleepInPlace(d Duration) bool {
 	if d < 0 {
 		d = 0
 	}
+	if p.inPhase {
+		// The strict no-slack bound guarantees every constituent Sleep
+		// would take the sequential in-place fast path at replay time too,
+		// so an in-phase merge happens exactly when the sequential engine
+		// would also have merged (and consumed no sequence numbers). Beyond
+		// it the caller falls back to per-step Sleeps, which record or park
+		// individually.
+		t := p.pNow.Add(d)
+		if t <= p.pStrict {
+			p.traj = append(p.traj, t)
+			p.pNow = t
+			return true
+		}
+		return false
+	}
 	e := p.env
 	t := e.now.Add(d)
 	if !e.noFast && t <= e.horizon && (len(e.queue) == 0 || t < e.queue[0].at) {
@@ -443,6 +529,7 @@ func (p *Proc) Wait(c *Cond) {
 	if c.env != p.env {
 		panic("sim: Wait on a Cond from a different Env")
 	}
+	p.PhaseSync() // conditions are shared state; a phase member parks first
 	c.waiters = append(c.waiters, p)
 	p.state = stateBlocked
 	p.waitOn = c
@@ -466,6 +553,7 @@ func (p *Proc) WaitFor(c *Cond, pred func() bool) {
 // internal timer is stopped, so a satisfied wait never stretches the
 // simulation's end time.
 func (p *Proc) WaitForTimeout(c *Cond, d Duration, pred func() bool) bool {
+	p.PhaseSync() // both pred and AfterFunc touch shared state
 	if pred() {
 		return true
 	}
