@@ -411,12 +411,15 @@ func BenchmarkSchedulerSpeedup(b *testing.B) {
 func BenchmarkSimParScaleOut(b *testing.B) {
 	for _, boards := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("boards=%d", boards), func(b *testing.B) {
-			var instr uint64
+			var instr, phases uint64
 			for i := 0; i < b.N; i++ {
 				p := platform.DefaultParams()
 				p.SimPar = true
 				var snap sim.Snapshot
-				obs := &sim.Observer{OnReport: func(r sim.Report) { snap = r.Metrics }}
+				obs := &sim.Observer{
+					OnReport: func(r sim.Report) { snap = r.Metrics },
+					OnSimPar: func(sp sim.SimParStats) { phases += sp.Phases },
+				}
 				if _, _, err := workloads.RunScaleOut(8, 12, boards, "", &p, obs); err != nil {
 					b.Fatal(err)
 				}
@@ -427,6 +430,12 @@ func BenchmarkSimParScaleOut(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(instr)/b.Elapsed().Seconds(), "sim-instr/s")
+			// Phase-batching ratio: fewer, fatter phases per instruction is
+			// the whole point of the round-extended scheduler. Reported per
+			// million simulated instructions so the number stays readable.
+			if instr > 0 {
+				b.ReportMetric(float64(phases)/(float64(instr)/1e6), "phases/Minstr")
+			}
 		})
 	}
 }

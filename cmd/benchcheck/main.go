@@ -9,8 +9,22 @@
 // current file is a fresh capture of the same benchmarks. Benchmarks only
 // present on one side are reported but never fail the gate, so adding a
 // backend (a new BenchmarkCoreStep sub-benchmark) does not break CI until
-// the baseline is refreshed with `make bench-hotloop`. Exit codes: 0 all
-// matched benchmarks within threshold, 1 regression, 2 usage/parse error.
+// the baseline is refreshed with `make bench-hotloop`.
+//
+// Three kinds of metric are gated, per benchmark, when present in both
+// captures:
+//
+//   - ns/op: lower is better; fails beyond the fractional threshold.
+//   - allocs/op: lower is better; fails beyond the fractional threshold,
+//     with a small absolute slack so single-digit alloc counts do not
+//     trip the gate on one stray allocation.
+//   - any metric whose unit ends in "/s" (e.g. the simulator's
+//     sim-instr/s): higher is better; fails when the current capture
+//     drops more than the threshold below the baseline.
+//
+// Other units (B/op, phases/Minstr, ...) are carried in the record and
+// printed for diffing but never fail the gate. Exit codes: 0 all matched
+// benchmarks within threshold, 1 regression, 2 usage/parse error.
 package main
 
 import (
@@ -25,10 +39,25 @@ import (
 	"strings"
 )
 
-// resultRE pulls one benchmark result out of the concatenated test2json
-// output stream. The name keeps its sub-benchmark path but drops the
-// trailing -procs suffix so captures from different GOMAXPROCS compare.
-var resultRE = regexp.MustCompile(`(Benchmark[^\s-]\S*?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+// lineRE pulls one benchmark result line out of the concatenated
+// test2json output stream: name, iteration count, then the metric list.
+// The name keeps its sub-benchmark path but drops the trailing -procs
+// suffix so captures from different GOMAXPROCS compare.
+var lineRE = regexp.MustCompile(`(?m)^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.+)$`)
+
+// metricRE matches one "value unit" pair in a result line's metric list.
+// Values may be scientific notation (testing prints large ReportMetric
+// values as e.g. 1.77e+07).
+var metricRE = regexp.MustCompile(`([0-9]+(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?)\s+(\S+)`)
+
+// allocSlack is the absolute allocs/op headroom granted on top of the
+// fractional threshold: a benchmark at 10 allocs/op must not fail because
+// a run picked up one incidental allocation.
+const allocSlack = 16.0
+
+// bench is one benchmark's metrics, keyed by unit ("ns/op", "allocs/op",
+// "sim-instr/s", ...).
+type bench map[string]float64
 
 func main() {
 	os.Exit(run(os.Args[1:]))
@@ -36,7 +65,7 @@ func main() {
 
 func run(args []string) int {
 	fs := flag.NewFlagSet("benchcheck", flag.ContinueOnError)
-	threshold := fs.Float64("threshold", 0.15, "maximum allowed fractional ns/op regression")
+	threshold := fs.Float64("threshold", 0.15, "maximum allowed fractional regression per gated metric")
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: benchcheck [-threshold 0.15] baseline.json current.json")
 		fs.PrintDefaults()
@@ -70,21 +99,40 @@ func run(args []string) int {
 		was := base[name]
 		now, ok := cur[name]
 		if !ok {
-			fmt.Printf("MISSING  %-40s baseline %8.2f ns/op, absent from current run\n", name, was)
+			fmt.Printf("MISSING  %-44s baseline %s, absent from current run\n", name, formatMetric(was["ns/op"], "ns/op"))
 			continue
 		}
-		delta := (now - was) / was
-		verdict := "ok      "
-		if delta > *threshold {
-			verdict = "REGRESSED"
-			failed = true
+		units := make([]string, 0, len(was))
+		for unit := range was {
+			units = append(units, unit)
 		}
-		fmt.Printf("%s %-40s %8.2f -> %8.2f ns/op  (%+.1f%%, limit +%.0f%%)\n",
-			verdict, name, was, now, delta*100, *threshold*100)
+		sort.Strings(units)
+		for _, unit := range units {
+			b := was[unit]
+			c, ok := now[unit]
+			if !ok {
+				continue // metric dropped from current capture: not gated
+			}
+			verdict, gated := check(unit, b, c, *threshold)
+			if !gated {
+				continue
+			}
+			if verdict != "ok      " {
+				failed = true
+			}
+			delta := 0.0
+			if b != 0 {
+				delta = (c - b) / b * 100
+			}
+			fmt.Printf("%s %-44s %s -> %s  (%+.1f%%, limit %.0f%%)\n",
+				verdict, name+" "+unit, formatMetric(b, unit), formatMetric(c, unit),
+				delta, *threshold*100)
+		}
 	}
-	for name, now := range cur {
+	for name := range cur {
 		if _, ok := base[name]; !ok {
-			fmt.Printf("NEW      %-40s %8.2f ns/op (not in baseline; refresh with `make bench-hotloop`)\n", name, now)
+			fmt.Printf("NEW      %-44s %s (not in baseline; refresh with `make bench-hotloop`)\n",
+				name, formatMetric(cur[name]["ns/op"], "ns/op"))
 		}
 	}
 	if failed {
@@ -94,11 +142,43 @@ func run(args []string) int {
 	return 0
 }
 
-// readBench parses a `go test -json` stream and returns ns/op keyed by
-// benchmark name. test2json splits a single result line across several
-// Output records, so the records are concatenated per package before the
-// result regexp runs.
-func readBench(path string) (map[string]float64, error) {
+// check applies the gating rule for one metric and reports whether the
+// unit is gated at all. Lower-is-better units fail when current exceeds
+// baseline by more than the threshold (allocs/op additionally gets
+// allocSlack absolute headroom); "/s" throughput units fail when current
+// falls more than the threshold below baseline.
+func check(unit string, base, cur, threshold float64) (verdict string, gated bool) {
+	switch {
+	case unit == "ns/op":
+		if cur > base*(1+threshold) {
+			return "REGRESSED", true
+		}
+	case unit == "allocs/op":
+		if cur > base*(1+threshold) && cur > base+allocSlack {
+			return "REGRESSED", true
+		}
+	case strings.HasSuffix(unit, "/s"):
+		if cur < base*(1-threshold) {
+			return "REGRESSED", true
+		}
+	default:
+		return "", false
+	}
+	return "ok      ", true
+}
+
+func formatMetric(v float64, unit string) string {
+	if v >= 1e6 {
+		return fmt.Sprintf("%11.3g %s", v, unit)
+	}
+	return fmt.Sprintf("%11.2f %s", v, unit)
+}
+
+// readBench parses a `go test -json` stream and returns per-benchmark
+// metric maps keyed by benchmark name. test2json splits a single result
+// line across several Output records, so the records are concatenated per
+// package before the result regexp runs.
+func readBench(path string) (map[string]bench, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -135,14 +215,25 @@ func readBench(path string) (map[string]float64, error) {
 		return nil, fmt.Errorf("%s: %v", path, err)
 	}
 
-	out := make(map[string]float64)
+	out := make(map[string]bench)
 	for _, b := range text {
-		for _, m := range resultRE.FindAllStringSubmatch(b.String(), -1) {
-			ns, err := strconv.ParseFloat(m[2], 64)
-			if err != nil {
-				return nil, fmt.Errorf("%s: bad ns/op %q for %s", path, m[2], m[1])
+		for _, m := range lineRE.FindAllStringSubmatch(b.String(), -1) {
+			name, rest := m[1], m[2]
+			metrics := out[name]
+			if metrics == nil {
+				metrics = bench{}
+				out[name] = metrics
 			}
-			out[m[1]] = ns
+			for _, mm := range metricRE.FindAllStringSubmatch(rest, -1) {
+				v, err := strconv.ParseFloat(mm[1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad value %q for %s %s", path, mm[1], name, mm[2])
+				}
+				metrics[mm[2]] = v
+			}
+			if _, ok := metrics["ns/op"]; !ok {
+				return nil, fmt.Errorf("%s: result line for %s has no ns/op", path, name)
+			}
 		}
 	}
 	if len(out) == 0 {

@@ -110,6 +110,13 @@ type Mailbox struct {
 	// fail reports a descriptor abandoned after the DMA retry budget.
 	fail failFn
 
+	// descBuf is the scratch buffer for untimed descriptor peeks. All
+	// mailbox routing runs under the sequential engine (phase members park
+	// before touching shared state), and every user fills and consumes it
+	// without an intervening yield, so one buffer per mailbox keeps these
+	// hot paths allocation-free.
+	descBuf [DescSize]byte
+
 	// Board-side routing: one scheduler queue per board ISA.
 	schedQ  map[isa.ISA][]int
 	schedC  map[isa.ISA]*sim.Cond
@@ -320,11 +327,10 @@ func (mb *Mailbox) retryDMA(dir, tag string, slot, attempt int, descPA uint64, r
 	if mb.fail == nil {
 		return
 	}
-	var b [DescSize]byte
-	if err := mb.host.Read(descPA, b[:]); err != nil {
+	if err := mb.host.Read(descPA, mb.descBuf[:]); err != nil {
 		return
 	}
-	d, err := DecodeDescriptor(b[:])
+	d, err := DecodeDescriptor(mb.descBuf[:])
 	if err != nil {
 		return
 	}
@@ -384,11 +390,10 @@ func (mb *Mailbox) h2nArrived(slot int) {
 // peekH2N decodes a ring slot without timing (simulator-side routing; the
 // timed reads are performed by the NxP code that consumes the slot).
 func (mb *Mailbox) peekH2N(slot int) Descriptor {
-	var b [DescSize]byte
-	if err := mb.host.Read(mb.h2nSlotHostPA(slot), b[:]); err != nil {
+	if err := mb.host.Read(mb.h2nSlotHostPA(slot), mb.descBuf[:]); err != nil {
 		panic(fmt.Sprintf("core: mailbox peek: %v", err))
 	}
-	d, err := DecodeDescriptor(b[:])
+	d, err := DecodeDescriptor(mb.descBuf[:])
 	if err != nil {
 		panic(fmt.Sprintf("core: mailbox peek: %v", err))
 	}
@@ -496,11 +501,10 @@ func (mb *Mailbox) submitN2H(slot, attempt int) {
 }
 
 func (mb *Mailbox) n2hArrived(slot int) {
-	var b [DescSize]byte
-	if err := mb.host.Read(mb.hostArrival+uint64(slot)*DescSize, b[:]); err != nil {
+	if err := mb.host.Read(mb.hostArrival+uint64(slot)*DescSize, mb.descBuf[:]); err != nil {
 		panic(fmt.Sprintf("core: n2h arrival: %v", err))
 	}
-	d, err := DecodeDescriptor(b[:])
+	d, err := DecodeDescriptor(mb.descBuf[:])
 	if err != nil {
 		panic(fmt.Sprintf("core: n2h arrival: %v", err))
 	}
@@ -551,17 +555,15 @@ func (mb *Mailbox) PendingFor(pid uint32) bool {
 		// descriptors clear their busy flag and stop counting.
 		for slot := 0; slot < mailboxSlots; slot++ {
 			if mb.busyH2N[slot] {
-				var b [DescSize]byte
-				if err := mb.host.Read(mb.hostStaging+uint64(slot)*DescSize, b[:]); err == nil {
-					if d, err := DecodeDescriptor(b[:]); err == nil && d.PID == pid {
+				if err := mb.host.Read(mb.hostStaging+uint64(slot)*DescSize, mb.descBuf[:]); err == nil {
+					if d, err := DecodeDescriptor(mb.descBuf[:]); err == nil && d.PID == pid {
 						return true
 					}
 				}
 			}
 			if mb.n2hBusy[slot] {
-				var b [DescSize]byte
-				if err := mb.host.Read(mb.bramHostBase+n2hStagingOff+uint64(slot)*DescSize, b[:]); err == nil {
-					if d, err := DecodeDescriptor(b[:]); err == nil && d.PID == pid {
+				if err := mb.host.Read(mb.bramHostBase+n2hStagingOff+uint64(slot)*DescSize, mb.descBuf[:]); err == nil {
+					if d, err := DecodeDescriptor(mb.descBuf[:]); err == nil && d.PID == pid {
 						return true
 					}
 				}

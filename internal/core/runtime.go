@@ -287,6 +287,13 @@ type Runtime struct {
 	// execution without any hot-path synchronization. Stats() merges the
 	// shards in deterministic build order.
 	hostStats Stats
+
+	// descBuf is the scratch buffer for the timed descriptor accesses
+	// below. They all run under the sequential engine (descriptor traffic
+	// is a phase sync point), and each helper charges its Sleep — the only
+	// yield point — before filling the buffer, so one buffer per runtime
+	// keeps the migration hot path allocation-free.
+	descBuf [DescSize]byte
 }
 
 // boardState is the runtime's per-board-core bookkeeping.
@@ -301,6 +308,9 @@ type boardState struct {
 	// call (including everything nested under it) — the signal that tells
 	// the kernel's migration probe the callee is alive, not lost.
 	busy bool
+	// schedCtx is the scheduler loop's reusable top-level call context,
+	// reset before each migrated-in call.
+	schedCtx *cpu.Context
 	// stats is this board's shard of the runtime counters (only H2NCalls
 	// is board-side today); see Runtime.hostStats.
 	stats Stats
@@ -547,7 +557,15 @@ func (rt *Runtime) schedulerLoop(p *sim.Proc, st *boardState) {
 		st.stats.H2NCalls++
 		rt.M.Env.Emit(sim.Event{Comp: core.Name(), Kind: sim.KindMigrate, Addr: d.Target, Aux: uint64(d.PID), Note: "h2n"})
 		p.Sleep(rt.Costs.NxPContextSwitch)
-		ctx := &cpu.Context{}
+		// One context per board scheduler, reset per call. Nothing retains
+		// it past the Call: the return value travels by descriptor, and the
+		// next iteration's context switch would clobber real hardware state
+		// just the same.
+		if st.schedCtx == nil {
+			st.schedCtx = &cpu.Context{}
+		}
+		ctx := st.schedCtx
+		*ctx = cpu.Context{}
 		ctx.SetReg(isa.SP, d.NxPStack)
 		core.SetContext(ctx)
 		st.curPID = d.PID
@@ -587,9 +605,9 @@ func (rt *Runtime) sendReturnToHost(p *sim.Proc, mb *Mailbox, pid uint32, ret ui
 // writeDescHost writes a descriptor into host DRAM, charging the host
 // core's local-memory cost per word.
 func (rt *Runtime) writeDescHost(p *sim.Proc, pa uint64, d Descriptor) {
-	b := d.Encode()
 	p.Sleep(sim.Duration(DescSize/8) * rt.M.Params.HostDRAMAccess)
-	if err := rt.M.HostView.Write(pa, b[:]); err != nil {
+	rt.descBuf = d.Encode()
+	if err := rt.M.HostView.Write(pa, rt.descBuf[:]); err != nil {
 		panic(fmt.Sprintf("core: staging write: %v", err))
 	}
 }
@@ -597,11 +615,10 @@ func (rt *Runtime) writeDescHost(p *sim.Proc, pa uint64, d Descriptor) {
 // readDescHost reads a descriptor from host DRAM with host-side timing.
 func (rt *Runtime) readDescHost(p *sim.Proc, pa uint64) Descriptor {
 	p.Sleep(sim.Duration(DescSize/8) * rt.M.Params.HostDRAMAccess)
-	var b [DescSize]byte
-	if err := rt.M.HostView.Read(pa, b[:]); err != nil {
+	if err := rt.M.HostView.Read(pa, rt.descBuf[:]); err != nil {
 		panic(fmt.Sprintf("core: arrival read: %v", err))
 	}
-	d, err := DecodeDescriptor(b[:])
+	d, err := DecodeDescriptor(rt.descBuf[:])
 	if err != nil {
 		panic(fmt.Sprintf("core: arrival decode: %v", err))
 	}
@@ -623,9 +640,9 @@ func (rt *Runtime) nxpDescWordCost(pa uint64, write bool) sim.Duration {
 
 // writeDescNxP writes a descriptor word-by-word from the NxP side.
 func (rt *Runtime) writeDescNxP(p *sim.Proc, localPA uint64, d Descriptor) {
-	b := d.Encode()
 	p.Sleep(sim.Duration(DescSize/8) * rt.nxpDescWordCost(localPA, true))
-	if err := rt.M.NxPView.Write(localPA, b[:]); err != nil {
+	rt.descBuf = d.Encode()
+	if err := rt.M.NxPView.Write(localPA, rt.descBuf[:]); err != nil {
 		panic(fmt.Sprintf("core: descriptor write: %v", err))
 	}
 }
@@ -633,11 +650,10 @@ func (rt *Runtime) writeDescNxP(p *sim.Proc, localPA uint64, d Descriptor) {
 // readDescNxP reads a descriptor word-by-word with NxP timing.
 func (rt *Runtime) readDescNxP(p *sim.Proc, localPA uint64) Descriptor {
 	p.Sleep(sim.Duration(DescSize/8) * rt.nxpDescWordCost(localPA, false))
-	var b [DescSize]byte
-	if err := rt.M.NxPView.Read(localPA, b[:]); err != nil {
+	if err := rt.M.NxPView.Read(localPA, rt.descBuf[:]); err != nil {
 		panic(fmt.Sprintf("core: descriptor read: %v", err))
 	}
-	d, err := DecodeDescriptor(b[:])
+	d, err := DecodeDescriptor(rt.descBuf[:])
 	if err != nil {
 		panic(fmt.Sprintf("core: descriptor decode: %v", err))
 	}

@@ -68,11 +68,36 @@ func RegByName(s string) (Reg, bool) {
 			return Reg(i), true
 		}
 	}
-	var n int
-	if _, err := fmt.Sscanf(s, "r%d", &n); err == nil && n >= 0 && n < NumRegs {
-		return Reg(n), true
+	// Manual "rN" parse (the assembler calls this for every operand token,
+	// so no fmt machinery): optional sign, at least one digit, trailing
+	// input ignored — the acceptance set of Sscanf(s, "r%d").
+	if len(s) < 2 || s[0] != 'r' {
+		return 0, false
 	}
-	return 0, false
+	digits := s[1:]
+	neg := false
+	if digits[0] == '+' || digits[0] == '-' {
+		neg = digits[0] == '-'
+		digits = digits[1:]
+	}
+	if digits == "" || digits[0] < '0' || digits[0] > '9' {
+		return 0, false
+	}
+	n := 0
+	for i := 0; i < len(digits); i++ {
+		c := digits[i]
+		if c < '0' || c > '9' {
+			break
+		}
+		n = n*10 + int(c-'0')
+		if n >= NumRegs {
+			return 0, false
+		}
+	}
+	if neg {
+		return 0, false
+	}
+	return Reg(n), true
 }
 
 // Op is an operation code, shared between both encodings.

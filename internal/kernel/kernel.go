@@ -677,9 +677,11 @@ func (k *Kernel) DeliverMSIVia(site string, pid int) {
 	}
 	extra, _ := k.inj.DelayAt(site, "msi", "delay")
 	// Model interrupt-entry + handler latency by scheduling the wake
-	// after the IRQ path completes.
-	k.env.SpawnDaemon(fmt.Sprintf("irq-wake-%d", pid), func(p *sim.Proc) {
-		p.Sleep(k.costs.InterruptEntry + k.costs.IRQHandler + extra)
+	// after the IRQ path completes. A timer, not a spawned process: the
+	// wake body never blocks, and interrupt delivery is the hottest
+	// spawn site in migration-heavy runs — a process here costs a
+	// goroutine, a channel, and a permanent procs-table entry per IRQ.
+	k.env.AfterFunc(k.costs.InterruptEntry+k.costs.IRQHandler+extra, func() {
 		if t.Wake() {
 			k.env.Emit(sim.Event{Comp: "kernel", Kind: sim.KindIRQ, Aux: uint64(pid), Note: "MSI wake"})
 		} else {

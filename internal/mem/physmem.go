@@ -237,10 +237,41 @@ func (as *AddressSpace) WatchCode(addr, n uint64) (*Sparse, bool) {
 	return r.store, true
 }
 
+// The word-sized accessors below duplicate Read/Write's resolve-and-check
+// prologue instead of delegating to them. The indirection they avoid is
+// not cosmetic: Read/Write may hand the buffer to a Device interface, so a
+// caller's stack buffer always escapes through them — one heap allocation
+// per simulated load/store, which made ReadU64 the single largest
+// allocation site in the simulator. Keeping the RAM/ROM word path on
+// concrete *Sparse calls lets every word access run allocation-free; only
+// the (rare) MMIO branch still pays the interface escape.
+
+// wordRegion resolves addr for an n-byte word access with Read/Write's
+// boundary semantics.
+func (as *AddressSpace) wordRegion(addr, n uint64) (*Region, uint64, error) {
+	r, off, err := as.Lookup(addr)
+	if err != nil {
+		return nil, 0, err
+	}
+	if off+n > r.size {
+		return nil, 0, &FaultError{Addr: addr, Space: as.Name, Reason: "access crosses region boundary"}
+	}
+	return r, off, nil
+}
+
 // ReadU64 reads a little-endian 64-bit word.
 func (as *AddressSpace) ReadU64(addr uint64) (uint64, error) {
+	r, off, err := as.wordRegion(addr, 8)
+	if err != nil {
+		return 0, err
+	}
+	if r.Kind != MMIO {
+		var b [8]byte
+		r.store.ReadAt(off, b[:])
+		return binary.LittleEndian.Uint64(b[:]), nil
+	}
 	var b [8]byte
-	if err := as.Read(addr, b[:]); err != nil {
+	if err := r.dev.MMIORead(off, b[:]); err != nil {
 		return 0, err
 	}
 	return binary.LittleEndian.Uint64(b[:]), nil
@@ -248,15 +279,37 @@ func (as *AddressSpace) ReadU64(addr uint64) (uint64, error) {
 
 // WriteU64 writes a little-endian 64-bit word.
 func (as *AddressSpace) WriteU64(addr, v uint64) error {
+	r, off, err := as.wordRegion(addr, 8)
+	if err != nil {
+		return err
+	}
+	switch r.Kind {
+	case MMIO:
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		return r.dev.MMIOWrite(off, b[:])
+	case ROM:
+		return &FaultError{Addr: addr, Space: as.Name, Reason: "write to ROM"}
+	}
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], v)
-	return as.Write(addr, b[:])
+	r.store.WriteAt(off, b[:])
+	return nil
 }
 
 // ReadU32 reads a little-endian 32-bit word.
 func (as *AddressSpace) ReadU32(addr uint64) (uint32, error) {
+	r, off, err := as.wordRegion(addr, 4)
+	if err != nil {
+		return 0, err
+	}
+	if r.Kind != MMIO {
+		var b [4]byte
+		r.store.ReadAt(off, b[:])
+		return binary.LittleEndian.Uint32(b[:]), nil
+	}
 	var b [4]byte
-	if err := as.Read(addr, b[:]); err != nil {
+	if err := r.dev.MMIORead(off, b[:]); err != nil {
 		return 0, err
 	}
 	return binary.LittleEndian.Uint32(b[:]), nil
@@ -264,15 +317,37 @@ func (as *AddressSpace) ReadU32(addr uint64) (uint32, error) {
 
 // WriteU32 writes a little-endian 32-bit word.
 func (as *AddressSpace) WriteU32(addr uint64, v uint32) error {
+	r, off, err := as.wordRegion(addr, 4)
+	if err != nil {
+		return err
+	}
+	switch r.Kind {
+	case MMIO:
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		return r.dev.MMIOWrite(off, b[:])
+	case ROM:
+		return &FaultError{Addr: addr, Space: as.Name, Reason: "write to ROM"}
+	}
 	var b [4]byte
 	binary.LittleEndian.PutUint32(b[:], v)
-	return as.Write(addr, b[:])
+	r.store.WriteAt(off, b[:])
+	return nil
 }
 
 // ReadU16 reads a little-endian 16-bit word.
 func (as *AddressSpace) ReadU16(addr uint64) (uint16, error) {
+	r, off, err := as.wordRegion(addr, 2)
+	if err != nil {
+		return 0, err
+	}
+	if r.Kind != MMIO {
+		var b [2]byte
+		r.store.ReadAt(off, b[:])
+		return binary.LittleEndian.Uint16(b[:]), nil
+	}
 	var b [2]byte
-	if err := as.Read(addr, b[:]); err != nil {
+	if err := r.dev.MMIORead(off, b[:]); err != nil {
 		return 0, err
 	}
 	return binary.LittleEndian.Uint16(b[:]), nil
@@ -280,15 +355,37 @@ func (as *AddressSpace) ReadU16(addr uint64) (uint16, error) {
 
 // WriteU16 writes a little-endian 16-bit word.
 func (as *AddressSpace) WriteU16(addr uint64, v uint16) error {
+	r, off, err := as.wordRegion(addr, 2)
+	if err != nil {
+		return err
+	}
+	switch r.Kind {
+	case MMIO:
+		var b [2]byte
+		binary.LittleEndian.PutUint16(b[:], v)
+		return r.dev.MMIOWrite(off, b[:])
+	case ROM:
+		return &FaultError{Addr: addr, Space: as.Name, Reason: "write to ROM"}
+	}
 	var b [2]byte
 	binary.LittleEndian.PutUint16(b[:], v)
-	return as.Write(addr, b[:])
+	r.store.WriteAt(off, b[:])
+	return nil
 }
 
 // ReadU8 reads one byte.
 func (as *AddressSpace) ReadU8(addr uint64) (uint8, error) {
+	r, off, err := as.wordRegion(addr, 1)
+	if err != nil {
+		return 0, err
+	}
+	if r.Kind != MMIO {
+		var b [1]byte
+		r.store.ReadAt(off, b[:])
+		return b[0], nil
+	}
 	var b [1]byte
-	if err := as.Read(addr, b[:]); err != nil {
+	if err := r.dev.MMIORead(off, b[:]); err != nil {
 		return 0, err
 	}
 	return b[0], nil
@@ -296,5 +393,18 @@ func (as *AddressSpace) ReadU8(addr uint64) (uint8, error) {
 
 // WriteU8 writes one byte.
 func (as *AddressSpace) WriteU8(addr uint64, v uint8) error {
-	return as.Write(addr, []byte{v})
+	r, off, err := as.wordRegion(addr, 1)
+	if err != nil {
+		return err
+	}
+	switch r.Kind {
+	case MMIO:
+		b := [1]byte{v}
+		return r.dev.MMIOWrite(off, b[:])
+	case ROM:
+		return &FaultError{Addr: addr, Space: as.Name, Reason: "write to ROM"}
+	}
+	b := [1]byte{v}
+	r.store.WriteAt(off, b[:])
+	return nil
 }

@@ -130,6 +130,14 @@ type Params struct {
 	// draw from one PRNG stream shared across cores, which only has a
 	// deterministic draw order under sequential stepping).
 	SimPar bool
+	// SimParMetrics registers the parallel engine's bookkeeping as
+	// gauges (simpar.phases, simpar.members, simpar.singleton_phases,
+	// simpar.parked_emits) over Env.SimParStats. Off by default, exactly
+	// like TrafficMetrics: the paper-artifact metrics snapshot must carry
+	// no new keys, and a sim-par run's snapshot must stay byte-identical
+	// to a sequential run's — these gauges read nonzero only under the
+	// parallel engine, so they are strictly opt-in diagnostics.
+	SimParMetrics bool
 }
 
 // DefaultParams returns the calibrated Table I machine.
@@ -434,6 +442,17 @@ func New(params Params) (*Machine, error) {
 	m.buildCores()
 	if m.simPar {
 		m.Env.EnableSimPar(nBoards, params.SimParLookahead())
+	}
+	if params.SimParMetrics {
+		// Opt-in diagnostics (see Params.SimParMetrics): gauge-based, so
+		// the engine's hot paths don't know these exist, and absent from
+		// every default snapshot.
+		env := m.Env
+		reg0 := env.Metrics()
+		reg0.Gauge("simpar.phases", func() uint64 { return env.SimParStats().Phases })
+		reg0.Gauge("simpar.members", func() uint64 { return env.SimParStats().Members })
+		reg0.Gauge("simpar.singleton_phases", func() uint64 { return env.SimParStats().SingletonPhases })
+		reg0.Gauge("simpar.parked_emits", func() uint64 { return env.SimParStats().ParkedEmits })
 	}
 
 	// Publish every core's counters (and those of its MMUs and TLBs) into

@@ -1,9 +1,6 @@
 package sim
 
-import (
-	"container/heap"
-	"os"
-)
+import "os"
 
 // Conservative parallel execution ("sim-par").
 //
@@ -88,6 +85,36 @@ import (
 // horizon with zero queue interaction, which is exactly the Sleep fast path
 // the sequential engine loses the moment a multi-board machine keeps more
 // than one event in flight.
+//
+// # Rounds: batched phases
+//
+// A phase does not end the first time a member's Sleep crosses its horizon.
+// The member parks in place — still in-phase, still holding its recorded
+// trajectory — and the scheduler runs a *round*: it recomputes every
+// horizon-parked member's bound against the members' current positions
+// (each sleeping co-member has provably committed nothing past its parked
+// private clock, so its position + L replaces its phase-start time + L in
+// the bound; a member gone to a sync point or a body return contributes its
+// position with no slack, exactly like a barred queue entry) and resumes
+// every member whose blocked sleep target now fits. Only when no member can
+// make progress does the phase join. The queue-derived part of the bound is
+// computed once per phase — the queue is frozen while members run — so a
+// round costs one pass over the member table and no queue scans. Rounds
+// collapse what used to be long chains of fork/join cycles (each paying the
+// full join-replay-refork tax per horizon crossing) into one fat phase per
+// conservative window, which is where the engine's phases/instruction ratio
+// comes from. Soundness is unchanged: a resumed member's new horizon is
+// still a conservative bound of exactly the same form, and everything a
+// member does in-phase remains invisible until the join replays it.
+//
+// # Scheduler handoff
+//
+// Member goroutines are persistent (one per process for the process's whole
+// life) and the park/resume handoff allocates nothing: a parking member
+// writes its own slot in a preallocated park table and signals a
+// sync.WaitGroup the scheduler waits on; resumption is a one-element
+// buffered channel owned by the process. No channel, slice, or message is
+// allocated per phase or per park.
 
 // SimParDisabled reports whether the FLICKSIM_NOSIMPAR escape hatch is set.
 // It forces the engine back to fully sequential dispatch even when a
@@ -104,24 +131,30 @@ func SimParDisabled() bool { return os.Getenv("FLICKSIM_NOSIMPAR") != "" }
 // that want them (benchmarks, tests, docs examples) read them through
 // Env.SimParStats instead.
 type SimParStats struct {
-	Enabled      bool     // the engine may form phases
-	Domains      int      // number of compute domains (boards) configured
-	Lookahead    Duration // conservative lookahead window L
-	Phases       uint64   // phases formed
-	Members      uint64   // total members across all phases
-	HorizonWaits uint64   // members parked by the horizon alone (not by a sync point)
+	Enabled         bool     // the engine may form phases
+	Domains         int      // number of compute domains (boards) configured
+	Lookahead       Duration // conservative lookahead window L
+	Phases          uint64   // phases formed
+	Members         uint64   // total members across all phases
+	SingletonPhases uint64   // phases with exactly one member
+	HorizonWaits    uint64   // horizon parks (each round a member waits at its bound)
+	Rounds          uint64   // extension rounds that resumed at least one member
+	ParkedEmits     uint64   // members parked out of a phase to emit a trace event
 }
 
 // SimParStats returns the current parallel-engine statistics. All zero when
 // sim-par was never enabled.
 func (e *Env) SimParStats() SimParStats {
 	return SimParStats{
-		Enabled:      e.simPar,
-		Domains:      e.domains,
-		Lookahead:    e.lookahead,
-		Phases:       e.statPhases,
-		Members:      e.statMembers,
-		HorizonWaits: e.statHorizonWaits,
+		Enabled:         e.simPar,
+		Domains:         e.domains,
+		Lookahead:       e.lookahead,
+		Phases:          e.statPhases,
+		Members:         e.statMembers,
+		SingletonPhases: e.statSingletons,
+		HorizonWaits:    e.statHorizonWaits,
+		Rounds:          e.statRounds,
+		ParkedEmits:     e.statParkedEmits,
 	}
 }
 
@@ -137,7 +170,13 @@ func (e *Env) EnableSimPar(domains int, lookahead Duration) {
 	e.simPar = true
 	e.domains = domains
 	e.lookahead = lookahead
-	e.parkCh = make(chan parkMsg)
+	// Phase scratch: one slot per possible member (members have pairwise
+	// distinct domains, so a phase never exceeds the domain count). Sized
+	// here, reused by every phase, never reallocated.
+	e.phaseMembers = make([]event, 0, domains)
+	e.phaseMsgs = make([]parkMsg, domains)
+	e.phaseState = make([]uint8, domains)
+	e.qbTagged = make([]taggedBound, 0, 64)
 }
 
 // parkKind says why a phase member stopped running.
@@ -149,13 +188,25 @@ const (
 	parkDone                  // the member's body returned (or panicked)
 )
 
-// parkMsg is a member's report back to the scheduler. Everything the join
-// needs beyond the reason for stopping lives in the member's recorded
-// trajectory.
+// parkMsg is a member's report back to the scheduler, written into the
+// member's own slot of Env.phaseMsgs before it signals the phase
+// WaitGroup. pos is the member's private clock at the park, the input to
+// the next round's horizon recomputation; target is the blocked sleep
+// target for a parkSleep, the value the new horizon must cover for the
+// member to resume in-phase.
 type parkMsg struct {
-	idx    int // member index within the phase
 	kind   parkKind
-	panicV any // parkDone only: recovered panic, if any
+	pos    Time // private clock at the park
+	target Time // parkSleep only: the sleep target that crossed the horizon
+	panicV any  // parkDone only: recovered panic, if any
+	emit   bool // parkOp only: the park was forced by a trace emit
+}
+
+// taggedBound is one pending tagged compute event in the frozen queue,
+// recorded by scanPhaseBounds for the per-domain horizon queries.
+type taggedBound struct {
+	at     Time
+	domain int
 }
 
 // BeginCompute marks the start of a compute window on the process: while
@@ -230,7 +281,7 @@ func (p *Proc) Emit(ev Event) {
 		if !p.env.trace.Enabled() {
 			return
 		}
-		p.phasePark(parkOp)
+		p.phaseParkEmit()
 	}
 	p.env.Emit(ev)
 }
@@ -255,8 +306,41 @@ func (p *Proc) phasePark(kind parkKind) {
 	if kind == parkOp {
 		p.phaseBarred = true
 	}
-	p.env.parkCh <- parkMsg{idx: p.phaseIdx, kind: kind}
+	e := p.env
+	e.phaseMsgs[p.phaseIdx] = parkMsg{kind: kind, pos: p.pNow}
+	e.phaseWG.Done()
 	<-p.resume
+}
+
+// phaseParkEmit is phasePark(parkOp) flagged as a trace-emit park, so the
+// scheduler can count how often tracing breaks phases (SimParStats
+// .ParkedEmits) without the member touching shared counters.
+func (p *Proc) phaseParkEmit() {
+	p.inPhase = false
+	p.phaseBarred = true
+	e := p.env
+	e.phaseMsgs[p.phaseIdx] = parkMsg{kind: parkOp, pos: p.pNow, emit: true}
+	e.phaseWG.Done()
+	<-p.resume
+}
+
+// phaseWaitSleep parks the member at an in-phase sleep whose target crossed
+// the current horizon and waits for the scheduler's round decision. On an
+// extend the scheduler has already raised p.pHorizon to cover the target
+// and the member resumes in-phase (returns true). On a join the member
+// leaves the phase and blocks until its trajectory has replayed through the
+// queue; it returns false running sequentially with the shared clock at the
+// sleep target, exactly like the old single-round park.
+func (p *Proc) phaseWaitSleep(target Time) bool {
+	e := p.env
+	e.phaseMsgs[p.phaseIdx] = parkMsg{kind: parkSleep, pos: p.pNow, target: target}
+	e.phaseWG.Done()
+	if <-p.phaseCmd {
+		return true
+	}
+	p.inPhase = false
+	<-p.resume
+	return false
 }
 
 // phaseEligible reports whether a queue entry can seed or join a phase: a
@@ -277,28 +361,27 @@ func phaseEligible(ev event) bool {
 // queue. It returns false — popping nothing — when the head event must
 // dispatch sequentially.
 func (e *Env) tryPhase() bool {
-	if len(e.queue) == 0 {
-		return false
-	}
-	top := e.queue[0]
-	if top.at > e.horizon || !phaseEligible(top) {
+	top := e.queue.Head()
+	if top == nil || top.at > e.horizon || !phaseEligible(*top) {
 		return false
 	}
 	// Pop the maximal contiguous prefix of eligible events with pairwise
 	// distinct domains inside the lookahead window. Two same-domain
 	// processes share memory with zero latency and must interleave exactly
 	// as the sequential engine would, so the second one ends the prefix
-	// (and typically seeds the next phase).
+	// (and typically seeds the next phase). The member table is the
+	// preallocated phase scratch; its capacity (the domain count) also
+	// bounds the prefix so park slots never run out.
 	limit := top.at.Add(e.lookahead)
-	var members []event
-	for len(e.queue) > 0 {
-		ev := e.queue[0]
-		if ev.at > limit || ev.at > e.horizon || !phaseEligible(ev) {
+	members := e.phaseMembers[:0]
+	for len(members) < cap(members) {
+		ev := e.queue.Head()
+		if ev == nil || ev.at > limit || ev.at > e.horizon || !phaseEligible(*ev) {
 			break
 		}
 		dup := false
-		for _, m := range members {
-			if m.proc.domain == ev.proc.domain {
+		for i := range members {
+			if members[i].proc.domain == ev.proc.domain {
 				dup = true
 				break
 			}
@@ -306,39 +389,79 @@ func (e *Env) tryPhase() bool {
 		if dup {
 			break
 		}
-		heap.Pop(&e.queue)
-		members = append(members, ev)
+		members = append(members, *ev)
+		e.queue.Pop()
 	}
 	e.runPhase(members)
 	return true
 }
 
-// memberHorizon computes the conservative horizon for member i: the largest
-// private-clock value it may reach without risking an interaction the
-// sequential engine would have ordered differently. See the package comment
-// at the top of this file for the derivation.
-func (e *Env) memberHorizon(members []event, i int) Time {
-	d := members[i].proc.domain
-	bound := maxTime
-	for _, q := range e.queue {
-		b := q.at
+// scanPhaseBounds derives, in one pass over the frozen queue, everything
+// the phase's horizon queries need: qbOther — the minimum time over events
+// that get no lookahead slack (timers, untagged processes, barred
+// processes); qbTagged — the (time, domain) of every pending tagged
+// compute event, which get +L slack against other domains and none against
+// their own; qbAll — the minimum over everything, the strict bound's
+// queue component. The queue cannot change while members run, so one scan
+// serves the initial horizons and every extension round of the phase.
+func (e *Env) scanPhaseBounds() {
+	e.qbOther = maxTime
+	e.qbAll = maxTime
+	tagged := e.qbTagged[:0]
+	e.queue.forEach(func(q *event) {
+		if q.at < e.qbAll {
+			e.qbAll = q.at
+		}
 		if q.timer == nil && q.proc.computeDepth > 0 && q.proc.domain > 0 &&
-			q.proc.domain != d && !q.proc.phaseBarred {
-			// Tagged compute of another domain: its effects must cross
-			// the link before they can touch this member's domain. A
-			// barred process gets no slack — it resumes mid-glue and may
-			// touch shared state the instant it wakes.
-			b = q.at.Add(e.lookahead)
+			!q.proc.phaseBarred {
+			tagged = append(tagged, taggedBound{at: q.at, domain: q.proc.domain})
+			return
+		}
+		if q.at < e.qbOther {
+			e.qbOther = q.at
+		}
+	})
+	e.qbTagged = tagged
+}
+
+// queueBound returns the queue-derived horizon component for a member of
+// domain d: pending tagged compute of another domain gets +L slack — its
+// effects must cross the link before they can touch this member's domain —
+// while same-domain tagged events, untagged events, timers, and barred
+// processes (which resume mid-glue and may touch shared state the instant
+// they wake) get none. Requires a preceding scanPhaseBounds.
+func (e *Env) queueBound(d int) Time {
+	bound := e.qbOther
+	for i := range e.qbTagged {
+		b := e.qbTagged[i].at
+		if e.qbTagged[i].domain != d {
+			b = b.Add(e.lookahead)
 		}
 		if b < bound {
 			bound = b
 		}
 	}
-	for j, o := range members {
+	return bound
+}
+
+// memberHorizon computes the conservative horizon for member i: the largest
+// private-clock value it may reach without risking an interaction the
+// sequential engine would have ordered differently. See the package comment
+// at the top of this file for the derivation. (Tests call this directly;
+// runPhase scans the bounds once and calls horizonFrom per member.)
+func (e *Env) memberHorizon(members []event, i int) Time {
+	e.scanPhaseBounds()
+	return e.horizonFrom(members, i)
+}
+
+// horizonFrom is memberHorizon against already-scanned queue bounds.
+func (e *Env) horizonFrom(members []event, i int) Time {
+	bound := e.queueBound(members[i].proc.domain)
+	for j := range members {
 		if j == i {
 			continue
 		}
-		if b := o.at.Add(e.lookahead); b < bound {
+		if b := members[j].at.Add(e.lookahead); b < bound {
 			bound = b
 		}
 	}
@@ -359,18 +482,19 @@ func (e *Env) memberHorizon(members []event, i int) Time {
 // only below this bound, which keeps merged-versus-per-step decisions —
 // and hence sequence-number consumption — identical to sequential.
 func (e *Env) memberStrict(members []event, i int) Time {
-	bound := maxTime
-	for _, q := range e.queue {
-		if q.at < bound {
-			bound = q.at
-		}
-	}
-	for j, o := range members {
+	e.scanPhaseBounds()
+	return e.strictFrom(members, i)
+}
+
+// strictFrom is memberStrict against already-scanned queue bounds.
+func (e *Env) strictFrom(members []event, i int) Time {
+	bound := e.qbAll
+	for j := range members {
 		if j == i {
 			continue
 		}
-		if o.at < bound {
-			bound = o.at
+		if members[j].at < bound {
+			bound = members[j].at
 		}
 	}
 	s := bound - 1
@@ -380,74 +504,176 @@ func (e *Env) memberStrict(members []event, i int) Time {
 	return s
 }
 
-// runPhase forks the members, waits for all of them to park, then joins by
-// restoring every member's original queue entry as a phantom replay cursor.
-// The join itself decides nothing about ordering: the queue replays each
-// trajectory in exactly the interleaving the sequential engine would have
-// produced, independent of how the member goroutines raced in wall time.
+// roundHorizon recomputes member i's conservative horizon for an extension
+// round, substituting every co-member's *current* parked position for its
+// phase-start time. A co-member still in the phase (sleep-parked, or just
+// resumed this same round) has committed nothing past its parked private
+// clock and its future effects must still cross the link, so it
+// contributes pos + L; a member gone to a sync point or a body return will
+// resume sequentially at its position and may touch shared state the
+// instant it wakes, so it contributes pos with no slack — the same rule
+// the queue scan applies to barred entries. The queue components are the
+// phase-start scan: the queue is frozen while the phase runs.
+func (e *Env) roundHorizon(members []event, i int, st []uint8) Time {
+	bound := e.queueBound(members[i].proc.domain)
+	for j := range members {
+		if j == i {
+			continue
+		}
+		b := e.phaseMsgs[j].pos
+		if st[j] != phGone {
+			b = b.Add(e.lookahead)
+		}
+		if b < bound {
+			bound = b
+		}
+	}
+	h := bound - 1
+	if e.horizon < h {
+		h = e.horizon
+	}
+	return h
+}
+
+// Round states of a phase member, tracked in the Env.phaseState scratch.
+const (
+	phRunning     uint8 = iota // member goroutine is executing in-phase
+	phSleepParked              // blocked at a horizon crossing, awaiting the round decision
+	phGone                     // parked at a sync point or retired; out of the phase for good
+)
+
+// runPhase forks the members, then alternates execution and extension
+// rounds: whenever every still-running member has parked, horizon-parked
+// members whose blocked sleep target fits a recomputed (position-based)
+// bound are resumed in-phase; when none can make progress the phase joins
+// by restoring every member's original queue entry as a phantom replay
+// cursor. The join itself decides nothing about ordering: the queue
+// replays each trajectory in exactly the interleaving the sequential
+// engine would have produced, independent of how the member goroutines
+// raced in wall time.
 func (e *Env) runPhase(members []event) {
 	k := len(members)
 	e.statPhases++
 	e.statMembers += uint64(k)
+	if k == 1 {
+		e.statSingletons++
+	}
 	e.now = members[0].at
 
-	// Horizons are computed against the post-pop queue, before any member
-	// runs; from here to the last parkCh receive the scheduler touches no
-	// shared state.
-	horizons := make([]Time, k)
-	stricts := make([]Time, k)
-	for i := range members {
-		horizons[i] = e.memberHorizon(members, i)
-		stricts[i] = e.memberStrict(members, i)
-	}
+	// Bounds are computed against the post-pop queue, before any member
+	// runs; from here to the final WaitGroup wait the scheduler touches no
+	// state a member can observe.
+	e.scanPhaseBounds()
+	st := e.phaseState[:k]
+	msgs := e.phaseMsgs[:k]
 	for i, ev := range members {
 		p := ev.proc
 		p.inPhase = true
 		p.phaseIdx = i
 		p.pNow = ev.at
-		p.pHorizon = horizons[i]
-		p.pStrict = stricts[i]
+		p.pHorizon = e.horizonFrom(members, i)
+		p.pStrict = e.strictFrom(members, i)
+		if p.traj == nil {
+			// First phase membership: size the trajectory for a fat batched
+			// phase up front so per-sleep appends never grow it in steady
+			// state. Reused (re-sliced, never freed) for the process's life.
+			p.traj = make([]Time, 0, 1024)
+		}
 		p.traj = p.traj[:0]
 		p.cursor = 0
 		p.state = stateRunning
+		if p.phaseCmd == nil {
+			p.phaseCmd = make(chan bool, 1)
+		}
+		st[i] = phRunning
+		msgs[i] = parkMsg{}
 	}
+	e.phaseWG.Add(k)
 	for _, ev := range members {
 		ev.proc.resume <- struct{}{}
 	}
-	msgs := make([]parkMsg, k)
-	for n := 0; n < k; n++ {
-		m := <-e.parkCh
-		msgs[m.idx] = m
+
+	var panicV any
+	for {
+		e.phaseWG.Wait()
+		// Classify the members that parked since the last round. A member
+		// that was already sleep-parked keeps its slot untouched.
+		for i := 0; i < k; i++ {
+			if st[i] != phRunning {
+				continue
+			}
+			if msgs[i].kind == parkSleep {
+				st[i] = phSleepParked
+				e.statHorizonWaits++
+				continue
+			}
+			st[i] = phGone
+			if msgs[i].emit {
+				e.statParkedEmits++
+			}
+			if msgs[i].kind == parkDone && msgs[i].panicV != nil && panicV == nil {
+				panicV = msgs[i].panicV
+			}
+		}
+		if panicV != nil {
+			break
+		}
+		// Extension round: resume every sleep-parked member whose blocked
+		// target fits its recomputed horizon. The horizon must strictly
+		// grow — the target crossed the old bound, so covering it implies
+		// growth — and is written before the resume, so the member sees it.
+		resumed := 0
+		for i := 0; i < k; i++ {
+			if st[i] != phSleepParked {
+				continue
+			}
+			h := e.roundHorizon(members, i, st)
+			if h >= msgs[i].target && h > members[i].proc.pHorizon {
+				members[i].proc.pHorizon = h
+				st[i] = phRunning
+				resumed++
+			}
+		}
+		if resumed == 0 {
+			break
+		}
+		e.statRounds++
+		e.phaseWG.Add(resumed)
+		for i := 0; i < k; i++ {
+			if st[i] == phRunning {
+				members[i].proc.phaseCmd <- true
+			}
+		}
 	}
 
-	// Join. Each member's original entry goes back on the queue — original
-	// time, original sequence number — marked phantom; a member that never
-	// slept replays an empty trajectory and resumes at exactly the slot the
-	// sequential engine would have dispatched it. A panic aborts the
-	// simulation immediately (lowest member index wins, deterministically);
-	// a clean in-phase body return retires through the replay so its final
-	// sleeps still consume the sequence numbers they would have
-	// sequentially.
-	var panicV any
-	for i := range msgs {
+	// Join. Members still blocked at their horizon leave the phase first
+	// (the join command unblocks phaseWaitSleep, which then waits for its
+	// trajectory replay like any other park). Each member's original entry
+	// goes back on the queue — original time, original sequence number —
+	// marked phantom; a member that never slept replays an empty trajectory
+	// and resumes at exactly the slot the sequential engine would have
+	// dispatched it. A panic aborts the simulation immediately (lowest
+	// member index wins, deterministically); a clean in-phase body return
+	// retires through the replay so its final sleeps still consume the
+	// sequence numbers they would have sequentially.
+	for i := 0; i < k; i++ {
+		if st[i] == phSleepParked {
+			members[i].proc.phaseCmd <- false
+		}
+	}
+	for i := 0; i < k; i++ {
 		p := members[i].proc
 		if msgs[i].kind == parkDone {
 			if msgs[i].panicV != nil {
-				if panicV == nil {
-					panicV = msgs[i].panicV
-				}
 				p.state = stateDone
 				e.running--
 				continue
 			}
 			p.phaseDone = true
 		}
-		if msgs[i].kind == parkSleep {
-			e.statHorizonWaits++
-		}
 		ev := members[i]
 		ev.phantom = true
-		heap.Push(&e.queue, ev)
+		e.queue.Push(ev)
 		p.state = stateRunnable
 	}
 	if panicV != nil {
@@ -468,12 +694,14 @@ func (e *Env) replayStep(ev event) {
 	for p.cursor < len(p.traj) {
 		t := p.traj[p.cursor]
 		p.cursor++
-		if !e.noFast && t <= e.horizon && (len(e.queue) == 0 || t < e.queue[0].at) {
-			e.now = t
-			continue
+		if !e.noFast && t <= e.horizon {
+			if h := e.queue.Head(); h == nil || t < h.at {
+				e.now = t
+				continue
+			}
 		}
 		e.seq++
-		heap.Push(&e.queue, event{at: t, seq: e.seq, proc: p, phantom: true})
+		e.queue.Push(event{at: t, seq: e.seq, proc: p, phantom: true})
 		return
 	}
 	if p.phaseDone {

@@ -1,11 +1,11 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"os"
 	"sort"
+	"sync"
 )
 
 // FastPathsDisabled reports whether the FLICKSIM_NOPREDECODE escape hatch
@@ -50,10 +50,27 @@ type Env struct {
 	simPar           bool
 	domains          int
 	lookahead        Duration
-	parkCh           chan parkMsg
 	statPhases       uint64
 	statMembers      uint64
+	statSingletons   uint64
 	statHorizonWaits uint64
+	statRounds       uint64
+	statParkedEmits  uint64
+
+	// Phase scratch, preallocated once by EnableSimPar and reused by every
+	// phase so the fork/join hot path allocates nothing: member entries,
+	// per-member park slots and round states, and the queue-derived horizon
+	// bounds computed once per phase (see scanPhaseBounds). phaseWG is the
+	// members' handoff back to the scheduler: each member writes its own
+	// phaseMsgs slot and calls Done, replacing the old per-park channel
+	// rendezvous.
+	phaseMembers []event
+	phaseMsgs    []parkMsg
+	phaseState   []uint8
+	phaseWG      sync.WaitGroup
+	qbTagged     []taggedBound
+	qbOther      Time
+	qbAll        Time
 }
 
 // maxTime is the largest representable virtual time, used as the "no
@@ -143,25 +160,6 @@ type event struct {
 	phantom bool
 }
 
-type eventQueue []event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	*q = old[:n-1]
-	return ev
-}
-
 // procState tracks where a process is in its lifecycle.
 type procState int
 
@@ -193,14 +191,15 @@ type Proc struct {
 	domain       int
 	computeDepth int
 	inPhase      bool
-	phaseBarred  bool   // parked at a sync point; sequential until the next compute window
-	phaseDone    bool   // body returned in-phase; retire after the trajectory replays
-	pNow         Time   // private clock while running as a phase member
-	pHorizon     Time   // conservative bound on pNow for this phase
-	pStrict      Time   // no-slack bound: in-phase TrySleepInPlace may not cross it
-	phaseIdx     int    // member index within the current phase
-	traj         []Time // private-clock sleep targets recorded this phase, for deferred replay
-	cursor       int    // replay position within traj
+	phaseBarred  bool      // parked at a sync point; sequential until the next compute window
+	phaseDone    bool      // body returned in-phase; retire after the trajectory replays
+	pNow         Time      // private clock while running as a phase member
+	pHorizon     Time      // conservative bound on pNow for this phase
+	pStrict      Time      // no-slack bound: in-phase TrySleepInPlace may not cross it
+	phaseIdx     int       // member index within the current phase
+	traj         []Time    // private-clock sleep targets recorded this phase, for deferred replay
+	cursor       int       // replay position within traj
+	phaseCmd     chan bool // scheduler's round decision for a horizon-parked member: extend or join
 }
 
 // Name returns the process name given at Spawn time.
@@ -258,7 +257,7 @@ func (e *Env) schedule(p *Proc, t Time) {
 		panic(fmt.Sprintf("sim: scheduling %q in the past (%v < %v)", p.name, t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.queue, event{at: t, seq: e.seq, proc: p})
+	e.queue.Push(event{at: t, seq: e.seq, proc: p})
 	if p.state != stateNew {
 		p.state = stateRunnable
 	}
@@ -293,10 +292,11 @@ func (e *Env) step(ev event) {
 				if p.inPhase {
 					// The body finished while running as a phase member;
 					// nobody is listening on e.yield until the phase joins.
-					// Report through the park channel instead and let the
-					// join do the state/running bookkeeping.
+					// Report through the member's park slot instead and let
+					// the join do the state/running bookkeeping.
 					p.inPhase = false
-					e.parkCh <- parkMsg{idx: p.phaseIdx, kind: parkDone, panicV: r}
+					e.phaseMsgs[p.phaseIdx] = parkMsg{kind: parkDone, pos: p.pNow, panicV: r}
+					e.phaseWG.Done()
 					return
 				}
 				if r != nil {
@@ -347,12 +347,11 @@ func (e *Env) dispatch(ev event) {
 // to inspect that state.
 func (e *Env) Run() Time {
 	e.horizon = maxTime
-	for len(e.queue) > 0 {
+	for e.queue.Len() > 0 {
 		if e.simPar && e.tryPhase() {
 			continue
 		}
-		ev := heap.Pop(&e.queue).(event)
-		e.dispatch(ev)
+		e.dispatch(e.queue.Pop())
 	}
 	return e.now
 }
@@ -361,12 +360,11 @@ func (e *Env) Run() Time {
 // setting the clock to the deadline if it ran dry earlier.
 func (e *Env) RunUntil(deadline Time) Time {
 	e.horizon = deadline
-	for len(e.queue) > 0 && e.queue[0].at <= deadline {
+	for e.queue.Len() > 0 && e.queue.Head().at <= deadline {
 		if e.simPar && e.tryPhase() {
 			continue
 		}
-		ev := heap.Pop(&e.queue).(event)
-		e.dispatch(ev)
+		e.dispatch(e.queue.Pop())
 	}
 	if e.now < deadline {
 		e.now = deadline
@@ -402,7 +400,7 @@ func (e *Env) AfterFunc(d Duration, fn func()) *Timer {
 	}
 	t := &Timer{fn: fn}
 	e.seq++
-	heap.Push(&e.queue, event{at: e.now.Add(d), seq: e.seq, timer: t})
+	e.queue.Push(event{at: e.now.Add(d), seq: e.seq, timer: t})
 	return t
 }
 
@@ -430,15 +428,15 @@ func (p *Proc) Sleep(d Duration) {
 		// shared queue, recording the target so the join can replay this
 		// trajectory through the real queue with the exact sequence numbers
 		// the sequential engine would have assigned (see domain.go).
-		// Crossing the horizon parks the member; it resumes sequentially
-		// with the shared clock at the sleep target.
+		// Crossing the horizon parks the member; the scheduler then either
+		// extends the phase with a horizon that covers the target (the
+		// member resumes in-phase) or joins the phase (the member resumes
+		// sequentially with the shared clock at the sleep target).
 		t := p.pNow.Add(d)
 		p.traj = append(p.traj, t)
-		if t <= p.pHorizon {
+		if t <= p.pHorizon || p.phaseWaitSleep(t) {
 			p.pNow = t
-			return
 		}
-		p.phasePark(parkSleep)
 		return
 	}
 	e := p.env
@@ -452,9 +450,11 @@ func (p *Proc) Sleep(d Duration) {
 	// running process is never in the queue, so nothing else can observe
 	// the intermediate state. The horizon check keeps RunUntil exact: a
 	// sleep crossing the deadline must park in the queue so the loop stops.
-	if !e.noFast && t <= e.horizon && (len(e.queue) == 0 || t < e.queue[0].at) {
-		e.now = t
-		return
+	if !e.noFast && t <= e.horizon {
+		if h := e.queue.Head(); h == nil || t < h.at {
+			e.now = t
+			return
+		}
 	}
 	e.schedule(p, t)
 	p.state = stateRunnable
@@ -502,9 +502,11 @@ func (p *Proc) TrySleepInPlace(d Duration) bool {
 	}
 	e := p.env
 	t := e.now.Add(d)
-	if !e.noFast && t <= e.horizon && (len(e.queue) == 0 || t < e.queue[0].at) {
-		e.now = t
-		return true
+	if !e.noFast && t <= e.horizon {
+		if h := e.queue.Head(); h == nil || t < h.at {
+			e.now = t
+			return true
+		}
 	}
 	return false
 }

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -235,11 +234,11 @@ func TestSimParHorizonProperty(t *testing.T) {
 			at := base.Add(Duration(rng.Int63n(3 * int64(L))))
 			switch rng.Intn(3) {
 			case 0:
-				heap.Push(&e.queue, event{at: at, seq: uint64(i), timer: &Timer{}})
+				e.queue.Push(event{at: at, seq: uint64(i), timer: &Timer{}})
 			case 1:
-				heap.Push(&e.queue, event{at: at, seq: uint64(i), proc: mkproc(0, 0)})
+				e.queue.Push(event{at: at, seq: uint64(i), proc: mkproc(0, 0)})
 			default:
-				heap.Push(&e.queue, event{at: at, seq: uint64(i), proc: mkproc(1 + rng.Intn(4), 1)})
+				e.queue.Push(event{at: at, seq: uint64(i), proc: mkproc(1 + rng.Intn(4), 1)})
 			}
 		}
 		// Random member set with pairwise distinct domains, all starting
@@ -256,6 +255,9 @@ func TestSimParHorizonProperty(t *testing.T) {
 		if rng.Intn(4) == 0 {
 			e.horizon = base.Add(Duration(rng.Int63n(2 * int64(L))))
 		}
+		// Snapshot the queue for the brute-force reference bound.
+		var pending []event
+		e.queue.forEach(func(q *event) { pending = append(pending, *q) })
 
 		for i := range members {
 			h := e.memberHorizon(members, i)
@@ -264,7 +266,7 @@ func TestSimParHorizonProperty(t *testing.T) {
 			}
 			// Brute-force reference bound.
 			want := maxTime
-			for _, q := range e.queue {
+			for _, q := range pending {
 				b := q.at
 				if q.timer == nil && q.proc.computeDepth > 0 && q.proc.domain > 0 &&
 					q.proc.domain != members[i].proc.domain && !q.proc.phaseBarred {
@@ -292,7 +294,7 @@ func TestSimParHorizonProperty(t *testing.T) {
 			// The strictness invariant the Sleep tie semantics rely on: no
 			// untagged, barred, or same-domain pending event may be
 			// reachable.
-			for _, q := range e.queue {
+			for _, q := range pending {
 				tagged := q.timer == nil && q.proc.computeDepth > 0 && q.proc.domain > 0 && !q.proc.phaseBarred
 				if (!tagged || q.proc.domain == members[i].proc.domain) && h >= q.at {
 					t.Fatalf("iter %d member %d: horizon %d reaches untagged/same-domain event at %d",
